@@ -1,0 +1,40 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Set ``REPRO_SCALE=quick`` to run the whole suite in a couple of minutes;
+the default ``bench`` scale regenerates the paper artefacts at the scale
+documented in EXPERIMENTS.md.  Rendered tables are written to
+``benchmarks/results/`` and echoed to stdout.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.common import SCALE_BENCH, SCALE_QUICK
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_SCALE", "bench")
+    return SCALE_QUICK if name == "quick" else SCALE_BENCH
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Write one experiment's rendered output to the results directory."""
+
+    def write(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return write

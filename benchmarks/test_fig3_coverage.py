@@ -1,0 +1,30 @@
+"""Figure 3 (experiment E1): workload size vs unique execution paths.
+
+Claims checked (paper C1):
+
+* unique paths to persistency instructions and to PM stores both grow
+  with workload size for every PMDK data store;
+* the store-path population is strictly larger than the
+  persistency-instruction-path population (the reason Mumak injects at
+  persistency instructions).
+"""
+
+from repro.experiments.fig3_coverage import FIG3_TARGETS, render, run_fig3
+
+
+def test_fig3_coverage_growth(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        run_fig3, args=(scale.coverage_sizes,), rounds=1, iterations=1
+    )
+    record_result("fig3_coverage", render(result))
+    for app in FIG3_TARGETS:
+        persistency = result.series(app, "persistency_paths")
+        stores = result.series(app, "store_paths")
+        assert persistency[-1] > persistency[0], (
+            f"{app}: persistency-instruction paths did not grow"
+        )
+        assert stores[-1] > stores[0], f"{app}: store paths did not grow"
+        assert all(s >= p for s, p in zip(stores, persistency)), (
+            f"{app}: store paths should dominate persistency paths"
+        )
+    assert result.store_to_persistency_ratio() > 1.0

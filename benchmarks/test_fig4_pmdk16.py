@@ -1,0 +1,43 @@
+"""Figure 4a (experiment E2, PMDK 1.6): Mumak vs Agamotto vs XFDetector.
+
+Claims checked (paper C2):
+
+* Mumak completes every target well inside the 12-hour budget;
+* Agamotto takes a multiple of Mumak's time but completes;
+* XFDetector exhausts the budget (the infinity bars).
+"""
+
+from repro.experiments.fig4_performance import (
+    render_fig4,
+    render_table2,
+    run_fig4,
+)
+
+
+def test_fig4a_pmdk16(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        run_fig4, args=(scale,), kwargs={"versions": ("1.6",)},
+        rounds=1, iterations=1,
+    )
+    record_result("fig4a_pmdk16", render_fig4(result))
+    record_result("table2_pmdk16", render_table2(result))
+    cells = result.by_version("1.6")
+    mumak = [c for c in cells if c.tool == "Mumak"]
+    agamotto = [c for c in cells if c.tool == "Agamotto"]
+    xfdetector = [c for c in cells if c.tool == "XFDetector"]
+    assert mumak and agamotto and xfdetector
+    assert all(not c.timed_out for c in mumak)
+    assert all(c.modelled_hours < 1.0 for c in mumak), (
+        "Mumak must stay well under an hour per target"
+    )
+    assert all(c.timed_out for c in xfdetector), (
+        "XFDetector must exceed the 12 hour budget"
+    )
+    for cell in agamotto:
+        counterpart = next(
+            c for c in mumak
+            if (c.target, c.spt) == (cell.target, cell.spt)
+        )
+        assert cell.modelled_hours > counterpart.modelled_hours, (
+            f"Agamotto should be slower than Mumak on {cell.target_label}"
+        )

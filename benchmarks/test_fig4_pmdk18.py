@@ -1,0 +1,57 @@
+"""Figure 4b (experiment E2, PMDK 1.8): Mumak vs PMDebugger vs Witcher.
+
+Claims checked (paper C2):
+
+* Witcher exhausts the 12-hour budget on every target;
+* PMDebugger is several times slower than Mumak on the original
+  (single-large-transaction) variants — its bookkeeping grows with
+  transaction size;
+* PMDebugger on the SPT variants is the one case faster than Mumak
+  ("substantially faster than all other approaches, in all but one case");
+* hashmap_atomic is excluded on PMDK 1.8 (it does not operate correctly).
+"""
+
+import pytest
+
+from repro.apps.hashmap_atomic import HashmapAtomic
+from repro.errors import PoolError
+from repro.experiments.fig4_performance import render_fig4, run_fig4
+from repro.pmdk import PMDK_1_8
+
+
+def test_fig4b_pmdk18(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        run_fig4, args=(scale,), kwargs={"versions": ("1.8",)},
+        rounds=1, iterations=1,
+    )
+    record_result("fig4b_pmdk18", render_fig4(result))
+    cells = result.by_version("1.8")
+    assert not any(c.target == "hashmap_atomic" for c in cells)
+
+    def cell(tool, target, spt):
+        return next(
+            c for c in cells
+            if (c.tool, c.target, c.spt) == (tool, target, spt)
+        )
+
+    for target in ("btree", "rbtree"):
+        assert cell("Witcher", target, True).timed_out
+        assert not cell("Mumak", target, False).timed_out
+        assert not cell("Mumak", target, True).timed_out
+        # Original variant: PMDebugger pays for the giant transaction.
+        assert (
+            cell("PMDebugger", target, False).modelled_hours
+            > cell("Mumak", target, False).modelled_hours
+        )
+        # SPT variant: the one case where a competitor is faster.
+        assert (
+            cell("PMDebugger", target, True).modelled_hours
+            < cell("Mumak", target, True).modelled_hours
+        )
+
+
+def test_hashmap_atomic_rejects_pmdk18(benchmark):
+    def construct():
+        with pytest.raises(PoolError):
+            HashmapAtomic(version=PMDK_1_8)
+    benchmark.pedantic(construct, rounds=1, iterations=1)

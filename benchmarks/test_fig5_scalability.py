@@ -1,0 +1,27 @@
+"""Figure 5 (experiment E3): analysis time vs codebase size.
+
+Claims checked (paper C3): Mumak's analysis time is not proportional to
+the size of the codebase under test — the rank correlation between kloc
+and analysis time stays far from 1, and the largest codebase is not the
+slowest analysis.
+"""
+
+from repro.experiments.fig5_scalability import render, run_fig5
+
+
+def test_fig5_scalability(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        run_fig5, kwargs={"n_ops": scale.scalability_ops}, rounds=1,
+        iterations=1,
+    )
+    record_result("fig5_scalability", render(result))
+    assert len(result.points) == 6
+    rho = result.spearman_rho()
+    assert abs(rho) < 0.75, (
+        f"analysis time correlates with code size (rho={rho:+.2f})"
+    )
+    largest = max(result.points, key=lambda p: p.kloc)
+    slowest = max(result.points, key=lambda p: p.modelled_hours)
+    assert largest.target != slowest.target, (
+        "the largest codebase must not be the slowest analysis"
+    )

@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the analysis building blocks (pytest-benchmark's
+statistical mode, several rounds each)."""
+
+from repro.apps.btree import BTree
+from repro.core import FailurePointTree, Mumak, MumakConfig, TraceAnalyzer
+from repro.instrument.runner import run_instrumented
+from repro.instrument.tracer import MinimalTracer
+from repro.pmem.crashsim import prefix_image
+from repro.workloads import generate_workload
+
+
+def _traced_run(n_ops=150):
+    tracer = MinimalTracer()
+    artifacts = run_instrumented(
+        lambda: BTree(bugs=(), spt=True),
+        generate_workload(n_ops, seed=4),
+        hooks=[tracer],
+    )
+    return tracer.events, artifacts
+
+
+def test_bench_instrumented_execution(benchmark):
+    workload = generate_workload(100, seed=4)
+    tracer = MinimalTracer()
+
+    def run():
+        tracer.events.clear()
+        run_instrumented(
+            lambda: BTree(bugs=(), spt=True), workload, hooks=[tracer]
+        )
+        return len(tracer.events)
+
+    events = benchmark(run)
+    assert events > 1000
+
+
+def test_bench_trace_analysis(benchmark):
+    trace, artifacts = _traced_run()
+
+    def analyze():
+        analyzer = TraceAnalyzer(pm_size=artifacts.machine.medium.size)
+        return analyzer.analyze(trace)
+
+    pending, stats = benchmark(analyze)
+    assert stats.events == len(trace)
+
+
+def test_bench_prefix_image(benchmark):
+    trace, artifacts = _traced_run()
+    mid = trace[len(trace) // 2].seq
+    image = benchmark(
+        prefix_image, artifacts.initial_image, trace, mid
+    )
+    assert len(image) == artifacts.machine.medium.size
+
+
+def test_bench_fpt_insert_and_visit(benchmark):
+    stacks = [
+        (f"main:{i % 7}", f"op:{i % 31}", f"persist:{i % 101}")
+        for i in range(3000)
+    ]
+
+    def build():
+        tree = FailurePointTree()
+        for seq, stack in enumerate(stacks):
+            tree.insert(stack, seq=seq)
+        hits = sum(1 for stack in stacks if tree.visit(stack))
+        return tree.failure_point_count, hits
+
+    count, hits = benchmark(build)
+    assert count == hits
+
+
+def test_bench_full_pipeline_small(benchmark):
+    workload = generate_workload(60, seed=4)
+
+    def analyze():
+        return Mumak(MumakConfig()).analyze(
+            lambda: BTree(bugs=(), spt=True), workload
+        )
+
+    result = benchmark.pedantic(analyze, rounds=2, iterations=1)
+    assert result.report.bugs == []

@@ -1,0 +1,58 @@
+"""Section 6.4 (experiment E-NEW): the four new bugs.
+
+Claims checked: black-box analysis finds the PMDK 1.12 tx-commit bug (via
+the original btree workload, large-transaction variant), the libart
+insert-commit bug, and both Montage bugs — and the fixed versions of each
+carrier analyse clean.  Additionally, the post-crash ART assertion from
+pmem/pmdk#5512 is demonstrated directly.
+"""
+
+import pytest
+
+from repro.apps.art import ARTree
+from repro.experiments.new_bugs import render, run_new_bugs
+from repro.pmdk import PMDK_FIXED
+from repro.pmem import PMachine
+from repro.workloads import generate_workload
+
+
+def test_new_bugs_end_to_end(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        run_new_bugs, kwargs={"n_ops": scale.bug_ops}, rounds=1, iterations=1
+    )
+    record_result("newbugs_64", render(result))
+    assert len(result.demos) == 4
+    for demo in result.demos:
+        assert demo.detected, f"{demo.bug} was not detected"
+        assert demo.fixed_version_clean, (
+            f"{demo.bug}: the fixed version still reports correctness bugs"
+        )
+
+
+def test_art_post_crash_insert_assertion(benchmark):
+    """pmem/pmdk#5512's visible symptom: crashed insert commits inflate a
+    node's persisted child count (the rollback cannot undo the eager
+    ``n_children`` persist), until a post-crash insertion dies on an
+    assertion ("tries to allocate too many children")."""
+    benchmark.pedantic(_art_assertion_demo, rounds=1, iterations=1)
+
+
+def _art_assertion_demo():
+    app = ARTree(bugs={"art.c1_insert_commit"}, version=PMDK_FIXED)
+    machine = PMachine(pm_size=app.pool_size)
+    app.setup(machine)
+    # Two keys sharing their first byte create an inner node16.
+    app.put(b"za", b"v")
+    app.put(b"zb", b"v")
+    with pytest.raises(AssertionError, match="too many children"):
+        for i in range(40):
+            # Each insert adds a child to the shared node; aborting the
+            # transaction mid-way is exactly the injected-crash rollback.
+            tx = app.pool.tx()
+            tx.__enter__()
+            try:
+                root = app._root_view()
+                app._insert(tx, root.addr("root_ptr"),
+                            b"z" + bytes([ord("c") + i]), b"v", 0)
+            finally:
+                tx.abort()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: find a crash-consistency bug in 40 lines of target code.
+
+A tiny persistent counter-and-log application is defined below with a
+classic PM mistake: the record counter is persisted *before* the record
+itself.  Mumak treats it as a black box — it only ever sees the binary's
+PM instruction stream and the application's own recovery procedure — and
+pinpoints the failure point.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.base import PMApplication
+from repro.core import Mumak
+from repro.layout import codec
+from repro.pmem.pool import HEADER_SIZE, PmemPool
+from repro.errors import PoolError
+from repro.workloads import generate_workload
+
+RECORD_SIZE = 16
+COUNT_ADDR = HEADER_SIZE          # u64 record count
+LOG_BASE = HEADER_SIZE + 64       # the records
+
+
+class AppendLog(PMApplication):
+    """Appends fixed-size records; recovery checks every counted record."""
+
+    name = "append_log"
+    layout = "append-log"
+
+    def setup(self, machine):
+        self.machine = machine
+        PmemPool.create(machine, self.layout)
+        machine.store(COUNT_ADDR, codec.encode_u64(0))
+        machine.persist(COUNT_ADDR, 8)
+
+    def recover(self, machine):
+        self.machine = machine
+        try:
+            PmemPool.open(machine, self.layout)
+        except PoolError:
+            self.setup(machine)
+            return
+        count = codec.decode_u64(machine.load(COUNT_ADDR, 8))
+        for i in range(count):
+            record = machine.load(LOG_BASE + i * RECORD_SIZE, RECORD_SIZE)
+            self.require(
+                record.rstrip(b"\x00") != b"",
+                f"record {i} is counted but empty",
+            )
+
+    def apply(self, op):
+        if op.kind != "put":
+            return None
+        count = codec.decode_u64(self.machine.load(COUNT_ADDR, 8))
+        # BUG: the counter is persisted before the record it counts.
+        self.machine.store(COUNT_ADDR, codec.encode_u64(count + 1))
+        self.machine.persist(COUNT_ADDR, 8)
+        record = (op.key + b"=" + op.value)[:RECORD_SIZE]
+        record = record.ljust(RECORD_SIZE, b"\x00")
+        self.machine.store(LOG_BASE + count * RECORD_SIZE, record)
+        self.machine.persist(LOG_BASE + count * RECORD_SIZE, RECORD_SIZE)
+        return True
+
+
+def main():
+    workload = generate_workload(50, mix={"put": 1.0}, seed=1)
+    result = Mumak().analyze(AppendLog, workload)
+    print(result.report.render())
+    print()
+    stats = result.fault_injection.stats
+    print(
+        f"failure points: {stats.unique_failure_points}, "
+        f"faults injected: {stats.injections}, "
+        f"recovery failures: {stats.recovery_failures}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim so `python setup.py develop` works offline (no wheel package
+is available in this environment, which breaks PEP-517 editable installs)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Reproduction of *Mumak: Efficient and Black-Box Bug Detection for
+Persistent Memory* (Gonçalves, Matos, Rodrigues — EuroSys 2023).
+
+Top-level public surface:
+
+* :class:`repro.core.Mumak` / :class:`repro.core.MumakConfig` — the tool.
+* :mod:`repro.pmem` — the simulated x86 persistency machine.
+* :mod:`repro.apps` — the target applications with their seeded defects.
+* :mod:`repro.baselines` — the comparison tools (Agamotto, XFDetector,
+  PMDebugger, Witcher, Yat).
+* :mod:`repro.experiments` — harnesses regenerating every paper artefact.
+
+Quickstart::
+
+    from repro.apps.btree import BTree
+    from repro.core import Mumak
+    from repro.workloads import generate_workload
+
+    result = Mumak().analyze(lambda: BTree(spt=True),
+                             generate_workload(300, seed=7))
+    print(result.report.render())
+"""
+
+from repro.core import Mumak, MumakConfig, MumakResult
+from repro.pmem import PMachine
+from repro.workloads import generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Mumak",
+    "MumakConfig",
+    "MumakResult",
+    "PMachine",
+    "generate_workload",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""General persistent heap allocator used by the mini-PMDK layer and by
+applications that manage PM directly."""
+
+from repro.alloc.allocator import (
+    BLOCK_HEADER_SIZE,
+    STATUS_ALLOCATED,
+    STATUS_FREE,
+    BlockInfo,
+    HeapStats,
+    PAllocator,
+)
+
+__all__ = [
+    "BLOCK_HEADER_SIZE",
+    "BlockInfo",
+    "HeapStats",
+    "PAllocator",
+    "STATUS_ALLOCATED",
+    "STATUS_FREE",
+]

@@ -1,0 +1,286 @@
+"""A crash-consistent persistent heap with segregated free lists.
+
+Layout inside the pool::
+
+    [heap header][block][block][block]...[bump frontier ->        ]
+
+Every block is a 16-byte header (payload size, status word) followed by the
+payload, and blocks are 16-byte aligned.  Free blocks of each power-of-two
+size class form a singly linked list threaded through their payloads.
+
+Crash-consistency discipline (all enforced with explicit flush+fence):
+
+* A block becomes visible to recovery only after its header is persisted.
+* The bump frontier is advanced (and persisted) only after the new block's
+  header is durable, so recovery never walks into uninitialised space.
+* Free-list manipulation persists the block's next pointer before the list
+  head, so a crash can at worst leak one block, never corrupt a list.
+
+:meth:`PAllocator.recover` is the allocator's contribution to application
+recovery procedures: it re-walks the heap, validates every header and free
+list, and raises :class:`~repro.errors.RecoveryError` on corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import AllocationError, RecoveryError
+from repro.layout import codec
+from repro.pmem.machine import PMachine
+
+#: Bytes of metadata in front of every payload.
+BLOCK_HEADER_SIZE = 16
+
+STATUS_ALLOCATED = 0xA110C8ED
+STATUS_FREE = 0x00F7EE00
+
+_HEAP_MAGIC = 0x4D554D414B484541  # "MUMAKHEA"
+_MIN_CLASS = 16
+_NUM_CLASSES = 48  # powers of two from 16 upward; absurdly generous
+
+# Heap header layout (offsets relative to heap base):
+_MAGIC_OFF = 0
+_BUMP_OFF = 8
+_FREELIST_OFF = 16  # _NUM_CLASSES u64 slots
+_HEAP_HEADER_SIZE = _FREELIST_OFF + 8 * _NUM_CLASSES
+
+
+def _class_index(size: int) -> int:
+    """Index of the smallest power-of-two class holding ``size`` bytes."""
+    if size <= 0:
+        raise AllocationError(f"allocation size must be positive, got {size}")
+    rounded = max(size, _MIN_CLASS)
+    index = (rounded - 1).bit_length() - _MIN_CLASS.bit_length() + 1
+    if rounded == _MIN_CLASS:
+        index = 0
+    return index
+
+
+def _class_size(index: int) -> int:
+    return _MIN_CLASS << index
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """Description of one heap block, as seen by the heap walker."""
+
+    header_addr: int
+    payload_addr: int
+    size: int
+    status: int
+
+    @property
+    def allocated(self) -> bool:
+        return self.status == STATUS_ALLOCATED
+
+
+@dataclass
+class HeapStats:
+    """Summary produced by :meth:`PAllocator.recover`."""
+
+    allocated_blocks: int = 0
+    free_blocks: int = 0
+    allocated_bytes: int = 0
+    free_bytes: int = 0
+
+    @property
+    def total_blocks(self) -> int:
+        return self.allocated_blocks + self.free_blocks
+
+
+class PAllocator:
+    """Persistent allocator bound to a machine and a heap address range."""
+
+    def __init__(self, machine: PMachine, base: int, end: int):
+        if end - base < _HEAP_HEADER_SIZE + BLOCK_HEADER_SIZE + _MIN_CLASS:
+            raise AllocationError("heap region too small")
+        self.machine = machine
+        self.base = base
+        self.end = end
+        self._blocks_base = _align16(base + _HEAP_HEADER_SIZE)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def format(cls, machine: PMachine, base: int, end: int) -> "PAllocator":
+        """Initialise a fresh heap in ``[base, end)``."""
+        heap = cls(machine, base, end)
+        machine.store(base + _BUMP_OFF, codec.encode_u64(heap._blocks_base))
+        for index in range(_NUM_CLASSES):
+            machine.store(base + _FREELIST_OFF + 8 * index, codec.encode_u64(0))
+        machine.persist(base + _BUMP_OFF, _HEAP_HEADER_SIZE - _BUMP_OFF)
+        # Magic last: an interrupted format is recognisably unformatted.
+        machine.store(base + _MAGIC_OFF, codec.encode_u64(_HEAP_MAGIC))
+        machine.persist(base + _MAGIC_OFF, 8)
+        return heap
+
+    @classmethod
+    def attach(cls, machine: PMachine, base: int, end: int) -> "PAllocator":
+        """Bind to an existing heap, validating the magic."""
+        heap = cls(machine, base, end)
+        if heap._read_u64(base + _MAGIC_OFF) != _HEAP_MAGIC:
+            raise RecoveryError("heap magic missing: pool was never formatted")
+        return heap
+
+    # ------------------------------------------------------------------ #
+    # small helpers
+    # ------------------------------------------------------------------ #
+
+    def _read_u64(self, addr: int) -> int:
+        return codec.decode_u64(self.machine.load(addr, 8))
+
+    def _write_u64_persist(self, addr: int, value: int) -> None:
+        self.machine.store(addr, codec.encode_u64(value))
+        self.machine.persist(addr, 8)
+
+    @property
+    def bump(self) -> int:
+        return self._read_u64(self.base + _BUMP_OFF)
+
+    def _freelist_addr(self, index: int) -> int:
+        return self.base + _FREELIST_OFF + 8 * index
+
+    def free_list_head(self, index: int) -> int:
+        return self._read_u64(self._freelist_addr(index))
+
+    # ------------------------------------------------------------------ #
+    # allocation / free
+    # ------------------------------------------------------------------ #
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the payload address.
+
+        The returned block is durable (header persisted) but *unreachable*
+        until the caller links it into its own structures — transactional
+        callers must record the allocation in their log first, which is
+        exactly what :mod:`repro.pmdk.tx` does.
+        """
+        index = _class_index(size)
+        payload = self._pop_free(index)
+        if payload is not None:
+            return payload
+        return self._bump_alloc(index)
+
+    def _pop_free(self, index: int) -> int:
+        head = self.free_list_head(index)
+        if head == 0:
+            return None
+        next_free = self._read_u64(head)  # next pointer lives in the payload
+        # Unlink first, then flip status: a crash in between leaks the block
+        # (detected by recover()'s reachability accounting) but never
+        # produces a list pointing at an allocated block.
+        self._write_u64_persist(self._freelist_addr(index), next_free)
+        self._write_u64_persist(head - 8, STATUS_ALLOCATED)
+        return head
+
+    def _bump_alloc(self, index: int) -> int:
+        size = _class_size(index)
+        header = self.bump
+        payload = header + BLOCK_HEADER_SIZE
+        new_bump = _align16(payload + size)
+        if new_bump > self.end:
+            raise AllocationError(
+                f"heap exhausted: need {size} bytes, "
+                f"{self.end - self.bump} remain"
+            )
+        self.machine.store(header, codec.encode_u64(size))
+        self.machine.store(header + 8, codec.encode_u64(STATUS_ALLOCATED))
+        self.machine.persist(header, BLOCK_HEADER_SIZE)
+        # Frontier moves only after the header is durable.
+        self._write_u64_persist(self.base + _BUMP_OFF, new_bump)
+        return payload
+
+    def free(self, payload: int) -> None:
+        """Return a block to its size-class free list."""
+        header = payload - BLOCK_HEADER_SIZE
+        size = self._read_u64(header)
+        status = self._read_u64(header + 8)
+        if status != STATUS_ALLOCATED:
+            raise AllocationError(
+                f"free of non-allocated block at 0x{payload:x} (status 0x{status:x})"
+            )
+        index = _class_index(size)
+        head = self.free_list_head(index)
+        # next pointer and status become durable before the head flips; the
+        # two words are contiguous (status, then next), one persist covers
+        # both without redundant flushes.
+        self.machine.store(payload, codec.encode_u64(head))
+        self.machine.store(header + 8, codec.encode_u64(STATUS_FREE))
+        self.machine.persist(header + 8, 16)
+        self._write_u64_persist(self._freelist_addr(index), payload)
+
+    def payload_size(self, payload: int) -> int:
+        return self._read_u64(payload - BLOCK_HEADER_SIZE)
+
+    # ------------------------------------------------------------------ #
+    # recovery / introspection
+    # ------------------------------------------------------------------ #
+
+    def iter_blocks(self) -> Iterator[BlockInfo]:
+        """Walk every block between the heap base and the bump frontier."""
+        cursor = self._blocks_base
+        bump = self.bump
+        if bump < self._blocks_base or bump > self.end:
+            raise RecoveryError(
+                f"heap bump frontier 0x{bump:x} outside heap bounds"
+            )
+        while cursor < bump:
+            size = self._read_u64(cursor)
+            status = self._read_u64(cursor + 8)
+            if status not in (STATUS_ALLOCATED, STATUS_FREE):
+                raise RecoveryError(
+                    f"corrupt block header at 0x{cursor:x}: status 0x{status:x}"
+                )
+            if size < _MIN_CLASS or (size & (size - 1)) != 0:
+                raise RecoveryError(
+                    f"corrupt block header at 0x{cursor:x}: size {size}"
+                )
+            payload = cursor + BLOCK_HEADER_SIZE
+            yield BlockInfo(cursor, payload, size, status)
+            cursor = _align16(payload + size)
+
+    def recover(self) -> HeapStats:
+        """Validate the heap after a crash; raise RecoveryError if corrupt.
+
+        Checks performed:
+
+        * every block header between base and bump parses (status + size),
+        * every free-list entry points at a FREE block inside the heap,
+        * free lists are acyclic.
+        """
+        stats = HeapStats()
+        statuses = {}
+        for block in self.iter_blocks():
+            statuses[block.payload_addr] = block.status
+            if block.allocated:
+                stats.allocated_blocks += 1
+                stats.allocated_bytes += block.size
+            else:
+                stats.free_blocks += 1
+                stats.free_bytes += block.size
+        for index in range(_NUM_CLASSES):
+            seen = set()
+            cursor = self.free_list_head(index)
+            while cursor != 0:
+                if cursor in seen:
+                    raise RecoveryError(
+                        f"free list {index} contains a cycle at 0x{cursor:x}"
+                    )
+                seen.add(cursor)
+                if statuses.get(cursor) != STATUS_FREE:
+                    raise RecoveryError(
+                        f"free list {index} references non-free block 0x{cursor:x}"
+                    )
+                cursor = self._read_u64(cursor)
+        return stats
+
+    def allocated_payloads(self) -> List[int]:
+        return [b.payload_addr for b in self.iter_blocks() if b.allocated]
+
+
+def _align16(value: int) -> int:
+    return (value + 15) & ~15

@@ -1,0 +1,57 @@
+"""Target applications: the systems the paper analyses, with their
+as-published seeded defects (see :mod:`repro.apps.bugs`)."""
+
+from typing import Callable, Dict
+
+from repro.apps.art import ARTree
+from repro.apps.base import PMApplication
+from repro.apps.btree import BTree, BTreeSPT
+from repro.apps.cceh import CCEH
+from repro.apps.fast_fair import FastFair
+from repro.apps.hashmap_atomic import HashmapAtomic
+from repro.apps.level_hashing import LevelHashing
+from repro.apps.montage_apps import MontageHashtable, MontageLfHashtable
+from repro.apps.pmemkv import PmemkvCmap, PmemkvStree
+from repro.apps.rbtree import RBTree, RBTreeSPT
+from repro.apps.redis_pm import RedisPM
+from repro.apps.rocksdb_pm import RocksDBPM
+from repro.apps.wort import Wort
+
+#: Application classes by stable name.
+APPLICATIONS: Dict[str, Callable[..., PMApplication]] = {
+    "btree": BTree,
+    "rbtree": RBTree,
+    "hashmap_atomic": HashmapAtomic,
+    "wort": Wort,
+    "level_hashing": LevelHashing,
+    "fast_fair": FastFair,
+    "cceh": CCEH,
+    "redis_pm": RedisPM,
+    "rocksdb_pm": RocksDBPM,
+    "pmemkv_cmap": PmemkvCmap,
+    "pmemkv_stree": PmemkvStree,
+    "montage_hashtable": MontageHashtable,
+    "montage_lfhashtable": MontageLfHashtable,
+    "art": ARTree,
+}
+
+__all__ = [
+    "APPLICATIONS",
+    "ARTree",
+    "BTree",
+    "BTreeSPT",
+    "CCEH",
+    "FastFair",
+    "HashmapAtomic",
+    "LevelHashing",
+    "MontageHashtable",
+    "MontageLfHashtable",
+    "PMApplication",
+    "PmemkvCmap",
+    "PmemkvStree",
+    "RBTree",
+    "RBTreeSPT",
+    "RedisPM",
+    "RocksDBPM",
+    "Wort",
+]

@@ -1,0 +1,321 @@
+"""The libart example (Adaptive Radix Tree) on mini-PMDK, carrying the
+crash-consistency bug Mumak found in it (paper, section 6.4;
+pmem/pmdk#5512).
+
+A simplified ART with node16-style inner nodes: parallel ``keys`` /
+``children`` arrays of which the first ``n_children`` entries are valid.
+All mutations run in transactions.
+
+The seeded bug ``art.c1_insert_commit``: when adding a child, the buggy
+code bumps and persists ``n_children`` *before* snapshotting the node, so
+an abort (a fault injected during the commit of the insert) restores the
+child arrays but keeps the inflated count.  The tree then claims children
+it does not have: recovery's structural validation fails, and — exactly as
+the issue describes — a post-crash insertion into such a node can "try to
+allocate too many children" and die on an assertion
+(:meth:`ARTree.put` raises ``AssertionError``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.apps import faults
+from repro.apps.base import PMApplication
+from repro.errors import PoolError
+from repro.layout import Field, StructLayout, codec
+from repro.pmdk import ObjPool, PMDK_1_12, PmdkVersion
+from repro.pmem.machine import PMachine
+from repro.workloads.generator import Operation
+
+TAG_NODE = 0xA127
+TAG_LEAF = 0xA12F
+_FANOUT = 16
+_KEY_WIDTH = 24
+_VALUE_WIDTH = 16
+
+NODE = StructLayout(
+    "art_node16",
+    [Field.u64("tag"), Field.u64("n_children"), Field.blob("keys", _FANOUT)]
+    + [Field.u64(f"child{i}") for i in range(_FANOUT)],
+)
+
+LEAF = StructLayout(
+    "art_leaf",
+    [Field.u64("tag"), Field.blob("key", _KEY_WIDTH),
+     Field.blob("value", _VALUE_WIDTH)],
+)
+
+ROOT = StructLayout("art_root", [Field.u64("root_ptr"), Field.u64("count")])
+
+
+class ARTree(PMApplication):
+    name = "art"
+    layout = "pmdk-libart"
+    codebase_kloc = 20.0
+
+    def __init__(self, version: PmdkVersion = PMDK_1_12, **kwargs):
+        kwargs.setdefault("pool_size", 32 * 1024 * 1024)
+        super().__init__(**kwargs)
+        self.version = version
+        self.pool: Optional[ObjPool] = None
+        self._root_addr = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        self.pool = ObjPool.create(machine, self.layout, version=self.version)
+        self._root_addr = self.pool.root(ROOT.size)
+
+    def recover(self, machine: PMachine) -> None:
+        self.machine = machine
+        try:
+            self.pool = ObjPool.open(machine, self.layout, version=self.version)
+        except PoolError:
+            self.setup(machine)
+            return
+        self.pool.check_heap()
+        self._root_addr = self.pool.existing_root() or self.pool.root(ROOT.size)
+        root = self._root_view()
+        leaves = self._validate(root.get_u64("root_ptr"), b"", 0)
+        stored = root.get_u64("count")
+        self.require(
+            leaves == stored,
+            f"tree holds {leaves} leaves, counter says {stored}",
+        )
+
+    def _validate(self, addr: int, prefix: bytes, depth: int) -> int:
+        if addr == 0:
+            return 0
+        self.require(depth <= _KEY_WIDTH, "tree deeper than the key length")
+        self.require(
+            0 < addr < self.machine.medium.size,
+            f"pointer 0x{addr:x} outside the pool",
+        )
+        tag = codec.decode_u64(self.machine.load(addr, 8))
+        if tag == TAG_LEAF:
+            leaf = LEAF.view(self.machine, addr)
+            key = leaf.get_bytes("key")
+            self.require(
+                key.startswith(prefix),
+                f"leaf 0x{addr:x} key does not match its path",
+            )
+            return 1
+        self.require(tag == TAG_NODE, f"corrupt node tag 0x{tag:x}")
+        node = NODE.view(self.machine, addr)
+        n = node.get_u64("n_children")
+        self.require(n <= _FANOUT, f"node 0x{addr:x} claims {n} children")
+        keys = node.get_blob("keys")
+        total = 0
+        seen = set()
+        for i in range(n):
+            child = node.get_u64(f"child{i}")
+            self.require(
+                child != 0,
+                f"node 0x{addr:x} claims {n} children but slot {i} is empty",
+            )
+            byte = keys[i]
+            self.require(byte not in seen, f"node 0x{addr:x} duplicate byte")
+            seen.add(byte)
+            total += self._validate(child, prefix + bytes([byte]), depth + 1)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    def apply(self, op: Operation) -> Any:
+        if op.kind in ("put", "update"):
+            return self.put(op.key, op.value)
+        if op.kind == "get":
+            return self.lookup(op.key)
+        if op.kind == "delete":
+            return self.delete(op.key)
+        raise ValueError(f"art does not support {op.kind!r}")
+
+    def _root_view(self):
+        return ROOT.view(self.machine, self._root_addr)
+
+    def _tag(self, addr: int) -> int:
+        return codec.decode_u64(self.machine.load(addr, 8))
+
+    def _find_child(self, node, byte: int) -> Optional[int]:
+        """Index of ``byte`` in the node's key array, or None."""
+        n = node.get_u64("n_children")
+        keys = node.get_blob("keys")
+        for i in range(n):
+            if keys[i] == byte:
+                return i
+        return None
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        addr = self._root_view().get_u64("root_ptr")
+        depth = 0
+        while addr:
+            if self._tag(addr) == TAG_LEAF:
+                leaf = LEAF.view(self.machine, addr)
+                if leaf.get_bytes("key") == key:
+                    return leaf.get_bytes("value")
+                return None
+            node = NODE.view(self.machine, addr)
+            if depth >= len(key):
+                return None
+            index = self._find_child(node, key[depth])
+            if index is None:
+                return None
+            addr = node.get_u64(f"child{index}")
+            depth += 1
+        return None
+
+    def _new_leaf(self, tx, key: bytes, value: bytes) -> int:
+        addr = tx.alloc(LEAF.size)
+        leaf = LEAF.view(self.machine, addr)
+        leaf.set_u64("tag", TAG_LEAF)
+        leaf.set_bytes("key", key)
+        leaf.set_bytes("value", value)
+        return addr
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        with self.pool.tx() as tx:
+            root = self._root_view()
+            inserted = self._insert(
+                tx, root.addr("root_ptr"), key, value, 0
+            )
+            if inserted:
+                tx.add(root.addr("count"), 8)
+                root.set_u64("count", root.get_u64("count") + 1)
+        return inserted
+
+    def _insert(self, tx, slot_addr: int, key: bytes, value: bytes,
+                depth: int) -> bool:
+        addr = codec.decode_u64(self.machine.load(slot_addr, 8))
+        if addr == 0:
+            leaf = self._new_leaf(tx, key, value)
+            tx.add(slot_addr, 8)
+            self.machine.store(slot_addr, codec.encode_u64(leaf))
+            return True
+        if self._tag(addr) == TAG_LEAF:
+            leaf = LEAF.view(self.machine, addr)
+            existing = leaf.get_bytes("key")
+            if existing == key:
+                tx.add(leaf.addr("value"), _VALUE_WIDTH)
+                leaf.set_bytes("value", value)
+                return False
+            # Diverge: build inner nodes down to the first differing byte.
+            node_addr = self._new_node(tx)
+            node = NODE.view(self.machine, node_addr)
+            cursor_node, cursor_depth = node, depth
+            while (
+                cursor_depth < len(existing)
+                and cursor_depth < len(key)
+                and existing[cursor_depth] == key[cursor_depth]
+            ):
+                deeper_addr = self._new_node(tx)
+                self._add_child(
+                    tx, cursor_node, existing[cursor_depth], deeper_addr
+                )
+                cursor_node = NODE.view(self.machine, deeper_addr)
+                cursor_depth += 1
+            fresh = self._new_leaf(tx, key, value)
+            self._add_child(tx, cursor_node, existing[cursor_depth], addr)
+            self._add_child(tx, cursor_node, key[cursor_depth], fresh)
+            tx.add(slot_addr, 8)
+            self.machine.store(slot_addr, codec.encode_u64(node_addr))
+            return True
+        node = NODE.view(self.machine, addr)
+        index = self._find_child(node, key[depth])
+        if index is not None:
+            return self._insert(
+                tx, node.addr(f"child{index}"), key, value, depth + 1
+            )
+        fresh = self._new_leaf(tx, key, value)
+        self._add_child(tx, node, key[depth], fresh)
+        return True
+
+    def _new_node(self, tx) -> int:
+        addr = tx.alloc(NODE.size)
+        node = NODE.view(self.machine, addr)
+        node.set_u64("tag", TAG_NODE)
+        node.set_u64("n_children", 0)
+        node.set_blob("keys", bytes(_FANOUT))
+        return addr
+
+    def _add_child(self, tx, node, byte: int, child: int) -> None:
+        n = node.get_u64("n_children")
+        # The assertion from pmem/pmdk#5512: a node whose persisted
+        # n_children was inflated by a crashed commit eventually claims
+        # more children than it can hold.
+        assert n < _FANOUT, (
+            f"art: node 0x{node.base:x} tries to allocate too many children"
+        )
+        if faults.branch(self, "art.c1_insert_commit"):
+            # BUG: n_children bumped and persisted before the snapshot; an
+            # abort restores the arrays but keeps the inflated count.
+            node.set_u64("n_children", n + 1)
+            self.machine.persist(node.addr("n_children"), 8)
+            tx.add(node.base, NODE.size)
+            keys = bytearray(node.get_blob("keys"))
+            keys[n] = byte
+            node.set_blob("keys", bytes(keys))
+            node.set_u64(f"child{n}", child)
+        else:
+            tx.add(node.base, NODE.size)
+            keys = bytearray(node.get_blob("keys"))
+            keys[n] = byte
+            node.set_blob("keys", bytes(keys))
+            node.set_u64(f"child{n}", child)
+            node.set_u64("n_children", n + 1)
+
+    def delete(self, key: bytes) -> bool:
+        """Lazy delete: the leaf is unlinked from its parent slot; inner
+        nodes are not collapsed (as in the example)."""
+        with self.pool.tx() as tx:
+            root = self._root_view()
+            removed = self._delete(tx, root.addr("root_ptr"), key, 0)
+            if removed:
+                tx.add(root.addr("count"), 8)
+                root.set_u64("count", root.get_u64("count") - 1)
+        return removed
+
+    def _delete(self, tx, slot_addr: int, key: bytes, depth: int,
+                parent=None, parent_index: int = -1) -> bool:
+        addr = codec.decode_u64(self.machine.load(slot_addr, 8))
+        if addr == 0:
+            return False
+        if self._tag(addr) == TAG_LEAF:
+            leaf = LEAF.view(self.machine, addr)
+            if leaf.get_bytes("key") != key:
+                return False
+            if parent is None:
+                # The leaf hangs directly off the root slot.
+                tx.add(slot_addr, 8)
+                self.machine.store(slot_addr, codec.encode_u64(0))
+            else:
+                self._remove_child(tx, parent, parent_index)
+            tx.free(addr)
+            return True
+        node = NODE.view(self.machine, addr)
+        if depth >= len(key):
+            return False
+        index = self._find_child(node, key[depth])
+        if index is None:
+            return False
+        return self._delete(
+            tx, node.addr(f"child{index}"), key, depth + 1, node, index
+        )
+
+    def _remove_child(self, tx, node, index: int) -> None:
+        """Swap-remove child ``index`` (order inside a node16 is free)."""
+        n = node.get_u64("n_children")
+        tx.add(node.base, NODE.size)
+        keys = bytearray(node.get_blob("keys"))
+        last = n - 1
+        keys[index] = keys[last]
+        keys[last] = 0
+        node.set_blob("keys", bytes(keys))
+        node.set_u64(f"child{index}", node.get_u64(f"child{last}"))
+        node.set_u64(f"child{last}", 0)
+        node.set_u64("n_children", last)

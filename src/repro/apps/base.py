@@ -1,0 +1,114 @@
+"""The black-box target-program interface.
+
+Detection tools interact with applications exclusively through this
+interface plus the machine's event stream: they can construct an instance
+(via a factory), let it run a workload, and run its recovery procedure on a
+crash image.  Nothing else — no annotations, no semantic knowledge — which
+is the black-box property Mumak claims and the baselines that *do* need
+more (Witcher's KV driver, XFDetector's annotations) receive through
+explicit extra interfaces defined in :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.errors import RecoveryError
+from repro.pmem.machine import PMachine
+from repro.workloads.generator import Operation
+
+
+class PMApplication(abc.ABC):
+    """A persistent-memory application under test.
+
+    Lifecycle: a fresh instance is bound to a machine with either
+    :meth:`setup` (pristine PM) or :meth:`recover` (PM holding a crash
+    image).  Instances hold only volatile state; everything durable lives
+    on the machine, so "restarting the process" means constructing a new
+    instance.
+    """
+
+    #: Stable identifier (also the key into the seeded-bug registry).
+    name: str = "app"
+    #: Pool layout string (pools refuse to open under the wrong layout).
+    layout: str = "app"
+    #: Approximate source size, in lines, of the real target plus its PM
+    #: dependencies — the x-axis of Figure 5.
+    codebase_kloc: float = 1.0
+    #: Extra :func:`repro.workloads.generate_workload` arguments that give
+    #: this target good path coverage (e.g. a key space that exercises its
+    #: structural operations).  Used by the coverage experiments and tests.
+    coverage_workload: dict = {}
+
+    def __init__(self, bugs: Optional[Iterable[str]] = None,
+                 pool_size: int = 4 * 1024 * 1024):
+        if bugs is None:
+            bugs = self.default_bugs()
+        self.bugs: FrozenSet[str] = frozenset(bugs)
+        self.pool_size = pool_size
+        self.machine: Optional[PMachine] = None
+
+    # ------------------------------------------------------------------ #
+    # seeded-bug plumbing
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def default_bugs(cls) -> FrozenSet[str]:
+        """The as-published defect set for this target."""
+        from repro.apps.bugs import default_bugs_for
+
+        return default_bugs_for(cls.name)
+
+    def bug_on(self, bug_id: str) -> bool:
+        return bug_id in self.bugs
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def setup(self, machine: PMachine) -> None:
+        """Bind to a pristine machine and create all persistent structures."""
+
+    @abc.abstractmethod
+    def recover(self, machine: PMachine) -> None:
+        """Bind to a machine holding post-crash PM and run recovery.
+
+        This is the application's own recovery procedure — Mumak's
+        consistency oracle.  Implementations must either repair the state
+        and return, or raise :class:`~repro.errors.RecoveryError` (or crash
+        with any other exception, the analog of a recovery segfault).
+
+        A pool that was never (completely) initialised is *not* an error:
+        a crash during first-time setup legitimately leaves nothing behind,
+        and recovery reinitialises from scratch.
+        """
+
+    @abc.abstractmethod
+    def apply(self, op: Operation) -> Any:
+        """Execute one workload operation; returns the operation's result."""
+
+    def run(self, workload: Sequence[Operation]) -> List[Any]:
+        return [self.apply(op) for op in workload]
+
+    # ------------------------------------------------------------------ #
+    # introspection used by tests and by semantic baselines (not by Mumak)
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Point lookup; default goes through :meth:`apply`."""
+        return self.apply(Operation("get", key))
+
+    def consistency_check(self) -> None:
+        """Full structural validation (stronger than recovery on some apps).
+
+        Used by tests; default delegates to nothing because :meth:`recover`
+        already validates.  Applications with weak recovery (Level Hashing
+        as published) override the split explicitly.
+        """
+
+    def require(self, condition: bool, message: str) -> None:
+        """Recovery-procedure assert: raise RecoveryError when violated."""
+        if not condition:
+            raise RecoveryError(f"{self.name}: {message}")

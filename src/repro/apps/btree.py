@@ -1,0 +1,453 @@
+"""The libpmemobj ``btree`` example data store, reimplemented on mini-PMDK.
+
+A classic B-tree (keys in every node) with preemptive splitting, where —
+as in the original example — *every put of the workload runs inside a
+single transaction* unless the SPT ("single put per transaction") variant
+is selected (paper, section 6.1).
+
+Seeded bugs (see :mod:`repro.apps.bugs` for the registry):
+
+* ``btree.c1_count_outside_tx`` — the item counter is written and persisted
+  outside transaction protection, so a crash that rolls the tree back
+  leaves the counter ahead of the items.
+* ``btree.c2_link_before_init`` — during a split, the parent's child
+  pointer is persisted immediately and without an undo-log snapshot; a
+  crash before commit rolls back (and frees) the sibling while the parent
+  still points at it.
+* ``btree.c3_root_switch_no_txadd`` — growing the tree persists the new
+  root pointer mid-transaction without snapshotting it first.
+* ``btree.c4_split_fence_gap`` — sibling initialisation and parent link are
+  flushed under one fence; program order is consistent (so prefix-order
+  fault injection cannot see it) but hardware may reorder the two flushes.
+  Mumak reports only a warning for this pattern — a *missed* bug.
+* ``btree.pf1..pf8`` / ``btree.pn1..pn4`` — redundant flushes/fences.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, List, Optional, Sequence
+
+from repro.apps import faults
+from repro.apps.base import PMApplication
+from repro.errors import PoolError
+from repro.layout import Field, StructLayout
+from repro.pmdk import ObjPool, PMDK_FIXED, PmdkVersion
+from repro.pmem.machine import PMachine
+from repro.workloads.generator import Operation
+
+#: Maximum keys per node (order 8 B-tree, like BTREE_ORDER in the example).
+MAX_KEYS = 7
+_VALUE_WIDTH = 16
+
+NODE = StructLayout(
+    "btree_node",
+    [Field.u64("n_keys"), Field.u64("is_leaf")]
+    + [Field.u64(f"key{i}") for i in range(MAX_KEYS)]
+    + [Field.blob(f"val{i}", _VALUE_WIDTH) for i in range(MAX_KEYS)]
+    + [Field.u64(f"child{i}") for i in range(MAX_KEYS + 1)],
+)
+
+ROOT = StructLayout(
+    "btree_root",
+    [Field.u64("root_ptr"), Field.u64("count")],
+)
+
+
+def key_to_int(key: bytes) -> int:
+    """Order-preserving conversion of a (short) byte key to u64."""
+    return int.from_bytes(key[:8].ljust(8, b"\x00"), "big")
+
+
+class BTree(PMApplication):
+    name = "btree"
+    layout = "pmdk-example-btree"
+    codebase_kloc = 18.0  # example + libpmemobj, as counted in Figure 5
+
+    def __init__(self, spt: bool = False, version: PmdkVersion = PMDK_FIXED,
+                 **kwargs):
+        kwargs.setdefault("pool_size", 32 * 1024 * 1024)
+        super().__init__(**kwargs)
+        self.spt = spt
+        self.version = version
+        self.pool: Optional[ObjPool] = None
+        self._root_addr = 0
+        self._global_tx = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        self.pool = ObjPool.create(machine, self.layout, version=self.version)
+        self._root_addr = self.pool.root(ROOT.size)
+        faults.extra_flush(self, "btree.pf7", self._root_addr, ROOT.size)
+        faults.extra_fence(self, "btree.pn4")
+
+    def recover(self, machine: PMachine) -> None:
+        """The btree recovery procedure: library recovery, heap validation,
+        then a full traversal checked against the persisted item counter."""
+        self.machine = machine
+        try:
+            self.pool = ObjPool.open(machine, self.layout, version=self.version)
+        except PoolError:
+            # Crash during first-time initialisation: nothing was published,
+            # so recovery legitimately starts from scratch.
+            self.setup(machine)
+            return
+        self.pool.check_heap()
+        self._root_addr = self.pool.existing_root() or self.pool.root(ROOT.size)
+        root = ROOT.view(machine, self._root_addr)
+        items = self._validate_subtree(root.get_u64("root_ptr"), None, None, 0)
+        stored = root.get_u64("count")
+        self.require(
+            items == stored,
+            f"item count mismatch: tree holds {items}, counter says {stored}",
+        )
+
+    def _validate_subtree(
+        self, node_addr: int, lo: Optional[int], hi: Optional[int], depth: int
+    ) -> int:
+        if node_addr == 0:
+            return 0
+        self.require(depth < 64, "tree deeper than 64 levels (cycle?)")
+        self.require(
+            0 < node_addr < self.machine.medium.size,
+            f"node pointer 0x{node_addr:x} outside the pool",
+        )
+        node = NODE.view(self.machine, node_addr)
+        n = node.get_u64("n_keys")
+        is_leaf = node.get_u64("is_leaf")
+        self.require(n <= MAX_KEYS, f"node 0x{node_addr:x} claims {n} keys")
+        self.require(is_leaf in (0, 1), f"node 0x{node_addr:x} bad leaf flag")
+        keys = [node.get_u64(f"key{i}") for i in range(n)]
+        self.require(
+            all(a < b for a, b in zip(keys, keys[1:])),
+            f"node 0x{node_addr:x} keys not strictly sorted",
+        )
+        for key in keys:
+            self.require(
+                (lo is None or key > lo) and (hi is None or key < hi),
+                f"node 0x{node_addr:x} key {key} violates parent bounds",
+            )
+        count = n
+        if not is_leaf:
+            self.require(n > 0, f"internal node 0x{node_addr:x} has no keys")
+            bounds = [lo] + keys + [hi]
+            for i in range(n + 1):
+                child = node.get_u64(f"child{i}")
+                self.require(
+                    child != 0, f"internal node 0x{node_addr:x} missing child {i}"
+                )
+                count += self._validate_subtree(
+                    child, bounds[i], bounds[i + 1], depth + 1
+                )
+        return count
+
+    # ------------------------------------------------------------------ #
+    # transactions (single-tx vs SPT, section 6.1)
+    # ------------------------------------------------------------------ #
+
+    @contextlib.contextmanager
+    def _op_tx(self):
+        if self.spt:
+            with self.pool.tx() as tx:
+                yield tx
+        else:
+            if self._global_tx is None:
+                self._global_tx = self.pool.tx()
+                self._global_tx.__enter__()
+            yield self._global_tx
+
+    def run(self, workload: Sequence[Operation]) -> List[Any]:
+        results = [self.apply(op) for op in workload]
+        self.finish()
+        return results
+
+    def finish(self) -> None:
+        """Commit the run-wide transaction (original, non-SPT behaviour)."""
+        if self._global_tx is not None:
+            self._global_tx.commit()
+            self._global_tx = None
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    def apply(self, op: Operation) -> Any:
+        if op.kind in ("put", "update"):
+            return self.put(op.key, op.value)
+        if op.kind == "get":
+            return self.lookup(op.key)
+        if op.kind == "delete":
+            return self.delete(op.key)
+        raise ValueError(f"btree does not support {op.kind!r}")
+
+    # -- node helpers ---------------------------------------------------- #
+
+    def _node(self, addr: int):
+        return NODE.view(self.machine, addr)
+
+    def _new_node(self, tx, is_leaf: bool) -> int:
+        addr = tx.alloc(NODE.size)
+        node = self._node(addr)
+        node.set_u64("n_keys", 0)
+        node.set_u64("is_leaf", 1 if is_leaf else 0)
+        return addr
+
+    def _get_kv(self, node, i: int):
+        return node.get_u64(f"key{i}"), node.get_blob(f"val{i}")
+
+    def _set_kv(self, node, i: int, key: int, raw_val: bytes) -> None:
+        node.set_u64(f"key{i}", key)
+        node.set_blob(f"val{i}", raw_val)
+
+    # -- put --------------------------------------------------------------#
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        k = key_to_int(key)
+        with self._op_tx() as tx:
+            root_view = ROOT.view(self.machine, self._root_addr)
+            root_ptr = root_view.get_u64("root_ptr")
+            if root_ptr == 0:
+                root_ptr = self._new_node(tx, is_leaf=True)
+                self._switch_root(tx, root_view, root_ptr)
+            node = self._node(root_ptr)
+            if node.get_u64("n_keys") == MAX_KEYS:
+                new_root = self._new_node(tx, is_leaf=False)
+                nr = self._node(new_root)
+                nr.set_u64("child0", root_ptr)
+                self._split_child(tx, new_root, 0)
+                self._switch_root(tx, root_view, new_root)
+                root_ptr = new_root
+            inserted = self._insert_nonfull(tx, root_ptr, k, value)
+            if inserted:
+                self._bump_count(tx, root_view, +1)
+        faults.extra_fence(self, "btree.pn1")
+        return True
+
+    def _switch_root(self, tx, root_view, new_root: int) -> None:
+        if faults.branch(self, "btree.c3_root_switch_no_txadd"):
+            # BUG: the root pointer is updated and persisted mid-transaction
+            # without an undo-log snapshot; rollback cannot restore it.
+            root_view.set_u64("root_ptr", new_root)
+            self.machine.persist(root_view.addr("root_ptr"), 8)
+        else:
+            tx.add(root_view.addr("root_ptr"), 8)
+            root_view.set_u64("root_ptr", new_root)
+
+    def _bump_count(self, tx, root_view, delta: int) -> None:
+        if faults.branch(self, "btree.c1_count_outside_tx"):
+            # BUG: counter persisted outside transaction protection.
+            count = root_view.get_u64("count")
+            root_view.set_u64("count", count + delta)
+            self.machine.persist(root_view.addr("count"), 8)
+        else:
+            tx.add(root_view.addr("count"), 8)
+            root_view.set_u64("count", root_view.get_u64("count") + delta)
+            faults.extra_flush(self, "btree.pf8", root_view.addr("count"), 8)
+
+    def _split_child(self, tx, parent_addr: int, index: int) -> None:
+        """Split the full ``index``-th child of ``parent_addr``."""
+        parent = self._node(parent_addr)
+        child_addr = parent.get_u64(f"child{index}")
+        child = self._node(child_addr)
+        tx.add(child_addr, NODE.size)
+        sibling_addr = self._new_node(tx, is_leaf=bool(child.get_u64("is_leaf")))
+        sibling = self._node(sibling_addr)
+        mid = MAX_KEYS // 2
+        move = MAX_KEYS - mid - 1
+        for i in range(move):
+            k, v = self._get_kv(child, mid + 1 + i)
+            self._set_kv(sibling, i, k, v)
+        if not child.get_u64("is_leaf"):
+            for i in range(move + 1):
+                sibling.set_u64(
+                    f"child{i}", child.get_u64(f"child{mid + 1 + i}")
+                )
+        sibling.set_u64("n_keys", move)
+        if faults.branch(self, "btree.c2_link_before_init"):
+            # BUG: the parent's link to the (not yet committed) sibling is
+            # written and persisted *before* the parent is snapshotted, so
+            # the undo log captures the dangling link and an abort restores
+            # a parent pointing at a freed node.
+            parent.set_u64(f"child{index + 1}", sibling_addr)
+            self.machine.persist(parent.addr(f"child{index + 1}"), 8)
+            tx.add(parent_addr, NODE.size)
+        else:
+            tx.add(parent_addr, NODE.size)
+        mid_key, mid_val = self._get_kv(child, mid)
+        child.set_u64("n_keys", mid)
+        # Shift the parent's keys/children right to open slot `index`.
+        n = parent.get_u64("n_keys")
+        for i in range(n - 1, index - 1, -1):
+            k, v = self._get_kv(parent, i)
+            self._set_kv(parent, i + 1, k, v)
+        for i in range(n, index, -1):
+            parent.set_u64(f"child{i + 1}", parent.get_u64(f"child{i}"))
+        self._set_kv(parent, index, mid_key, mid_val)
+        parent.set_u64("n_keys", n + 1)
+        if faults.branch(self, "btree.c4_split_fence_gap"):
+            # BUG (reorder-only): sibling contents and parent link flushed
+            # under a single fence; the hardware may persist the link first.
+            parent.set_u64(f"child{index + 1}", sibling_addr)
+            self.machine.flush_range(sibling_addr, NODE.size)
+            self.machine.flush_range(parent.addr(f"child{index + 1}"), 8)
+            self.machine.sfence()
+        else:
+            parent.set_u64(f"child{index + 1}", sibling_addr)
+        faults.extra_flush(self, "btree.pf2", sibling_addr, NODE.size)
+        faults.extra_flush(self, "btree.pf3", parent_addr, NODE.size)
+
+    def _insert_nonfull(self, tx, node_addr: int, key: int, value: bytes) -> bool:
+        node = self._node(node_addr)
+        raw_val = _encode_value(value)
+        while True:
+            n = node.get_u64("n_keys")
+            keys = [node.get_u64(f"key{i}") for i in range(n)]
+            if key in keys:
+                i = keys.index(key)
+                tx.add(node.addr(f"val{i}"), _VALUE_WIDTH)
+                node.set_blob(f"val{i}", raw_val)
+                faults.extra_flush(self, "btree.pf1", node.addr(f"val{i}"), 8)
+                return False
+            if node.get_u64("is_leaf"):
+                tx.add(node_addr, NODE.size)
+                i = n - 1
+                while i >= 0 and keys[i] > key:
+                    k, v = self._get_kv(node, i)
+                    self._set_kv(node, i + 1, k, v)
+                    i -= 1
+                self._set_kv(node, i + 1, key, raw_val)
+                node.set_u64("n_keys", n + 1)
+                return True
+            i = 0
+            while i < n and key > keys[i]:
+                i += 1
+            child_addr = node.get_u64(f"child{i}")
+            child = self._node(child_addr)
+            if child.get_u64("n_keys") == MAX_KEYS:
+                self._split_child(tx, node_addr, i)
+                separator = node.get_u64(f"key{i}")
+                if key == separator:
+                    # The promoted separator IS the key being inserted:
+                    # update its value in place rather than descending.
+                    tx.add(node.addr(f"val{i}"), _VALUE_WIDTH)
+                    node.set_blob(f"val{i}", raw_val)
+                    return False
+                if key > separator:
+                    child_addr = node.get_u64(f"child{i + 1}")
+                child = self._node(child_addr)
+            node_addr, node = child_addr, child
+
+    # -- lookup ------------------------------------------------------------#
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        k = key_to_int(key)
+        node_addr = ROOT.view(self.machine, self._root_addr).get_u64("root_ptr")
+        while node_addr != 0:
+            node = self._node(node_addr)
+            n = node.get_u64("n_keys")
+            i = 0
+            while i < n and k > node.get_u64(f"key{i}"):
+                i += 1
+            if i < n and k == node.get_u64(f"key{i}"):
+                faults.extra_flush(self, "btree.pf4", node.addr(f"val{i}"), 8)
+                faults.extra_fence(self, "btree.pn3")
+                return _decode_value(node.get_blob(f"val{i}"))
+            if node.get_u64("is_leaf"):
+                return None
+            node_addr = node.get_u64(f"child{i}")
+        return None
+
+    # -- delete ------------------------------------------------------------#
+
+    def delete(self, key: bytes) -> bool:
+        k = key_to_int(key)
+        with self._op_tx() as tx:
+            root_view = ROOT.view(self.machine, self._root_addr)
+            removed = self._delete_from(tx, root_view.get_u64("root_ptr"), k)
+            if removed:
+                self._bump_count(tx, root_view, -1)
+        faults.extra_fence(self, "btree.pn2")
+        return removed
+
+    def _delete_from(self, tx, node_addr: int, key: int) -> bool:
+        if node_addr == 0:
+            return False
+        node = self._node(node_addr)
+        n = node.get_u64("n_keys")
+        keys = [node.get_u64(f"key{i}") for i in range(n)]
+        if key in keys:
+            i = keys.index(key)
+            if node.get_u64("is_leaf"):
+                tx.add(node_addr, NODE.size)
+                for j in range(i, n - 1):
+                    kk, vv = self._get_kv(node, j + 1)
+                    self._set_kv(node, j, kk, vv)
+                node.set_u64("n_keys", n - 1)
+                faults.extra_flush(self, "btree.pf5", node_addr, NODE.size)
+                return True
+            # Internal: replace with the predecessor, then delete it below.
+            pred_addr = node.get_u64(f"child{i}")
+            pred = self._node(pred_addr)
+            while not pred.get_u64("is_leaf"):
+                pred_addr = pred.get_u64(f"child{pred.get_u64('n_keys')}")
+                pred = self._node(pred_addr)
+            pn = pred.get_u64("n_keys")
+            if pn == 0:
+                # Underflown leaf (we do not rebalance): fall back to a
+                # tombstone-free removal by shifting from the successor side.
+                return self._delete_fallback(tx, node, i, n)
+            pk, pv = self._get_kv(pred, pn - 1)
+            tx.add(node_addr, NODE.size)
+            self._set_kv(node, i, pk, pv)
+            faults.extra_flush(self, "btree.pf6", node.addr(f"key{i}"), 8)
+            return self._delete_from(tx, node.get_u64(f"child{i}"), pk)
+        if node.get_u64("is_leaf"):
+            return False
+        i = 0
+        while i < n and key > keys[i]:
+            i += 1
+        return self._delete_from(tx, node.get_u64(f"child{i}"), key)
+
+    def _delete_fallback(self, tx, node, i: int, n: int) -> bool:
+        """Remove key i from an internal node whose predecessor leaf is
+        empty, by pulling the successor's smallest key instead."""
+        succ_addr = node.get_u64(f"child{i + 1}")
+        succ = self._node(succ_addr)
+        while not succ.get_u64("is_leaf"):
+            succ_addr = succ.get_u64("child0")
+            succ = self._node(succ_addr)
+        sn = succ.get_u64("n_keys")
+        if sn == 0:
+            # Both adjacent leaves empty: drop the separator key entirely
+            # only when it is the last one; otherwise leave a benign copy.
+            return False
+        sk, sv = self._get_kv(succ, 0)
+        tx.add(node.base, NODE.size)
+        self._set_kv(node, i, sk, sv)
+        return self._delete_from(tx, succ_addr, sk)
+
+
+def _encode_value(value: bytes) -> bytes:
+    from repro.layout import codec
+
+    return codec.encode_bytes(value, _VALUE_WIDTH)
+
+
+def _decode_value(raw: bytes) -> bytes:
+    from repro.layout import codec
+
+    return codec.decode_bytes(raw)
+
+
+class BTreeSPT(BTree):
+    """The "single put per transaction" variant used by several baselines."""
+
+    name = "btree"
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("spt", True)
+        super().__init__(**kwargs)

@@ -1,0 +1,274 @@
+"""Ground-truth registry of seeded bugs — the analog of Witcher's bug list.
+
+The paper measures coverage (section 6.2) against the 43 correctness and
+101 performance bugs Witcher reported across PMDK's data stores, Redis,
+WORT, Level Hashing, FAST&FAIR and CCEH.  Every one of those has a seeded
+counterpart here, each realised as a concrete defect in the corresponding
+application's code (the application files document the mechanics).  The
+registry records, for every bug:
+
+* its taxonomy kind,
+* the detector expected to expose it (``fault_injection`` for
+  atomicity/ordering bugs that corrupt a program-order-prefix crash state,
+  ``trace_analysis`` for durability/performance misuse patterns), or
+  ``missed`` for the bugs Mumak's design gives up on — ordering bugs whose
+  inconsistent states require *violating* program order, which fault
+  injection never explores and trace analysis only warns about
+  (section 4.2, last pattern).
+
+The ``missed`` population is what pins aggregate coverage at the paper's
+~90%: 14 of 144 bugs.
+
+Bugs marked ``in_witcher_list=False`` are the *new* bugs of section 6.4
+(PMDK 1.12, ART, Montage); they exist in the codebase but are not part of
+the coverage denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.core.taxonomy import BugKind
+
+FAULT_INJECTION = "fault_injection"
+TRACE_ANALYSIS = "trace_analysis"
+MISSED = "missed"
+
+
+@dataclass(frozen=True)
+class BugSpec:
+    bug_id: str
+    app: str
+    kind: BugKind
+    description: str
+    expected_detector: str
+    default_enabled: bool = True
+    in_witcher_list: bool = True
+
+    @property
+    def is_correctness(self) -> bool:
+        return self.kind.is_correctness
+
+
+def _correctness(app: str, entries) -> List[BugSpec]:
+    specs = []
+    for suffix, kind, detector, description in entries:
+        specs.append(
+            BugSpec(f"{app}.{suffix}", app, kind, description, detector)
+        )
+    return specs
+
+
+def _performance(app: str, count_flush: int, count_fence: int) -> List[BugSpec]:
+    """Generate the app's redundant-flush / redundant-fence bug specs."""
+    specs = []
+    for i in range(1, count_flush + 1):
+        specs.append(
+            BugSpec(
+                f"{app}.pf{i}",
+                app,
+                BugKind.REDUNDANT_FLUSH,
+                f"redundant flush #{i}",
+                TRACE_ANALYSIS,
+            )
+        )
+    for i in range(1, count_fence + 1):
+        specs.append(
+            BugSpec(
+                f"{app}.pn{i}",
+                app,
+                BugKind.REDUNDANT_FENCE,
+                f"redundant fence #{i}",
+                TRACE_ANALYSIS,
+            )
+        )
+    return specs
+
+
+_A, _O, _D = BugKind.ATOMICITY, BugKind.ORDERING, BugKind.DURABILITY
+
+_SPECS: List[BugSpec] = []
+
+# --------------------------------------------------------------------- #
+# PMDK example data stores
+# --------------------------------------------------------------------- #
+_SPECS += _correctness("btree", [
+    ("c1_count_outside_tx", _A, FAULT_INJECTION,
+     "item counter persisted outside the insert transaction"),
+    ("c2_link_before_init", _O, FAULT_INJECTION,
+     "parent child-pointer persisted before the split sibling's contents"),
+    ("c3_root_switch_no_txadd", _A, FAULT_INJECTION,
+     "root pointer updated mid-transaction without an undo-log snapshot"),
+    ("c4_split_fence_gap", _O, MISSED,
+     "single fence covers sibling init and parent link flushes; "
+     "hardware may reorder them (program order is consistent)"),
+])
+_SPECS += _performance("btree", 8, 4)  # 12 performance bugs
+
+_SPECS += _correctness("rbtree", [
+    ("c1_color_outside_tx", _A, FAULT_INJECTION,
+     "recolor pass persisted outside the insert transaction"),
+    ("c2_rotate_child_first", _O, FAULT_INJECTION,
+     "rotation persists the child pointer before the pivot's own links"),
+    ("c3_count_outside_tx", _A, FAULT_INJECTION,
+     "size counter persisted outside the delete transaction"),
+    ("c4_rotate_fence_gap", _O, MISSED,
+     "one fence covers both rotation pointer flushes; reorderable"),
+    ("c5_recolor_fence_gap", _O, MISSED,
+     "one fence covers recolor flushes of parent and uncle; reorderable"),
+])
+_SPECS += _performance("rbtree", 9, 5)  # 14
+
+_SPECS += _correctness("hashmap_atomic", [
+    ("c1_count_not_atomic", _A, FAULT_INJECTION,
+     "bucket insert and element counter updated non-atomically"),
+    ("c2_bucket_link_order", _O, FAULT_INJECTION,
+     "bucket head persisted before the new entry's next pointer"),
+    ("c3_remove_count_order", _A, FAULT_INJECTION,
+     "counter decremented and persisted before the entry is unlinked"),
+    ("c4_rehash_fence_gap", _O, MISSED,
+     "rehash publishes table pointer and mask under one fence; reorderable"),
+    ("c5_init_fence_gap", _O, MISSED,
+     "bucket array init and header flushes share one fence; reorderable"),
+])
+_SPECS += _performance("hashmap_atomic", 7, 3)  # 10
+
+# --------------------------------------------------------------------- #
+# Witcher's other targets
+# --------------------------------------------------------------------- #
+_SPECS += _correctness("redis_pm", [
+    ("c1_dict_resize_no_tx", _A, FAULT_INJECTION,
+     "dict resize publishes the new table without snapshotting the old"),
+    ("c2_expire_order", _O, FAULT_INJECTION,
+     "expiry record persisted before the entry it refers to"),
+    ("c3_append_fence_gap", _O, MISSED,
+     "AOF-style append flushes record and tail pointer under one fence"),
+    ("c4_evict_fence_gap", _O, MISSED,
+     "eviction flushes free-list and dict removal under one fence"),
+])
+_SPECS += _performance("redis_pm", 13, 7)  # 20
+
+_SPECS += _correctness("wort", [
+    ("c1_node_split_no_log", _A, FAULT_INJECTION,
+     "path-compression split rewrites the prefix without logging it"),
+    ("c2_leaf_before_parent", _O, FAULT_INJECTION,
+     "parent slot persisted before the new leaf is durable"),
+    ("c3_prefix_fence_gap", _O, MISSED,
+     "prefix bytes and length flushed under a single fence; reorderable"),
+])
+_SPECS += _performance("wort", 5, 3)  # 8
+
+_SPECS += _correctness("level_hashing", [
+    ("c1_resize_ptr_garbage", _A, FAULT_INJECTION,
+     "resize publishes the new level pointer before the level header is "
+     "initialised; recovery dereferences garbage and crashes"),
+] + [
+    (f"c{i}_slot_token_atomicity", _A, FAULT_INJECTION,
+     f"slot write and occupancy token #{i} updated non-atomically")
+    for i in range(2, 7)
+] + [
+    ("c7_slot_token_atomicity", _A, FAULT_INJECTION,
+     "delete zeroes the key field before clearing the occupancy token"),
+] + [
+    ("c8_slot_token_atomicity", _A, FAULT_INJECTION,
+     "destructive rehash: resize clears the published source slot before "
+     "its copy is committed in the new level"),
+] + [
+    (f"c{i}_counter_atomicity", _A, FAULT_INJECTION,
+     f"item counter #{i - 8} persisted separately from the slot update")
+    for i in range(9, 16)
+] + [
+    ("c16_swap_fence_gap", _O, MISSED,
+     "slot swap between levels flushes both slots under one fence"),
+    ("c17_rehash_fence_gap", _O, MISSED,
+     "rehash flushes moved slot and cleared slot under one fence"),
+])
+_SPECS += _performance("level_hashing", 8, 4)  # 12
+
+_SPECS += _correctness("fast_fair", [
+    ("c1_sibling_before_split", _O, FAULT_INJECTION,
+     "sibling pointer persisted before the split node's records"),
+    ("c2_shift_fence_gap", _O, MISSED,
+     "in-leaf record shift flushes several lines under one fence"),
+    ("c3_merge_fence_gap", _O, MISSED,
+     "leaf merge flushes both leaves under one fence; reorderable"),
+])
+_SPECS += _performance("fast_fair", 10, 5)  # 15
+
+_SPECS += _correctness("cceh", [
+    ("c1_dir_split_fence_gap", _O, MISSED,
+     "directory doubling flushes old and new slots under one fence"),
+    ("c2_segment_fence_gap", _O, MISSED,
+     "segment split flushes pair slots and local depth under one fence"),
+])
+_SPECS += _performance("cceh", 6, 4)  # 10
+
+# --------------------------------------------------------------------- #
+# Section 6.4: new bugs (not part of the coverage denominator)
+# --------------------------------------------------------------------- #
+_SPECS += [
+    BugSpec(
+        "montage.c1_allocator_misuse", "montage", _A,
+        "incorrect use of the persistent allocator breaks recoverability "
+        "of structures built on top of it (urcs-sync/Montage#36)",
+        FAULT_INJECTION, in_witcher_list=False,
+    ),
+    BugSpec(
+        "montage.c2_dtor_window", "montage", _O,
+        "crash during allocator-object destruction corrupts structure data "
+        "(urcs-sync/Montage commit 3384e50)",
+        FAULT_INJECTION, in_witcher_list=False,
+    ),
+    BugSpec(
+        "art.c1_insert_commit", "art", _A,
+        "fault during insert commit leaves the tree inconsistent; a "
+        "post-crash insertion over-allocates children and fails an "
+        "assertion (pmem/pmdk#5512)",
+        FAULT_INJECTION, in_witcher_list=False,
+    ),
+    BugSpec(
+        "pmdk.c1_tx_commit_overflow", "pmdk", _A,
+        "large-transaction commit frees the overflow undo log before the "
+        "commit point (pmem/pmdk#5461); realised by PMDK version 1.12",
+        FAULT_INJECTION, in_witcher_list=False, default_enabled=False,
+    ),
+]
+
+REGISTRY: Dict[str, BugSpec] = {spec.bug_id: spec for spec in _SPECS}
+if len(REGISTRY) != len(_SPECS):
+    raise AssertionError("duplicate bug ids in the registry")
+
+
+def spec(bug_id: str) -> BugSpec:
+    return REGISTRY[bug_id]
+
+
+def bugs_for_app(app: str, kind: Optional[str] = None) -> List[BugSpec]:
+    """All registry entries for ``app``; ``kind`` filters 'correctness' or
+    'performance'."""
+    specs = [s for s in REGISTRY.values() if s.app == app]
+    if kind == "correctness":
+        specs = [s for s in specs if s.is_correctness]
+    elif kind == "performance":
+        specs = [s for s in specs if not s.is_correctness]
+    elif kind is not None:
+        raise ValueError(f"unknown kind filter {kind!r}")
+    return specs
+
+
+def default_bugs_for(app: str) -> FrozenSet[str]:
+    return frozenset(
+        s.bug_id
+        for s in REGISTRY.values()
+        if s.app == app and s.default_enabled
+    )
+
+
+def witcher_list() -> List[BugSpec]:
+    """The coverage denominator: the Witcher bug-list analog."""
+    return [s for s in REGISTRY.values() if s.in_witcher_list]
+
+
+def expected_found() -> List[BugSpec]:
+    return [s for s in witcher_list() if s.expected_detector != MISSED]

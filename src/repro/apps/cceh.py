@@ -1,0 +1,371 @@
+"""CCEH (FAST'19): cacheline-conscious extendible hashing, reimplemented on
+the raw persistent heap.
+
+A directory of ``2^global_depth`` segment pointers; each segment holds a
+power-of-two number of (key, value-pointer) slots probed linearly, plus a
+header with its local depth.  The commit discipline:
+
+* an insert persists the value block, then the value pointer, then the key
+  (the 8-byte key write is the commit point; key 0 means empty);
+* a segment split builds both replacement segments off to the side,
+  persists them, then retargets the directory entries one atomic persist
+  at a time (recovery tolerates and completes half-done retargeting by
+  deduplicating keys across segments);
+* directory doubling builds the new directory, persists it, and publishes
+  it with one pointer swap.
+
+Both seeded correctness bugs are *reorder-only* fence-gap bugs (the paper's
+missed class — fault injection sees only program order): ``c1`` flushes the
+doubled directory and its published pointer under one fence; ``c2`` flushes
+split segments and directory entries under one fence.  ``pf1..pf6`` /
+``pn1..pn4`` are redundant flushes/fences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.apps import faults
+from repro.apps.base import PMApplication
+from repro.alloc import PAllocator
+from repro.errors import PoolError
+from repro.layout import Field, StructLayout, codec
+from repro.pmem.machine import PMachine
+from repro.pmem.pool import PmemPool
+from repro.workloads.generator import Operation
+
+_VALUE_WIDTH = 16
+_SEGMENT_SLOTS = 16       # slots per segment
+_PROBE = 4                # linear-probe window
+_INITIAL_GLOBAL_DEPTH = 1
+_SEG_TAG = 0x5E63E47
+
+# Segment: tag, local_depth, then slots (key, value-ptr).
+SEGMENT = StructLayout(
+    "cceh_segment",
+    [Field.u64("tag"), Field.u64("local_depth")]
+    + [
+        field
+        for i in range(_SEGMENT_SLOTS)
+        for field in (Field.u64(f"key{i}"), Field.u64(f"ptr{i}"))
+    ],
+)
+
+# The directory block carries its own depth as its first word, so a single
+# atomic pointer swap publishes a new directory *and* the new global depth.
+ROOT = StructLayout("cceh_root", [Field.u64("dir_ptr"), Field.u64("count")])
+
+
+def key_to_int(key: bytes) -> int:
+    value = int.from_bytes(key[:8].ljust(8, b"\x00"), "big")
+    return value or 1
+
+
+def _hash(k: int) -> int:
+    return (k * 0x9E3779B97F4A7C15) & (2 ** 64 - 1)
+
+
+class CCEH(PMApplication):
+    name = "cceh"
+    layout = "cceh"
+    codebase_kloc = 9.0
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("pool_size", 16 * 1024 * 1024)
+        super().__init__(**kwargs)
+        self.heap: Optional[PAllocator] = None
+        self._root_addr = 0
+        self._population = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        pool = PmemPool.create_unpublished(machine, self.layout)
+        self.heap = PAllocator.format(machine, 1024, self.pool_size)
+        self._root_addr = self.heap.alloc(ROOT.size)
+        segments = [
+            self._new_segment(_INITIAL_GLOBAL_DEPTH)
+            for _ in range(2 ** _INITIAL_GLOBAL_DEPTH)
+        ]
+        directory = self._new_directory(segments, _INITIAL_GLOBAL_DEPTH)
+        root = self._root_view()
+        root.set_u64("dir_ptr", directory)
+        root.set_u64("count", 0)
+        root.persist_all()
+        pool.set_root(self._root_addr, ROOT.size)
+        pool.publish()
+        faults.extra_fence(self, "cceh.pn4")
+
+    def _new_segment(self, local_depth: int) -> int:
+        addr = self.heap.alloc(SEGMENT.size)
+        self.machine.store(addr, bytes(SEGMENT.size))
+        segment = SEGMENT.view(self.machine, addr)
+        segment.set_u64("tag", _SEG_TAG)
+        segment.set_u64("local_depth", local_depth)
+        segment.persist_all()
+        return addr
+
+    def _new_directory(self, segments: List[int], depth: int) -> int:
+        addr = self.heap.alloc(8 + 8 * len(segments))
+        self.machine.store(addr, codec.encode_u64(depth))
+        for i, segment in enumerate(segments):
+            self.machine.store(addr + 8 + 8 * i, codec.encode_u64(segment))
+        self.machine.persist(addr, 8 + 8 * len(segments))
+        return addr
+
+    def _directory(self):
+        """Returns (directory_block, global_depth, entries_base)."""
+        block = self._root_view().get_u64("dir_ptr")
+        depth = codec.decode_u64(self.machine.load(block, 8))
+        return block, depth, block + 8
+
+    def recover(self, machine: PMachine) -> None:
+        """CCEH recovery: validate the directory and segments, count unique
+        keys (a split in flight leaves some keys visible through both the
+        old and new segments), and reconcile the counter."""
+        self.machine = machine
+        try:
+            pool = PmemPool.open(machine, self.layout)
+        except PoolError:
+            self.setup(machine)
+            return
+        self.heap = PAllocator.attach(machine, 1024, self.pool_size)
+        self.heap.recover()
+        self._root_addr = pool.root_offset
+        self.require(self._root_addr != 0, "root object missing")
+        root = self._root_view()
+        _, depth, entries = self._directory()
+        self.require(depth <= 24, f"implausible global depth {depth}")
+        seen_segments = set()
+        keys = set()
+        for i in range(2 ** depth):
+            segment = codec.decode_u64(self.machine.load(entries + 8 * i, 8))
+            self.require(
+                0 < segment < machine.medium.size,
+                f"directory entry {i} points outside the pool",
+            )
+            view = SEGMENT.view(machine, segment)
+            self.require(
+                view.get_u64("tag") == _SEG_TAG,
+                f"directory entry {i} points at a non-segment",
+            )
+            local = view.get_u64("local_depth")
+            self.require(
+                local <= depth,
+                f"segment 0x{segment:x} local depth {local} exceeds global",
+            )
+            if segment in seen_segments:
+                continue
+            seen_segments.add(segment)
+            for slot in range(_SEGMENT_SLOTS):
+                key = view.get_u64(f"key{slot}")
+                if key:
+                    keys.add(key)
+        stored = root.get_u64("count")
+        drift = abs(stored - len(keys))
+        self.require(
+            drift <= 1,
+            f"{len(keys)} unique keys vs counter {stored}",
+        )
+        if drift:
+            self._write_u64_persist(root.addr("count"), len(keys))
+        self._population = len(keys)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _root_view(self):
+        return ROOT.view(self.machine, self._root_addr)
+
+    def _write_u64_persist(self, addr: int, value: int) -> None:
+        self.machine.store(addr, codec.encode_u64(value))
+        self.machine.persist(addr, 8)
+
+    def _segment_for(self, k: int):
+        """Returns (segment_addr, directory_index)."""
+        _, depth, entries = self._directory()
+        index = _hash(k) >> (64 - depth) if depth else 0
+        segment = codec.decode_u64(self.machine.load(entries + 8 * index, 8))
+        return segment, index
+
+    def _probe_slots(self, k: int):
+        start = (_hash(k) & 0xFFFF) % _SEGMENT_SLOTS
+        return [(start + i) % _SEGMENT_SLOTS for i in range(_PROBE)]
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    def apply(self, op: Operation) -> Any:
+        if op.kind in ("put", "update"):
+            return self.put(op.key, op.value)
+        if op.kind == "get":
+            return self.lookup(op.key)
+        if op.kind == "delete":
+            return self.delete(op.key)
+        raise ValueError(f"cceh does not support {op.kind!r}")
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        k = key_to_int(key)
+        segment, _ = self._segment_for(k)
+        view = SEGMENT.view(self.machine, segment)
+        for slot in self._probe_slots(k):
+            if view.get_u64(f"key{slot}") == k:
+                ptr = view.get_u64(f"ptr{slot}")
+                faults.extra_flush(self, "cceh.pf5", ptr, 8)
+                faults.extra_fence(self, "cceh.pn3")
+                return codec.decode_bytes(
+                    self.machine.load(ptr, _VALUE_WIDTH)
+                )
+        return None
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        k = key_to_int(key)
+        for _ in range(24):
+            segment, index = self._segment_for(k)
+            view = SEGMENT.view(self.machine, segment)
+            # Update in place?
+            for slot in self._probe_slots(k):
+                if view.get_u64(f"key{slot}") == k:
+                    ptr = self._alloc_value(value)
+                    old = view.get_u64(f"ptr{slot}")
+                    self._write_u64_persist(view.addr(f"ptr{slot}"), ptr)
+                    faults.extra_flush(
+                        self, "cceh.pf1", view.addr(f"ptr{slot}"), 8
+                    )
+                    self.heap.free(old)
+                    return False
+            # Insert into an empty probe slot (value, pointer, then key —
+            # the key persist is the commit point).
+            for slot in self._probe_slots(k):
+                if view.get_u64(f"key{slot}") == 0:
+                    ptr = self._alloc_value(value)
+                    self._write_u64_persist(view.addr(f"ptr{slot}"), ptr)
+                    self._write_u64_persist(view.addr(f"key{slot}"), k)
+                    faults.extra_flush(
+                        self, "cceh.pf2", view.addr(f"key{slot}"), 8
+                    )
+                    self._population += 1
+                    self._write_u64_persist(
+                        self._root_view().addr("count"), self._population
+                    )
+                    faults.extra_fence(self, "cceh.pn1")
+                    return True
+            # No room in the probe window: split the segment.
+            self._split_segment(segment, index)
+        raise RuntimeError("cceh: insert failed after repeated splits")
+
+    def delete(self, key: bytes) -> bool:
+        k = key_to_int(key)
+        segment, _ = self._segment_for(k)
+        view = SEGMENT.view(self.machine, segment)
+        for slot in self._probe_slots(k):
+            if view.get_u64(f"key{slot}") == k:
+                ptr = view.get_u64(f"ptr{slot}")
+                self._write_u64_persist(view.addr(f"key{slot}"), 0)
+                faults.extra_flush(self, "cceh.pf6", view.addr(f"key{slot}"), 8)
+                self.heap.free(ptr)
+                self._population -= 1
+                self._write_u64_persist(
+                    self._root_view().addr("count"), self._population
+                )
+                return True
+        faults.extra_fence(self, "cceh.pn2")
+        return False
+
+    def _alloc_value(self, value: bytes) -> int:
+        addr = self.heap.alloc(_VALUE_WIDTH)
+        self.machine.store(addr, codec.encode_bytes(value, _VALUE_WIDTH))
+        self.machine.persist(addr, _VALUE_WIDTH)
+        return addr
+
+    # ------------------------------------------------------------------ #
+    # structure growth
+    # ------------------------------------------------------------------ #
+
+    def _split_segment(self, segment: int, index: int) -> None:
+        _, depth, entries = self._directory()
+        view = SEGMENT.view(self.machine, segment)
+        local = view.get_u64("local_depth")
+        if local == depth:
+            self._double_directory()
+            _, depth, entries = self._directory()
+        # Rebuild as two segments discriminated by the next hash bit.
+        low = self._new_segment_unpersisted(local + 1)
+        high = self._new_segment_unpersisted(local + 1)
+        low_view = SEGMENT.view(self.machine, low)
+        high_view = SEGMENT.view(self.machine, high)
+        for slot in range(_SEGMENT_SLOTS):
+            key = view.get_u64(f"key{slot}")
+            if not key:
+                continue
+            bit = (_hash(key) >> (64 - local - 1)) & 1
+            target = high_view if bit else low_view
+            target.set_u64(f"key{slot}", key)
+            target.set_u64(f"ptr{slot}", view.get_u64(f"ptr{slot}"))
+        # Directory entries currently mapping to `segment` span a 2^(depth-
+        # local) aligned group; the upper half moves to `high`.  Re-derive
+        # the group from any key (the directory may just have doubled).
+        group = 2 ** (depth - local)
+        first = None
+        for i in range(2 ** depth):
+            if codec.decode_u64(self.machine.load(entries + 8 * i, 8)) == segment:
+                first = (i // group) * group
+                break
+        if first is None:
+            return  # segment no longer referenced (cannot happen)
+        if faults.branch(self, "cceh.c2_segment_fence_gap"):
+            # BUG (reorder-only): both new segments and every retargeted
+            # directory entry are flushed under a single fence.
+            low_view.flush_all()
+            high_view.flush_all()
+            for i in range(first, first + group):
+                target = high if i >= first + group // 2 else low
+                self.machine.store(entries + 8 * i, codec.encode_u64(target))
+                self.machine.flush_range(entries + 8 * i, 8)
+            self.machine.sfence()
+        else:
+            low_view.persist_all()
+            high_view.persist_all()
+            for i in range(first, first + group):
+                target = high if i >= first + group // 2 else low
+                self._write_u64_persist(entries + 8 * i, target)
+        faults.extra_flush(self, "cceh.pf3", entries + 8 * first, 8)
+        self.heap.free(segment)
+
+    def _new_segment_unpersisted(self, local_depth: int) -> int:
+        addr = self.heap.alloc(SEGMENT.size)
+        self.machine.store(addr, bytes(SEGMENT.size))
+        segment = SEGMENT.view(self.machine, addr)
+        segment.set_u64("tag", _SEG_TAG)
+        segment.set_u64("local_depth", local_depth)
+        return addr
+
+    def _double_directory(self) -> None:
+        root = self._root_view()
+        old_block, depth, old_entries = self._directory()
+        size = 2 ** depth
+        new_block = self.heap.alloc(8 + 8 * size * 2)
+        self.machine.store(new_block, codec.encode_u64(depth + 1))
+        new_entries = new_block + 8
+        for i in range(size):
+            entry = self.machine.load(old_entries + 8 * i, 8)
+            self.machine.store(new_entries + 16 * i, entry)
+            self.machine.store(new_entries + 16 * i + 8, entry)
+        if faults.branch(self, "cceh.c1_dir_split_fence_gap"):
+            # BUG (reorder-only): the new directory block and the published
+            # pointer share one fence; reordered, the pointer could persist
+            # before the directory's depth and entries.
+            self.machine.flush_range(new_block, 8 + 8 * size * 2)
+            root.set_u64("dir_ptr", new_block)
+            self.machine.flush_range(root.addr("dir_ptr"), 8)
+            self.machine.sfence()
+        else:
+            self.machine.persist(new_block, 8 + 8 * size * 2)
+            self._write_u64_persist(root.addr("dir_ptr"), new_block)
+        faults.extra_flush(self, "cceh.pf4", root.addr("dir_ptr"), 8)
+        self.heap.free(old_block)

@@ -1,0 +1,139 @@
+"""Seeded-bug helpers used by the target applications.
+
+Every application in :mod:`repro.apps` reproduces a published target with
+its *as-published* defects: the ground-truth bug list in
+:mod:`repro.apps.bugs` mirrors the Witcher bug list the paper measures
+coverage against.  Applications realise their seeded bugs either through
+explicit branches in their own logic (ordering/atomicity bugs, which are
+inherently structural) or through the helpers here (missing/extra
+persistence primitives, which are local).
+
+This module is *excluded from captured backtraces* (see
+:mod:`repro.instrument.backtrace`), so an instruction issued by a helper is
+attributed to the application line that called it — the same way Pin
+attributes an instruction inside a persistence macro to its call site.
+
+When an enabled bug's code path actually executes, the helper records the
+calling site in the volatile :class:`FaultRegistry`.  The coverage
+experiment uses that registry as ground truth for "which seeded bugs did
+this execution actually exercise, and where"; the detection tools never
+see it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Set
+
+from repro.instrument.backtrace import capture_site
+
+
+class FaultRegistry:
+    """Volatile record of seeded-bug activations (ground truth only)."""
+
+    def __init__(self):
+        self._sites: Dict[str, Set[str]] = defaultdict(set)
+
+    def record(self, bug_id: str, site: str) -> None:
+        self._sites[bug_id].add(site)
+
+    def activated(self) -> Set[str]:
+        return set(self._sites)
+
+    def sites_for(self, bug_id: str) -> Set[str]:
+        return set(self._sites.get(bug_id, ()))
+
+    def reset(self) -> None:
+        self._sites.clear()
+
+
+#: Process-wide registry; experiments reset() it around each execution.
+REGISTRY = FaultRegistry()
+
+
+def _arm(app, bug_id: Optional[str]) -> bool:
+    """True when the bug is enabled on this app instance; records the site."""
+    if bug_id is None or not app.bug_on(bug_id):
+        return False
+    REGISTRY.record(bug_id, capture_site(skip=3))
+    return True
+
+
+# --------------------------------------------------------------------- #
+# durability-bug helpers
+# --------------------------------------------------------------------- #
+
+def persist(app, addr: int, size: int, *, missing: Optional[str] = None,
+            unfenced: Optional[str] = None) -> None:
+    """Flush+fence ``[addr, addr+size)`` — unless a seeded bug says not to.
+
+    ``missing``: with that bug enabled, neither flush nor fence is issued
+    (a plain missing-durability bug).
+    ``unfenced``: with that bug enabled, the range is flushed but the fence
+    is omitted, leaving the flushes buffered.
+    """
+    if _arm(app, missing):
+        return
+    app.machine.flush_range(addr, size)
+    if _arm(app, unfenced):
+        return
+    app.machine.sfence()
+
+
+def flush(app, addr: int, size: int, *, missing: Optional[str] = None) -> None:
+    """Flush without fence (callers fence later), bug-aware."""
+    if _arm(app, missing):
+        return
+    app.machine.flush_range(addr, size)
+
+
+def fence(app, *, missing: Optional[str] = None) -> None:
+    if _arm(app, missing):
+        return
+    app.machine.sfence()
+
+
+# --------------------------------------------------------------------- #
+# performance-bug helpers
+# --------------------------------------------------------------------- #
+
+def extra_flush(app, bug_id: str, addr: int, size: int = 1) -> None:
+    """A redundant flush, issued only when the seeded bug is enabled.
+
+    The range is flushed twice: whatever the line's state, the second pass
+    acts on clean lines — the classic "flushing more than needed" defect.
+    """
+    if _arm(app, bug_id):
+        app.machine.flush_range(addr, size)
+        app.machine.flush_range(addr, size)
+        app.machine.sfence()
+
+
+def extra_unfenced_flush(app, bug_id: str, addr: int, size: int = 1) -> None:
+    """A redundant flush with no fence of its own."""
+    if _arm(app, bug_id):
+        app.machine.flush_range(addr, size)
+
+
+def extra_fence(app, bug_id: str) -> None:
+    """A redundant fence (nothing pending), issued only when enabled."""
+    if _arm(app, bug_id):
+        app.machine.sfence()
+
+
+def transient_write(app, bug_id: str, addr: int, data: bytes) -> None:
+    """Store transient data in PM (never flushed) when the bug is enabled."""
+    if _arm(app, bug_id):
+        app.machine.store(addr, data)
+
+
+# --------------------------------------------------------------------- #
+# structural-bug helper
+# --------------------------------------------------------------------- #
+
+def branch(app, bug_id: str) -> bool:
+    """Gate for structural (ordering/atomicity) bug branches in app code.
+
+    ``if faults.branch(self, "app.bug"): <buggy path> else: <correct path>``
+    """
+    return _arm(app, bug_id)

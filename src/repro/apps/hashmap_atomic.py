@@ -1,0 +1,362 @@
+"""The libpmemobj ``hashmap_atomic`` example, reimplemented on the raw
+persistent heap.
+
+Unlike the tree stores, this map uses *no transactions*: every update is a
+carefully ordered sequence of 8-byte-atomic persists (the "atomic" style of
+libpmemobj examples).  Consequences faithful to the original:
+
+* A crash can leave one operation half-applied; the recovery procedure
+  *repairs* rather than rejects: an element counter within +/-1 of the
+  actual population is reconciled (one operation can be in flight),
+  allocated-but-unlinked entries are treated as leaks.
+* The table resizes by allocating a larger bucket array whose first word
+  is its own size, so a single 8-byte pointer swap publishes both.
+
+Correct insert ordering: entry fully persisted -> bucket head swapped
+(8-byte atomic) -> counter bumped.  The seeded bugs break exactly these
+orderings (see the registry).
+
+The original does not operate correctly on PMDK 1.8 (paper, Table 2
+footnote); constructing it against that version raises immediately, and
+the experiments exclude the pairing just as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.apps import faults
+from repro.apps.base import PMApplication
+from repro.alloc import PAllocator
+from repro.errors import PoolError
+from repro.layout import Field, StructLayout, codec
+from repro.pmdk import PMDK_FIXED, PmdkVersion
+from repro.pmem.machine import PMachine
+from repro.pmem.pool import HEADER_SIZE, PmemPool
+from repro.workloads.generator import Operation
+
+_VALUE_WIDTH = 16
+_INITIAL_BUCKETS = 16
+_MAX_LOAD = 4.0
+
+ENTRY = StructLayout(
+    "hm_entry",
+    [
+        Field.u64("key"),
+        Field.blob("value", _VALUE_WIDTH),
+        Field.u64("next"),
+    ],
+)
+
+ROOT = StructLayout(
+    "hm_root",
+    [Field.u64("buckets_ptr"), Field.u64("count")],
+)
+
+
+def key_to_int(key: bytes) -> int:
+    value = int.from_bytes(key[:8].ljust(8, b"\x00"), "big")
+    return value or 1  # 0 is the empty-slot sentinel
+
+
+class HashmapAtomic(PMApplication):
+    name = "hashmap_atomic"
+    layout = "pmdk-example-hashmap-atomic"
+    codebase_kloc = 18.5
+
+    def __init__(self, version: PmdkVersion = PMDK_FIXED, **kwargs):
+        kwargs.setdefault("pool_size", 16 * 1024 * 1024)
+        super().__init__(**kwargs)
+        if version.hashmap_atomic_broken:
+            raise PoolError(
+                f"hashmap_atomic does not operate correctly on {version}"
+            )
+        self.version = version
+        self.heap: Optional[PAllocator] = None
+        self._root_addr = 0
+        #: Volatile population, used for resize decisions (rebuilt by
+        #: recovery); the persisted counter is the recovery invariant.
+        self._population = 0
+
+    # ------------------------------------------------------------------ #
+    # layout helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _heap_base(self) -> int:
+        return 1024
+
+    def _root_view(self):
+        return ROOT.view(self.machine, self._root_addr)
+
+    def _buckets(self):
+        """Returns (array_addr, n_buckets).  Slot i lives at
+        array_addr + 8 + 8*i; the first word is the array's size."""
+        ptr = self._root_view().get_u64("buckets_ptr")
+        n = codec.decode_u64(self.machine.load(ptr, 8))
+        return ptr, n
+
+    def _slot_addr(self, array: int, index: int) -> int:
+        return array + 8 + 8 * index
+
+    def _read_u64(self, addr: int) -> int:
+        return codec.decode_u64(self.machine.load(addr, 8))
+
+    def _write_persist(self, addr: int, value: int) -> None:
+        self.machine.store(addr, codec.encode_u64(value))
+        self.machine.persist(addr, 8)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        pool = PmemPool.create_unpublished(machine, self.layout)
+        self.heap = PAllocator.format(machine, self._heap_base, self.pool_size)
+        self._root_addr = self.heap.alloc(ROOT.size)
+        array = self._new_bucket_array(_INITIAL_BUCKETS)
+        root = self._root_view()
+        root.set_u64("buckets_ptr", array)
+        root.set_u64("count", 0)
+        root.persist_all()
+        pool.set_root(self._root_addr, ROOT.size)
+        pool.publish()
+        faults.extra_flush(self, "hashmap_atomic.pf7", self._root_addr, 8)
+        faults.extra_fence(self, "hashmap_atomic.pn3")
+
+    def _new_bucket_array(self, n: int) -> int:
+        array = self.heap.alloc(8 + 8 * n)
+        self.machine.store(array, codec.encode_u64(n))
+        self.machine.store(array + 8, bytes(8 * n))
+        if faults.branch(self, "hashmap_atomic.c5_init_fence_gap"):
+            # BUG (reorder-only): size word and slot area flushed under a
+            # single fence; the size could persist before the zeroed slots.
+            self.machine.flush_range(array, 8)
+            self.machine.flush_range(array + 8, 8 * n)
+            self.machine.sfence()
+        else:
+            self.machine.persist(array, 8 + 8 * n)
+        return array
+
+    def recover(self, machine: PMachine) -> None:
+        """hashmap_atomic's recovery: validate chains, reconcile the counter
+        (one in-flight operation allowed), report anything worse."""
+        self.machine = machine
+        try:
+            pool = PmemPool.open(machine, self.layout)
+        except PoolError:
+            self.setup(machine)
+            return
+        self.heap = PAllocator.attach(machine, self._heap_base, self.pool_size)
+        self.heap.recover()
+        self._root_addr = pool.root_offset
+        self.require(self._root_addr != 0, "root object missing")
+        array, n = self._buckets()
+        self.require(
+            0 < array < machine.medium.size, "bucket array pointer corrupt"
+        )
+        self.require(
+            0 < n <= 1 << 24, f"bucket array claims {n} buckets"
+        )
+        items = 0
+        seen_keys = set()
+        for i in range(n):
+            cursor = self._read_u64(self._slot_addr(array, i))
+            hops = 0
+            while cursor != 0:
+                self.require(
+                    0 < cursor < machine.medium.size,
+                    f"entry pointer 0x{cursor:x} outside the pool",
+                )
+                hops += 1
+                self.require(hops < 1 << 20, f"cycle in bucket {i}")
+                entry = ENTRY.view(machine, cursor)
+                key = entry.get_u64("key")
+                self.require(key != 0, f"empty key in bucket {i}")
+                self.require(key not in seen_keys, f"duplicate key {key}")
+                seen_keys.add(key)
+                items += 1
+                cursor = entry.get_u64("next")
+        stored = self._root_view().get_u64("count")
+        drift = abs(stored - items)
+        self.require(
+            drift <= 1,
+            f"counter drift beyond one in-flight op: {stored} vs {items}",
+        )
+        if drift:
+            # Repair: one operation was in flight at the crash.
+            self._write_persist(self._root_view().addr("count"), items)
+        self._population = items
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    def apply(self, op: Operation) -> Any:
+        if op.kind in ("put", "update"):
+            return self.put(op.key, op.value)
+        if op.kind == "get":
+            return self.lookup(op.key)
+        if op.kind == "delete":
+            return self.delete(op.key)
+        raise ValueError(f"hashmap_atomic does not support {op.kind!r}")
+
+    def _find(self, array: int, n: int, k: int):
+        """Returns (prev_slot_addr, entry_addr); entry 0 when absent."""
+        slot = self._slot_addr(array, k % n)
+        cursor = self._read_u64(slot)
+        prev = slot
+        while cursor != 0:
+            entry = ENTRY.view(self.machine, cursor)
+            if entry.get_u64("key") == k:
+                return prev, cursor
+            prev = entry.addr("next")
+            cursor = entry.get_u64("next")
+        return prev, 0
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        k = key_to_int(key)
+        array, n = self._buckets()
+        _, entry_addr = self._find(array, n, k)
+        if entry_addr == 0:
+            return None
+        entry = ENTRY.view(self.machine, entry_addr)
+        faults.extra_flush(self, "hashmap_atomic.pf6", entry_addr, 8)
+        return codec.decode_bytes(entry.get_blob("value"))
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        k = key_to_int(key)
+        raw = codec.encode_bytes(value, _VALUE_WIDTH)
+        array, n = self._buckets()
+        root = self._root_view()
+        if faults.branch(self, "hashmap_atomic.c1_count_not_atomic"):
+            # BUG: the counter is bumped for every put *attempt*, before we
+            # know whether this is an insert or an update; duplicate puts
+            # make it drift arbitrarily far from the population.
+            self._write_persist(
+                root.addr("count"),
+                (root.get_u64("count") + 1) & (2 ** 64 - 1),
+            )
+        prev, existing = self._find(array, n, k)
+        if existing != 0:
+            # Out-of-place update: a multi-word value cannot be overwritten
+            # failure-atomically in place, so a fully persisted replacement
+            # entry is swapped in with one atomic pointer write.
+            entry = ENTRY.view(self.machine, existing)
+            clone = self.heap.alloc(ENTRY.size)
+            clone_view = ENTRY.view(self.machine, clone)
+            clone_view.set_u64("key", k)
+            clone_view.set_blob("value", raw)
+            clone_view.set_u64("next", entry.get_u64("next"))
+            clone_view.persist_all()
+            self._write_persist(prev, clone)
+            faults.extra_flush(self, "hashmap_atomic.pf1", clone, 8)
+            self.heap.free(existing)
+            return False
+        if self._population + 1 > n * _MAX_LOAD:
+            self._rehash(n * 2)
+            array, n = self._buckets()
+        slot = self._slot_addr(array, k % n)
+        head = self._read_u64(slot)
+        fresh = self.heap.alloc(ENTRY.size)
+        entry = ENTRY.view(self.machine, fresh)
+        if faults.branch(self, "hashmap_atomic.c2_bucket_link_order"):
+            # BUG: the bucket head is published before the entry's fields
+            # are written; a crash in between hangs garbage off the bucket
+            # and orphans the old chain.
+            self._write_persist(slot, fresh)
+            entry.set_u64("key", k)
+            entry.set_blob("value", raw)
+            entry.set_u64("next", head)
+            entry.persist_all()
+        else:
+            entry.set_u64("key", k)
+            entry.set_blob("value", raw)
+            entry.set_u64("next", head)
+            entry.persist_all()
+            self._write_persist(slot, fresh)
+        faults.extra_flush(self, "hashmap_atomic.pf2", fresh, ENTRY.size)
+        self._population += 1
+        if not self.bug_on("hashmap_atomic.c1_count_not_atomic"):
+            self._write_persist(
+                root.addr("count"),
+                (root.get_u64("count") + 1) & (2 ** 64 - 1),
+            )
+        faults.extra_fence(self, "hashmap_atomic.pn1")
+        return True
+
+    def delete(self, key: bytes) -> bool:
+        k = key_to_int(key)
+        array, n = self._buckets()
+        root = self._root_view()
+        if faults.branch(self, "hashmap_atomic.c3_remove_count_order"):
+            # BUG: the counter is decremented before the lookup, even for
+            # keys that are not present (unsigned underflow included).
+            self._write_persist(
+                root.addr("count"),
+                (root.get_u64("count") - 1) & (2 ** 64 - 1),
+            )
+        prev, entry_addr = self._find(array, n, k)
+        if entry_addr == 0:
+            faults.extra_fence(self, "hashmap_atomic.pn2")
+            return False
+        entry = ENTRY.view(self.machine, entry_addr)
+        successor = entry.get_u64("next")
+        # Atomic unlink, then reclaim, then account.
+        self._write_persist(prev, successor)
+        self.heap.free(entry_addr)
+        faults.extra_flush(self, "hashmap_atomic.pf3", prev, 8)
+        self._population -= 1
+        if not self.bug_on("hashmap_atomic.c3_remove_count_order"):
+            self._write_persist(
+                root.addr("count"),
+                (root.get_u64("count") - 1) & (2 ** 64 - 1),
+            )
+        return True
+
+    def _rehash(self, new_n: int) -> None:
+        """Grow the table: build a fully persisted *copy* into a new array,
+        publish it with a single atomic pointer swap, then reclaim the old
+        table.  A crash before the swap leaves the old table untouched; a
+        crash during reclamation leaks (repairable) but never corrupts."""
+        old_array, old_n = self._buckets()
+        new_array = self.heap.alloc(8 + 8 * new_n)
+        self.machine.store(new_array, codec.encode_u64(new_n))
+        self.machine.store(new_array + 8, bytes(8 * new_n))
+        old_entries = []
+        for i in range(old_n):
+            cursor = self._read_u64(self._slot_addr(old_array, i))
+            while cursor != 0:
+                old_entries.append(cursor)
+                entry = ENTRY.view(self.machine, cursor)
+                next_entry = entry.get_u64("next")
+                new_slot = self._slot_addr(
+                    new_array, entry.get_u64("key") % new_n
+                )
+                clone = self.heap.alloc(ENTRY.size)
+                clone_view = ENTRY.view(self.machine, clone)
+                clone_view.set_u64("key", entry.get_u64("key"))
+                clone_view.set_blob("value", entry.get_blob("value"))
+                clone_view.set_u64("next", self._read_u64(new_slot))
+                clone_view.persist_all()
+                self.machine.store(new_slot, codec.encode_u64(clone))
+                cursor = next_entry
+        root = self._root_view()
+        if faults.branch(self, "hashmap_atomic.c4_rehash_fence_gap"):
+            # BUG (reorder-only): new array contents and the published
+            # pointer are flushed under one fence.
+            self.machine.flush_range(new_array, 8 + 8 * new_n)
+            root.set_u64("buckets_ptr", new_array)
+            self.machine.flush_range(root.addr("buckets_ptr"), 8)
+            self.machine.sfence()
+        else:
+            self.machine.persist(new_array, 8 + 8 * new_n)
+            self._write_persist(root.addr("buckets_ptr"), new_array)
+        faults.extra_flush(self, "hashmap_atomic.pf4", new_array, 8)
+        faults.extra_flush(
+            self, "hashmap_atomic.pf5", root.addr("buckets_ptr"), 8
+        )
+        for stale in old_entries:
+            self.heap.free(stale)
+        self.heap.free(old_array)

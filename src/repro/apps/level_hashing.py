@@ -1,0 +1,497 @@
+"""Level Hashing (OSDI'18), reimplemented on the raw persistent heap.
+
+A two-level hash table: a top level of N buckets and a bottom level of N/2
+buckets, two hash functions, four slots per bucket.  Writes follow the
+slot-token protocol: key/value are persisted first, then a one-word token
+commits the slot (token clear deletes it).  A resize allocates a new top
+level of 2N buckets, re-homes the old bottom level's items into it, and
+publishes the whole generation with a single meta-block pointer swap.
+
+**The published code has no recovery procedure** — exactly the situation
+section 6.2 of the paper describes.  By default :meth:`recover` only
+reopens the pool and rebuilds its volatile handles, so Mumak's oracle can
+catch only failures that crash that minimal path.  Constructing the
+application with ``with_recovery=True`` adds the ~20-line validation the
+paper's authors wrote (walk the table, count reachable items, compare with
+the persisted counter), which raises Mumak's coverage exactly as in the
+paper.
+
+Seeded bugs: ``c1`` publishes the resize meta block before initialising
+it; ``c2..c8`` commit slot tokens before the slot contents at seven
+distinct sites; ``c9..c15`` let the item counter drift at seven distinct
+sites; ``c16``/``c17`` are reorder-only fence-gap bugs (missed by design);
+``pf1..pf8``/``pn1..pn4`` are redundant flushes/fences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+from repro.apps import faults
+from repro.apps.base import PMApplication
+from repro.alloc import PAllocator
+from repro.errors import PoolError
+from repro.layout import Field, StructLayout, codec
+from repro.pmem.machine import PMachine
+from repro.pmem.pool import PmemPool
+from repro.workloads.generator import Operation
+
+_VALUE_WIDTH = 16
+_SLOTS_PER_BUCKET = 2
+_SLOT_SIZE = 8 + 8 + _VALUE_WIDTH  # token, key, value
+_BUCKET_SIZE = _SLOTS_PER_BUCKET * _SLOT_SIZE
+_INITIAL_TOP = 8  # buckets in the initial top level
+
+META = StructLayout(
+    "level_meta",
+    [
+        Field.u64("top_ptr"),
+        Field.u64("top_n"),
+        Field.u64("bottom_ptr"),
+        Field.u64("bottom_n"),
+    ],
+)
+
+ROOT = StructLayout("level_root", [Field.u64("meta_ptr"), Field.u64("count")])
+
+
+def key_to_int(key: bytes) -> int:
+    value = int.from_bytes(key[:8].ljust(8, b"\x00"), "big")
+    return value or 1
+
+
+def _h1(k: int, n: int) -> int:
+    return (k * 2654435761) % n
+
+
+def _h2(k: int, n: int) -> int:
+    return ((k ^ 0x9E3779B97F4A7C15) * 40503) % n
+
+
+class LevelHashing(PMApplication):
+    name = "level_hashing"
+    layout = "level-hashing"
+    codebase_kloc = 10.0
+
+    def __init__(self, with_recovery: bool = False, **kwargs):
+        kwargs.setdefault("pool_size", 16 * 1024 * 1024)
+        super().__init__(**kwargs)
+        self.with_recovery = with_recovery
+        self.heap: Optional[PAllocator] = None
+        self._root_addr = 0
+        self._population = 0
+
+    # ------------------------------------------------------------------ #
+    # persistent layout helpers
+    # ------------------------------------------------------------------ #
+
+    def _root_view(self):
+        return ROOT.view(self.machine, self._root_addr)
+
+    def _meta(self) -> Tuple[int, int, int, int]:
+        meta = META.view(self.machine, self._root_view().get_u64("meta_ptr"))
+        return (
+            meta.get_u64("top_ptr"),
+            meta.get_u64("top_n"),
+            meta.get_u64("bottom_ptr"),
+            meta.get_u64("bottom_n"),
+        )
+
+    def _slot_addr(self, level_ptr: int, bucket: int, slot: int) -> int:
+        return level_ptr + bucket * _BUCKET_SIZE + slot * _SLOT_SIZE
+
+    def _token(self, slot_addr: int) -> int:
+        return codec.decode_u64(self.machine.load(slot_addr, 8))
+
+    def _key_at(self, slot_addr: int) -> int:
+        return codec.decode_u64(self.machine.load(slot_addr + 8, 8))
+
+    def _value_at(self, slot_addr: int) -> bytes:
+        return codec.decode_bytes(
+            self.machine.load(slot_addr + 16, _VALUE_WIDTH)
+        )
+
+    def _write_u64_persist(self, addr: int, value: int) -> None:
+        self.machine.store(addr, codec.encode_u64(value))
+        self.machine.persist(addr, 8)
+
+    def _new_level(self, n_buckets: int) -> int:
+        addr = self.heap.alloc(n_buckets * _BUCKET_SIZE)
+        self.machine.store(addr, bytes(n_buckets * _BUCKET_SIZE))
+        self.machine.persist(addr, n_buckets * _BUCKET_SIZE)
+        return addr
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        pool = PmemPool.create_unpublished(machine, self.layout)
+        self.heap = PAllocator.format(machine, 1024, self.pool_size)
+        self._root_addr = self.heap.alloc(ROOT.size)
+        top = self._new_level(_INITIAL_TOP)
+        bottom = self._new_level(_INITIAL_TOP // 2)
+        meta_addr = self.heap.alloc(META.size)
+        meta = META.view(machine, meta_addr)
+        meta.set_u64("top_ptr", top)
+        meta.set_u64("top_n", _INITIAL_TOP)
+        meta.set_u64("bottom_ptr", bottom)
+        meta.set_u64("bottom_n", _INITIAL_TOP // 2)
+        meta.persist_all()
+        root = self._root_view()
+        root.set_u64("meta_ptr", meta_addr)
+        root.set_u64("count", 0)
+        root.persist_all()
+        pool.set_root(self._root_addr, ROOT.size)
+        pool.publish()
+        faults.extra_fence(self, "level_hashing.pn4")
+
+    def recover(self, machine: PMachine) -> None:
+        """As published: reopen and rebuild volatile handles, nothing more.
+
+        With ``with_recovery=True``, additionally run the small validation
+        pass the paper's authors added (count reachable items, compare with
+        the persisted counter, check slot well-formedness).
+        """
+        self.machine = machine
+        try:
+            pool = PmemPool.open(machine, self.layout)
+        except PoolError:
+            self.setup(machine)
+            return
+        self.heap = PAllocator.attach(machine, 1024, self.pool_size)
+        self._root_addr = pool.root_offset
+        # Rebuilding volatile handles touches the meta block and both level
+        # arrays; a garbage meta pointer crashes right here, recovery
+        # procedure or not.
+        top, top_n, bottom, bottom_n = self._meta()
+        probe = max(
+            self._slot_addr(top, top_n - 1, _SLOTS_PER_BUCKET - 1),
+            self._slot_addr(bottom, bottom_n - 1, _SLOTS_PER_BUCKET - 1),
+        )
+        self._token(probe)  # faults here are abrupt recovery failures
+        self._population = self._root_view().get_u64("count")
+        if not self.with_recovery:
+            return
+        # The ~20-line recovery procedure of section 6.2.  One duplicate
+        # key pair is legal (a displacement was in flight: the copy was
+        # committed but the old token not yet cleared) and is repaired.
+        items = 0
+        seen = {}
+        duplicates = []
+        for slot_addr in self._all_slots():
+            token = self._token(slot_addr)
+            self.require(token in (0, 1), f"slot 0x{slot_addr:x} bad token")
+            if token:
+                key = self._key_at(slot_addr)
+                self.require(key != 0, f"slot 0x{slot_addr:x} empty key")
+                if key in seen:
+                    duplicates.append(slot_addr)
+                    continue
+                seen[key] = slot_addr
+                items += 1
+        self.require(
+            len(duplicates) <= 1,
+            f"{len(duplicates)} duplicate keys: more than one displacement "
+            "in flight",
+        )
+        for slot_addr in duplicates:
+            self._write_u64_persist(slot_addr, 0)
+        stored = self._root_view().get_u64("count")
+        drift = abs(stored - items)
+        self.require(
+            drift <= 1,
+            f"counter drift beyond one in-flight op: {stored} vs {items}",
+        )
+        if drift:
+            self._write_u64_persist(self._root_view().addr("count"), items)
+        self._population = items
+
+    def _all_slots(self) -> Iterator[int]:
+        top, top_n, bottom, bottom_n = self._meta()
+        for level_ptr, n in ((top, top_n), (bottom, bottom_n)):
+            for bucket in range(n):
+                for slot in range(_SLOTS_PER_BUCKET):
+                    yield self._slot_addr(level_ptr, bucket, slot)
+
+    # ------------------------------------------------------------------ #
+    # slot protocol
+    # ------------------------------------------------------------------ #
+
+    def _commit_slot(self, slot_addr: int, k: int, raw: bytes,
+                     token_first_bug: Optional[str]) -> None:
+        """Write a slot: kv first, then the token — unless a seeded bug
+        commits the token before the contents exist."""
+        if token_first_bug and faults.branch(self, token_first_bug):
+            self._write_u64_persist(slot_addr, 1)
+            self.machine.store(slot_addr + 8, codec.encode_u64(k))
+            self.machine.store(slot_addr + 16, raw)
+            self.machine.persist(slot_addr + 8, 8 + _VALUE_WIDTH)
+        else:
+            self.machine.store(slot_addr + 8, codec.encode_u64(k))
+            self.machine.store(slot_addr + 16, raw)
+            self.machine.persist(slot_addr + 8, 8 + _VALUE_WIDTH)
+            self._write_u64_persist(slot_addr, 1)
+
+    def _bump_count(self, delta: int) -> None:
+        self._population += delta
+        root = self._root_view()
+        self._write_u64_persist(
+            root.addr("count"),
+            (root.get_u64("count") + delta) & (2 ** 64 - 1),
+        )
+
+    def _drift_count(self, bug_id: str) -> None:
+        """Seeded counter-atomicity bugs: a spurious persisted increment."""
+        if faults.branch(self, bug_id):
+            root = self._root_view()
+            self._write_u64_persist(
+                root.addr("count"),
+                (root.get_u64("count") + 1) & (2 ** 64 - 1),
+            )
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    def apply(self, op: Operation) -> Any:
+        if op.kind in ("put", "update"):
+            return self.put(op.key, op.value)
+        if op.kind == "get":
+            return self.lookup(op.key)
+        if op.kind == "delete":
+            return self.delete(op.key)
+        raise ValueError(f"level_hashing does not support {op.kind!r}")
+
+    def _find(self, k: int) -> int:
+        """Slot address holding ``k``, or 0."""
+        top, top_n, bottom, bottom_n = self._meta()
+        for level_ptr, n in ((top, top_n), (bottom, bottom_n)):
+            for h in (_h1(k, n), _h2(k, n)):
+                for slot in range(_SLOTS_PER_BUCKET):
+                    slot_addr = self._slot_addr(level_ptr, h, slot)
+                    if self._token(slot_addr) and self._key_at(slot_addr) == k:
+                        return slot_addr
+        return 0
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        k = key_to_int(key)
+        slot_addr = self._find(k)
+        if slot_addr == 0:
+            return None
+        faults.extra_flush(self, "level_hashing.pf7", slot_addr, 8)
+        return self._value_at(slot_addr)
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        k = key_to_int(key)
+        raw = codec.encode_bytes(value, _VALUE_WIDTH)
+        existing = self._find(k)
+        if existing:
+            self._drift_count("level_hashing.c12_counter_atomicity")
+            self.machine.store(existing + 16, raw)
+            self.machine.persist(existing + 16, _VALUE_WIDTH)
+            faults.extra_flush(self, "level_hashing.pf1", existing + 16, 8)
+            return False
+        if self._try_insert(k, raw):
+            self._bump_count(+1)
+            faults.extra_flush(
+                self, "level_hashing.pf8", self._root_view().addr("count"), 8
+            )
+            faults.extra_fence(self, "level_hashing.pn1")
+            return True
+        for _ in range(8):
+            self._resize()
+            if self._try_insert(k, raw):
+                self._bump_count(+1)
+                return True
+        raise RuntimeError("level hashing: insert failed after resize")
+
+    def _try_insert(self, k: int, raw: bytes) -> bool:
+        top, top_n, bottom, bottom_n = self._meta()
+        top_bugs = {
+            _h1(k, top_n): "level_hashing.c2_slot_token_atomicity",
+            _h2(k, top_n): "level_hashing.c3_slot_token_atomicity",
+        }
+        for h, bug in top_bugs.items():
+            slot_addr = self._empty_slot(top, h)
+            if slot_addr:
+                if h == _h1(k, top_n):
+                    self._drift_count("level_hashing.c9_counter_atomicity")
+                self._commit_slot(slot_addr, k, raw, bug)
+                return True
+        bottom_bugs = {
+            _h1(k, bottom_n): "level_hashing.c4_slot_token_atomicity",
+            _h2(k, bottom_n): "level_hashing.c5_slot_token_atomicity",
+        }
+        for h, bug in bottom_bugs.items():
+            slot_addr = self._empty_slot(bottom, h)
+            if slot_addr:
+                self._drift_count("level_hashing.c10_counter_atomicity")
+                self._commit_slot(slot_addr, k, raw, bug)
+                return True
+        return self._displace(k, raw, top, top_n, bottom, bottom_n)
+
+    def _empty_slot(self, level_ptr: int, bucket: int) -> int:
+        for slot in range(_SLOTS_PER_BUCKET):
+            slot_addr = self._slot_addr(level_ptr, bucket, slot)
+            if not self._token(slot_addr):
+                return slot_addr
+        return 0
+
+    def _displace(self, k, raw, top, top_n, bottom, bottom_n) -> bool:
+        """Level hashing's movement: relocate one occupant of the incoming
+        key's candidate buckets to any of the occupant's alternate homes
+        (its other top bucket, or either of its bottom buckets)."""
+        for h in (_h1(k, top_n), _h2(k, top_n)):
+            for slot in range(_SLOTS_PER_BUCKET):
+                victim_addr = self._slot_addr(top, h, slot)
+                victim_key = self._key_at(victim_addr)
+                candidates = [
+                    (top, alt)
+                    for alt in (_h1(victim_key, top_n), _h2(victim_key, top_n))
+                    if alt != h
+                ] + [
+                    (bottom, _h1(victim_key, bottom_n)),
+                    (bottom, _h2(victim_key, bottom_n)),
+                ]
+                target = 0
+                for level_ptr, alt_bucket in candidates:
+                    target = self._empty_slot(level_ptr, alt_bucket)
+                    if target:
+                        break
+                if not target:
+                    continue
+                # Move the victim: copy to the new slot (token-committed),
+                # then clear the old token.
+                self._drift_count("level_hashing.c14_counter_atomicity")
+                self._commit_slot(
+                    target,
+                    victim_key,
+                    codec.encode_bytes(self._value_at(victim_addr), _VALUE_WIDTH),
+                    "level_hashing.c6_slot_token_atomicity",
+                )
+                if faults.branch(self, "level_hashing.c16_swap_fence_gap"):
+                    # BUG (reorder-only): old-token clear and new slot
+                    # flushed under one fence.
+                    self.machine.store(victim_addr, codec.encode_u64(0))
+                    self.machine.flush_range(victim_addr, 8)
+                    self.machine.flush_range(target, 8)
+                    self.machine.sfence()
+                else:
+                    self._write_u64_persist(victim_addr, 0)
+                self._drift_count("level_hashing.c15_counter_atomicity")
+                self._commit_slot(victim_addr, k, raw, None)
+                return True
+        return False
+
+    def delete(self, key: bytes) -> bool:
+        k = key_to_int(key)
+        slot_addr = self._find(k)
+        if slot_addr == 0:
+            self._drift_count("level_hashing.c11_counter_atomicity")
+            faults.extra_fence(self, "level_hashing.pn2")
+            return False
+        if faults.branch(self, "level_hashing.c7_slot_token_atomicity"):
+            # BUG: the key field is zeroed before the occupancy token is
+            # cleared; a crash in between leaves a committed empty slot.
+            self._write_u64_persist(slot_addr + 8, 0)
+            self._write_u64_persist(slot_addr, 0)
+        else:
+            self._write_u64_persist(slot_addr, 0)
+        faults.extra_flush(self, "level_hashing.pf2", slot_addr, 8)
+        self._bump_count(-1)
+        return True
+
+    def _make_room(self, level_ptr: int, n: int, k: int) -> int:
+        """Free a slot in one of ``k``'s buckets of a (not yet published)
+        level by relocating an occupant to its alternate bucket."""
+        for h in (_h1(k, n), _h2(k, n)):
+            for slot in range(_SLOTS_PER_BUCKET):
+                victim = self._slot_addr(level_ptr, h, slot)
+                victim_key = self._key_at(victim)
+                for alt in (_h1(victim_key, n), _h2(victim_key, n)):
+                    if alt == h:
+                        continue
+                    target = self._empty_slot(level_ptr, alt)
+                    if target:
+                        self._commit_slot(
+                            target,
+                            victim_key,
+                            codec.encode_bytes(
+                                self._value_at(victim), _VALUE_WIDTH
+                            ),
+                            None,
+                        )
+                        self._write_u64_persist(victim, 0)
+                        return victim
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # resize
+    # ------------------------------------------------------------------ #
+
+    def _resize(self) -> None:
+        """Grow: new top of 2N buckets; old top becomes the bottom; the old
+        bottom's items are re-homed into the new top; one meta swap
+        publishes the new generation."""
+        old_meta = self._root_view().get_u64("meta_ptr")
+        old_top, old_top_n, old_bottom, old_bottom_n = self._meta()
+        new_top_n = old_top_n * 2
+        new_top = self._new_level(new_top_n)
+        for bucket in range(old_bottom_n):
+            for slot in range(_SLOTS_PER_BUCKET):
+                source = self._slot_addr(old_bottom, bucket, slot)
+                if not self._token(source):
+                    continue
+                k = self._key_at(source)
+                raw = codec.encode_bytes(self._value_at(source), _VALUE_WIDTH)
+                target = self._empty_slot(new_top, _h1(k, new_top_n)) or (
+                    self._empty_slot(new_top, _h2(k, new_top_n))
+                ) or self._make_room(new_top, new_top_n, k)
+                if not target:
+                    raise RuntimeError("level hashing: resize overflow")
+                self._drift_count("level_hashing.c13_counter_atomicity")
+                if faults.branch(self, "level_hashing.c8_slot_token_atomicity"):
+                    # BUG: destructive rehash — the source slot (still the
+                    # *published* table!) is cleared before its copy is
+                    # committed in the not-yet-published new level.
+                    self._write_u64_persist(source, 0)
+                self._commit_slot(target, k, raw, None)
+        meta_addr = self.heap.alloc(META.size)
+        meta = META.view(self.machine, meta_addr)
+        root = self._root_view()
+        if faults.branch(self, "level_hashing.c1_resize_ptr_garbage"):
+            # BUG: the meta pointer is published before the meta block is
+            # initialised; recovery dereferences garbage sizes/pointers.
+            self._write_u64_persist(root.addr("meta_ptr"), meta_addr)
+            meta.set_u64("top_ptr", new_top)
+            meta.set_u64("top_n", new_top_n)
+            meta.set_u64("bottom_ptr", old_top)
+            meta.set_u64("bottom_n", old_top_n)
+            meta.persist_all()
+        elif faults.branch(self, "level_hashing.c17_rehash_fence_gap"):
+            # BUG (reorder-only): meta block and pointer share one fence.
+            meta.set_u64("top_ptr", new_top)
+            meta.set_u64("top_n", new_top_n)
+            meta.set_u64("bottom_ptr", old_top)
+            meta.set_u64("bottom_n", old_top_n)
+            meta.flush_all()
+            root.set_u64("meta_ptr", meta_addr)
+            self.machine.flush_range(root.addr("meta_ptr"), 8)
+            self.machine.sfence()
+        else:
+            meta.set_u64("top_ptr", new_top)
+            meta.set_u64("top_n", new_top_n)
+            meta.set_u64("bottom_ptr", old_top)
+            meta.set_u64("bottom_n", old_top_n)
+            meta.persist_all()
+            self._write_u64_persist(root.addr("meta_ptr"), meta_addr)
+        faults.extra_flush(self, "level_hashing.pf3", meta_addr, META.size)
+        faults.extra_flush(self, "level_hashing.pf4", root.addr("meta_ptr"), 8)
+        # Reclaim the previous generation's bottom level and meta block.
+        self.heap.free(old_bottom)
+        self.heap.free(old_meta)
+        faults.extra_flush(self, "level_hashing.pf5", new_top, 8)
+        faults.extra_fence(self, "level_hashing.pn3")
+        faults.extra_flush(self, "level_hashing.pf6", old_top, 8)

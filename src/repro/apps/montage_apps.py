@@ -1,0 +1,175 @@
+"""Montage's hashtable targets: ``Hashtable`` and ``LfHashtable``.
+
+Both keep their *index* in DRAM — Montage's design — and persist only
+payload blocks through the epoch runtime in :mod:`repro.montage`.  The
+lock-free variant claims payload blocks with compare-and-swap (RMW
+instructions with fence semantics, giving Mumak a different instruction
+profile), while the blocking variant uses plain stores.
+
+Recovery for both: open the slab allocator *with validation* (catching the
+section 6.4 destructor bug), rebuild the index from the payloads of the
+last persisted epoch, and cross-check the persisted item count (catching
+the allocator-misuse bug).
+
+Neither target depends on PMDK in any form — the property that let Mumak,
+and lets this reproduction, analyse them without library knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.apps import faults
+from repro.apps.base import PMApplication
+from repro.errors import RecoveryError
+from repro.layout import codec
+from repro.montage import MontageAllocator, MontageRuntime
+from repro.montage.allocator import STATUS_FREE, STATUS_USED
+from repro.pmem.machine import PMachine
+from repro.workloads.generator import Operation
+
+_SLAB_BASE = 64
+_N_BLOCKS = 8192
+
+#: Transient claim state used by the lock-free variant's CAS protocol.
+_STATUS_RESERVED = 0x7E5
+
+
+class _MontageTableBase(PMApplication):
+    """Shared lifecycle for both Montage hashtables."""
+
+    def __init__(self, epoch_length: int = 16, **kwargs):
+        kwargs.setdefault("pool_size", 4 * 1024 * 1024)
+        super().__init__(**kwargs)
+        self.epoch_length = epoch_length
+        self.runtime: Optional[MontageRuntime] = None
+        #: DRAM index: key -> payload block address.
+        self._index: Dict[bytes, int] = {}
+
+    @classmethod
+    def default_bugs(cls):
+        from repro.apps.bugs import default_bugs_for
+
+        return default_bugs_for("montage")
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        allocator = MontageAllocator.format(machine, _SLAB_BASE, _N_BLOCKS)
+        self.runtime = MontageRuntime(
+            machine, allocator, epoch_length=self.epoch_length, bugs=self.bugs
+        )
+        self._index = {}
+
+    def recover(self, machine: PMachine) -> None:
+        self.machine = machine
+        if not MontageAllocator.is_formatted(machine, _SLAB_BASE):
+            # Crash during first-time initialisation: nothing persisted.
+            self.setup(machine)
+            return
+        allocator = MontageAllocator.open(machine, _SLAB_BASE, validate=True)
+        self.runtime = MontageRuntime(
+            machine, allocator, epoch_length=self.epoch_length, bugs=self.bugs
+        )
+        live = self.runtime.recover_payloads()
+        self._index = {key: block for key, (block, _) in live.items()}
+
+    def run(self, workload):
+        results = [self.apply(op) for op in workload]
+        self.runtime.shutdown()
+        return results
+
+    def apply(self, op: Operation) -> Any:
+        if op.kind in ("put", "update"):
+            result = self.put(op.key, op.value)
+        elif op.kind == "get":
+            result = self.lookup(op.key)
+        elif op.kind == "delete":
+            result = self.delete(op.key)
+        else:
+            raise ValueError(f"{self.name} does not support {op.kind!r}")
+        self.runtime.op_complete()
+        return result
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        block = self._index.get(key)
+        if block is None:
+            return None
+        from repro.montage.epoch import PayloadView
+
+        return PayloadView(self.machine, block).value
+
+    def delete(self, key: bytes) -> bool:
+        block = self._index.pop(key, None)
+        if block is None:
+            return False
+        self.runtime.retire_payload(block)
+        return True
+
+
+class MontageHashtable(_MontageTableBase):
+    """The blocking Montage hashtable (plain-store payload commits)."""
+
+    name = "montage_hashtable"
+    layout = "montage-hashtable"
+    codebase_kloc = 24.0
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        old = self._index.get(key)
+        if old is not None:
+            self._index[key] = self.runtime.update_payload(old, key, value)
+            return False
+        self._index[key] = self.runtime.create_payload(key, value)
+        return True
+
+
+class MontageLfHashtable(_MontageTableBase):
+    """The lock-free Montage hashtable: payload blocks are claimed with a
+    compare-and-swap on their status word before being filled."""
+
+    name = "montage_lfhashtable"
+    layout = "montage-lfhashtable"
+    codebase_kloc = 28.0
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        old = self._index.get(key)
+        runtime = self.runtime
+        block = runtime.allocator.alloc()
+        # Lock-free claim: CAS the status word from FREE to RESERVED.  (A
+        # reserved block is invisible to recovery scans, so a crash here
+        # merely leaks the reservation.)
+        if not self.machine.cas_u64(block, STATUS_FREE, _STATUS_RESERVED):
+            raise RecoveryError(
+                f"lf claim failed: block 0x{block:x} was not free"
+            )
+        from repro.montage.epoch import (
+            _EPOCH_FIELD,
+            _KEY_FIELD,
+            _RETIRED_FIELD,
+            _VALUE_FIELD,
+            _KEY_WIDTH,
+            _VALUE_WIDTH,
+        )
+
+        machine = self.machine
+        machine.store(
+            block + _EPOCH_FIELD, codec.encode_u64(runtime.current_epoch)
+        )
+        machine.store(block + _RETIRED_FIELD, codec.encode_u64(0))
+        machine.store(block + _KEY_FIELD, codec.encode_bytes(key, _KEY_WIDTH))
+        machine.store(
+            block + _VALUE_FIELD, codec.encode_bytes(value, _VALUE_WIDTH)
+        )
+        # Publish: CAS RESERVED -> USED (the lock-free commit point).
+        if not self.machine.cas_u64(block, _STATUS_RESERVED, STATUS_USED):
+            raise RecoveryError(
+                f"lf publish failed: block 0x{block:x} reservation lost"
+            )
+        runtime._dirty.add(block)
+        runtime.live_count += 1
+        if old is not None:
+            runtime.live_count -= 1
+            runtime.retire_payload(old, count_delta=0)
+            self._index[key] = block
+            return False
+        self._index[key] = block
+        return True

@@ -1,0 +1,386 @@
+"""pmemkv engines ``cmap`` and ``stree``, reimplemented on mini-PMDK.
+
+Two of pmem/pmemkv's storage engines, each a distinct code path used by
+the scalability study (Figure 5):
+
+* **cmap** — a closed-addressing concurrent hash map (single hart here):
+  fixed bucket array in the root block, per-bucket entry chains, every
+  mutation in its own transaction.
+* **stree** — a sorted chunk list (the persistent core of pmemkv's B+tree
+  engine): fixed-capacity sorted chunks linked in key order; inserts split
+  full chunks; every mutation in its own transaction.
+
+Both run entirely on the transactional API, so their recovery procedures
+are: library log rollback on open, heap check, then a structural walk
+validated against a persisted element counter.
+
+No seeded bugs — these targets exist for Figure 5 and as additional
+bug-free baselines for the no-false-positive property.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.apps.base import PMApplication
+from repro.errors import PoolError
+from repro.layout import Field, StructLayout, codec
+from repro.pmdk import ObjPool, PMDK_FIXED, PmdkVersion
+from repro.pmem.machine import PMachine
+from repro.workloads.generator import Operation
+
+_VALUE_WIDTH = 16
+_KEY_WIDTH = 24
+
+# ----------------------------------------------------------------------- #
+# cmap
+# ----------------------------------------------------------------------- #
+
+_CMAP_BUCKETS = 64
+
+CMAP_ENTRY = StructLayout(
+    "cmap_entry",
+    [
+        Field.blob("key", _KEY_WIDTH),
+        Field.blob("value", _VALUE_WIDTH),
+        Field.u64("next"),
+    ],
+)
+
+CMAP_ROOT = StructLayout(
+    "cmap_root",
+    [Field.u64("count")] + [Field.u64(f"bucket{i}") for i in range(_CMAP_BUCKETS)],
+)
+
+
+def _cmap_hash(key: bytes) -> int:
+    digest = 2166136261
+    for byte in key:
+        digest = ((digest ^ byte) * 16777619) & 0xFFFFFFFF
+    return digest % _CMAP_BUCKETS
+
+
+class PmemkvCmap(PMApplication):
+    name = "pmemkv_cmap"
+    layout = "pmemkv-cmap"
+    codebase_kloc = 9.5
+
+    def __init__(self, version: PmdkVersion = PMDK_FIXED, **kwargs):
+        kwargs.setdefault("pool_size", 16 * 1024 * 1024)
+        super().__init__(**kwargs)
+        self.version = version
+        self.pool: Optional[ObjPool] = None
+        self._root_addr = 0
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        self.pool = ObjPool.create(machine, self.layout, version=self.version)
+        self._root_addr = self.pool.root(CMAP_ROOT.size)
+
+    def recover(self, machine: PMachine) -> None:
+        self.machine = machine
+        try:
+            self.pool = ObjPool.open(machine, self.layout, version=self.version)
+        except PoolError:
+            self.setup(machine)
+            return
+        self.pool.check_heap()
+        self._root_addr = self.pool.existing_root() or self.pool.root(
+            CMAP_ROOT.size
+        )
+        root = self._root_view()
+        items = 0
+        seen = set()
+        for i in range(_CMAP_BUCKETS):
+            cursor = root.get_u64(f"bucket{i}")
+            hops = 0
+            while cursor:
+                self.require(
+                    0 < cursor < machine.medium.size,
+                    f"entry 0x{cursor:x} outside the pool",
+                )
+                hops += 1
+                self.require(hops < 1 << 20, f"cycle in bucket {i}")
+                entry = CMAP_ENTRY.view(machine, cursor)
+                key = entry.get_bytes("key")
+                self.require(key not in seen, f"duplicate key {key!r}")
+                seen.add(key)
+                items += 1
+                cursor = entry.get_u64("next")
+        stored = root.get_u64("count")
+        self.require(
+            items == stored, f"map holds {items}, counter says {stored}"
+        )
+
+    def _root_view(self):
+        return CMAP_ROOT.view(self.machine, self._root_addr)
+
+    def _find(self, key: bytes):
+        root = self._root_view()
+        slot = root.addr(f"bucket{_cmap_hash(key)}")
+        prev = slot
+        cursor = codec.decode_u64(self.machine.load(slot, 8))
+        while cursor:
+            entry = CMAP_ENTRY.view(self.machine, cursor)
+            if entry.get_bytes("key") == key:
+                return prev, cursor
+            prev = entry.addr("next")
+            cursor = entry.get_u64("next")
+        return prev, 0
+
+    def apply(self, op: Operation) -> Any:
+        if op.kind in ("put", "update"):
+            return self.put(op.key, op.value)
+        if op.kind == "get":
+            return self.lookup(op.key)
+        if op.kind == "delete":
+            return self.delete(op.key)
+        raise ValueError(f"cmap does not support {op.kind!r}")
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        _, entry_addr = self._find(key)
+        if not entry_addr:
+            return None
+        return CMAP_ENTRY.view(self.machine, entry_addr).get_bytes("value")
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        with self.pool.tx() as tx:
+            prev, entry_addr = self._find(key)
+            if entry_addr:
+                entry = CMAP_ENTRY.view(self.machine, entry_addr)
+                tx.add(entry.addr("value"), _VALUE_WIDTH)
+                entry.set_bytes("value", value)
+                return False
+            fresh = tx.alloc(CMAP_ENTRY.size)
+            entry = CMAP_ENTRY.view(self.machine, fresh)
+            entry.set_bytes("key", key)
+            entry.set_bytes("value", value)
+            entry.set_u64("next", codec.decode_u64(self.machine.load(prev, 8)))
+            tx.add(prev, 8)
+            self.machine.store(prev, codec.encode_u64(fresh))
+            root = self._root_view()
+            tx.add(root.addr("count"), 8)
+            root.set_u64("count", root.get_u64("count") + 1)
+        return True
+
+    def delete(self, key: bytes) -> bool:
+        with self.pool.tx() as tx:
+            prev, entry_addr = self._find(key)
+            if not entry_addr:
+                return False
+            entry = CMAP_ENTRY.view(self.machine, entry_addr)
+            tx.add(prev, 8)
+            self.machine.store(
+                prev, codec.encode_u64(entry.get_u64("next"))
+            )
+            tx.free(entry_addr)
+            root = self._root_view()
+            tx.add(root.addr("count"), 8)
+            root.set_u64("count", root.get_u64("count") - 1)
+        return True
+
+
+# ----------------------------------------------------------------------- #
+# stree
+# ----------------------------------------------------------------------- #
+
+_CHUNK_CAPACITY = 8
+
+STREE_CHUNK = StructLayout(
+    "stree_chunk",
+    [Field.u64("n"), Field.u64("next")]
+    + [
+        field
+        for i in range(_CHUNK_CAPACITY)
+        for field in (
+            Field.blob(f"key{i}", _KEY_WIDTH),
+            Field.blob(f"val{i}", _VALUE_WIDTH),
+        )
+    ],
+)
+
+STREE_ROOT = StructLayout(
+    "stree_root", [Field.u64("head"), Field.u64("count")]
+)
+
+
+class PmemkvStree(PMApplication):
+    name = "pmemkv_stree"
+    layout = "pmemkv-stree"
+    codebase_kloc = 13.5
+
+    def __init__(self, version: PmdkVersion = PMDK_FIXED, **kwargs):
+        kwargs.setdefault("pool_size", 16 * 1024 * 1024)
+        super().__init__(**kwargs)
+        self.version = version
+        self.pool: Optional[ObjPool] = None
+        self._root_addr = 0
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        self.pool = ObjPool.create(machine, self.layout, version=self.version)
+        self._root_addr = self.pool.root(STREE_ROOT.size)
+        with self.pool.tx() as tx:
+            head = self._new_chunk(tx)
+            root = self._root_view()
+            tx.add(self._root_addr, STREE_ROOT.size)
+            root.set_u64("head", head)
+            root.set_u64("count", 0)
+
+    def recover(self, machine: PMachine) -> None:
+        self.machine = machine
+        try:
+            self.pool = ObjPool.open(machine, self.layout, version=self.version)
+        except PoolError:
+            self.setup(machine)
+            return
+        self.pool.check_heap()
+        self._root_addr = self.pool.existing_root() or self.pool.root(
+            STREE_ROOT.size
+        )
+        root = self._root_view()
+        head = root.get_u64("head")
+        if head == 0:
+            with self.pool.tx() as tx:
+                tx.add(self._root_addr, STREE_ROOT.size)
+                root.set_u64("head", self._new_chunk(tx))
+                root.set_u64("count", 0)
+            return
+        items = 0
+        cursor = head
+        hops = 0
+        last = b""
+        while cursor:
+            self.require(
+                0 < cursor < machine.medium.size,
+                f"chunk 0x{cursor:x} outside the pool",
+            )
+            hops += 1
+            self.require(hops < 1 << 20, "cycle in the chunk list")
+            chunk = STREE_CHUNK.view(machine, cursor)
+            n = chunk.get_u64("n")
+            self.require(
+                n <= _CHUNK_CAPACITY, f"chunk 0x{cursor:x} claims {n} records"
+            )
+            for i in range(n):
+                key = chunk.get_bytes(f"key{i}")
+                self.require(key > last, "chunk list keys not sorted")
+                last = key
+                items += 1
+            cursor = chunk.get_u64("next")
+        stored = root.get_u64("count")
+        self.require(
+            items == stored, f"tree holds {items}, counter says {stored}"
+        )
+
+    def _root_view(self):
+        return STREE_ROOT.view(self.machine, self._root_addr)
+
+    def _new_chunk(self, tx) -> int:
+        addr = tx.alloc(STREE_CHUNK.size)
+        chunk = STREE_CHUNK.view(self.machine, addr)
+        chunk.set_u64("n", 0)
+        chunk.set_u64("next", 0)
+        return addr
+
+    def _chunk_for(self, key: bytes):
+        """The chunk that should hold ``key`` (last chunk whose first key
+        is <= key, or the head)."""
+        cursor = self._root_view().get_u64("head")
+        chosen = cursor
+        while cursor:
+            chunk = STREE_CHUNK.view(self.machine, cursor)
+            n = chunk.get_u64("n")
+            if n and chunk.get_bytes("key0") > key:
+                break
+            chosen = cursor
+            cursor = chunk.get_u64("next")
+        return chosen
+
+    def apply(self, op: Operation) -> Any:
+        if op.kind in ("put", "update"):
+            return self.put(op.key, op.value)
+        if op.kind == "get":
+            return self.lookup(op.key)
+        if op.kind == "delete":
+            return self.delete(op.key)
+        raise ValueError(f"stree does not support {op.kind!r}")
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        chunk_addr = self._chunk_for(key)
+        chunk = STREE_CHUNK.view(self.machine, chunk_addr)
+        for i in range(chunk.get_u64("n")):
+            if chunk.get_bytes(f"key{i}") == key:
+                return chunk.get_bytes(f"val{i}")
+        return None
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        with self.pool.tx() as tx:
+            chunk_addr = self._chunk_for(key)
+            chunk = STREE_CHUNK.view(self.machine, chunk_addr)
+            n = chunk.get_u64("n")
+            for i in range(n):
+                if chunk.get_bytes(f"key{i}") == key:
+                    tx.add(chunk.addr(f"val{i}"), _VALUE_WIDTH)
+                    chunk.set_bytes(f"val{i}", value)
+                    return False
+            if n == _CHUNK_CAPACITY:
+                chunk_addr = self._split_chunk(tx, chunk_addr, key)
+                chunk = STREE_CHUNK.view(self.machine, chunk_addr)
+                n = chunk.get_u64("n")
+            tx.add(chunk_addr, STREE_CHUNK.size)
+            position = n
+            while position > 0 and chunk.get_bytes(f"key{position - 1}") > key:
+                chunk.set_blob(
+                    f"key{position}", chunk.get_blob(f"key{position - 1}")
+                )
+                chunk.set_blob(
+                    f"val{position}", chunk.get_blob(f"val{position - 1}")
+                )
+                position -= 1
+            chunk.set_bytes(f"key{position}", key)
+            chunk.set_bytes(f"val{position}", value)
+            chunk.set_u64("n", n + 1)
+            root = self._root_view()
+            tx.add(root.addr("count"), 8)
+            root.set_u64("count", root.get_u64("count") + 1)
+        return True
+
+    def _split_chunk(self, tx, chunk_addr: int, key: bytes) -> int:
+        """Split a full chunk; returns the chunk that should take ``key``."""
+        chunk = STREE_CHUNK.view(self.machine, chunk_addr)
+        sibling_addr = self._new_chunk(tx)
+        sibling = STREE_CHUNK.view(self.machine, sibling_addr)
+        half = _CHUNK_CAPACITY // 2
+        tx.add(chunk_addr, STREE_CHUNK.size)
+        for i in range(half):
+            sibling.set_blob(f"key{i}", chunk.get_blob(f"key{half + i}"))
+            sibling.set_blob(f"val{i}", chunk.get_blob(f"val{half + i}"))
+        sibling.set_u64("n", half)
+        sibling.set_u64("next", chunk.get_u64("next"))
+        chunk.set_u64("next", sibling_addr)
+        chunk.set_u64("n", half)
+        split_key = sibling.get_bytes("key0")
+        return sibling_addr if key >= split_key else chunk_addr
+
+    def delete(self, key: bytes) -> bool:
+        with self.pool.tx() as tx:
+            chunk_addr = self._chunk_for(key)
+            chunk = STREE_CHUNK.view(self.machine, chunk_addr)
+            n = chunk.get_u64("n")
+            for i in range(n):
+                if chunk.get_bytes(f"key{i}") == key:
+                    tx.add(chunk_addr, STREE_CHUNK.size)
+                    for j in range(i, n - 1):
+                        chunk.set_blob(
+                            f"key{j}", chunk.get_blob(f"key{j + 1}")
+                        )
+                        chunk.set_blob(
+                            f"val{j}", chunk.get_blob(f"val{j + 1}")
+                        )
+                    chunk.set_u64("n", n - 1)
+                    root = self._root_view()
+                    tx.add(root.addr("count"), 8)
+                    root.set_u64("count", root.get_u64("count") - 1)
+                    return True
+            return False

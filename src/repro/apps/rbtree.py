@@ -1,0 +1,441 @@
+"""The libpmemobj ``rbtree`` example data store, reimplemented on mini-PMDK.
+
+A red-black tree with parent pointers.  Deletion is a BST splice (the
+replacement is painted black so no red-red violation can appear), which
+keeps the recovery invariants checkable without the full fix-up dance.
+
+Recovery validates: BST ordering, parent-pointer coherence, legal colors,
+no red-red edges, a black root, and the persisted size counter against a
+full traversal.
+
+Seeded bugs (registry: :mod:`repro.apps.bugs`):
+
+* ``rbtree.c1_color_outside_tx`` — the recolor case of insert fix-up paints
+  the grandparent red and persists it *without* an undo-log snapshot
+  before the parent/uncle are blackened in-transaction; an abort restores
+  red parent + red grandparent.
+* ``rbtree.c2_rotate_child_first`` — a rotation's first pointer write is
+  persisted before the node is snapshotted; rollback reconstructs half a
+  rotation and parent pointers disagree.
+* ``rbtree.c3_count_outside_tx`` — size counter persisted outside the
+  delete transaction.
+* ``rbtree.c4_rotate_fence_gap`` / ``c5_recolor_fence_gap`` — reorder-only
+  ordering bugs: two flushes share one fence (fault injection cannot see
+  them; trace analysis warns).
+* ``rbtree.pf1..pf9`` / ``pn1..pn5`` — redundant flushes / fences.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, List, Optional, Sequence
+
+from repro.apps import faults
+from repro.apps.base import PMApplication
+from repro.errors import PoolError
+from repro.layout import Field, StructLayout, codec
+from repro.pmdk import ObjPool, PMDK_FIXED, PmdkVersion
+from repro.pmem.machine import PMachine
+from repro.workloads.generator import Operation
+
+RED = 1
+BLACK = 0
+_VALUE_WIDTH = 16
+
+NODE = StructLayout(
+    "rbtree_node",
+    [
+        Field.u64("key"),
+        Field.blob("value", _VALUE_WIDTH),
+        Field.u64("left"),
+        Field.u64("right"),
+        Field.u64("parent"),
+        Field.u64("color"),
+    ],
+)
+
+ROOT = StructLayout("rbtree_root", [Field.u64("root_ptr"), Field.u64("count")])
+
+
+def key_to_int(key: bytes) -> int:
+    return int.from_bytes(key[:8].ljust(8, b"\x00"), "big")
+
+
+class RBTree(PMApplication):
+    name = "rbtree"
+    layout = "pmdk-example-rbtree"
+    codebase_kloc = 19.0
+
+    def __init__(self, spt: bool = False, version: PmdkVersion = PMDK_FIXED,
+                 **kwargs):
+        kwargs.setdefault("pool_size", 32 * 1024 * 1024)
+        super().__init__(**kwargs)
+        self.spt = spt
+        self.version = version
+        self.pool: Optional[ObjPool] = None
+        self._root_addr = 0
+        self._global_tx = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        self.pool = ObjPool.create(machine, self.layout, version=self.version)
+        self._root_addr = self.pool.root(ROOT.size)
+        faults.extra_flush(self, "rbtree.pf9", self._root_addr, ROOT.size)
+        faults.extra_fence(self, "rbtree.pn5")
+
+    def recover(self, machine: PMachine) -> None:
+        self.machine = machine
+        try:
+            self.pool = ObjPool.open(machine, self.layout, version=self.version)
+        except PoolError:
+            self.setup(machine)
+            return
+        self.pool.check_heap()
+        self._root_addr = self.pool.existing_root() or self.pool.root(ROOT.size)
+        root = ROOT.view(machine, self._root_addr)
+        root_ptr = root.get_u64("root_ptr")
+        if root_ptr != 0:
+            self.require(
+                self._node(root_ptr).get_u64("parent") == 0,
+                "root has a parent pointer",
+            )
+            self.require(
+                self._node(root_ptr).get_u64("color") == BLACK,
+                "root is not black",
+            )
+        items = self._validate(root_ptr, None, None, 0)
+        stored = root.get_u64("count")
+        self.require(
+            items == stored,
+            f"size mismatch: tree holds {items}, counter says {stored}",
+        )
+
+    def _validate(self, addr: int, lo, hi, depth: int) -> int:
+        if addr == 0:
+            return 0
+        self.require(depth < 128, "tree too deep (cycle?)")
+        self.require(
+            0 < addr < self.machine.medium.size,
+            f"node pointer 0x{addr:x} outside the pool",
+        )
+        node = self._node(addr)
+        key = node.get_u64("key")
+        color = node.get_u64("color")
+        self.require(color in (RED, BLACK), f"node 0x{addr:x} invalid color")
+        self.require(
+            (lo is None or key > lo) and (hi is None or key < hi),
+            f"node 0x{addr:x} violates BST bounds",
+        )
+        for side in ("left", "right"):
+            child = node.get_u64(side)
+            if child != 0:
+                self.require(
+                    0 < child < self.machine.medium.size,
+                    f"child pointer 0x{child:x} outside the pool",
+                )
+                child_node = self._node(child)
+                self.require(
+                    child_node.get_u64("parent") == addr,
+                    f"parent pointer of 0x{child:x} disagrees with 0x{addr:x}",
+                )
+                if color == RED:
+                    self.require(
+                        child_node.get_u64("color") == BLACK,
+                        f"red-red violation at 0x{addr:x} -> 0x{child:x}",
+                    )
+        return (
+            1
+            + self._validate(node.get_u64("left"), lo, key, depth + 1)
+            + self._validate(node.get_u64("right"), key, hi, depth + 1)
+        )
+
+    # ------------------------------------------------------------------ #
+    # transactions
+    # ------------------------------------------------------------------ #
+
+    @contextlib.contextmanager
+    def _op_tx(self):
+        if self.spt:
+            with self.pool.tx() as tx:
+                yield tx
+        else:
+            if self._global_tx is None:
+                self._global_tx = self.pool.tx()
+                self._global_tx.__enter__()
+            yield self._global_tx
+
+    def run(self, workload: Sequence[Operation]) -> List[Any]:
+        results = [self.apply(op) for op in workload]
+        self.finish()
+        return results
+
+    def finish(self) -> None:
+        if self._global_tx is not None:
+            self._global_tx.commit()
+            self._global_tx = None
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    def apply(self, op: Operation) -> Any:
+        if op.kind in ("put", "update"):
+            return self.put(op.key, op.value)
+        if op.kind == "get":
+            return self.lookup(op.key)
+        if op.kind == "delete":
+            return self.delete(op.key)
+        raise ValueError(f"rbtree does not support {op.kind!r}")
+
+    def _node(self, addr: int):
+        return NODE.view(self.machine, addr)
+
+    def _root_view(self):
+        return ROOT.view(self.machine, self._root_addr)
+
+    # -- lookup ----------------------------------------------------------- #
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        k = key_to_int(key)
+        addr = self._root_view().get_u64("root_ptr")
+        while addr != 0:
+            node = self._node(addr)
+            nk = node.get_u64("key")
+            if k == nk:
+                faults.extra_flush(self, "rbtree.pf8", node.addr("value"), 8)
+                faults.extra_fence(self, "rbtree.pn4")
+                return codec.decode_bytes(node.get_blob("value"))
+            addr = node.get_u64("left") if k < nk else node.get_u64("right")
+        return None
+
+    def _find(self, k: int) -> int:
+        addr = self._root_view().get_u64("root_ptr")
+        while addr != 0:
+            node = self._node(addr)
+            nk = node.get_u64("key")
+            if k == nk:
+                return addr
+            addr = node.get_u64("left") if k < nk else node.get_u64("right")
+        return 0
+
+    # -- insert ------------------------------------------------------------#
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        k = key_to_int(key)
+        raw = codec.encode_bytes(value, _VALUE_WIDTH)
+        with self._op_tx() as tx:
+            root_view = self._root_view()
+            parent, existing = 0, self._root_view().get_u64("root_ptr")
+            while existing != 0:
+                node = self._node(existing)
+                nk = node.get_u64("key")
+                if k == nk:
+                    tx.add(node.addr("value"), _VALUE_WIDTH)
+                    node.set_blob("value", raw)
+                    faults.extra_flush(
+                        self, "rbtree.pf1", node.addr("value"), 8
+                    )
+                    return False
+                parent = existing
+                existing = (
+                    node.get_u64("left") if k < nk else node.get_u64("right")
+                )
+            fresh = tx.alloc(NODE.size)
+            node = self._node(fresh)
+            node.set_u64("key", k)
+            node.set_blob("value", raw)
+            node.set_u64("left", 0)
+            node.set_u64("right", 0)
+            node.set_u64("parent", parent)
+            node.set_u64("color", RED)
+            if parent == 0:
+                tx.add(root_view.addr("root_ptr"), 8)
+                root_view.set_u64("root_ptr", fresh)
+            else:
+                pnode = self._node(parent)
+                side = "left" if k < pnode.get_u64("key") else "right"
+                tx.add(pnode.addr(side), 8)
+                pnode.set_u64(side, fresh)
+            faults.extra_flush(self, "rbtree.pf2", fresh, NODE.size)
+            self._insert_fixup(tx, fresh)
+            tx.add(root_view.addr("count"), 8)
+            root_view.set_u64("count", root_view.get_u64("count") + 1)
+            faults.extra_flush(self, "rbtree.pf3", root_view.addr("count"), 8)
+        faults.extra_fence(self, "rbtree.pn1")
+        return True
+
+    def _insert_fixup(self, tx, addr: int) -> None:
+        root_view = self._root_view()
+        while True:
+            node = self._node(addr)
+            parent_addr = node.get_u64("parent")
+            if parent_addr == 0:
+                break
+            parent = self._node(parent_addr)
+            if parent.get_u64("color") == BLACK:
+                break
+            grand_addr = parent.get_u64("parent")
+            grand = self._node(grand_addr)
+            parent_is_left = grand.get_u64("left") == parent_addr
+            uncle_addr = grand.get_u64("right" if parent_is_left else "left")
+            uncle_red = (
+                uncle_addr != 0
+                and self._node(uncle_addr).get_u64("color") == RED
+            )
+            if uncle_red:
+                if faults.branch(self, "rbtree.c1_color_outside_tx"):
+                    # BUG: grandparent painted red and persisted before the
+                    # snapshot, and before parent/uncle are blackened in-tx.
+                    grand.set_u64("color", RED)
+                    self.machine.persist(grand.addr("color"), 8)
+                    tx.add(grand.addr("color"), 8)
+                elif faults.branch(self, "rbtree.c5_recolor_fence_gap"):
+                    # BUG (reorder-only): recolor flushes share one fence.
+                    tx.add(grand.addr("color"), 8)
+                    grand.set_u64("color", RED)
+                    self.machine.flush_range(grand.addr("color"), 8)
+                    self.machine.flush_range(parent.addr("color"), 8)
+                    self.machine.sfence()
+                else:
+                    tx.add(grand.addr("color"), 8)
+                    grand.set_u64("color", RED)
+                tx.add(parent.addr("color"), 8)
+                parent.set_u64("color", BLACK)
+                uncle = self._node(uncle_addr)
+                tx.add(uncle.addr("color"), 8)
+                uncle.set_u64("color", BLACK)
+                addr = grand_addr
+                continue
+            # Rotation cases.
+            node_is_left = parent.get_u64("left") == addr
+            if parent_is_left and not node_is_left:
+                self._rotate(tx, parent_addr, left=True)
+                addr, parent_addr = parent_addr, addr
+                parent = self._node(parent_addr)
+            elif not parent_is_left and node_is_left:
+                self._rotate(tx, parent_addr, left=False)
+                addr, parent_addr = parent_addr, addr
+                parent = self._node(parent_addr)
+            tx.add(parent.addr("color"), 8)
+            parent.set_u64("color", BLACK)
+            tx.add(grand.addr("color"), 8)
+            grand.set_u64("color", RED)
+            self._rotate(tx, grand_addr, left=not parent_is_left)
+            break
+        root_ptr = root_view.get_u64("root_ptr")
+        if root_ptr != 0:
+            root_node = self._node(root_ptr)
+            if root_node.get_u64("color") != BLACK:
+                tx.add(root_node.addr("color"), 8)
+                root_node.set_u64("color", BLACK)
+
+    def _rotate(self, tx, addr: int, left: bool) -> None:
+        """Rotate the subtree rooted at ``addr``; ``left=True`` lifts the
+        right child."""
+        down, up = ("right", "left") if left else ("left", "right")
+        node = self._node(addr)
+        pivot_addr = node.get_u64(down)
+        pivot = self._node(pivot_addr)
+        inner = pivot.get_u64(up)
+        if faults.branch(self, "rbtree.c2_rotate_child_first"):
+            # BUG: first rotation write persisted before the snapshot.
+            node.set_u64(down, inner)
+            self.machine.persist(node.addr(down), 8)
+            tx.add(addr, NODE.size)
+        elif faults.branch(self, "rbtree.c4_rotate_fence_gap"):
+            # BUG (reorder-only): both pointer flushes under one fence.
+            tx.add(addr, NODE.size)
+            node.set_u64(down, inner)
+            self.machine.flush_range(node.addr(down), 8)
+            self.machine.flush_range(pivot_addr, 8)
+            self.machine.sfence()
+        else:
+            tx.add(addr, NODE.size)
+            node.set_u64(down, inner)
+        tx.add(pivot_addr, NODE.size)
+        if inner != 0:
+            inner_node = self._node(inner)
+            tx.add(inner_node.addr("parent"), 8)
+            inner_node.set_u64("parent", addr)
+        parent_addr = node.get_u64("parent")
+        pivot.set_u64("parent", parent_addr)
+        if parent_addr == 0:
+            root_view = self._root_view()
+            tx.add(root_view.addr("root_ptr"), 8)
+            root_view.set_u64("root_ptr", pivot_addr)
+        else:
+            parent = self._node(parent_addr)
+            side = "left" if parent.get_u64("left") == addr else "right"
+            tx.add(parent.addr(side), 8)
+            parent.set_u64(side, pivot_addr)
+        pivot.set_u64(up, addr)
+        node.set_u64("parent", pivot_addr)
+        faults.extra_flush(self, "rbtree.pf4", pivot_addr, NODE.size)
+
+    # -- delete ------------------------------------------------------------#
+
+    def delete(self, key: bytes) -> bool:
+        k = key_to_int(key)
+        with self._op_tx() as tx:
+            addr = self._find(k)
+            if addr == 0:
+                faults.extra_fence(self, "rbtree.pn2")
+                return False
+            node = self._node(addr)
+            if node.get_u64("left") != 0 and node.get_u64("right") != 0:
+                # Two children: copy the successor's payload, splice it out.
+                succ = node.get_u64("right")
+                while self._node(succ).get_u64("left") != 0:
+                    succ = self._node(succ).get_u64("left")
+                succ_node = self._node(succ)
+                tx.add(addr, NODE.size)
+                node.set_u64("key", succ_node.get_u64("key"))
+                node.set_blob("value", succ_node.get_blob("value"))
+                faults.extra_flush(self, "rbtree.pf5", node.addr("key"), 8)
+                addr, node = succ, succ_node
+            # Splice out `addr` (at most one child).
+            child = node.get_u64("left") or node.get_u64("right")
+            parent_addr = node.get_u64("parent")
+            if child != 0:
+                child_node = self._node(child)
+                tx.add(child_node.addr("parent"), 8)
+                child_node.set_u64("parent", parent_addr)
+                # Paint black: guarantees no red-red edge appears.
+                tx.add(child_node.addr("color"), 8)
+                child_node.set_u64("color", BLACK)
+            if parent_addr == 0:
+                root_view = self._root_view()
+                tx.add(root_view.addr("root_ptr"), 8)
+                root_view.set_u64("root_ptr", child)
+            else:
+                parent = self._node(parent_addr)
+                side = "left" if parent.get_u64("left") == addr else "right"
+                tx.add(parent.addr(side), 8)
+                parent.set_u64(side, child)
+            tx.free(addr)
+            faults.extra_flush(self, "rbtree.pf6", parent_addr or addr, 8)
+            root_view = self._root_view()
+            if faults.branch(self, "rbtree.c3_count_outside_tx"):
+                # BUG: counter persisted outside transaction protection.
+                root_view.set_u64("count", root_view.get_u64("count") - 1)
+                self.machine.persist(root_view.addr("count"), 8)
+            else:
+                tx.add(root_view.addr("count"), 8)
+                root_view.set_u64("count", root_view.get_u64("count") - 1)
+                faults.extra_flush(
+                    self, "rbtree.pf7", root_view.addr("count"), 8
+                )
+        faults.extra_fence(self, "rbtree.pn3")
+        return True
+
+
+class RBTreeSPT(RBTree):
+    """Single-put-per-transaction variant."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("spt", True)
+        super().__init__(**kwargs)

@@ -1,0 +1,373 @@
+"""PM-aware Redis (the pmem/redis port): the command core reimplemented on
+mini-PMDK.
+
+What is modelled (the PM-relevant core of the port):
+
+* the main dict — a chained hash table whose bucket array carries its own
+  size word, grown by building a new table and swapping one pointer inside
+  a transaction;
+* the expiry subsystem — keys matching the server's TTL policy get an
+  expiry record linked into a persistent list, created atomically with the
+  main entry;
+* SET/GET/DEL command handlers driving both.
+
+Every command runs in its own transaction (as the port wraps each command
+in ``TX_BEGIN``/``TX_END``).
+
+Recovery: library log rollback on open, heap validation, full dict walk
+(chain integrity, unique keys, counter), and an expiry-list walk verifying
+every expiry record refers to a live key.
+
+Seeded bugs: ``c1`` publishes the resized table pointer without an
+undo-log snapshot (rollback leaves it pointing at a freed table); ``c2``
+links an expiry record and persists the list head before the main entry's
+transaction commits (and without a snapshot); ``c3``/``c4`` are
+reorder-only fence-gap bugs (missed by design); ``pf1..pf13`` /
+``pn1..pn7`` are redundant flushes/fences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.apps import faults
+from repro.apps.base import PMApplication
+from repro.errors import PoolError
+from repro.layout import Field, StructLayout, codec
+from repro.pmdk import ObjPool, PMDK_FIXED, PmdkVersion
+from repro.pmem.machine import PMachine
+from repro.workloads.generator import Operation
+
+_VALUE_WIDTH = 16
+_KEY_WIDTH = 24
+_INITIAL_BUCKETS = 16
+_MAX_LOAD = 3.0
+
+ENTRY = StructLayout(
+    "redis_entry",
+    [
+        Field.blob("key", _KEY_WIDTH),
+        Field.blob("value", _VALUE_WIDTH),
+        Field.u64("next"),
+    ],
+)
+
+EXPIRE = StructLayout(
+    "redis_expire",
+    [Field.blob("key", _KEY_WIDTH), Field.u64("ttl"), Field.u64("next")],
+)
+
+ROOT = StructLayout(
+    "redis_root",
+    [Field.u64("table_ptr"), Field.u64("count"), Field.u64("expire_head")],
+)
+
+
+def _wants_ttl(key: bytes) -> bool:
+    """The modelled server policy: keys ending in '7' are volatile keys."""
+    return key.endswith(b"7")
+
+
+class RedisPM(PMApplication):
+    name = "redis_pm"
+    layout = "pm-redis"
+    codebase_kloc = 90.0
+
+    def __init__(self, version: PmdkVersion = PMDK_FIXED, **kwargs):
+        kwargs.setdefault("pool_size", 32 * 1024 * 1024)
+        super().__init__(**kwargs)
+        self.version = version
+        self.pool: Optional[ObjPool] = None
+        self._root_addr = 0
+        self._population = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        self.pool = ObjPool.create(machine, self.layout, version=self.version)
+        self._root_addr = self.pool.root(ROOT.size)
+        with self.pool.tx() as tx:
+            table = self._new_table(tx, _INITIAL_BUCKETS)
+            root = self._root_view()
+            tx.add(self._root_addr, ROOT.size)
+            root.set_u64("table_ptr", table)
+            root.set_u64("count", 0)
+            root.set_u64("expire_head", 0)
+        faults.extra_flush(self, "redis_pm.pf12", self._root_addr, 8)
+        faults.extra_fence(self, "redis_pm.pn7")
+
+    def _new_table(self, tx, n: int) -> int:
+        table = tx.alloc(8 + 8 * n)
+        self.machine.store(table, codec.encode_u64(n))
+        self.machine.store(table + 8, bytes(8 * n))
+        return table
+
+    def recover(self, machine: PMachine) -> None:
+        self.machine = machine
+        try:
+            self.pool = ObjPool.open(machine, self.layout, version=self.version)
+        except PoolError:
+            self.setup(machine)
+            return
+        self.pool.check_heap()
+        self._root_addr = self.pool.existing_root() or self.pool.root(ROOT.size)
+        root = self._root_view()
+        table = root.get_u64("table_ptr")
+        if table == 0:
+            # The crash interrupted first-time initialisation (the library
+            # rolled the setup transaction back): recreate the dict.
+            with self.pool.tx() as tx:
+                tx.add(self._root_addr, ROOT.size)
+                root.set_u64("table_ptr", self._new_table(tx, _INITIAL_BUCKETS))
+                root.set_u64("count", 0)
+                root.set_u64("expire_head", 0)
+            self._population = 0
+            return
+        self.require(
+            0 < table < machine.medium.size, "dict table pointer corrupt"
+        )
+        n = codec.decode_u64(machine.load(table, 8))
+        self.require(0 < n <= 1 << 22, f"dict table claims {n} buckets")
+        items = 0
+        live_keys = set()
+        for i in range(n):
+            cursor = codec.decode_u64(machine.load(table + 8 + 8 * i, 8))
+            hops = 0
+            while cursor:
+                self.require(
+                    0 < cursor < machine.medium.size,
+                    f"entry pointer 0x{cursor:x} outside the pool",
+                )
+                hops += 1
+                self.require(hops < 1 << 20, f"cycle in bucket {i}")
+                entry = ENTRY.view(machine, cursor)
+                key = entry.get_bytes("key")
+                self.require(key not in live_keys, f"duplicate key {key!r}")
+                live_keys.add(key)
+                items += 1
+                cursor = entry.get_u64("next")
+        stored = root.get_u64("count")
+        self.require(
+            items == stored,
+            f"dict holds {items} keys, counter says {stored}",
+        )
+        # Expiry list: every record must refer to a live key.
+        cursor = root.get_u64("expire_head")
+        hops = 0
+        while cursor:
+            self.require(
+                0 < cursor < machine.medium.size,
+                f"expiry pointer 0x{cursor:x} outside the pool",
+            )
+            hops += 1
+            self.require(hops < 1 << 20, "cycle in the expiry list")
+            record = EXPIRE.view(machine, cursor)
+            key = record.get_bytes("key")
+            self.require(
+                key in live_keys,
+                f"expiry record for nonexistent key {key!r}",
+            )
+            cursor = record.get_u64("next")
+        self._population = items
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _root_view(self):
+        return ROOT.view(self.machine, self._root_addr)
+
+    def _table(self):
+        table = self._root_view().get_u64("table_ptr")
+        n = codec.decode_u64(self.machine.load(table, 8))
+        return table, n
+
+    def _bucket_addr(self, table: int, key: bytes, n: int) -> int:
+        digest = 5381
+        for byte in key:
+            digest = ((digest * 33) ^ byte) & 0xFFFFFFFF
+        return table + 8 + 8 * (digest % n)
+
+    def _find(self, key: bytes):
+        """Returns (prev_link_addr, entry_addr or 0)."""
+        table, n = self._table()
+        slot = self._bucket_addr(table, key, n)
+        prev = slot
+        cursor = codec.decode_u64(self.machine.load(slot, 8))
+        while cursor:
+            entry = ENTRY.view(self.machine, cursor)
+            if entry.get_bytes("key") == key:
+                return prev, cursor
+            prev = entry.addr("next")
+            cursor = entry.get_u64("next")
+        return prev, 0
+
+    # ------------------------------------------------------------------ #
+    # commands
+    # ------------------------------------------------------------------ #
+
+    def apply(self, op: Operation) -> Any:
+        if op.kind in ("put", "update"):
+            return self.set_command(op.key, op.value)
+        if op.kind == "get":
+            return self.get_command(op.key)
+        if op.kind == "delete":
+            return self.del_command(op.key)
+        raise ValueError(f"redis_pm does not support {op.kind!r}")
+
+    def get_command(self, key: bytes) -> Optional[bytes]:
+        _, entry_addr = self._find(key)
+        if not entry_addr:
+            return None
+        entry = ENTRY.view(self.machine, entry_addr)
+        faults.extra_flush(self, "redis_pm.pf11", entry_addr, 8)
+        faults.extra_fence(self, "redis_pm.pn6")
+        return entry.get_bytes("value")
+
+    def set_command(self, key: bytes, value: bytes) -> bool:
+        with self.pool.tx() as tx:
+            prev, entry_addr = self._find(key)
+            if entry_addr:
+                entry = ENTRY.view(self.machine, entry_addr)
+                tx.add(entry.addr("value"), _VALUE_WIDTH)
+                entry.set_bytes("value", value)
+                faults.extra_flush(
+                    self, "redis_pm.pf1", entry.addr("value"), 8
+                )
+                return False
+            root = self._root_view()
+            if self._population + 1 > self._table()[1] * _MAX_LOAD:
+                self._resize(tx)
+                prev, _ = self._find(key)
+            fresh = tx.alloc(ENTRY.size)
+            entry = ENTRY.view(self.machine, fresh)
+            entry.set_bytes("key", key)
+            entry.set_bytes("value", value)
+            entry.set_u64("next", codec.decode_u64(self.machine.load(prev, 8)))
+            tx.add(prev, 8)
+            self.machine.store(prev, codec.encode_u64(fresh))
+            faults.extra_flush(self, "redis_pm.pf2", fresh, ENTRY.size)
+            tx.add(root.addr("count"), 8)
+            root.set_u64("count", root.get_u64("count") + 1)
+            faults.extra_flush(self, "redis_pm.pf3", root.addr("count"), 8)
+            if _wants_ttl(key):
+                self._set_expiry(tx, key)
+        self._population += 1
+        faults.extra_fence(self, "redis_pm.pn1")
+        return True
+
+    def _set_expiry(self, tx, key: bytes) -> None:
+        root = self._root_view()
+        record = tx.alloc(EXPIRE.size)
+        view = EXPIRE.view(self.machine, record)
+        view.set_bytes("key", key)
+        view.set_u64("ttl", 3600)
+        view.set_u64("next", root.get_u64("expire_head"))
+        if faults.branch(self, "redis_pm.c2_expire_order"):
+            # BUG: the expiry-list head is persisted immediately, without a
+            # snapshot, while the main entry's transaction is still open; a
+            # rollback frees the record and the entry but the head persists.
+            root.set_u64("expire_head", record)
+            self.machine.persist(root.addr("expire_head"), 8)
+            view.persist_all()
+        elif faults.branch(self, "redis_pm.c3_append_fence_gap"):
+            # BUG (reorder-only): record and head flushed under one fence.
+            tx.add(root.addr("expire_head"), 8)
+            root.set_u64("expire_head", record)
+            self.machine.flush_range(record, EXPIRE.size)
+            self.machine.flush_range(root.addr("expire_head"), 8)
+            self.machine.sfence()
+        else:
+            tx.add(root.addr("expire_head"), 8)
+            root.set_u64("expire_head", record)
+        faults.extra_flush(self, "redis_pm.pf4", record, 8)
+
+    def del_command(self, key: bytes) -> bool:
+        with self.pool.tx() as tx:
+            prev, entry_addr = self._find(key)
+            if not entry_addr:
+                faults.extra_fence(self, "redis_pm.pn2")
+                return False
+            entry = ENTRY.view(self.machine, entry_addr)
+            successor = entry.get_u64("next")
+            tx.add(prev, 8)
+            self.machine.store(prev, codec.encode_u64(successor))
+            tx.free(entry_addr)
+            faults.extra_flush(self, "redis_pm.pf5", prev, 8)
+            root = self._root_view()
+            tx.add(root.addr("count"), 8)
+            root.set_u64("count", root.get_u64("count") - 1)
+            faults.extra_flush(self, "redis_pm.pf6", root.addr("count"), 8)
+            self._drop_expiry(tx, key)
+        self._population -= 1
+        faults.extra_fence(self, "redis_pm.pn3")
+        return True
+
+    def _drop_expiry(self, tx, key: bytes) -> None:
+        root = self._root_view()
+        prev = root.addr("expire_head")
+        cursor = root.get_u64("expire_head")
+        while cursor:
+            record = EXPIRE.view(self.machine, cursor)
+            if record.get_bytes("key") == key:
+                tx.add(prev, 8)
+                self.machine.store(
+                    prev, codec.encode_u64(record.get_u64("next"))
+                )
+                tx.free(cursor)
+                faults.extra_flush(self, "redis_pm.pf7", prev, 8)
+                if faults.branch(self, "redis_pm.c4_evict_fence_gap"):
+                    # BUG (reorder-only): unlink and neighbour flushed
+                    # under one fence.
+                    self.machine.flush_range(prev, 8)
+                    self.machine.flush_range(root.addr("expire_head"), 8)
+                    self.machine.sfence()
+                return
+            prev = record.addr("next")
+            cursor = record.get_u64("next")
+
+    # ------------------------------------------------------------------ #
+    # dict resize
+    # ------------------------------------------------------------------ #
+
+    def _resize(self, tx) -> None:
+        """Grow the dict: copy chains into a table twice the size and swap
+        the root pointer (within the surrounding transaction)."""
+        old_table, old_n = self._table()
+        new_n = old_n * 2
+        new_table = self._new_table(tx, new_n)
+        for i in range(old_n):
+            cursor = codec.decode_u64(
+                self.machine.load(old_table + 8 + 8 * i, 8)
+            )
+            while cursor:
+                entry = ENTRY.view(self.machine, cursor)
+                successor = entry.get_u64("next")
+                key = entry.get_bytes("key")
+                slot = self._bucket_addr(new_table, key, new_n)
+                tx.add(entry.addr("next"), 8)
+                entry.set_u64(
+                    "next", codec.decode_u64(self.machine.load(slot, 8))
+                )
+                self.machine.store(slot, codec.encode_u64(cursor))
+                cursor = successor
+        root = self._root_view()
+        if faults.branch(self, "redis_pm.c1_dict_resize_no_tx"):
+            # BUG: the new table pointer is persisted mid-transaction with
+            # no snapshot; rollback frees the new table (a transactional
+            # allocation) while the root still points at it.
+            root.set_u64("table_ptr", new_table)
+            self.machine.persist(root.addr("table_ptr"), 8)
+        else:
+            tx.add(root.addr("table_ptr"), 8)
+            root.set_u64("table_ptr", new_table)
+        tx.free(old_table)
+        faults.extra_flush(self, "redis_pm.pf8", new_table, 8)
+        faults.extra_flush(self, "redis_pm.pf9", root.addr("table_ptr"), 8)
+        faults.extra_flush(self, "redis_pm.pf10", old_table, 8)
+        faults.extra_fence(self, "redis_pm.pn4")
+        faults.extra_fence(self, "redis_pm.pn5")
+        faults.extra_flush(self, "redis_pm.pf13", root.addr("count"), 8)

@@ -1,0 +1,262 @@
+"""PM-aware RocksDB (the pmem/rocksdb port): the LSM write path
+reimplemented on the raw persistent heap.
+
+What is modelled (the PM-relevant core):
+
+* a persistent write-ahead log — length+checksum framed records appended
+  with an atomic tail bump; a torn tail record is legal and discarded by
+  recovery (exactly how a WAL absorbs crashes);
+* a volatile memtable absorbing writes;
+* sorted runs ("SSTables") — when the memtable reaches its budget it is
+  written out as one sorted, checksummed run block, linked into the
+  persistent run list head-first, after which the WAL is truncated.
+
+Recovery: walk the run list (validate magic + sortedness), replay the WAL
+(stop at the first bad checksum — the torn tail), rebuild the memtable.
+An LSM has no global item counter; integrity comes from framing and
+checksums.
+
+This target carries no seeded bugs: it exists for the scalability study
+(Figure 5) and as a second large codebase whose analysis time Mumak's
+design keeps independent of code size.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apps import faults
+from repro.apps.base import PMApplication
+from repro.alloc import PAllocator
+from repro.errors import PoolError
+from repro.layout import Field, StructLayout, codec
+from repro.pmem.machine import PMachine
+from repro.pmem.pool import PmemPool
+from repro.workloads.generator import Operation
+
+_KEY_WIDTH = 24
+_VALUE_WIDTH = 16
+_MEMTABLE_BUDGET = 48
+_WAL_CAPACITY = 16 * 1024
+_RUN_MAGIC = 0x55AB1E5
+
+KIND_PUT = 1
+KIND_DELETE = 2
+
+# WAL region layout: [tail u64][records ...]
+# Record: [size u32][crc u32] framing a payload of
+# [kind u64][key blob24][value blob16].
+_RECORD_SIZE = 8 + _KEY_WIDTH + _VALUE_WIDTH
+
+ROOT = StructLayout(
+    "rocksdb_root",
+    [Field.u64("wal_ptr"), Field.u64("run_head")],
+)
+
+# Run block: [magic u64][next u64][n u64][records: key blob24, kind u64,
+# value blob16 ...]
+_RUN_HEADER = 24
+_RUN_RECORD = _KEY_WIDTH + 8 + _VALUE_WIDTH
+
+
+class RocksDBPM(PMApplication):
+    name = "rocksdb_pm"
+    layout = "pm-rocksdb"
+    codebase_kloc = 280.0
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("pool_size", 32 * 1024 * 1024)
+        super().__init__(**kwargs)
+        self.heap: Optional[PAllocator] = None
+        self._root_addr = 0
+        self._memtable: Dict[bytes, Tuple[int, bytes]] = {}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        pool = PmemPool.create_unpublished(machine, self.layout)
+        self.heap = PAllocator.format(machine, 1024, self.pool_size)
+        self._root_addr = self.heap.alloc(ROOT.size)
+        wal = self.heap.alloc(_WAL_CAPACITY)
+        self.machine.store(wal, codec.encode_u64(0))
+        self.machine.persist(wal, 8)
+        root = self._root_view()
+        root.set_u64("wal_ptr", wal)
+        root.set_u64("run_head", 0)
+        root.persist_all()
+        pool.set_root(self._root_addr, ROOT.size)
+        pool.publish()
+        self._memtable = {}
+
+    def recover(self, machine: PMachine) -> None:
+        self.machine = machine
+        try:
+            pool = PmemPool.open(machine, self.layout)
+        except PoolError:
+            self.setup(machine)
+            return
+        self.heap = PAllocator.attach(machine, 1024, self.pool_size)
+        self.heap.recover()
+        self._root_addr = pool.root_offset
+        self.require(self._root_addr != 0, "root object missing")
+        root = self._root_view()
+        # Validate the run list.
+        cursor = root.get_u64("run_head")
+        hops = 0
+        while cursor:
+            self.require(
+                0 < cursor < machine.medium.size,
+                f"run pointer 0x{cursor:x} outside the pool",
+            )
+            hops += 1
+            self.require(hops < 1 << 16, "cycle in the run list")
+            magic = codec.decode_u64(machine.load(cursor, 8))
+            self.require(magic == _RUN_MAGIC, f"run 0x{cursor:x} bad magic")
+            n = codec.decode_u64(machine.load(cursor + 16, 8))
+            self.require(n <= 1 << 20, f"run 0x{cursor:x} claims {n} records")
+            last = b""
+            for i in range(n):
+                key, _, _ = self._run_record(cursor, i)
+                self.require(key >= last, f"run 0x{cursor:x} not sorted")
+                last = key
+            cursor = codec.decode_u64(machine.load(cursor + 8, 8))
+        # Replay the WAL into a fresh memtable; a torn tail is legal.
+        self._memtable = {}
+        for kind, key, value in self._replay_wal():
+            self._memtable[key] = (kind, value)
+
+    def _replay_wal(self):
+        wal = self._root_view().get_u64("wal_ptr")
+        tail = codec.decode_u64(self.machine.load(wal, 8))
+        self.require(tail <= _WAL_CAPACITY - 8, f"WAL tail {tail} beyond capacity")
+        cursor = wal + 8
+        end = wal + 8 + tail
+        records = []
+        while cursor < end:
+            size = codec.decode_u32(self.machine.load(cursor, 4))
+            crc = codec.decode_u32(self.machine.load(cursor + 4, 4))
+            if size != _RECORD_SIZE:
+                break  # torn record at the tail
+            payload = self.machine.load(cursor + 8, size)
+            if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                break  # torn record at the tail
+            kind = codec.decode_u64(payload[:8])
+            key = codec.decode_bytes(payload[8:8 + _KEY_WIDTH])
+            value = codec.decode_bytes(payload[8 + _KEY_WIDTH:])
+            records.append((kind, key, value))
+            cursor += 8 + size
+        return records
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _root_view(self):
+        return ROOT.view(self.machine, self._root_addr)
+
+    def _run_record(self, run: int, i: int):
+        base = run + _RUN_HEADER + i * _RUN_RECORD
+        key = codec.decode_bytes(self.machine.load(base, _KEY_WIDTH))
+        kind = codec.decode_u64(self.machine.load(base + _KEY_WIDTH, 8))
+        value = codec.decode_bytes(
+            self.machine.load(base + _KEY_WIDTH + 8, _VALUE_WIDTH)
+        )
+        return key, kind, value
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    def apply(self, op: Operation) -> Any:
+        if op.kind in ("put", "update"):
+            self._write(KIND_PUT, op.key, op.value)
+            return True
+        if op.kind == "delete":
+            self._write(KIND_DELETE, op.key, b"")
+            return True
+        if op.kind == "get":
+            return self.lookup(op.key)
+        raise ValueError(f"rocksdb_pm does not support {op.kind!r}")
+
+    def _write(self, kind: int, key: bytes, value: bytes) -> None:
+        self._append_wal(kind, key, value)
+        self._memtable[key] = (kind, value)
+        if len(self._memtable) >= _MEMTABLE_BUDGET:
+            self._flush_memtable()
+
+    def _append_wal(self, kind: int, key: bytes, value: bytes) -> None:
+        wal = self._root_view().get_u64("wal_ptr")
+        tail = codec.decode_u64(self.machine.load(wal, 8))
+        if 8 + tail + 8 + _RECORD_SIZE > _WAL_CAPACITY:
+            self._flush_memtable()
+            tail = 0
+        payload = (
+            codec.encode_u64(kind)
+            + codec.encode_bytes(key, _KEY_WIDTH)
+            + codec.encode_bytes(value, _VALUE_WIDTH)
+        )
+        record = (
+            codec.encode_u32(len(payload))
+            + codec.encode_u32(zlib.crc32(payload) & 0xFFFFFFFF)
+            + payload
+        )
+        cursor = wal + 8 + tail
+        self.machine.store(cursor, record)
+        self.machine.persist(cursor, len(record))
+        # The tail bump publishes the record.
+        self.machine.store(wal, codec.encode_u64(tail + len(record)))
+        self.machine.persist(wal, 8)
+
+    def _flush_memtable(self) -> None:
+        """Write the memtable as one sorted run, link it, truncate the WAL."""
+        if not self._memtable:
+            return
+        entries = sorted(self._memtable.items())
+        run = self.heap.alloc(_RUN_HEADER + len(entries) * _RUN_RECORD)
+        root = self._root_view()
+        self.machine.store(run, codec.encode_u64(_RUN_MAGIC))
+        self.machine.store(run + 8, codec.encode_u64(root.get_u64("run_head")))
+        self.machine.store(run + 16, codec.encode_u64(len(entries)))
+        for i, (key, (kind, value)) in enumerate(entries):
+            base = run + _RUN_HEADER + i * _RUN_RECORD
+            self.machine.store(base, codec.encode_bytes(key, _KEY_WIDTH))
+            self.machine.store(base + _KEY_WIDTH, codec.encode_u64(kind))
+            self.machine.store(
+                base + _KEY_WIDTH + 8, codec.encode_bytes(value, _VALUE_WIDTH)
+            )
+        self.machine.persist(run, _RUN_HEADER + len(entries) * _RUN_RECORD)
+        # Publish the run, then truncate the WAL (order matters: a crash in
+        # between replays the WAL over the already-published run, which is
+        # idempotent — the memtable entries shadow the run's).
+        self.machine.store(
+            root.addr("run_head"), codec.encode_u64(run)
+        )
+        self.machine.persist(root.addr("run_head"), 8)
+        wal = root.get_u64("wal_ptr")
+        self.machine.store(wal, codec.encode_u64(0))
+        self.machine.persist(wal, 8)
+        self._memtable = {}
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        if key in self._memtable:
+            kind, value = self._memtable[key]
+            return value if kind == KIND_PUT else None
+        cursor = self._root_view().get_u64("run_head")
+        while cursor:
+            n = codec.decode_u64(self.machine.load(cursor + 16, 8))
+            lo, hi = 0, n - 1
+            while lo <= hi:
+                mid = (lo + hi) // 2
+                rkey, kind, value = self._run_record(cursor, mid)
+                if rkey == key:
+                    return value if kind == KIND_PUT else None
+                if rkey < key:
+                    lo = mid + 1
+                else:
+                    hi = mid - 1
+            cursor = codec.decode_u64(self.machine.load(cursor + 8, 8))
+        return None

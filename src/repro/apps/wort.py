@@ -1,0 +1,411 @@
+"""WORT: Write-Optimal Radix Tree for persistent memory (FAST'17),
+reimplemented on the raw persistent heap.
+
+A path-compressed radix tree over 8-byte keys consumed 4 bits at a time.
+WORT's core idea: every structural change is published by a single 8-byte
+atomic pointer update, so no logging is needed — new subtrees are built
+and persisted off to the side, then swapped in.
+
+Recovery walks the trie verifying that every leaf's key matches the nibble
+path that reaches it (the invariant in-place prefix rewrites break), that
+node tags and prefixes are well-formed, and that the item counter matches
+the leaf population within one in-flight operation.
+
+Seeded bugs:
+
+* ``wort.c1_node_split_no_log`` — a prefix-mismatch split rewrites the
+  node's compressed prefix *in place* with two separate persists instead
+  of building a replacement and swapping one pointer.
+* ``wort.c2_leaf_before_parent`` — the parent slot is published before the
+  new leaf's contents are written.
+* ``wort.c3_prefix_fence_gap`` — reorder-only: split flushes share one
+  fence (missed by design, warned by trace analysis).
+* ``wort.pf1..pf5`` / ``pn1..pn3`` — redundant flushes / fences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.apps import faults
+from repro.apps.base import PMApplication
+from repro.alloc import PAllocator
+from repro.errors import PoolError
+from repro.layout import Field, StructLayout, codec
+from repro.pmem.machine import PMachine
+from repro.pmem.pool import PmemPool
+from repro.workloads.generator import Operation
+
+TAG_INODE = 0x1D0DE
+TAG_LEAF = 0x1EAF
+_VALUE_WIDTH = 16
+_FANOUT = 16
+_MAX_NIBBLES = 16
+
+INODE = StructLayout(
+    "wort_inode",
+    [Field.u64("tag"), Field.u64("prefix_len"), Field.u64("prefix")]
+    + [Field.u64(f"child{i}") for i in range(_FANOUT)],
+)
+
+LEAF = StructLayout(
+    "wort_leaf",
+    [Field.u64("tag"), Field.u64("key"), Field.blob("value", _VALUE_WIDTH)],
+)
+
+ROOT = StructLayout("wort_root", [Field.u64("root_ptr"), Field.u64("count")])
+
+
+def key_to_int(key: bytes) -> int:
+    """WORT indexes fixed 8-byte keys, one radix chunk per nibble.
+
+    Decimal byte-string keys are packed in BCD (one digit per nibble), the
+    natural encoding for a radix tree: numerically close keys share
+    prefixes, so the trie exhibits the path compression — and the path
+    *de*-compression splits — the structure is designed around.  Other key
+    shapes fall back to their raw bytes.
+    """
+    if key.isdigit() and len(key) <= 16:
+        packed = 0
+        for char in key.decode("ascii"):
+            packed = (packed << 4) | int(char)
+        return packed
+    return int.from_bytes(key[:8].ljust(8, b"\x00"), "big")
+
+
+def nibble(k: int, i: int) -> int:
+    """The i-th 4-bit chunk of the key, most significant first."""
+    return (k >> (60 - 4 * i)) & 0xF
+
+
+def nibbles_match(k: int, depth: int, prefix: int, length: int) -> int:
+    """Number of leading prefix nibbles matching the key from ``depth``."""
+    matched = 0
+    while matched < length:
+        if nibble(k, depth + matched) != nibble(prefix, matched):
+            break
+        matched += 1
+    return matched
+
+
+def pack_nibbles(values) -> int:
+    """Left-align a nibble sequence into a u64 prefix field."""
+    packed = 0
+    for i, value in enumerate(values):
+        packed |= (value & 0xF) << (60 - 4 * i)
+    return packed
+
+
+class Wort(PMApplication):
+    name = "wort"
+    layout = "wort"
+    codebase_kloc = 8.0
+    #: A wider key space produces the clustered-divergence patterns that
+    #: exercise prefix splits (path de-compression).
+    coverage_workload = {"key_space": 2000}
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("pool_size", 16 * 1024 * 1024)
+        super().__init__(**kwargs)
+        self.heap: Optional[PAllocator] = None
+        self._root_addr = 0
+        self._population = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        pool = PmemPool.create_unpublished(machine, self.layout)
+        self.heap = PAllocator.format(machine, 1024, self.pool_size)
+        self._root_addr = self.heap.alloc(ROOT.size)
+        root = ROOT.view(machine, self._root_addr)
+        root.set_u64("root_ptr", 0)
+        root.set_u64("count", 0)
+        root.persist_all()
+        pool.set_root(self._root_addr, ROOT.size)
+        pool.publish()
+        faults.extra_fence(self, "wort.pn3")
+
+    def recover(self, machine: PMachine) -> None:
+        self.machine = machine
+        try:
+            pool = PmemPool.open(machine, self.layout)
+        except PoolError:
+            self.setup(machine)
+            return
+        self.heap = PAllocator.attach(machine, 1024, self.pool_size)
+        self.heap.recover()
+        self._root_addr = pool.root_offset
+        self.require(self._root_addr != 0, "root object missing")
+        root = ROOT.view(machine, self._root_addr)
+        items = self._validate(root.get_u64("root_ptr"), 0, [])
+        stored = root.get_u64("count")
+        drift = abs(stored - items)
+        self.require(
+            drift <= 1,
+            f"leaf population {items} vs counter {stored}: more than one "
+            "operation lost",
+        )
+        if drift:
+            self.machine.store(root.addr("count"), codec.encode_u64(items))
+            self.machine.persist(root.addr("count"), 8)
+        self._population = items
+
+    def _validate(self, addr: int, depth: int, path: List[int]) -> int:
+        if addr == 0:
+            return 0
+        self.require(
+            0 < addr < self.machine.medium.size,
+            f"pointer 0x{addr:x} outside the pool",
+        )
+        self.require(depth <= _MAX_NIBBLES, "trie deeper than the key length")
+        tag = codec.decode_u64(self.machine.load(addr, 8))
+        if tag == TAG_LEAF:
+            leaf = LEAF.view(self.machine, addr)
+            key = leaf.get_u64("key")
+            for position, expected in enumerate(path):
+                self.require(
+                    nibble(key, position) == expected,
+                    f"leaf 0x{addr:x} key does not match its trie path",
+                )
+            return 1
+        self.require(tag == TAG_INODE, f"corrupt node tag 0x{tag:x}")
+        node = INODE.view(self.machine, addr)
+        length = node.get_u64("prefix_len")
+        self.require(
+            depth + length <= _MAX_NIBBLES,
+            f"node 0x{addr:x} prefix overruns the key length",
+        )
+        prefix = node.get_u64("prefix")
+        new_path = path + [nibble(prefix, i) for i in range(length)]
+        total = 0
+        for i in range(_FANOUT):
+            child = node.get_u64(f"child{i}")
+            if child:
+                total += self._validate(child, depth + length + 1, new_path + [i])
+        return total
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    def apply(self, op: Operation) -> Any:
+        if op.kind in ("put", "update"):
+            return self.put(op.key, op.value)
+        if op.kind == "get":
+            return self.lookup(op.key)
+        if op.kind == "delete":
+            return self.delete(op.key)
+        raise ValueError(f"wort does not support {op.kind!r}")
+
+    def _root_view(self):
+        return ROOT.view(self.machine, self._root_addr)
+
+    def _tag(self, addr: int) -> int:
+        return codec.decode_u64(self.machine.load(addr, 8))
+
+    def _write_slot(self, slot_addr: int, value: int) -> None:
+        self.machine.store(slot_addr, codec.encode_u64(value))
+        self.machine.persist(slot_addr, 8)
+
+    def _new_leaf(self, k: int, raw_value: bytes) -> int:
+        addr = self.heap.alloc(LEAF.size)
+        leaf = LEAF.view(self.machine, addr)
+        leaf.set_u64("tag", TAG_LEAF)
+        leaf.set_u64("key", k)
+        leaf.set_blob("value", raw_value)
+        leaf.persist_all()
+        return addr
+
+    # -- lookup ------------------------------------------------------------#
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        k = key_to_int(key)
+        addr = self._root_view().get_u64("root_ptr")
+        depth = 0
+        while addr != 0:
+            tag = self._tag(addr)
+            if tag == TAG_LEAF:
+                leaf = LEAF.view(self.machine, addr)
+                if leaf.get_u64("key") == k:
+                    faults.extra_flush(self, "wort.pf4", addr, 8)
+                    return codec.decode_bytes(leaf.get_blob("value"))
+                return None
+            node = INODE.view(self.machine, addr)
+            length = node.get_u64("prefix_len")
+            if nibbles_match(k, depth, node.get_u64("prefix"), length) != length:
+                return None
+            depth += length
+            addr = node.get_u64(f"child{nibble(k, depth)}")
+            depth += 1
+        return None
+
+    # -- insert ------------------------------------------------------------#
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        k = key_to_int(key)
+        raw = codec.encode_bytes(value, _VALUE_WIDTH)
+        root = self._root_view()
+        inserted = self._insert(root.addr("root_ptr"), k, raw, 0)
+        if inserted:
+            self._population += 1
+            self._write_slot(root.addr("count"), self._population)
+        faults.extra_fence(self, "wort.pn1")
+        return inserted
+
+    def _insert(self, slot_addr: int, k: int, raw: bytes, depth: int) -> bool:
+        addr = codec.decode_u64(self.machine.load(slot_addr, 8))
+        if addr == 0:
+            if faults.branch(self, "wort.c2_leaf_before_parent"):
+                # BUG: slot published before the leaf's fields exist.
+                fresh = self.heap.alloc(LEAF.size)
+                self._write_slot(slot_addr, fresh)
+                leaf = LEAF.view(self.machine, fresh)
+                leaf.set_u64("tag", TAG_LEAF)
+                leaf.set_u64("key", k)
+                leaf.set_blob("value", raw)
+                leaf.persist_all()
+            else:
+                fresh = self._new_leaf(k, raw)
+                self._write_slot(slot_addr, fresh)
+            faults.extra_flush(self, "wort.pf1", slot_addr, 8)
+            return True
+        tag = self._tag(addr)
+        if tag == TAG_LEAF:
+            leaf = LEAF.view(self.machine, addr)
+            existing = leaf.get_u64("key")
+            if existing == k:
+                leaf.set_blob("value", raw)
+                self.machine.persist(leaf.addr("value"), _VALUE_WIDTH)
+                faults.extra_flush(self, "wort.pf2", leaf.addr("value"), 8)
+                return False
+            # Diverge: one compressed internal node holding both leaves.
+            common = []
+            while nibble(existing, depth + len(common)) == nibble(
+                k, depth + len(common)
+            ):
+                common.append(nibble(k, depth + len(common)))
+            fresh = self._new_leaf(k, raw)
+            node_addr = self.heap.alloc(INODE.size)
+            node = INODE.view(self.machine, node_addr)
+            node.set_u64("tag", TAG_INODE)
+            node.set_u64("prefix_len", len(common))
+            node.set_u64("prefix", pack_nibbles(common))
+            for i in range(_FANOUT):
+                node.set_u64(f"child{i}", 0)
+            node.set_u64(
+                f"child{nibble(existing, depth + len(common))}", addr
+            )
+            node.set_u64(f"child{nibble(k, depth + len(common))}", fresh)
+            if faults.branch(self, "wort.c3_prefix_fence_gap"):
+                # BUG (reorder-only): node and slot flushed under one fence.
+                self.machine.flush_range(node_addr, INODE.size)
+                self.machine.store(slot_addr, codec.encode_u64(node_addr))
+                self.machine.flush_range(slot_addr, 8)
+                self.machine.sfence()
+            else:
+                node.persist_all()
+                self._write_slot(slot_addr, node_addr)
+            return True
+        # Internal node: follow or split the compressed prefix.
+        node = INODE.view(self.machine, addr)
+        length = node.get_u64("prefix_len")
+        prefix = node.get_u64("prefix")
+        matched = nibbles_match(k, depth, prefix, length)
+        if matched == length:
+            child_slot = node.addr(f"child{nibble(k, depth + length)}")
+            return self._insert(child_slot, k, raw, depth + length + 1)
+        return self._split_prefix(
+            slot_addr, addr, node, k, raw, depth, matched
+        )
+
+    def _split_prefix(
+        self, slot_addr, addr, node, k, raw, depth, matched
+    ) -> bool:
+        """The key diverges inside this node's compressed prefix."""
+        length = node.get_u64("prefix_len")
+        prefix = node.get_u64("prefix")
+        old_nib = nibble(prefix, matched)
+        new_nib = nibble(k, depth + matched)
+        remainder = [nibble(prefix, i) for i in range(matched + 1, length)]
+        fresh_leaf = self._new_leaf(k, raw)
+        if faults.branch(self, "wort.c1_node_split_no_log"):
+            # BUG: rewrite the node's prefix and children *in place* with
+            # separate persists; a crash in between leaves the subtree's
+            # keys unreachable by their own paths.
+            clone = self._clone_with_prefix(addr, remainder)
+            node.set_u64("prefix_len", matched)
+            self.machine.persist(node.addr("prefix_len"), 8)
+            for i in range(_FANOUT):
+                node.set_u64(f"child{i}", 0)
+            node.set_u64(f"child{old_nib}", clone)
+            node.set_u64(f"child{new_nib}", fresh_leaf)
+            self.machine.persist(node.addr("child0"), 8 * _FANOUT)
+            return True
+        # Correct WORT: build the replacement off to the side, persist it,
+        # publish with one atomic slot write.
+        clone = self._clone_with_prefix(addr, remainder)
+        parent_addr = self.heap.alloc(INODE.size)
+        parent = INODE.view(self.machine, parent_addr)
+        parent.set_u64("tag", TAG_INODE)
+        parent.set_u64("prefix_len", matched)
+        parent.set_u64(
+            "prefix", pack_nibbles([nibble(prefix, i) for i in range(matched)])
+        )
+        for i in range(_FANOUT):
+            parent.set_u64(f"child{i}", 0)
+        parent.set_u64(f"child{old_nib}", clone)
+        parent.set_u64(f"child{new_nib}", fresh_leaf)
+        parent.persist_all()
+        self._write_slot(slot_addr, parent_addr)
+        faults.extra_flush(self, "wort.pf3", parent_addr, 8)
+        self.heap.free(addr)
+        return True
+
+    def _clone_with_prefix(self, addr: int, prefix_nibbles) -> int:
+        """Copy a node, replacing its compressed prefix."""
+        source = INODE.view(self.machine, addr)
+        clone_addr = self.heap.alloc(INODE.size)
+        clone = INODE.view(self.machine, clone_addr)
+        clone.set_u64("tag", TAG_INODE)
+        clone.set_u64("prefix_len", len(prefix_nibbles))
+        clone.set_u64("prefix", pack_nibbles(prefix_nibbles))
+        for i in range(_FANOUT):
+            clone.set_u64(f"child{i}", source.get_u64(f"child{i}"))
+        clone.persist_all()
+        return clone_addr
+
+    # -- delete ------------------------------------------------------------#
+
+    def delete(self, key: bytes) -> bool:
+        k = key_to_int(key)
+        root = self._root_view()
+        removed = self._delete(root.addr("root_ptr"), k, 0)
+        if removed:
+            self._population -= 1
+            self._write_slot(root.addr("count"), self._population)
+            faults.extra_flush(self, "wort.pf5", root.addr("count"), 8)
+        faults.extra_fence(self, "wort.pn2")
+        return removed
+
+    def _delete(self, slot_addr: int, k: int, depth: int) -> bool:
+        addr = codec.decode_u64(self.machine.load(slot_addr, 8))
+        if addr == 0:
+            return False
+        tag = self._tag(addr)
+        if tag == TAG_LEAF:
+            leaf = LEAF.view(self.machine, addr)
+            if leaf.get_u64("key") != k:
+                return False
+            # Atomic unpublish, then reclaim.
+            self._write_slot(slot_addr, 0)
+            self.heap.free(addr)
+            return True
+        node = INODE.view(self.machine, addr)
+        length = node.get_u64("prefix_len")
+        if nibbles_match(k, depth, node.get_u64("prefix"), length) != length:
+            return False
+        child_slot = node.addr(f"child{nibble(k, depth + length)}")
+        return self._delete(child_slot, k, depth + length + 1)

@@ -1,0 +1,38 @@
+"""Baseline PM bug-detection tools the paper compares against.
+
+Each tool is a working reimplementation of the corresponding system's
+*approach* — the cost drivers and detection mechanics that shape Figures 4
+and 5 and Table 2 — behind a common black-box-plus-declared-requirements
+interface.
+"""
+
+from repro.baselines.agamotto import Agamotto
+from repro.baselines.base import (
+    DetectionTool,
+    ToolCapabilities,
+    ToolErgonomics,
+    ToolRun,
+    WORK_UNITS_PER_HOUR,
+)
+from repro.baselines.mumak_tool import MumakTool
+from repro.baselines.pmdebugger import PMDebugger
+from repro.baselines.registry import ALL_TOOLS, tool_by_name
+from repro.baselines.witcher import Witcher
+from repro.baselines.xfdetector import XFDetector
+from repro.baselines.yat import Yat
+
+__all__ = [
+    "ALL_TOOLS",
+    "Agamotto",
+    "DetectionTool",
+    "MumakTool",
+    "PMDebugger",
+    "ToolCapabilities",
+    "ToolErgonomics",
+    "ToolRun",
+    "WORK_UNITS_PER_HOUR",
+    "Witcher",
+    "XFDetector",
+    "Yat",
+    "tool_by_name",
+]

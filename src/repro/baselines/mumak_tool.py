@@ -1,0 +1,77 @@
+"""Mumak behind the common tool interface, with work-unit accounting.
+
+The cost structure mirrors the paper's Pin implementation: one fully
+instrumented execution (tree + trace), one instrumented re-execution up to
+each unique failure point, a native (uninstrumented) recovery run per
+injected fault, a single-pass trace analysis, and one lightly instrumented
+debug re-run to resolve flagged instruction counters.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    COST_IMAGE_BYTE,
+    COST_LIGHT_INSTRUMENTATION,
+    COST_UNINSTRUMENTED,
+    DetectionTool,
+    ToolCapabilities,
+    ToolErgonomics,
+)
+from repro.core import Mumak, MumakConfig
+
+
+class MumakTool(DetectionTool):
+    name = "Mumak"
+    capabilities = ToolCapabilities(
+        durability=True,
+        atomicity=True,
+        ordering=True,
+        redundant_flush=True,
+        redundant_fence=True,
+        transient_data=True,
+        application_agnostic=True,
+        library_agnostic=True,
+    )
+    ergonomics = ToolErgonomics(
+        complete_bug_path=True,
+        filters_unique_bugs=True,
+        generic_workload=True,
+        changes_target_code=False,
+        changes_build_process=False,
+        notes="warnings can be disabled; no false positives otherwise",
+    )
+    cpu_load = 1.3          # Table 2: 1.20-1.44
+    pm_overhead_model = 1.0  # Table 2: 1x PM
+
+    def __init__(self, config: MumakConfig = None):
+        self.config = config or MumakConfig()
+
+    def _analyze(self, app_factory, workload, meter, usage, report, run,
+                 seed) -> None:
+        config = self.config
+        config.seed = seed
+        result = Mumak(config).analyze(app_factory, workload)
+        trace_len = result.trace_length
+        # Detection run (full instrumentation incl. backtraces at FPs).
+        meter.charge(trace_len * COST_LIGHT_INSTRUMENTATION * 1.5)
+        fi = result.fault_injection
+        if fi is not None:
+            # One instrumented re-execution up to each failure point, one
+            # native recovery per injection.
+            for stack, node in fi.tree.failure_points():
+                prefix = node.first_seq or 0
+                meter.charge(prefix * COST_LIGHT_INSTRUMENTATION)
+                meter.charge(prefix * COST_UNINSTRUMENTED)
+                meter.charge(
+                    app_factory().pool_size * COST_IMAGE_BYTE * 0.05
+                )
+            run.detail["failure_points"] = fi.stats.unique_failure_points
+            run.detail["injections"] = fi.stats.injections
+        # Single-pass trace analysis + one debug-info re-run.
+        meter.charge(trace_len * 1.0)
+        meter.charge(trace_len * COST_LIGHT_INSTRUMENTATION)
+        for finding in result.report.findings:
+            report.add(finding)
+        usage.phase_seconds.update(result.resources.phase_seconds)
+        usage.peak_tool_bytes = result.resources.peak_tool_bytes
+        run.detail["trace_length"] = trace_len

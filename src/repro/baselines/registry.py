@@ -1,0 +1,98 @@
+"""Tool registry plus the static rows of Tables 1 and 3.
+
+The tools that exist only as classification rows in the paper's Table 1
+(pmemcheck, PMTest, Jaaru) are represented by metadata-only entries so the
+table can be regenerated in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+from repro.baselines.agamotto import Agamotto
+from repro.baselines.base import DetectionTool, ToolCapabilities
+from repro.baselines.mumak_tool import MumakTool
+from repro.baselines.pmdebugger import PMDebugger
+from repro.baselines.witcher import Witcher
+from repro.baselines.xfdetector import XFDetector
+from repro.baselines.yat import Yat
+
+#: Runnable tools by name.
+ALL_TOOLS: Dict[str, Type[DetectionTool]] = {
+    tool.name: tool
+    for tool in (MumakTool, Agamotto, XFDetector, PMDebugger, Witcher, Yat)
+}
+
+
+def tool_by_name(name: str) -> DetectionTool:
+    try:
+        return ALL_TOOLS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown tool {name!r}; known: {sorted(ALL_TOOLS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class TaxonomyRow:
+    """One Table 1 row (classification only, for non-reimplemented tools)."""
+
+    name: str
+    capabilities: ToolCapabilities
+
+
+#: Classification-only entries completing Table 1.
+CLASSIFICATION_ONLY: List[TaxonomyRow] = [
+    TaxonomyRow(
+        "pmemcheck",
+        ToolCapabilities(
+            durability="annotations",
+            redundant_flush=True,
+            transient_data="undistinguished",
+        ),
+    ),
+    TaxonomyRow(
+        "PMTest",
+        ToolCapabilities(
+            durability="annotations",
+            atomicity="annotations",
+            ordering="annotations",
+            library_agnostic=True,
+        ),
+    ),
+    TaxonomyRow(
+        "Jaaru",
+        ToolCapabilities(
+            durability=True,
+            atomicity=True,
+            application_agnostic=True,
+            library_agnostic=True,
+        ),
+    ),
+]
+
+
+def table1_rows() -> List[TaxonomyRow]:
+    """Every Table 1 row, classification-only tools first, in the paper's
+    order, Mumak last."""
+    runnable = {
+        "Yat": Yat,
+        "Agamotto": Agamotto,
+        "Witcher": Witcher,
+        "XFDetector": XFDetector,
+        "PMDebugger": PMDebugger,
+        "Mumak": MumakTool,
+    }
+    paper_order = [
+        "pmemcheck", "PMTest", "XFDetector", "PMDebugger",
+        "Yat", "Jaaru", "Agamotto", "Witcher", "Mumak",
+    ]
+    static = {row.name: row for row in CLASSIFICATION_ONLY}
+    rows = []
+    for name in paper_order:
+        if name in static:
+            rows.append(static[name])
+        else:
+            rows.append(TaxonomyRow(name, runnable[name].capabilities))
+    return rows

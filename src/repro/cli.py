@@ -1,0 +1,180 @@
+"""Command-line frontend: ``mumak``.
+
+The analog of the Bash script that coordinates Mumak's analysis (paper,
+section 5), plus entry points for regenerating every experiment.
+
+Usage examples::
+
+    mumak targets                         # list analysable applications
+    mumak bugs btree                      # list a target's seeded bugs
+    mumak analyze btree --ops 300 --spt   # black-box analysis
+    mumak analyze btree --bugs none       # analyse the bug-free variant
+    mumak tools                           # Tables 1 and 3
+    mumak experiment fig3                 # regenerate a paper artefact
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import APPLICATIONS
+from repro.apps.bugs import bugs_for_app, default_bugs_for
+from repro.core import Mumak, MumakConfig
+from repro.workloads import generate_workload
+
+
+def _add_analyze(sub) -> None:
+    parser = sub.add_parser("analyze", help="run Mumak on a target")
+    parser.add_argument("target", choices=sorted(APPLICATIONS))
+    parser.add_argument("--ops", type=int, default=300,
+                        help="workload size (default 300)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--spt", action="store_true",
+                        help="single put per transaction (where supported)")
+    parser.add_argument(
+        "--bugs", default="default",
+        help="'default' (as published), 'none', or comma-separated bug ids",
+    )
+    parser.add_argument("--no-warnings", action="store_true",
+                        help="suppress warning-level findings")
+    parser.add_argument("--engine", choices=["trace", "replay"],
+                        default="trace")
+
+
+def _cmd_analyze(args) -> int:
+    cls = APPLICATIONS[args.target]
+    options = {}
+    if args.spt:
+        options["spt"] = True
+    if args.bugs == "none":
+        options["bugs"] = frozenset()
+    elif args.bugs != "default":
+        options["bugs"] = frozenset(args.bugs.split(","))
+
+    def factory():
+        return cls(**options)
+
+    workload = generate_workload(args.ops, seed=args.seed)
+    config = MumakConfig(
+        include_warnings=not args.no_warnings,
+        engine=args.engine,
+        seed=args.seed,
+    )
+    result = Mumak(config).analyze(factory, workload)
+    print(result.report.render(include_warnings=not args.no_warnings))
+    stats = result.fault_injection.stats
+    print(
+        f"\n[{args.target}] trace: {result.trace_length} events | "
+        f"failure points: {stats.unique_failure_points} | "
+        f"injections: {stats.injections} | "
+        f"wall: {result.resources.total_seconds:.1f}s"
+    )
+    return 1 if result.report.bugs else 0
+
+
+def _cmd_targets(_args) -> int:
+    for name in sorted(APPLICATIONS):
+        cls = APPLICATIONS[name]
+        print(f"{name:22s} {cls.codebase_kloc:6.1f} kloc  "
+              f"{len(default_bugs_for(name)):2d} seeded bugs")
+    return 0
+
+
+def _cmd_bugs(args) -> int:
+    specs = bugs_for_app(args.target)
+    if not specs:
+        print(f"no seeded bugs registered for {args.target!r}")
+        return 0
+    for spec in specs:
+        marker = "correctness" if spec.is_correctness else "performance"
+        print(f"{spec.bug_id:45s} {marker:12s} {spec.kind.value:18s} "
+              f"[{spec.expected_detector}]")
+        if spec.is_correctness:
+            print(f"    {spec.description}")
+    return 0
+
+
+def _cmd_tools(_args) -> int:
+    from repro.experiments.tables import render_table1, render_table3
+
+    print(render_table1())
+    print()
+    print(render_table3())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.common import SCALE_BENCH, SCALE_QUICK
+
+    scale = SCALE_QUICK if args.scale == "quick" else SCALE_BENCH
+    name = args.name
+    if name == "fig3":
+        from repro.experiments.fig3_coverage import render, run_fig3
+
+        print(render(run_fig3(scale.coverage_sizes)))
+    elif name == "fig4":
+        from repro.experiments.fig4_performance import (
+            render_fig4,
+            render_table2,
+            run_fig4,
+        )
+
+        result = run_fig4(scale)
+        print(render_fig4(result))
+        print()
+        print(render_table2(result))
+    elif name == "fig5":
+        from repro.experiments.fig5_scalability import render, run_fig5
+
+        print(render(run_fig5(scale.scalability_ops)))
+    elif name == "coverage":
+        from repro.experiments.coverage import render, run_full_coverage
+
+        print(render(run_full_coverage(n_ops=scale.bug_ops)))
+    elif name == "newbugs":
+        from repro.experiments.new_bugs import render, run_new_bugs
+
+        print(render(run_new_bugs(n_ops=scale.bug_ops)))
+    elif name == "tables":
+        return _cmd_tools(args)
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mumak",
+        description="Black-box persistent-memory bug detection "
+                    "(reproduction of Mumak, EuroSys'23)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_analyze(sub)
+    sub.add_parser("targets", help="list analysable applications")
+    bugs_parser = sub.add_parser("bugs", help="list a target's seeded bugs")
+    bugs_parser.add_argument("target", choices=sorted(APPLICATIONS) + ["pmdk"])
+    sub.add_parser("tools", help="print Tables 1 and 3")
+    exp = sub.add_parser("experiment", help="regenerate a paper artefact")
+    exp.add_argument(
+        "name",
+        choices=["fig3", "fig4", "fig5", "coverage", "newbugs", "tables"],
+    )
+    exp.add_argument("--scale", choices=["quick", "bench"], default="quick")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "analyze": _cmd_analyze,
+        "targets": _cmd_targets,
+        "bugs": _cmd_bugs,
+        "tools": _cmd_tools,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

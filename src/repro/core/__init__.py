@@ -1,0 +1,58 @@
+"""Mumak: efficient and black-box bug detection for persistent memory.
+
+The paper's primary contribution.  Public surface:
+
+* :class:`~repro.core.pipeline.Mumak` / ``MumakConfig`` — the tool.
+* :class:`~repro.core.fault_injection.FaultInjector` — phase 1.
+* :class:`~repro.core.trace_analysis.TraceAnalyzer` — phase 2.
+* :class:`~repro.core.fpt.FailurePointTree` — the section 4.1 structure.
+* :mod:`~repro.core.taxonomy` — the section 2 bug taxonomy.
+"""
+
+from repro.core.fault_injection import (
+    ENGINE_REPLAY,
+    ENGINE_TRACE,
+    FaultInjectionResult,
+    FaultInjectionStats,
+    FaultInjector,
+)
+from repro.core.fpt import FailurePointTree
+from repro.core.oracle import RecoveryOutcome, RecoveryStatus, run_recovery
+from repro.core.pipeline import Mumak, MumakConfig, MumakResult
+from repro.core.report import (
+    AnalysisReport,
+    Finding,
+    PHASE_FAULT_INJECTION,
+    PHASE_TRACE_ANALYSIS,
+)
+from repro.core.resources import ResourceUsage
+from repro.core.taxonomy import (
+    BugKind,
+    CORRECTNESS_KINDS,
+    PERFORMANCE_KINDS,
+)
+from repro.core.trace_analysis import TraceAnalyzer
+
+__all__ = [
+    "AnalysisReport",
+    "BugKind",
+    "CORRECTNESS_KINDS",
+    "ENGINE_REPLAY",
+    "ENGINE_TRACE",
+    "FailurePointTree",
+    "FaultInjectionResult",
+    "FaultInjectionStats",
+    "FaultInjector",
+    "Finding",
+    "Mumak",
+    "MumakConfig",
+    "MumakResult",
+    "PERFORMANCE_KINDS",
+    "PHASE_FAULT_INJECTION",
+    "PHASE_TRACE_ANALYSIS",
+    "RecoveryOutcome",
+    "RecoveryStatus",
+    "ResourceUsage",
+    "TraceAnalyzer",
+    "run_recovery",
+]

@@ -1,0 +1,273 @@
+"""Mumak's fault-injection phase (paper, section 4.1).
+
+Three steps, each requiring less instrumentation than the previous one:
+
+1. **Detection** — run the instrumented target once, capturing the call
+   stack at every failure-point candidate (persistency instructions
+   preceded by at least one PM store, by default) and building the failure
+   point tree.
+2. **Injection** — for every unique failure point, materialise the
+   deterministic program-order-prefix crash state.  Two engines exist:
+
+   * ``trace`` (default): derive every crash image from the single
+     recorded trace.  Execution is deterministic, so the image obtained by
+     re-running up to a failure point is byte-identical to the prefix of
+     the recorded trace — this engine simply skips the redundant
+     re-executions.
+   * ``replay``: faithfully re-execute the workload once per failure
+     point, crash gracefully at the first unvisited one (as the Pin
+     implementation does), and repeat until every leaf is visited.
+
+   The equivalence of the two engines is property-tested; the ablation
+   benchmark quantifies the replay engine's cost.
+3. **Recovery** — run the application's recovery procedure, uninstrumented,
+   on each crash image; a failure is a reported bug carrying the complete
+   code path of the failure point and the recovery error (plus the
+   recovery call trace when recovery crashed abruptly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.fpt import FailurePointTree
+from repro.core.oracle import RecoveryOutcome, run_recovery
+from repro.core.report import Finding, PHASE_FAULT_INJECTION
+from repro.core.taxonomy import BugKind
+from repro.errors import CrashInjected
+from repro.instrument.runner import run_instrumented
+from repro.instrument.tracer import (
+    GRANULARITY_PERSISTENCY,
+    FailurePointObserver,
+    MinimalTracer,
+)
+from repro.pmem.crashsim import apply_write
+from repro.pmem.events import MemoryEvent
+from repro.pmem.machine import PMachine
+
+ENGINE_TRACE = "trace"
+ENGINE_REPLAY = "replay"
+
+
+@dataclass
+class FaultInjectionStats:
+    """Bookkeeping for the evaluation tables."""
+
+    candidates: int = 0
+    unique_failure_points: int = 0
+    injections: int = 0
+    recovery_failures: int = 0
+    executions: int = 0
+    trace_length: int = 0
+
+
+@dataclass
+class FaultInjectionResult:
+    findings: List[Finding]
+    stats: FaultInjectionStats
+    tree: FailurePointTree
+    outcomes: List[Tuple[Tuple[str, ...], RecoveryOutcome]] = field(
+        default_factory=list
+    )
+
+
+class FaultInjector:
+    """Configurable fault-injection engine."""
+
+    def __init__(
+        self,
+        granularity: str = GRANULARITY_PERSISTENCY,
+        require_store_since_last: bool = True,
+        engine: str = ENGINE_TRACE,
+        max_injections: Optional[int] = None,
+    ):
+        if engine not in (ENGINE_TRACE, ENGINE_REPLAY):
+            raise ValueError(f"unknown injection engine {engine!r}")
+        self.granularity = granularity
+        self.require_store_since_last = require_store_since_last
+        self.engine = engine
+        self.max_injections = max_injections
+
+    # ------------------------------------------------------------------ #
+    # public entry point
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        app_factory: Callable[[], Any],
+        workload: Sequence,
+        seed: int = 0,
+    ) -> FaultInjectionResult:
+        tree, trace, initial_image = self._detect(app_factory, workload, seed)
+        return self.inject(
+            app_factory,
+            workload,
+            tree,
+            trace,
+            initial_image,
+            seed=seed,
+            candidates=self._candidates,
+        )
+
+    def inject(
+        self,
+        app_factory: Callable[[], Any],
+        workload: Sequence,
+        tree: FailurePointTree,
+        trace: Sequence[MemoryEvent],
+        initial_image: bytes,
+        seed: int = 0,
+        candidates: int = 0,
+    ) -> FaultInjectionResult:
+        """Injection against an already-built tree/trace (pipeline entry)."""
+        stats = FaultInjectionStats(
+            candidates=candidates,
+            unique_failure_points=tree.failure_point_count,
+            trace_length=len(trace),
+            executions=1,
+        )
+        if self.engine == ENGINE_TRACE:
+            return self._inject_from_trace(
+                app_factory, tree, trace, initial_image, stats
+            )
+        return self._inject_by_replay(app_factory, workload, seed, tree, stats)
+
+    # ------------------------------------------------------------------ #
+    # step 1: detection
+    # ------------------------------------------------------------------ #
+
+    def _detect(self, app_factory, workload, seed):
+        tree = FailurePointTree()
+
+        def on_candidate(stack, event: MemoryEvent):
+            tree.insert(stack, seq=event.seq)
+
+        observer = FailurePointObserver(
+            on_candidate,
+            granularity=self.granularity,
+            require_store_since_last=self.require_store_since_last,
+        )
+        tracer = MinimalTracer()
+        artifacts = run_instrumented(
+            app_factory, workload, hooks=[tracer, observer], seed=seed
+        )
+        self._candidates = observer.candidates_seen
+        return tree, tracer.events, artifacts.initial_image
+
+    # ------------------------------------------------------------------ #
+    # step 2+3, trace engine
+    # ------------------------------------------------------------------ #
+
+    def _inject_from_trace(
+        self, app_factory, tree, trace, initial_image, stats
+    ) -> FaultInjectionResult:
+        findings: List[Finding] = []
+        outcomes = []
+        # Failure points come back in first-occurrence order, so the
+        # program-order-prefix image can be maintained incrementally: apply
+        # the trace's writes between consecutive failure points instead of
+        # rebuilding each image from scratch.
+        running = bytearray(initial_image)
+        cursor = 0
+        for stack, node in tree.failure_points():
+            if self.max_injections is not None and (
+                stats.injections >= self.max_injections
+            ):
+                break
+            node.visited = True
+            stats.injections += 1
+            while cursor < len(trace) and trace[cursor].seq < node.first_seq:
+                event = trace[cursor]
+                if event.is_write:
+                    apply_write(running, event)
+                cursor += 1
+            image = bytes(running)
+            outcome = run_recovery(app_factory, image)
+            outcomes.append((stack, outcome))
+            if outcome.status.is_bug:
+                stats.recovery_failures += 1
+                findings.append(self._finding(stack, node.first_seq, outcome))
+        return FaultInjectionResult(findings, stats, tree, outcomes)
+
+    # ------------------------------------------------------------------ #
+    # step 2+3, replay engine
+    # ------------------------------------------------------------------ #
+
+    def _inject_by_replay(
+        self, app_factory, workload, seed, tree, stats
+    ) -> FaultInjectionResult:
+        findings: List[Finding] = []
+        outcomes = []
+        while tree.unvisited_count > 0:
+            if self.max_injections is not None and (
+                stats.injections >= self.max_injections
+            ):
+                break
+            injector = _ReplayInjector(
+                tree, self.granularity, self.require_store_since_last
+            )
+            artifacts = run_instrumented(
+                app_factory, workload, hooks=[injector], seed=seed
+            )
+            stats.executions += 1
+            if artifacts.injected is None:
+                # A full pass with no unvisited failure point reached:
+                # whatever remains unvisited is unreachable on this
+                # workload (should not happen with deterministic targets).
+                break
+            stats.injections += 1
+            outcome = run_recovery(app_factory, injector.image)
+            outcomes.append((injector.stack, outcome))
+            if outcome.status.is_bug:
+                stats.recovery_failures += 1
+                findings.append(
+                    self._finding(
+                        injector.stack, artifacts.injected.sequence, outcome
+                    )
+                )
+        return FaultInjectionResult(findings, stats, tree, outcomes)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _finding(stack, seq, outcome: RecoveryOutcome) -> Finding:
+        return Finding(
+            kind=BugKind.CRASH_CONSISTENCY,
+            phase=PHASE_FAULT_INJECTION,
+            message=(
+                "recovery cannot handle the post-failure state at this "
+                "failure point"
+            ),
+            site=stack[-1] if stack else None,
+            stack=stack,
+            seq=seq,
+            recovery_error=outcome.error,
+            recovery_trace=outcome.trace,
+        )
+
+
+class _ReplayInjector(FailurePointObserver):
+    """Hook that crashes the target at the first unvisited failure point."""
+
+    def __init__(self, tree: FailurePointTree, granularity, require_store):
+        super().__init__(
+            self._on_candidate,
+            granularity=granularity,
+            require_store_since_last=require_store,
+        )
+        self._tree = tree
+        self.image: Optional[bytes] = None
+        self.stack: Tuple[str, ...] = ()
+
+    def _on_candidate(self, stack, event: MemoryEvent) -> None:
+        if self._tree.visit(stack):
+            # Capture the graceful-crash state *now*, before Python unwind
+            # handlers (transaction aborts etc.) can run.
+            self.stack = stack
+            self.image = self._machine.graceful_crash_image()
+            raise CrashInjected(event.seq)
+
+    def __call__(self, event: MemoryEvent, machine: PMachine) -> None:
+        self._machine = machine
+        super().__call__(event, machine)

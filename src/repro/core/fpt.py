@@ -1,0 +1,168 @@
+"""The failure point tree (paper, section 4.1, Figure 2).
+
+Each node is one frame of a call stack (the analog of an instruction
+address); each root-to-terminal path is the call stack of one *unique*
+failure point.  The tree answers, in one walk, both "is this code path
+new?" (insertion during the detection run) and "has this failure point
+been injected yet?" (visited marking during the injection runs).
+
+Mumak serialises the tree between the detection and injection executions;
+:meth:`FailurePointTree.serialize` mirrors that.  The paper's
+fixed-offset preallocation trick exists because Pin shifts addresses — our
+frame identifiers are stable strings, which is the same property obtained
+for free.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+Stack = Tuple[str, ...]
+
+
+@dataclass
+class FPTNode:
+    """One call-stack frame in the tree."""
+
+    frame: str
+    children: Dict[str, "FPTNode"] = field(default_factory=dict)
+    #: True when some failure point's stack ends at this node.
+    terminal: bool = False
+    #: True once a fault has been injected at this failure point.
+    visited: bool = False
+    #: Instruction counter of the first time execution reached this failure
+    #: point (used by the trace-based injection engine).
+    first_seq: Optional[int] = None
+
+
+class FailurePointTree:
+    """Trie of failure-point call stacks with visited bookkeeping."""
+
+    def __init__(self):
+        self.root = FPTNode(frame="<root>")
+        self._terminal_count = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def insert(self, stack: Stack, seq: Optional[int] = None) -> bool:
+        """Add a failure point's call stack; returns True if it was new."""
+        node = self.root
+        for frame in stack:
+            child = node.children.get(frame)
+            if child is None:
+                child = FPTNode(frame=frame)
+                node.children[frame] = child
+            node = child
+        if node.terminal:
+            return False
+        node.terminal = True
+        node.first_seq = seq
+        self._terminal_count += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # lookup / visiting
+    # ------------------------------------------------------------------ #
+
+    def find(self, stack: Stack) -> Optional[FPTNode]:
+        node = self.root
+        for frame in stack:
+            node = node.children.get(frame)
+            if node is None:
+                return None
+        return node
+
+    def contains(self, stack: Stack) -> bool:
+        node = self.find(stack)
+        return node is not None and node.terminal
+
+    def visit(self, stack: Stack) -> bool:
+        """Mark a failure point visited; True if it was terminal+unvisited.
+
+        This is the injection-run primitive: the first execution to reach
+        an unvisited failure point wins the fault.
+        """
+        node = self.find(stack)
+        if node is None or not node.terminal or node.visited:
+            return False
+        node.visited = True
+        return True
+
+    # ------------------------------------------------------------------ #
+    # iteration / stats
+    # ------------------------------------------------------------------ #
+
+    def failure_points(self) -> Iterator[Tuple[Stack, FPTNode]]:
+        """Yield (stack, node) for every failure point, in insertion-seq
+        order when sequence numbers are available."""
+        collected: List[Tuple[Stack, FPTNode]] = []
+
+        def walk(node: FPTNode, prefix: Tuple[str, ...]):
+            if node.terminal:
+                collected.append((prefix, node))
+            for frame, child in node.children.items():
+                walk(child, prefix + (frame,))
+
+        walk(self.root, ())
+        collected.sort(
+            key=lambda item: (
+                item[1].first_seq if item[1].first_seq is not None else 1 << 62
+            )
+        )
+        yield from collected
+
+    @property
+    def failure_point_count(self) -> int:
+        return self._terminal_count
+
+    @property
+    def unvisited_count(self) -> int:
+        return sum(1 for _, node in self.failure_points() if not node.visited)
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count - 1  # exclude the synthetic root
+
+    # ------------------------------------------------------------------ #
+    # serialisation (the tree survives between pipeline phases)
+    # ------------------------------------------------------------------ #
+
+    def serialize(self) -> str:
+        def encode(node: FPTNode) -> dict:
+            return {
+                "f": node.frame,
+                "t": node.terminal,
+                "v": node.visited,
+                "s": node.first_seq,
+                "c": [encode(child) for child in node.children.values()],
+            }
+
+        return json.dumps(encode(self.root))
+
+    @classmethod
+    def deserialize(cls, payload: str) -> "FailurePointTree":
+        def decode(data: dict) -> FPTNode:
+            node = FPTNode(
+                frame=data["f"],
+                terminal=data["t"],
+                visited=data["v"],
+                first_seq=data["s"],
+            )
+            for child_data in data["c"]:
+                child = decode(child_data)
+                node.children[child.frame] = child
+            return node
+
+        tree = cls()
+        tree.root = decode(json.loads(payload))
+        tree._terminal_count = sum(1 for _ in tree.failure_points())
+        return tree

@@ -1,0 +1,65 @@
+"""The recovery-procedure consistency oracle (paper, section 4.1).
+
+Mumak does not know application semantics; it asks the application itself.
+The recovery procedure runs *uninstrumented* on the post-failure state:
+
+* it returns → the state was recoverable, no bug at this failure point;
+* it raises :class:`~repro.errors.RecoveryError` → it examined the state
+  and reported it unrecoverable — a detected crash-consistency bug;
+* it raises anything else → the recovery process itself crashed (the
+  analog of a recovery segfault), also a bug, reported together with the
+  recovery call trace for debugging.
+
+The oracle is deliberately imperfect: if recovery fails to flag an
+inconsistency, Mumak has a false negative — which is exactly the trade-off
+the Level Hashing experiment in section 6.2 quantifies.
+"""
+
+from __future__ import annotations
+
+import enum
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import RecoveryError
+from repro.pmem.machine import PMachine
+
+
+class RecoveryStatus(enum.Enum):
+    OK = "ok"
+    REPORTED_UNRECOVERABLE = "reported_unrecoverable"
+    CRASHED = "crashed"
+
+    @property
+    def is_bug(self) -> bool:
+        return self is not RecoveryStatus.OK
+
+
+@dataclass
+class RecoveryOutcome:
+    status: RecoveryStatus
+    error: Optional[str] = None
+    #: Recovery call trace, captured when recovery crashed abruptly.
+    trace: Optional[str] = None
+
+
+def run_recovery(
+    app_factory: Callable[[], Any], image: bytes
+) -> RecoveryOutcome:
+    """Boot the crash image and run the application's recovery procedure."""
+    app = app_factory()
+    machine = PMachine.from_image(image)
+    try:
+        app.recover(machine)
+    except RecoveryError as err:
+        return RecoveryOutcome(
+            RecoveryStatus.REPORTED_UNRECOVERABLE, error=str(err)
+        )
+    except Exception as err:  # noqa: BLE001 - any crash is a finding
+        return RecoveryOutcome(
+            RecoveryStatus.CRASHED,
+            error=f"{type(err).__name__}: {err}",
+            trace=traceback.format_exc(limit=16),
+        )
+    return RecoveryOutcome(RecoveryStatus.OK)

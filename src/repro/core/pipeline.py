@@ -1,0 +1,164 @@
+"""The Mumak analysis pipeline (paper, Figure 1).
+
+Given only an application factory (the "binary") and a workload, the
+pipeline:
+
+1. instruments the target and runs it once, producing the two by-products:
+   the failure point tree and the PM access trace;
+2. injects one fault per unique failure point and consults the recovery
+   oracle (fault-injection phase);
+3. single-passes the trace for misuse patterns and resolves debug
+   information for flagged instructions (trace-analysis phase);
+4. merges both phases' findings into one deduplicated report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.fault_injection import (
+    ENGINE_TRACE,
+    FaultInjectionResult,
+    FaultInjector,
+)
+from repro.core.fpt import FailurePointTree
+from repro.core.report import AnalysisReport
+from repro.core.resources import (
+    PhaseTimer,
+    ResourceUsage,
+    estimate_trace_bytes,
+)
+from repro.core.trace_analysis import (
+    TraceAnalysisStats,
+    TraceAnalyzer,
+    findings_with_sites,
+    resolve_sites,
+)
+from repro.instrument.runner import run_instrumented
+from repro.instrument.tracer import (
+    GRANULARITY_PERSISTENCY,
+    FailurePointObserver,
+    MinimalTracer,
+)
+
+#: Mumak's CPU-load factor from the paper's Table 2 (1.20-1.44).
+MUMAK_CPU_LOAD = 1.3
+
+
+@dataclass
+class MumakConfig:
+    """Analysis knobs; the defaults are the paper's design choices."""
+
+    granularity: str = GRANULARITY_PERSISTENCY
+    require_store_since_last: bool = True
+    engine: str = ENGINE_TRACE
+    include_warnings: bool = True
+    detect_dirty_overwrites: bool = False
+    #: Analyse for an eADR platform (persistence domain includes caches).
+    eadr: bool = False
+    max_injections: Optional[int] = None
+    run_fault_injection: bool = True
+    run_trace_analysis: bool = True
+    seed: int = 0
+
+
+@dataclass
+class MumakResult:
+    report: AnalysisReport
+    resources: ResourceUsage
+    fault_injection: Optional[FaultInjectionResult] = None
+    trace_stats: Optional[TraceAnalysisStats] = None
+    tree: Optional[FailurePointTree] = None
+    trace_length: int = 0
+
+    def render(self) -> str:
+        return self.report.render()
+
+
+class Mumak:
+    """The tool: black-box, two-pronged PM bug detection."""
+
+    def __init__(self, config: Optional[MumakConfig] = None):
+        self.config = config or MumakConfig()
+
+    def analyze(
+        self, app_factory: Callable[[], Any], workload: Sequence
+    ) -> MumakResult:
+        config = self.config
+        usage = ResourceUsage(cpu_load=MUMAK_CPU_LOAD)
+        timer = PhaseTimer(usage)
+        report = AnalysisReport()
+
+        # Step 1: one instrumented execution -> trace + failure point tree.
+        tree = FailurePointTree()
+        tracer = MinimalTracer()
+        observer = FailurePointObserver(
+            lambda stack, event: tree.insert(stack, seq=event.seq),
+            granularity=config.granularity,
+            require_store_since_last=config.require_store_since_last,
+        )
+        with timer.phase("instrumented_run"):
+            artifacts = run_instrumented(
+                app_factory,
+                workload,
+                hooks=[tracer, observer],
+                seed=config.seed,
+            )
+        usage.pool_bytes = artifacts.machine.medium.size
+        usage.note_bytes(
+            estimate_trace_bytes(tracer.events) + 200 * tree.node_count()
+        )
+
+        # Step 2: fault injection against the recovery oracle.
+        fi_result = None
+        if config.run_fault_injection:
+            injector = FaultInjector(
+                granularity=config.granularity,
+                require_store_since_last=config.require_store_since_last,
+                engine=config.engine,
+                max_injections=config.max_injections,
+            )
+            with timer.phase("fault_injection"):
+                fi_result = injector.inject(
+                    app_factory,
+                    workload,
+                    tree,
+                    tracer.events,
+                    artifacts.initial_image,
+                    seed=config.seed,
+                    candidates=observer.candidates_seen,
+                )
+            report.extend(fi_result.findings)
+            # One crash image is materialised at a time.
+            usage.note_bytes(
+                usage.peak_tool_bytes + artifacts.machine.medium.size
+            )
+
+        # Step 3: trace analysis + debug-info resolution.
+        trace_stats = None
+        if config.run_trace_analysis:
+            analyzer = TraceAnalyzer(
+                pm_size=artifacts.machine.medium.size,
+                include_warnings=config.include_warnings,
+                detect_dirty_overwrites=config.detect_dirty_overwrites,
+                eadr=config.eadr,
+            )
+            with timer.phase("trace_analysis"):
+                pending, trace_stats = analyzer.analyze(tracer.events)
+                sites = resolve_sites(
+                    app_factory,
+                    workload,
+                    {p.seq for p in pending},
+                    seed=config.seed,
+                )
+                report.extend(findings_with_sites(pending, sites))
+
+        return MumakResult(
+            report=report,
+            resources=usage,
+            fault_injection=fi_result,
+            trace_stats=trace_stats,
+            tree=tree,
+            trace_length=len(tracer.events),
+        )

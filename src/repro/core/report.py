@@ -1,0 +1,140 @@
+"""Bug reports and their aggregation.
+
+The ergonomics the paper claims for Mumak (Table 3) live here: every
+finding carries the complete code path that reached it, duplicates are
+filtered so each unique bug is reported once, and ambiguous findings are
+*warnings* that can be suppressed without touching the definite reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.taxonomy import BugKind
+from repro.instrument.backtrace import format_stack
+
+PHASE_FAULT_INJECTION = "fault_injection"
+PHASE_TRACE_ANALYSIS = "trace_analysis"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected bug or warning."""
+
+    kind: BugKind
+    phase: str
+    message: str
+    #: Innermost target-code location (file:line:function).
+    site: Optional[str] = None
+    #: Full code path leading to the finding, outermost first.
+    stack: Tuple[str, ...] = ()
+    #: Ambiguous patterns are warnings, never counted as positives.
+    is_warning: bool = False
+    #: Instruction counter of the triggering event / failure point.
+    seq: Optional[int] = None
+    #: For fault-injection findings: how recovery failed.
+    recovery_error: Optional[str] = None
+    #: For abrupt recovery failures: the recovery call trace.
+    recovery_trace: Optional[str] = None
+
+    def dedup_key(self) -> Tuple:
+        """Two findings with the same key are the same bug.
+
+        Fault-injection findings are identified by the code path of their
+        failure point; trace findings by their pattern kind and site.
+        """
+        if self.phase == PHASE_FAULT_INJECTION:
+            return (self.phase, self.stack or self.site)
+        return (self.phase, self.kind, self.site, self.is_warning)
+
+    def render(self) -> str:
+        tag = "WARNING" if self.is_warning else "BUG"
+        lines = [f"[{tag}] {self.kind.value} ({self.phase}): {self.message}"]
+        if self.site and not self.stack:
+            lines.append(f"  at {self.site}")
+        if self.stack:
+            lines.append(format_stack(self.stack))
+        if self.recovery_error:
+            lines.append(f"  recovery failed: {self.recovery_error}")
+        if self.recovery_trace:
+            lines.append("  recovery call trace:")
+            lines.extend(
+                f"    {line}" for line in self.recovery_trace.splitlines()
+            )
+        return "\n".join(lines)
+
+
+class AnalysisReport:
+    """Deduplicated collection of findings from one analysis."""
+
+    def __init__(self):
+        self._findings: Dict[Tuple, Finding] = {}
+        self.duplicates_filtered = 0
+
+    def add(self, finding: Finding) -> bool:
+        """Record a finding; returns False when it duplicates a known bug."""
+        key = finding.dedup_key()
+        if key in self._findings:
+            self.duplicates_filtered += 1
+            return False
+        self._findings[key] = finding
+        return True
+
+    def extend(self, findings) -> None:
+        for finding in findings:
+            self.add(finding)
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def findings(self) -> List[Finding]:
+        return list(self._findings.values())
+
+    @property
+    def bugs(self) -> List[Finding]:
+        return [f for f in self._findings.values() if not f.is_warning]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self._findings.values() if f.is_warning]
+
+    def bugs_of_kind(self, kind: BugKind) -> List[Finding]:
+        return [f for f in self.bugs if f.kind == kind]
+
+    def counts_by_kind(self) -> Dict[BugKind, int]:
+        counts: Dict[BugKind, int] = {}
+        for finding in self.bugs:
+            counts[finding.kind] = counts.get(finding.kind, 0) + 1
+        return counts
+
+    def correctness_bugs(self) -> List[Finding]:
+        return [f for f in self.bugs if f.kind.is_correctness]
+
+    def performance_bugs(self) -> List[Finding]:
+        return [f for f in self.bugs if f.kind.is_performance]
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+
+    def render(self, include_warnings: bool = True) -> str:
+        sections = []
+        bugs = self.bugs
+        header = (
+            f"{len(bugs)} unique bug(s), {len(self.warnings)} warning(s), "
+            f"{self.duplicates_filtered} duplicate report(s) filtered"
+        )
+        sections.append(header)
+        sections.append("=" * len(header))
+        for finding in bugs:
+            sections.append(finding.render())
+        if include_warnings:
+            for finding in self.warnings:
+                sections.append(finding.render())
+        return "\n\n".join(sections)
+
+    def __len__(self) -> int:
+        return len(self._findings)

@@ -1,0 +1,82 @@
+"""Resource accounting shared by Mumak and the baseline tools (Table 2).
+
+Wall time and tool-tracked bytes are *measured*; the CPU-load factor is a
+per-tool model constant (single-threaded Python cannot exhibit the
+multi-core load profiles of the original tools — Witcher's 138x load came
+from fanning out across 128 cores), calibrated to the paper's Table 2 and
+documented per tool.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ResourceUsage:
+    """Resources one analysis consumed."""
+
+    #: Wall-clock seconds, by phase name.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Peak bytes of analysis bookkeeping (traces, trees, shadow memory...).
+    peak_tool_bytes: int = 0
+    #: Extra *persistent* memory the tool itself allocated, in bytes.
+    tool_pm_bytes: int = 0
+    #: Modeled average CPU load factor (1.0 = one busy core).
+    cpu_load: float = 1.0
+    #: Size of the target's pool, for overhead ratios.
+    pool_bytes: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def ram_overhead(self, app_bytes: int) -> float:
+        """Peak RAM relative to the vanilla application's working set."""
+        if app_bytes <= 0:
+            return 1.0
+        return (app_bytes + self.peak_tool_bytes) / app_bytes
+
+    def pm_overhead(self) -> float:
+        """Peak PM relative to the vanilla application's pool usage."""
+        if self.pool_bytes <= 0:
+            return 1.0
+        return (self.pool_bytes + self.tool_pm_bytes) / self.pool_bytes
+
+    def note_bytes(self, byte_count: int) -> None:
+        self.peak_tool_bytes = max(self.peak_tool_bytes, byte_count)
+
+
+class PhaseTimer:
+    """Context-manager style phase timing."""
+
+    def __init__(self, usage: ResourceUsage):
+        self.usage = usage
+        self._phase = None
+        self._start = 0.0
+
+    def phase(self, name: str) -> "PhaseTimer":
+        self._phase = name
+        return self
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        previous = self.usage.phase_seconds.get(self._phase, 0.0)
+        self.usage.phase_seconds[self._phase] = previous + elapsed
+
+
+def estimate_trace_bytes(trace) -> int:
+    """Rough in-memory footprint of a recorded minimal trace."""
+    # seq + opcode + address + size + payload reference, per event.
+    total = 0
+    for event in trace:
+        total += 56
+        if event.data is not None:
+            total += len(event.data)
+    return total

@@ -1,0 +1,61 @@
+"""The PM bug taxonomy from section 2 of the paper.
+
+Correctness (crash-consistency) bugs:
+
+* **durability** — a store missing the flush and/or fence that would make
+  it durable (or relying on nondeterministic cache eviction).
+* **atomicity** — a set of stores that must be logically atomic but is not
+  (e.g. data and its commit record updated without a transaction).
+* **ordering** — persisted writes whose order can leave a state the
+  application cannot recover from.
+
+Performance bugs:
+
+* **redundant flush** — flushing an address not written since its last
+  flush, or a volatile address, or a line already covered.
+* **redundant fence** — a fence with no pending flush or non-temporal
+  store since the previous fence.
+* **transient data** — PM used for data that is never persisted and could
+  live in DRAM.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class BugKind(enum.Enum):
+    DURABILITY = "durability"
+    ATOMICITY = "atomicity"
+    ORDERING = "ordering"
+    #: Crash-consistency bug surfaced by fault injection: the recovery
+    #: procedure could not handle a reachable post-failure state.  Fault
+    #: injection cannot tell atomicity from ordering violations apart
+    #: without application semantics, so its findings carry this kind.
+    CRASH_CONSISTENCY = "crash_consistency"
+    REDUNDANT_FLUSH = "redundant_flush"
+    REDUNDANT_FENCE = "redundant_fence"
+    TRANSIENT_DATA = "transient_data"
+
+    @property
+    def is_correctness(self) -> bool:
+        return self in CORRECTNESS_KINDS
+
+    @property
+    def is_performance(self) -> bool:
+        return self in PERFORMANCE_KINDS
+
+
+CORRECTNESS_KINDS: FrozenSet[BugKind] = frozenset(
+    {
+        BugKind.DURABILITY,
+        BugKind.ATOMICITY,
+        BugKind.ORDERING,
+        BugKind.CRASH_CONSISTENCY,
+    }
+)
+
+PERFORMANCE_KINDS: FrozenSet[BugKind] = frozenset(
+    {BugKind.REDUNDANT_FLUSH, BugKind.REDUNDANT_FENCE, BugKind.TRANSIENT_DATA}
+)

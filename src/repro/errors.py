@@ -1,0 +1,77 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class PMemError(ReproError):
+    """Base class for errors raised by the persistent-memory simulator."""
+
+
+class OutOfBoundsError(PMemError):
+    """An access touched memory outside the simulated pool."""
+
+    def __init__(self, address: int, size: int, pool_size: int):
+        super().__init__(
+            f"access [{address}, {address + size}) outside pool of size {pool_size}"
+        )
+        self.address = address
+        self.size = size
+        self.pool_size = pool_size
+
+
+class PoolError(PMemError):
+    """Pool-level failure (bad header, wrong layout, double create...)."""
+
+
+class AllocationError(ReproError):
+    """The persistent allocator could not satisfy a request."""
+
+
+class TransactionError(ReproError):
+    """Misuse of the transaction API (nesting, commit outside tx...)."""
+
+
+class RecoveryError(ReproError):
+    """Raised by an application's recovery procedure when the persistent
+    state is inconsistent and cannot be repaired.
+
+    Mumak's oracle (section 4.1 of the paper) treats a raised
+    ``RecoveryError`` as the recovery procedure *reporting* the state as
+    unrecoverable, which is a detected crash-consistency bug.
+    """
+
+
+class CrashInjected(ReproError):
+    """Control-flow exception used by the fault injector to stop the target
+    program at an injected failure point.
+
+    It deliberately derives from ``ReproError`` so that target applications
+    that catch their own exceptions do not accidentally swallow it; the
+    injection engine is the only intended handler.
+    """
+
+    def __init__(self, sequence: int, message: str = ""):
+        super().__init__(message or f"fault injected at instruction {sequence}")
+        self.sequence = sequence
+
+
+class ToolError(ReproError):
+    """A bug-detection tool failed in a way unrelated to the target."""
+
+
+class ToolBudgetExceeded(ToolError):
+    """A detection tool exceeded its configured time or memory budget.
+
+    Used to reproduce the paper's 12-hour timeout behaviour (the bars marked
+    with the infinity symbol in Figure 4).
+    """
+
+    def __init__(self, tool: str, budget: float, spent: float):
+        super().__init__(
+            f"{tool} exceeded its analysis budget ({spent:.1f} > {budget:.1f} work units)"
+        )
+        self.tool = tool
+        self.budget = budget
+        self.spent = spent

@@ -1,0 +1,21 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning a structured result and
+a ``render`` helper printing the same rows/series the paper reports.  The
+``benchmarks/`` tree drives these at bench scale; the CLI exposes them via
+``mumak experiment <name>``.
+"""
+
+from repro.experiments.common import (
+    ExperimentScale,
+    SCALE_BENCH,
+    SCALE_QUICK,
+    format_table,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SCALE_BENCH",
+    "SCALE_QUICK",
+    "format_table",
+]

@@ -1,0 +1,121 @@
+"""Ablations of Mumak's section 4 design choices.
+
+Not a paper figure, but the quantitative backing for its design arguments:
+
+* **Failure-point granularity** — store-level injection explores an order
+  of magnitude more failure points than persistency-instruction level for
+  (at best) the same correctness findings (section 4.1's trade-off,
+  supported by Figure 3's path counts).
+* **The "store since last failure point" reduction** — skipping
+  persistency instructions with no new PM store removes equivalent
+  post-failure states for free.
+* **Injection engine** — re-executing the workload per failure point
+  (the paper's Pin implementation) versus deriving images from one
+  recorded trace: identical findings, very different cost.
+* **Crash-image semantics** — Mumak's graceful program-order prefix vs
+  the shadow-memory strict image (XFDetector's choice): the strict image
+  additionally exposes pure durability bugs to injection, at a much
+  higher per-point cost; Mumak instead leaves those to trace analysis.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core import ENGINE_REPLAY, ENGINE_TRACE, FaultInjector
+from repro.experiments.common import format_table
+from repro.instrument.tracer import GRANULARITY_PERSISTENCY, GRANULARITY_STORE
+
+
+@dataclass
+class AblationRow:
+    variant: str
+    failure_points: int
+    injections: int
+    recovery_failures: int
+    executions: int
+    wall_seconds: float
+
+
+@dataclass
+class AblationResult:
+    rows: List[AblationRow] = field(default_factory=list)
+
+    def row(self, variant: str) -> AblationRow:
+        for row in self.rows:
+            if row.variant == variant:
+                return row
+        raise KeyError(variant)
+
+
+def run_granularity_ablation(app_factory, workload, seed: int = 0
+                             ) -> AblationResult:
+    """Persistency-instruction vs store granularity, with and without the
+    store-since-last reduction."""
+    result = AblationResult()
+    variants = [
+        ("persistency+reduction", GRANULARITY_PERSISTENCY, True),
+        ("persistency", GRANULARITY_PERSISTENCY, False),
+        ("store", GRANULARITY_STORE, True),
+    ]
+    for label, granularity, reduction in variants:
+        injector = FaultInjector(
+            granularity=granularity,
+            require_store_since_last=reduction,
+        )
+        started = time.perf_counter()
+        outcome = injector.run(app_factory, workload, seed=seed)
+        result.rows.append(
+            AblationRow(
+                variant=label,
+                failure_points=outcome.stats.unique_failure_points,
+                injections=outcome.stats.injections,
+                recovery_failures=outcome.stats.recovery_failures,
+                executions=outcome.stats.executions,
+                wall_seconds=time.perf_counter() - started,
+            )
+        )
+    return result
+
+
+def run_engine_ablation(app_factory, workload, seed: int = 0
+                        ) -> AblationResult:
+    """Trace-derived images vs faithful per-fault re-execution."""
+    result = AblationResult()
+    for label, engine in (("trace", ENGINE_TRACE), ("replay", ENGINE_REPLAY)):
+        injector = FaultInjector(engine=engine)
+        started = time.perf_counter()
+        outcome = injector.run(app_factory, workload, seed=seed)
+        result.rows.append(
+            AblationRow(
+                variant=label,
+                failure_points=outcome.stats.unique_failure_points,
+                injections=outcome.stats.injections,
+                recovery_failures=outcome.stats.recovery_failures,
+                executions=outcome.stats.executions,
+                wall_seconds=time.perf_counter() - started,
+            )
+        )
+    return result
+
+
+def render(result: AblationResult, title: str) -> str:
+    rows = [
+        [
+            r.variant,
+            r.failure_points,
+            r.injections,
+            r.recovery_failures,
+            r.executions,
+            f"{r.wall_seconds:.2f}",
+        ]
+        for r in result.rows
+    ]
+    return format_table(
+        ["variant", "failure points", "injections", "recovery failures",
+         "target executions", "wall (s)"],
+        rows,
+        title=title,
+    )

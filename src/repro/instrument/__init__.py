@@ -1,0 +1,28 @@
+"""Dynamic instrumentation over the simulated machine (the Pin analog).
+
+The tools in :mod:`repro.core` and :mod:`repro.baselines` never import
+application code; they attach the tracers defined here to a machine and
+observe the resulting event stream, exactly as Mumak's Pin tools observe a
+binary's instruction stream.
+"""
+
+from repro.instrument.backtrace import TARGET_ENTRY, capture_stack, format_stack
+from repro.instrument.tracer import (
+    FailurePointObserver,
+    FullTracer,
+    MinimalTracer,
+    PathCounter,
+)
+from repro.instrument.runner import ExecutionArtifacts, run_instrumented
+
+__all__ = [
+    "ExecutionArtifacts",
+    "FailurePointObserver",
+    "FullTracer",
+    "MinimalTracer",
+    "PathCounter",
+    "TARGET_ENTRY",
+    "capture_stack",
+    "format_stack",
+    "run_instrumented",
+]

@@ -1,0 +1,30 @@
+"""Determinism control for instrumented executions.
+
+Mumak "instruments non-deterministic calls (e.g., random number
+generators) and replaces them with deterministic outputs" (paper,
+section 5) so the instruction counter identifies the same instruction in
+every re-execution.  The analog here: while a target runs under
+instrumentation, the :mod:`random` module's global generator is re-seeded
+deterministically, and time-like entropy sources the targets use go
+through this module.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+
+
+@contextlib.contextmanager
+def deterministic_environment(seed: int = 0):
+    """Make the :mod:`random` module deterministic for the duration.
+
+    The previous generator state is restored on exit so analysis code (and
+    hypothesis) is unaffected by target executions.
+    """
+    state = random.getstate()
+    random.seed(seed)
+    try:
+        yield
+    finally:
+        random.setstate(state)

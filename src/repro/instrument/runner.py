@@ -1,0 +1,72 @@
+"""Run a target program under instrumentation.
+
+The runner is the only place where analysis code calls into a target: it
+boots a fresh machine, attaches the caller's hooks, and enters the target
+through the :data:`~repro.instrument.backtrace.TARGET_ENTRY` sentinel so
+captured backtraces stop at the program boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.errors import CrashInjected
+from repro.instrument.determinism import deterministic_environment
+from repro.pmem.machine import EventHook, PMachine
+
+
+@dataclass
+class ExecutionArtifacts:
+    """What an instrumented execution leaves behind."""
+
+    app: Any
+    machine: PMachine
+    #: PM contents before the target executed a single instruction.
+    initial_image: bytes
+    #: The workload's return value (None when a fault cut the run short).
+    result: Any
+    #: Set when the run was stopped by an injected fault.
+    injected: Optional[CrashInjected] = None
+
+
+def run_instrumented(
+    app_factory: Callable[[], Any],
+    workload: Sequence,
+    hooks: Iterable[EventHook] = (),
+    seed: int = 0,
+) -> ExecutionArtifacts:
+    """Execute ``app.setup(); app.run(workload)`` on a fresh machine.
+
+    Hooks observe every instruction, including pool initialisation — a
+    black-box tool cannot know where "initialisation" ends, and crashes
+    during initialisation are as real as any other.
+
+    An in-flight :class:`~repro.errors.CrashInjected` (raised by a fault
+    injector's hook) stops the target and is reported in the artifacts
+    rather than propagated.
+    """
+    app = app_factory()
+    machine = PMachine(pm_size=app.pool_size)
+    for hook in hooks:
+        machine.add_hook(hook)
+    initial_image = machine.medium.snapshot()
+
+    def __mumak_target_entry__():
+        with deterministic_environment(seed):
+            app.setup(machine)
+            return app.run(workload)
+
+    injected = None
+    result = None
+    try:
+        result = __mumak_target_entry__()
+    except CrashInjected as crash:
+        injected = crash
+    return ExecutionArtifacts(
+        app=app,
+        machine=machine,
+        initial_image=initial_image,
+        result=result,
+        injected=injected,
+    )

@@ -1,0 +1,27 @@
+"""Typed views over raw persistent memory: codecs and struct layouts."""
+
+from repro.layout.codec import (
+    decode_bytes,
+    decode_i64,
+    decode_u32,
+    decode_u64,
+    encode_bytes,
+    encode_i64,
+    encode_u32,
+    encode_u64,
+)
+from repro.layout.struct import Field, StructLayout, StructView
+
+__all__ = [
+    "Field",
+    "StructLayout",
+    "StructView",
+    "decode_bytes",
+    "decode_i64",
+    "decode_u32",
+    "decode_u64",
+    "encode_bytes",
+    "encode_i64",
+    "encode_u32",
+    "encode_u64",
+]

@@ -1,0 +1,61 @@
+"""Fixed-width little-endian codecs for values stored in PM.
+
+Everything persistent in this repository is encoded with these helpers so
+that crash images are byte-for-byte deterministic.
+"""
+
+from __future__ import annotations
+
+U64_MAX = 2 ** 64 - 1
+U32_MAX = 2 ** 32 - 1
+
+
+def encode_u64(value: int) -> bytes:
+    if not 0 <= value <= U64_MAX:
+        raise ValueError(f"u64 out of range: {value}")
+    return value.to_bytes(8, "little")
+
+
+def decode_u64(data: bytes) -> int:
+    if len(data) != 8:
+        raise ValueError(f"u64 needs 8 bytes, got {len(data)}")
+    return int.from_bytes(data, "little")
+
+
+def encode_i64(value: int) -> bytes:
+    return value.to_bytes(8, "little", signed=True)
+
+
+def decode_i64(data: bytes) -> int:
+    if len(data) != 8:
+        raise ValueError(f"i64 needs 8 bytes, got {len(data)}")
+    return int.from_bytes(data, "little", signed=True)
+
+
+def encode_u32(value: int) -> bytes:
+    if not 0 <= value <= U32_MAX:
+        raise ValueError(f"u32 out of range: {value}")
+    return value.to_bytes(4, "little")
+
+
+def decode_u32(data: bytes) -> int:
+    if len(data) != 4:
+        raise ValueError(f"u32 needs 4 bytes, got {len(data)}")
+    return int.from_bytes(data, "little")
+
+
+def encode_bytes(value: bytes, width: int) -> bytes:
+    """Length-prefixed, fixed-width byte string (u32 length + payload)."""
+    if len(value) > width - 4:
+        raise ValueError(f"value of {len(value)} bytes exceeds field width {width}")
+    return encode_u32(len(value)) + value + bytes(width - 4 - len(value))
+
+
+def decode_bytes(data: bytes) -> bytes:
+    """Inverse of :func:`encode_bytes` (pass the full fixed-width field)."""
+    if len(data) < 4:
+        raise ValueError("field too small for a length prefix")
+    length = decode_u32(data[:4])
+    if length > len(data) - 4:
+        raise ValueError(f"corrupt length prefix: {length} > {len(data) - 4}")
+    return bytes(data[4:4 + length])

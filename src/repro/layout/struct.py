@@ -1,0 +1,149 @@
+"""Declarative fixed layouts for persistent structures.
+
+Applications describe each on-PM record once::
+
+    NODE = StructLayout("btree_node", [
+        Field.u64("n_keys"),
+        Field.u64("next"),
+        Field.blob("payload", 116),
+    ])
+
+and then read/write typed fields through a :class:`StructView` bound to a
+machine and base address.  Views never cache: every access goes through the
+machine so the instrumentation layer observes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.layout import codec
+from repro.pmem.events import Opcode
+from repro.pmem.machine import PMachine
+
+
+@dataclass(frozen=True)
+class Field:
+    """One fixed-width field in a persistent struct."""
+
+    name: str
+    size: int
+    kind: str  # "u64" | "i64" | "u32" | "blob"
+
+    @staticmethod
+    def u64(name: str) -> "Field":
+        return Field(name, 8, "u64")
+
+    @staticmethod
+    def i64(name: str) -> "Field":
+        return Field(name, 8, "i64")
+
+    @staticmethod
+    def u32(name: str) -> "Field":
+        return Field(name, 4, "u32")
+
+    @staticmethod
+    def blob(name: str, size: int) -> "Field":
+        return Field(name, size, "blob")
+
+
+class StructLayout:
+    """Computed offsets for a sequence of fields."""
+
+    def __init__(self, name: str, fields: Sequence[Field]):
+        self.name = name
+        self.fields: List[Field] = list(fields)
+        self._offsets: Dict[str, int] = {}
+        cursor = 0
+        for field in self.fields:
+            if field.name in self._offsets:
+                raise ValueError(f"duplicate field {field.name!r} in {name}")
+            self._offsets[field.name] = cursor
+            cursor += field.size
+        self.size = cursor
+        self._by_name = {f.name: f for f in self.fields}
+
+    def offset(self, field_name: str) -> int:
+        return self._offsets[field_name]
+
+    def field(self, field_name: str) -> Field:
+        return self._by_name[field_name]
+
+    def view(self, machine: PMachine, base: int) -> "StructView":
+        return StructView(self, machine, base)
+
+
+class StructView:
+    """A typed window onto one struct instance in (persistent) memory."""
+
+    def __init__(self, layout: StructLayout, machine: PMachine, base: int):
+        self.layout = layout
+        self.machine = machine
+        self.base = base
+
+    def addr(self, field_name: str) -> int:
+        return self.base + self.layout.offset(field_name)
+
+    # -- reads --------------------------------------------------------- #
+
+    def _raw(self, field_name: str) -> bytes:
+        field = self.layout.field(field_name)
+        return self.machine.load(self.addr(field_name), field.size)
+
+    def get_u64(self, field_name: str) -> int:
+        return codec.decode_u64(self._raw(field_name))
+
+    def get_i64(self, field_name: str) -> int:
+        return codec.decode_i64(self._raw(field_name))
+
+    def get_u32(self, field_name: str) -> int:
+        return codec.decode_u32(self._raw(field_name))
+
+    def get_blob(self, field_name: str) -> bytes:
+        return self._raw(field_name)
+
+    def get_bytes(self, field_name: str) -> bytes:
+        """Decode a length-prefixed byte string from a blob field."""
+        return codec.decode_bytes(self._raw(field_name))
+
+    # -- writes (visible, not persisted; callers flush explicitly) ------ #
+
+    def set_u64(self, field_name: str, value: int) -> None:
+        self.machine.store(self.addr(field_name), codec.encode_u64(value))
+
+    def set_i64(self, field_name: str, value: int) -> None:
+        self.machine.store(self.addr(field_name), codec.encode_i64(value))
+
+    def set_u32(self, field_name: str, value: int) -> None:
+        self.machine.store(self.addr(field_name), codec.encode_u32(value))
+
+    def set_blob(self, field_name: str, value: bytes) -> None:
+        field = self.layout.field(field_name)
+        if len(value) != field.size:
+            raise ValueError(
+                f"blob {field_name!r} expects {field.size} bytes, got {len(value)}"
+            )
+        self.machine.store(self.addr(field_name), value)
+
+    def set_bytes(self, field_name: str, value: bytes) -> None:
+        field = self.layout.field(field_name)
+        self.machine.store(
+            self.addr(field_name), codec.encode_bytes(value, field.size)
+        )
+
+    # -- persistence helpers -------------------------------------------- #
+
+    def persist_field(self, field_name: str) -> None:
+        field = self.layout.field(field_name)
+        self.machine.persist(self.addr(field_name), field.size)
+
+    def flush_field(self, field_name: str, opcode: Opcode = Opcode.CLWB) -> None:
+        field = self.layout.field(field_name)
+        self.machine.flush_range(self.addr(field_name), field.size, opcode)
+
+    def persist_all(self) -> None:
+        self.machine.persist(self.base, self.layout.size)
+
+    def flush_all(self, opcode: Opcode = Opcode.CLWB) -> None:
+        self.machine.flush_range(self.base, self.layout.size, opcode)

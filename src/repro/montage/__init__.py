@@ -1,0 +1,29 @@
+"""Montage (ICPP'21): a general system for buffered persistent data
+structures, reimplemented on the simulated machine.
+
+Montage deliberately does *not* use PMDK: it ships its own slab allocator
+and an epoch-based buffered-durability runtime.  Structures keep their
+index in DRAM and persist only fixed-size payload blocks, flushed in
+batches at epoch boundaries; recovery rebuilds the index from the payloads
+of the last persisted epoch.
+
+This package is the substrate for the Montage hashtable targets in
+:mod:`repro.apps.montage_apps`, and carries the two crash-consistency bugs
+Mumak found in Montage (paper, section 6.4):
+
+* ``montage.c1_allocator_misuse`` — retired payloads are reclaimed
+  immediately instead of after their epoch persists (urcs-sync/Montage#36);
+* ``montage.c2_dtor_window`` — the allocator destructor publishes the
+  clean-shutdown flag before its free-list summary is durable
+  (urcs-sync/Montage commit 3384e50).
+"""
+
+from repro.montage.allocator import MontageAllocator, PAYLOAD_BLOCK_SIZE
+from repro.montage.epoch import MontageRuntime, PayloadView
+
+__all__ = [
+    "MontageAllocator",
+    "MontageRuntime",
+    "PAYLOAD_BLOCK_SIZE",
+    "PayloadView",
+]

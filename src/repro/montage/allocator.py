@@ -1,0 +1,239 @@
+"""Montage's slab allocator for fixed-size payload blocks.
+
+A slab of ``n_blocks`` cache-line-sized payload blocks, preceded by a
+header and a free-list *summary* region::
+
+    [header][summary: n_blocks u64 slots][block 0][block 1]...
+
+Normal operation keeps the free list in DRAM (built by scanning the block
+status words on open).  A *clean shutdown* persists the free list into the
+summary and sets the clean flag, letting the next open skip the scan.
+
+Recovery-time validation cross-checks a trusted summary against the actual
+block statuses — which is exactly what exposes the destructor-ordering bug
+(``montage.c2_dtor_window``): the buggy destructor publishes the clean
+flag *before* the summary is durable, so a crash in that narrow window
+leaves a trusted-but-stale summary behind.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import AllocationError, RecoveryError
+from repro.layout import codec
+from repro.pmem.machine import PMachine
+
+#: Payload blocks are exactly one cache line, Montage's design point.
+PAYLOAD_BLOCK_SIZE = 64
+
+_MAGIC = 0x4D4F4E7461476531  # "MONtaGe1"
+
+_MAGIC_OFF = 0
+_NBLOCKS_OFF = 8
+_CLEAN_OFF = 16
+_SUMMARY_COUNT_OFF = 24
+#: Two epoch-runtime words live in the slab header too (see epoch.py).
+_EPOCH_OFF = 32
+_COUNT0_OFF = 40
+_COUNT1_OFF = 48
+_HEADER_SIZE = 64
+
+STATUS_FREE = 0
+STATUS_USED = 0x05ED
+
+
+class MontageAllocator:
+    """Slab allocator with DRAM free list and clean-shutdown summary."""
+
+    def __init__(self, machine: PMachine, base: int, n_blocks: int):
+        self.machine = machine
+        self.base = base
+        self.n_blocks = n_blocks
+        self._free: List[int] = []
+        self._bugs = frozenset()
+
+    def set_bugs(self, bugs) -> None:
+        self._bugs = frozenset(bugs)
+
+    def bug_on(self, bug_id: str) -> bool:
+        return bug_id in self._bugs
+
+    # ------------------------------------------------------------------ #
+    # layout helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def summary_base(self) -> int:
+        return self.base + _HEADER_SIZE
+
+    @property
+    def blocks_base(self) -> int:
+        return self.summary_base + 8 * self.n_blocks
+
+    @property
+    def end(self) -> int:
+        return self.blocks_base + PAYLOAD_BLOCK_SIZE * self.n_blocks
+
+    def block_addr(self, index: int) -> int:
+        return self.blocks_base + PAYLOAD_BLOCK_SIZE * index
+
+    def header_field(self, offset: int) -> int:
+        return self.base + offset
+
+    def _read_u64(self, addr: int) -> int:
+        return codec.decode_u64(self.machine.load(addr, 8))
+
+    def _write_u64_persist(self, addr: int, value: int) -> None:
+        self.machine.store(addr, codec.encode_u64(value))
+        self.machine.persist(addr, 8)
+
+    def status_of(self, block: int) -> int:
+        return self._read_u64(block)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def format(cls, machine: PMachine, base: int, n_blocks: int
+               ) -> "MontageAllocator":
+        allocator = cls(machine, base, n_blocks)
+        machine.store(base + _NBLOCKS_OFF, codec.encode_u64(n_blocks))
+        for offset in (_CLEAN_OFF, _SUMMARY_COUNT_OFF, _EPOCH_OFF,
+                       _COUNT0_OFF, _COUNT1_OFF):
+            machine.store(base + offset, codec.encode_u64(0))
+        machine.persist(base + _NBLOCKS_OFF, _HEADER_SIZE - _NBLOCKS_OFF)
+        # Zero every block's status word so the scan sees a fresh slab.
+        zeros = bytes(PAYLOAD_BLOCK_SIZE * n_blocks)
+        machine.store(allocator.blocks_base, zeros)
+        machine.persist(allocator.blocks_base, len(zeros))
+        machine.store(base + _MAGIC_OFF, codec.encode_u64(_MAGIC))
+        machine.persist(base + _MAGIC_OFF, 8)
+        allocator._free = [allocator.block_addr(i) for i in range(n_blocks)]
+        return allocator
+
+    @classmethod
+    def is_formatted(cls, machine: PMachine, base: int) -> bool:
+        """True when a slab was (completely) initialised at ``base``.
+
+        The magic is the last thing :meth:`format` persists, so a crash
+        anywhere during initialisation leaves this False — the recovery
+        procedure then legitimately starts from scratch.
+        """
+        return codec.decode_u64(machine.load(base + _MAGIC_OFF, 8)) == _MAGIC
+
+    @classmethod
+    def open(cls, machine: PMachine, base: int, validate: bool = False
+             ) -> "MontageAllocator":
+        """Attach to an existing slab, rebuilding the DRAM free list.
+
+        A clean shutdown summary is trusted for the fast path; with
+        ``validate=True`` (recovery) it is cross-checked against the block
+        statuses, and any disagreement is a detected inconsistency.
+        """
+        magic = codec.decode_u64(machine.load(base + _MAGIC_OFF, 8))
+        if magic != _MAGIC:
+            raise RecoveryError("montage slab magic missing")
+        n_blocks = codec.decode_u64(machine.load(base + _NBLOCKS_OFF, 8))
+        if not 0 < n_blocks <= 1 << 24:
+            raise RecoveryError(f"montage slab claims {n_blocks} blocks")
+        allocator = cls(machine, base, n_blocks)
+        clean = allocator._read_u64(base + _CLEAN_OFF)
+        if clean:
+            allocator._load_summary(validate)
+            # Any crash from here on must rescan.
+            allocator._write_u64_persist(base + _CLEAN_OFF, 0)
+        else:
+            allocator._scan()
+        return allocator
+
+    def _scan(self) -> None:
+        self._free = [
+            self.block_addr(i)
+            for i in range(self.n_blocks)
+            if self.status_of(self.block_addr(i)) == STATUS_FREE
+        ]
+
+    def _load_summary(self, validate: bool) -> None:
+        count = self._read_u64(self.base + _SUMMARY_COUNT_OFF)
+        if count > self.n_blocks:
+            raise RecoveryError(
+                f"montage free-list summary claims {count} entries"
+            )
+        self._free = []
+        for i in range(count):
+            index = self._read_u64(self.summary_base + 8 * i)
+            if index >= self.n_blocks:
+                raise RecoveryError(
+                    f"montage summary entry {i} out of range ({index})"
+                )
+            self._free.append(self.block_addr(index))
+        if validate:
+            actual = {
+                self.block_addr(i)
+                for i in range(self.n_blocks)
+                if self.status_of(self.block_addr(i)) == STATUS_FREE
+            }
+            if set(self._free) != actual:
+                raise RecoveryError(
+                    "montage allocator: trusted clean-shutdown summary "
+                    f"disagrees with block statuses ({len(self._free)} "
+                    f"listed vs {len(actual)} actually free)"
+                )
+
+    def close(self) -> None:
+        """Clean shutdown: persist the free-list summary, then the flag.
+
+        With ``montage.c2_dtor_window`` enabled the order is inverted —
+        the destructor-ordering bug of section 6.4.
+        """
+        from repro.apps import faults
+
+        if faults.branch(self, "montage.c2_dtor_window"):
+            # BUG: flag first, summary second; a crash in between leaves a
+            # trusted stale summary.
+            self._write_u64_persist(self.base + _CLEAN_OFF, 1)
+            self._persist_summary()
+        else:
+            self._persist_summary()
+            self._write_u64_persist(self.base + _CLEAN_OFF, 1)
+
+    def _persist_summary(self) -> None:
+        for i, block in enumerate(self._free):
+            index = (block - self.blocks_base) // PAYLOAD_BLOCK_SIZE
+            self.machine.store(
+                self.summary_base + 8 * i, codec.encode_u64(index)
+            )
+        if self._free:
+            self.machine.persist(self.summary_base, 8 * len(self._free))
+        self._write_u64_persist(
+            self.base + _SUMMARY_COUNT_OFF, len(self._free)
+        )
+
+    # ------------------------------------------------------------------ #
+    # allocation
+    # ------------------------------------------------------------------ #
+
+    def alloc(self) -> int:
+        """Take one payload block.
+
+        The block is handed out still marked FREE; the *runtime* writes the
+        payload (status word last) and persists the whole line, so a crash
+        before the payload commits leaves a recognisably free block and a
+        crash after leaves a payload tagged with a not-yet-persisted epoch
+        — either way recovery stays consistent.
+        """
+        if not self._free:
+            raise AllocationError("montage slab exhausted")
+        return self._free.pop()
+
+    def free(self, block: int) -> None:
+        self._write_u64_persist(block, STATUS_FREE)
+        self._free.append(block)
+
+    def used_blocks(self):
+        for i in range(self.n_blocks):
+            block = self.block_addr(i)
+            if self.status_of(block) == STATUS_USED:
+                yield block

@@ -1,0 +1,254 @@
+"""Montage's epoch-based buffered-durability runtime.
+
+Operations mutate one-cache-line *payload* blocks but do not flush them;
+every ``epoch_length`` operations the runtime *advances*: it flushes all
+payloads written during the closing epoch, persists the item count into
+the epoch-parity slot, and finally persists the epoch number itself — the
+single commit point.  Everything tagged with a later epoch is, by
+definition, not yet durable and is discarded by recovery.
+
+Payload block layout (one cache line)::
+
+    +0  status  u64   FREE / USED (the allocator's word)
+    +8  epoch   u64   epoch in which the payload was created
+    +16 retired u64   epoch in which it was retired (0 = live)
+    +24 key     blob24
+    +48 value   blob16
+
+Reclamation of retired payloads is *deferred* until their retirement epoch
+has persisted.  ``montage.c1_allocator_misuse`` (section 6.4) reclaims
+immediately instead, so a crash wipes a payload the persisted state still
+counts on — the bug that "broke the recoverability of the structures
+built on top" of the allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import RecoveryError
+from repro.layout import codec
+from repro.montage.allocator import (
+    MontageAllocator,
+    PAYLOAD_BLOCK_SIZE,
+    STATUS_USED,
+    _COUNT0_OFF,
+    _COUNT1_OFF,
+    _EPOCH_OFF,
+)
+from repro.pmem.machine import PMachine
+
+_KEY_WIDTH = 24
+_VALUE_WIDTH = 16
+
+_STATUS_OFF = 0
+_EPOCH_FIELD = 8
+_RETIRED_FIELD = 16
+_KEY_FIELD = 24
+_VALUE_FIELD = 48
+
+
+class PayloadView:
+    """Typed accessor for one payload block."""
+
+    def __init__(self, machine: PMachine, addr: int):
+        self.machine = machine
+        self.addr = addr
+
+    def _u64(self, offset: int) -> int:
+        return codec.decode_u64(self.machine.load(self.addr + offset, 8))
+
+    @property
+    def status(self) -> int:
+        return self._u64(_STATUS_OFF)
+
+    @property
+    def epoch(self) -> int:
+        return self._u64(_EPOCH_FIELD)
+
+    @property
+    def retired(self) -> int:
+        return self._u64(_RETIRED_FIELD)
+
+    @property
+    def key(self) -> bytes:
+        return codec.decode_bytes(
+            self.machine.load(self.addr + _KEY_FIELD, _KEY_WIDTH)
+        )
+
+    @property
+    def value(self) -> bytes:
+        return codec.decode_bytes(
+            self.machine.load(self.addr + _VALUE_FIELD, _VALUE_WIDTH)
+        )
+
+
+class MontageRuntime:
+    """Epoch clock + payload management shared by Montage structures."""
+
+    def __init__(self, machine: PMachine, allocator: MontageAllocator,
+                 epoch_length: int = 16, bugs=frozenset()):
+        self.machine = machine
+        self.allocator = allocator
+        self.epoch_length = epoch_length
+        self.bugs = frozenset(bugs)
+        allocator.set_bugs(self.bugs)
+        self._ops_in_epoch = 0
+        #: Payload blocks written in the current epoch (flushed at advance).
+        self._dirty: Set[int] = set()
+        #: (block, retirement_epoch) waiting for their epoch to persist.
+        self._deferred_frees: List[Tuple[int, int]] = []
+        self.current_epoch = self.persisted_epoch + 1
+        self.live_count = 0
+
+    def bug_on(self, bug_id: str) -> bool:
+        return bug_id in self.bugs
+
+    # ------------------------------------------------------------------ #
+    # epoch state in the slab header
+    # ------------------------------------------------------------------ #
+
+    @property
+    def persisted_epoch(self) -> int:
+        return codec.decode_u64(
+            self.machine.load(self.allocator.header_field(_EPOCH_OFF), 8)
+        )
+
+    def persisted_count(self, epoch: int) -> int:
+        offset = _COUNT1_OFF if epoch % 2 else _COUNT0_OFF
+        return codec.decode_u64(
+            self.machine.load(self.allocator.header_field(offset), 8)
+        )
+
+    # ------------------------------------------------------------------ #
+    # payload operations (structures call these)
+    # ------------------------------------------------------------------ #
+
+    def create_payload(self, key: bytes, value: bytes) -> int:
+        """Allocate and fill a payload; buffered until the epoch advances."""
+        block = self.allocator.alloc()
+        machine = self.machine
+        machine.store(block + _EPOCH_FIELD, codec.encode_u64(self.current_epoch))
+        machine.store(block + _RETIRED_FIELD, codec.encode_u64(0))
+        machine.store(
+            block + _KEY_FIELD, codec.encode_bytes(key, _KEY_WIDTH)
+        )
+        machine.store(
+            block + _VALUE_FIELD, codec.encode_bytes(value, _VALUE_WIDTH)
+        )
+        machine.store(block + _STATUS_OFF, codec.encode_u64(STATUS_USED))
+        self._dirty.add(block)
+        self.live_count += 1
+        return block
+
+    def update_payload(self, old_block: int, key: bytes, value: bytes) -> int:
+        """Montage-style update: a fresh payload supersedes the old one."""
+        fresh = self.create_payload(key, value)
+        self.live_count -= 1  # create counted it; net count unchanged
+        self.retire_payload(old_block, count_delta=0)
+        return fresh
+
+    def retire_payload(self, block: int, count_delta: int = -1) -> None:
+        """Mark a payload dead as of the current epoch.
+
+        Correct Montage defers the block's reuse until the retirement
+        epoch has persisted; the c1 bug hands it straight back to the
+        allocator.
+        """
+        from repro.apps import faults
+
+        machine = self.machine
+        machine.store(
+            block + _RETIRED_FIELD, codec.encode_u64(self.current_epoch)
+        )
+        self._dirty.add(block)
+        self.live_count += count_delta
+        if faults.branch(self, "montage.c1_allocator_misuse"):
+            # BUG: immediate reclamation persists the block as FREE while
+            # the persisted state still counts its payload.
+            self._dirty.discard(block)
+            self.allocator.free(block)
+        else:
+            self._deferred_frees.append((block, self.current_epoch))
+
+    def op_complete(self) -> None:
+        """Called after every structure operation; drives the epoch clock."""
+        self._ops_in_epoch += 1
+        if self._ops_in_epoch >= self.epoch_length:
+            self.advance()
+
+    # ------------------------------------------------------------------ #
+    # epoch advance & shutdown
+    # ------------------------------------------------------------------ #
+
+    def advance(self) -> None:
+        """Persist the closing epoch: payloads, count slot, epoch word."""
+        machine = self.machine
+        epoch = self.current_epoch
+        for block in sorted(self._dirty):
+            machine.flush_range(block, PAYLOAD_BLOCK_SIZE)
+        if self._dirty:
+            machine.sfence()
+        self._dirty.clear()
+        count_offset = _COUNT1_OFF if epoch % 2 else _COUNT0_OFF
+        machine.store(
+            self.allocator.header_field(count_offset),
+            codec.encode_u64(self.live_count),
+        )
+        machine.persist(self.allocator.header_field(count_offset), 8)
+        machine.store(
+            self.allocator.header_field(_EPOCH_OFF), codec.encode_u64(epoch)
+        )
+        machine.persist(self.allocator.header_field(_EPOCH_OFF), 8)
+        self.current_epoch = epoch + 1
+        self._ops_in_epoch = 0
+        # Retired payloads whose epoch is now durable can be reclaimed.
+        still_deferred = []
+        for block, retired_epoch in self._deferred_frees:
+            if retired_epoch <= epoch:
+                self.allocator.free(block)
+            else:
+                still_deferred.append((block, retired_epoch))
+        self._deferred_frees = still_deferred
+
+    def shutdown(self) -> None:
+        """Flush the final epoch and close the allocator cleanly."""
+        self.advance()
+        self.allocator.close()
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+
+    def recover_payloads(self) -> Dict[bytes, Tuple[int, bytes]]:
+        """Rebuild the live key set from persisted payloads.
+
+        A payload is live iff its creating epoch persisted and its
+        retirement (if any) did not.  The result is checked against the
+        persisted per-epoch count — the invariant the c1 bug breaks.
+        """
+        epoch = self.persisted_epoch
+        live: Dict[bytes, Tuple[int, bytes]] = {}
+        for block in self.allocator.used_blocks():
+            payload = PayloadView(self.machine, block)
+            created = payload.epoch
+            if created == 0 or created > epoch:
+                continue
+            retired = payload.retired
+            if retired and retired <= epoch:
+                continue
+            key = payload.key
+            if key in live:
+                raise RecoveryError(
+                    f"montage: two live payloads for key {key!r}"
+                )
+            live[key] = (block, payload.value)
+        expected = self.persisted_count(epoch)
+        if len(live) != expected:
+            raise RecoveryError(
+                f"montage: {len(live)} live payloads but epoch {epoch} "
+                f"persisted a count of {expected}"
+            )
+        self.live_count = len(live)
+        self.current_epoch = epoch + 1
+        return live

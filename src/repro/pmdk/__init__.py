@@ -1,0 +1,29 @@
+"""Mini-PMDK: a libpmemobj-style object store on the simulated machine.
+
+Provides pools with a persistent heap, a root object, and undo-log
+transactions, plus a version registry reproducing the behavioural quirks of
+the PMDK releases the paper evaluates (1.6, 1.8) and analyses for new bugs
+(1.12, section 6.4).
+"""
+
+from repro.pmdk.obj import ObjPool
+from repro.pmdk.tx import Transaction
+from repro.pmdk.versions import (
+    PMDK_1_6,
+    PMDK_1_8,
+    PMDK_1_12,
+    PMDK_FIXED,
+    PmdkVersion,
+    lookup_version,
+)
+
+__all__ = [
+    "ObjPool",
+    "PMDK_1_6",
+    "PMDK_1_8",
+    "PMDK_1_12",
+    "PMDK_FIXED",
+    "PmdkVersion",
+    "Transaction",
+    "lookup_version",
+]

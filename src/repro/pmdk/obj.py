@@ -1,0 +1,133 @@
+"""The pool-level object store: pool header + undo log + heap + root.
+
+``ObjPool`` is the mini analog of libpmemobj's ``PMEMobjpool``: it owns the
+pool layout, runs undo-log recovery on open (as ``pmemobj_open`` does), and
+hands out transactions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.alloc import HeapStats, PAllocator
+from repro.errors import PoolError
+from repro.pmdk.tx import Transaction
+from repro.pmdk.undolog import TX_ACTIVE, UndoLog
+from repro.pmdk.versions import PMDK_FIXED, PmdkVersion
+from repro.pmem.machine import PMachine
+from repro.pmem.pool import HEADER_SIZE, PmemPool
+
+#: Default size of the primary undo-log region (entry area + header).
+DEFAULT_LOG_CAPACITY = 4 * 1024
+
+
+def _align64(value: int) -> int:
+    return (value + 63) & ~63
+
+
+class ObjPool:
+    """A persistent object pool with transactions and a typed root."""
+
+    def __init__(
+        self,
+        machine: PMachine,
+        pool: PmemPool,
+        version: PmdkVersion,
+        log_capacity: int,
+    ):
+        self.machine = machine
+        self.pool = pool
+        self.version = version
+        self._log_base = _align64(HEADER_SIZE)
+        self._heap_base = _align64(self._log_base + log_capacity)
+        self.allocator = PAllocator(machine, self._heap_base, machine.medium.size)
+        self.log = UndoLog(machine, self._log_base, log_capacity, self.allocator)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(
+        cls,
+        machine: PMachine,
+        layout: str,
+        version: PmdkVersion = PMDK_FIXED,
+        log_capacity: int = DEFAULT_LOG_CAPACITY,
+    ) -> "ObjPool":
+        pool = PmemPool.create_unpublished(machine, layout)
+        obj = cls(machine, pool, version, log_capacity)
+        obj.log.format()
+        PAllocator.format(machine, obj._heap_base, machine.medium.size)
+        # Publish the pool magic only after log and heap are durable, so a
+        # crash during initialisation never exposes a half-formatted pool.
+        pool.publish()
+        return obj
+
+    @classmethod
+    def open(
+        cls,
+        machine: PMachine,
+        layout: str,
+        version: PmdkVersion = PMDK_FIXED,
+        log_capacity: int = DEFAULT_LOG_CAPACITY,
+    ) -> "ObjPool":
+        """Open an existing pool, running undo-log recovery if needed.
+
+        Mirrors ``pmemobj_open``: an interrupted transaction is rolled back
+        before the application sees the pool.  Any
+        :class:`~repro.errors.RecoveryError` raised here (corrupt log,
+        freed overflow space...) is a detected crash-consistency failure.
+        """
+        pool = PmemPool.open(machine, layout)
+        obj = cls(machine, pool, version, log_capacity)
+        obj.allocator = PAllocator.attach(machine, obj._heap_base, machine.medium.size)
+        obj.log.allocator = obj.allocator
+        if obj.log.tx_state == TX_ACTIVE:
+            obj.log.rollback()
+        return obj
+
+    # ------------------------------------------------------------------ #
+    # transactions
+    # ------------------------------------------------------------------ #
+
+    def tx(self) -> Transaction:
+        return Transaction(self.log, self.version, self.allocator)
+
+    # ------------------------------------------------------------------ #
+    # root object
+    # ------------------------------------------------------------------ #
+
+    def root(self, size: int) -> int:
+        """Return the root object's address, allocating it on first use.
+
+        The allocation and publication happen inside a transaction so a
+        crash can never publish a half-created root.
+        """
+        if self.pool.root_offset != 0:
+            if self.pool.root_size < size:
+                raise PoolError(
+                    f"root object is {self.pool.root_size} bytes, "
+                    f"caller expects {size}"
+                )
+            return self.pool.root_offset
+        with self.tx() as tx:
+            addr = tx.alloc(size)
+            zero = bytes(size)
+            self.machine.store(addr, zero)
+            self.machine.flush_range(addr, size)
+            self.machine.sfence()
+        self.pool.set_root(addr, size)
+        return addr
+
+    def existing_root(self) -> Optional[int]:
+        offset = self.pool.root_offset
+        return offset or None
+
+    # ------------------------------------------------------------------ #
+    # recovery helpers
+    # ------------------------------------------------------------------ #
+
+    def check_heap(self) -> HeapStats:
+        """Validate allocator metadata (part of application recovery)."""
+        return self.allocator.recover()

@@ -1,0 +1,166 @@
+"""Undo-log transactions over :class:`repro.pmdk.undolog.UndoLog`.
+
+Usage mirrors libpmemobj::
+
+    with pool.tx() as tx:
+        tx.add(node_addr, NODE.size)     # snapshot before modifying
+        view.set_u64("n_keys", n + 1)    # modify freely
+        child = tx.alloc(NODE.size)      # transactional allocation
+
+On normal exit the transaction commits: modified ranges are flushed and
+fenced, then the transaction state is durably cleared in a single 8-byte
+store (the commit point).  On an exception the transaction aborts and the
+undo log rolls every snapshot back.
+
+The section 6.4 PMDK bug is reproduced verbatim here: when the active
+version carries ``tx_commit_overflow_ordering_bug``, commit releases the
+dynamically allocated overflow undo log *before* the commit point, so a
+crash inside that window leaves an active transaction whose log points at
+freed memory and recovery fails abruptly.  Only *large* transactions (whose
+logs spilled into overflow space) have this window — which is why the bug
+"was only exposed when performing a large number of operations" (paper,
+section 6.4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import TransactionError
+from repro.pmdk.undolog import UndoLog
+from repro.pmdk.versions import PmdkVersion
+
+
+class Transaction:
+    """A single open transaction; obtain via ``ObjPool.tx()``."""
+
+    def __init__(self, log: UndoLog, version: PmdkVersion, allocator):
+        self._log = log
+        self._version = version
+        self._allocator = allocator
+        self._open = False
+        #: Ranges snapshotted in this tx (volatile dedup, like PMDK's ranges).
+        self._added: Set[Tuple[int, int]] = set()
+        #: Modified ranges to flush at commit.
+        self._dirty: List[Tuple[int, int]] = []
+        #: Payloads allocated in this tx (flushed whole at commit).
+        self._allocs: List[Tuple[int, int]] = []
+        #: Frees deferred to after the commit point.
+        self._deferred_frees: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # context manager
+    # ------------------------------------------------------------------ #
+
+    def __enter__(self) -> "Transaction":
+        self._log.begin()
+        self._open = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.commit()
+            return False
+        self.abort()
+        return False  # propagate the exception
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise TransactionError("transaction is not open")
+
+    def add(self, addr: int, size: int) -> None:
+        """Snapshot ``[addr, addr+size)`` so the tx can be rolled back."""
+        self._require_open()
+        key = (addr, size)
+        if key in self._added:
+            return
+        self._added.add(key)
+        self._log.append_snapshot(addr, size)
+        self._dirty.append(key)
+
+    def alloc(self, size: int) -> int:
+        """Transactional allocation: released again if the tx never commits."""
+        self._require_open()
+        payload = self._allocator.alloc(size)
+        self._log.append_alloc(payload)
+        self._allocs.append((payload, self._allocator.payload_size(payload)))
+        return payload
+
+    def free(self, payload: int) -> None:
+        """Transactional free, deferred until after the commit point."""
+        self._require_open()
+        self._deferred_frees.append(payload)
+
+    # ------------------------------------------------------------------ #
+    # commit / abort
+    # ------------------------------------------------------------------ #
+
+    def commit(self) -> None:
+        self._require_open()
+        machine = self._log.machine
+        # 1. Make the transaction's writes durable.  Like PMDK, only cache
+        # lines actually modified within the snapshotted ranges are flushed.
+        repeats = 2 if self._version.redundant_commit_flush else 1
+        flushed = 0
+        for repeat in range(repeats):
+            for addr, size in self._dirty + self._allocs:
+                for base in machine.dirty_lines_in_range(addr, size):
+                    machine.clwb(base)
+                    flushed += 1
+                if repeat > 0:
+                    # The 1.6 performance bug: a second, redundant flush
+                    # pass over every logged range.
+                    for base in machine.lines_in_range(addr, size):
+                        machine.clwb(base)
+                        flushed += 1
+        if flushed:
+            machine.sfence()
+        # 2. The commit point (with the version-dependent ordering bug).
+        if self._version.tx_commit_overflow_ordering_bug:
+            # BUG (pmem/pmdk#5461 analog): the overflow undo log is freed
+            # while the transaction is still durably marked active.
+            self._log.release_overflow()
+            self._log.mark_idle()
+        else:
+            self._log.mark_idle()
+            self._log.release_overflow()
+        # 3. Deferred frees, only after the commit point.
+        for payload in self._deferred_frees:
+            self._allocator.free(payload)
+        self._close()
+
+    def abort(self) -> None:
+        self._require_open()
+        self._log.rollback()
+        self._close()
+
+    def _close(self) -> None:
+        self._open = False
+        self._added.clear()
+        self._dirty.clear()
+        self._allocs.clear()
+        self._deferred_frees.clear()
+
+
+class NullTransaction:
+    """Context manager used by non-transactional (atomic-style) code paths
+    that still want the ``with pool.tx()`` shape in shared helpers."""
+
+    def __enter__(self) -> "NullTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add(self, addr: int, size: int) -> None:  # pragma: no cover - trivial
+        pass
+
+    def alloc(self, size: int) -> Optional[int]:
+        raise TransactionError("allocation requires a real transaction")
+
+    def free(self, payload: int) -> None:
+        raise TransactionError("free requires a real transaction")

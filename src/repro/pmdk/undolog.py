@@ -1,0 +1,308 @@
+"""Persistent undo log with dynamically allocated overflow space.
+
+Layout of the primary log region (``log_base`` is 64-byte aligned)::
+
+    +0   tx_state      u64   IDLE / ACTIVE -- the single commit point
+    +8   num_entries   u64   entries in the primary area
+    +16  data_tail     u64   bytes used in the primary entry area
+    +24  overflow_ptr  u64   payload address of the first overflow block
+    +64  entry area ...
+
+Entries are ``[kind u64][addr u64][size u64][old data, 8-aligned]`` where
+kind 1 is a range snapshot and kind 2 records a transactional allocation
+(so recovery can release blocks allocated by an uncommitted transaction).
+
+When the primary area fills, further entries spill into a chain of
+heap-allocated overflow blocks (``[next u64][num u64][tail u64][entries at
++64]``).  Large transactions — like the PMDK example stores performing
+every put inside one transaction — always hit the overflow path, which is
+where the section 6.4 commit-ordering bug lives (see :mod:`repro.pmdk.tx`).
+
+Persistence discipline: entry bytes are durable *before* the entry counter
+that publishes them, and the counter/tail pair shares a cache line with the
+rest of the header, so recovery never sees a half-written entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.alloc import PAllocator, STATUS_ALLOCATED
+from repro.errors import RecoveryError, TransactionError
+from repro.layout import codec
+from repro.pmem.machine import PMachine
+
+TX_IDLE = 0
+TX_ACTIVE = 0x00AC71FE
+
+KIND_SNAPSHOT = 1
+KIND_ALLOC = 2
+
+_STATE_OFF = 0
+_COUNT_OFF = 8
+_TAIL_OFF = 16
+_OVERFLOW_OFF = 24
+_ENTRY_AREA_OFF = 64
+
+#: Payload size of each overflow block allocated from the heap.
+OVERFLOW_BLOCK_SIZE = 32 * 1024
+_OB_NEXT = 0
+_OB_COUNT = 8
+_OB_TAIL = 16
+_OB_ENTRIES = 64
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    kind: int
+    addr: int
+    size: int
+    old_data: bytes
+
+
+def _align8(value: int) -> int:
+    return (value + 7) & ~7
+
+
+class UndoLog:
+    """The undo log for one pool (single-transaction-at-a-time)."""
+
+    def __init__(
+        self,
+        machine: PMachine,
+        log_base: int,
+        capacity: int,
+        allocator: PAllocator,
+    ):
+        if capacity < _ENTRY_AREA_OFF + 64:
+            raise ValueError(f"log capacity {capacity} too small")
+        self.machine = machine
+        self.log_base = log_base
+        self.capacity = capacity
+        self.allocator = allocator
+        #: Volatile handle to the overflow block currently accepting entries.
+        self._active_overflow: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # header accessors
+    # ------------------------------------------------------------------ #
+
+    def _read_u64(self, addr: int) -> int:
+        return codec.decode_u64(self.machine.load(addr, 8))
+
+    def _write_u64_persist(self, addr: int, value: int) -> None:
+        self.machine.store(addr, codec.encode_u64(value))
+        self.machine.persist(addr, 8)
+
+    @property
+    def tx_state(self) -> int:
+        return self._read_u64(self.log_base + _STATE_OFF)
+
+    @property
+    def num_entries(self) -> int:
+        return self._read_u64(self.log_base + _COUNT_OFF)
+
+    @property
+    def data_tail(self) -> int:
+        return self._read_u64(self.log_base + _TAIL_OFF)
+
+    @property
+    def overflow_ptr(self) -> int:
+        return self._read_u64(self.log_base + _OVERFLOW_OFF)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def format(self) -> None:
+        """Zero the log header (used at pool creation)."""
+        for offset in (_STATE_OFF, _COUNT_OFF, _TAIL_OFF, _OVERFLOW_OFF):
+            self.machine.store(self.log_base + offset, codec.encode_u64(0))
+        self.machine.persist(self.log_base, _ENTRY_AREA_OFF)
+
+    def begin(self) -> None:
+        """Reset counters and mark a transaction active."""
+        if self.tx_state == TX_ACTIVE:
+            raise TransactionError("a transaction is already active")
+        self.machine.store(self.log_base + _COUNT_OFF, codec.encode_u64(0))
+        self.machine.store(self.log_base + _TAIL_OFF, codec.encode_u64(0))
+        self.machine.store(self.log_base + _OVERFLOW_OFF, codec.encode_u64(0))
+        self.machine.persist(self.log_base + _COUNT_OFF, 24)
+        self._active_overflow = None
+        self._write_u64_persist(self.log_base + _STATE_OFF, TX_ACTIVE)
+
+    def mark_idle(self) -> None:
+        """The commit point: one atomic durable store."""
+        self._write_u64_persist(self.log_base + _STATE_OFF, TX_IDLE)
+
+    # ------------------------------------------------------------------ #
+    # appending
+    # ------------------------------------------------------------------ #
+
+    def append_snapshot(self, addr: int, size: int) -> None:
+        old = self.machine.load(addr, size)
+        self._append(KIND_SNAPSHOT, addr, size, old)
+
+    def append_alloc(self, payload_addr: int) -> None:
+        self._append(KIND_ALLOC, payload_addr, 0, b"")
+
+    def _append(self, kind: int, addr: int, size: int, data: bytes) -> None:
+        record = (
+            codec.encode_u64(kind)
+            + codec.encode_u64(addr)
+            + codec.encode_u64(size)
+            + data
+        )
+        record += bytes(_align8(len(record)) - len(record))
+        if not self._append_primary(record):
+            self._append_overflow(record)
+
+    def _append_primary(self, record: bytes) -> bool:
+        tail = self.data_tail
+        area_size = self.capacity - _ENTRY_AREA_OFF
+        if tail + len(record) > area_size:
+            return False
+        entry_addr = self.log_base + _ENTRY_AREA_OFF + tail
+        self.machine.store(entry_addr, record)
+        self.machine.persist(entry_addr, len(record))
+        # Publish: counter and tail after the entry bytes are durable.
+        self.machine.store(
+            self.log_base + _COUNT_OFF, codec.encode_u64(self.num_entries + 1)
+        )
+        self.machine.store(
+            self.log_base + _TAIL_OFF, codec.encode_u64(tail + len(record))
+        )
+        self.machine.persist(self.log_base + _COUNT_OFF, 16)
+        return True
+
+    def _append_overflow(self, record: bytes) -> None:
+        if len(record) > OVERFLOW_BLOCK_SIZE - _OB_ENTRIES:
+            raise TransactionError(
+                f"log record of {len(record)} bytes exceeds overflow block size"
+            )
+        block = self._active_overflow
+        if block is not None:
+            tail = self._read_u64(block + _OB_TAIL)
+            if tail + len(record) > OVERFLOW_BLOCK_SIZE - _OB_ENTRIES:
+                block = None
+        if block is None:
+            block = self._grow_overflow()
+        tail = self._read_u64(block + _OB_TAIL)
+        entry_addr = block + _OB_ENTRIES + tail
+        self.machine.store(entry_addr, record)
+        self.machine.persist(entry_addr, len(record))
+        self.machine.store(
+            block + _OB_COUNT,
+            codec.encode_u64(self._read_u64(block + _OB_COUNT) + 1),
+        )
+        self.machine.store(
+            block + _OB_TAIL, codec.encode_u64(tail + len(record))
+        )
+        self.machine.persist(block + _OB_COUNT, 16)
+
+    def _grow_overflow(self) -> int:
+        """Allocate and link one more overflow block; returns its address."""
+        block = self.allocator.alloc(OVERFLOW_BLOCK_SIZE)
+        self.machine.store(block + _OB_NEXT, codec.encode_u64(0))
+        self.machine.store(block + _OB_COUNT, codec.encode_u64(0))
+        self.machine.store(block + _OB_TAIL, codec.encode_u64(0))
+        self.machine.persist(block, _OB_ENTRIES)
+        if self._active_overflow is None:
+            # Link from the primary header once the block is initialised.
+            self._write_u64_persist(self.log_base + _OVERFLOW_OFF, block)
+        else:
+            self._write_u64_persist(self._active_overflow + _OB_NEXT, block)
+        self._active_overflow = block
+        return block
+
+    # ------------------------------------------------------------------ #
+    # reading / rollback
+    # ------------------------------------------------------------------ #
+
+    def _decode_entries(self, area_base: int, count: int) -> List[LogEntry]:
+        entries = []
+        cursor = area_base
+        for _ in range(count):
+            kind = self._read_u64(cursor)
+            addr = self._read_u64(cursor + 8)
+            size = self._read_u64(cursor + 16)
+            if kind not in (KIND_SNAPSHOT, KIND_ALLOC):
+                raise RecoveryError(
+                    f"undo log corrupt: entry kind {kind} at 0x{cursor:x}"
+                )
+            if size > self.machine.medium.size:
+                raise RecoveryError(
+                    f"undo log corrupt: entry size {size} at 0x{cursor:x}"
+                )
+            data = self.machine.load(cursor + 24, size) if size else b""
+            entries.append(LogEntry(kind, addr, size, data))
+            cursor += _align8(24 + size)
+        return entries
+
+    def _block_is_live(self, block: int) -> bool:
+        try:
+            header = self.machine.load(block - 8, 8)
+        except Exception:
+            return False
+        return codec.decode_u64(header) == STATUS_ALLOCATED
+
+    def collect_entries(self) -> List[LogEntry]:
+        """All log entries in append order, primary area then overflow chain.
+
+        Raises :class:`RecoveryError` when the chain references memory that
+        is no longer allocated — which is precisely the state the
+        section 6.4 PMDK bug leaves behind.
+        """
+        entries = self._decode_entries(
+            self.log_base + _ENTRY_AREA_OFF, self.num_entries
+        )
+        block = self.overflow_ptr
+        seen = set()
+        while block != 0:
+            if block in seen:
+                raise RecoveryError("undo log overflow chain contains a cycle")
+            seen.add(block)
+            if not self._block_is_live(block):
+                raise RecoveryError(
+                    f"undo log overflow block at 0x{block:x} is not allocated "
+                    "(active transaction log points at freed memory)"
+                )
+            count = self._read_u64(block + _OB_COUNT)
+            entries.extend(self._decode_entries(block + _OB_ENTRIES, count))
+            block = self._read_u64(block + _OB_NEXT)
+        return entries
+
+    def rollback(self) -> int:
+        """Undo an active transaction; returns the number of entries undone.
+
+        Idempotent with respect to re-crashes during rollback: snapshots are
+        plain overwrites, and allocation releases check liveness first.
+        """
+        if self.tx_state != TX_ACTIVE:
+            return 0
+        entries = self.collect_entries()
+        for entry in reversed(entries):
+            if entry.kind == KIND_SNAPSHOT:
+                self.machine.store(entry.addr, entry.old_data)
+                self.machine.persist(entry.addr, entry.size)
+            elif entry.kind == KIND_ALLOC and self._block_is_live(entry.addr):
+                self.allocator.free(entry.addr)
+        self.release_overflow()
+        self.mark_idle()
+        return len(entries)
+
+    def release_overflow(self) -> None:
+        """Free the whole overflow chain and clear the chain pointer."""
+        block = self.overflow_ptr
+        while block != 0:
+            next_block = self._read_u64(block + _OB_NEXT)
+            if self._block_is_live(block):
+                self.allocator.free(block)
+            block = next_block
+        self._write_u64_persist(self.log_base + _OVERFLOW_OFF, 0)
+        self._active_overflow = None
+
+    def snapshot_ranges(self) -> List[LogEntry]:
+        """Snapshot entries only (used by commit to flush modified ranges)."""
+        return [e for e in self.collect_entries() if e.kind == KIND_SNAPSHOT]

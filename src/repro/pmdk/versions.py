@@ -1,0 +1,62 @@
+"""Behavioural registry for the PMDK versions the paper exercises.
+
+The paper evaluates tools against PMDK 1.6 (XFDetector, Agamotto) and 1.8
+(PMDebugger, Witcher), and finds two new bugs in 1.12 (section 6.4).  Each
+:class:`PmdkVersion` reintroduces the corresponding behaviour:
+
+* ``tx_commit_overflow_ordering_bug`` — the section 6.4 high-priority bug:
+  while committing a *large* transaction (one whose undo log spilled into
+  dynamically allocated overflow space), the overflow log is released
+  *before* the transaction state is durably cleared.  A crash inside that
+  window leaves an active-looking transaction whose undo log points at
+  freed memory, and the post-failure recovery (or the next large
+  transaction) crashes.  Matches pmem/pmdk issue #5461.
+* ``hashmap_atomic_broken`` — the evaluation notes "Hashmap Atomic does not
+  work correctly with PMDK 1.8"; the 1.8 entry carries a flag so the
+  hashmap refuses to run on it, and the experiment harness excludes the
+  pairing exactly like the paper does.
+* ``redundant_commit_flush`` — an early-release performance bug: the commit
+  path flushes every snapshotted range twice.  Pure performance bug, found
+  by the trace-analysis phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class PmdkVersion:
+    """One PMDK release's behavioural profile."""
+
+    name: str
+    #: Section 6.4 bug: overflow undo log freed before the commit point.
+    tx_commit_overflow_ordering_bug: bool = False
+    #: The hashmap_atomic example does not operate correctly on this release.
+    hashmap_atomic_broken: bool = False
+    #: Performance bug: commit flushes each snapshotted range twice.
+    redundant_commit_flush: bool = False
+
+    def __str__(self) -> str:
+        return f"PMDK {self.name}"
+
+
+PMDK_1_6 = PmdkVersion("1.6", redundant_commit_flush=True)
+PMDK_1_8 = PmdkVersion("1.8", hashmap_atomic_broken=True)
+PMDK_1_12 = PmdkVersion("1.12", tx_commit_overflow_ordering_bug=True)
+#: The state after the maintainers fixed issue #5461.
+PMDK_FIXED = PmdkVersion("fixed")
+
+_REGISTRY: Dict[str, PmdkVersion] = {
+    v.name: v for v in (PMDK_1_6, PMDK_1_8, PMDK_1_12, PMDK_FIXED)
+}
+
+
+def lookup_version(name: str) -> PmdkVersion:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown PMDK version {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

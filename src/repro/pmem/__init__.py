@@ -1,0 +1,35 @@
+"""Simulated persistent-memory hardware substrate.
+
+Public surface:
+
+* :class:`~repro.pmem.machine.PMachine` — the x86-style machine with
+  relaxed, buffered persistency.
+* :class:`~repro.pmem.pool.PmemPool` — pool headers and root objects.
+* :mod:`~repro.pmem.events` — the trace-event vocabulary tools consume.
+* :mod:`~repro.pmem.crashsim` — crash-image generation from traces.
+"""
+
+from repro.pmem.constants import (
+    ATOMIC_WRITE_SIZE,
+    CACHE_LINE_SIZE,
+    cache_line_of,
+    cache_lines_spanned,
+)
+from repro.pmem.events import MemoryEvent, Opcode
+from repro.pmem.machine import VOLATILE_BASE, PMachine
+from repro.pmem.medium import Medium
+from repro.pmem.pool import HEADER_SIZE, PmemPool
+
+__all__ = [
+    "ATOMIC_WRITE_SIZE",
+    "CACHE_LINE_SIZE",
+    "HEADER_SIZE",
+    "Medium",
+    "MemoryEvent",
+    "Opcode",
+    "PMachine",
+    "PmemPool",
+    "VOLATILE_BASE",
+    "cache_line_of",
+    "cache_lines_spanned",
+]

@@ -1,0 +1,102 @@
+"""Typed trace events emitted by the simulated machine.
+
+This is the "instruction stream" the detection tools observe.  It mirrors
+what Mumak's Pin tools capture (section 5 of the paper): the opcode of every
+PM-relevant instruction, its argument(s), and a monotonically increasing
+instruction counter that uniquely identifies each traced instruction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Opcode(enum.Enum):
+    """PM-relevant instruction kinds, following section 2 of the paper."""
+
+    STORE = "store"
+    NT_STORE = "ntstore"
+    LOAD = "load"
+    CLFLUSH = "clflush"
+    CLFLUSHOPT = "clflushopt"
+    CLWB = "clwb"
+    SFENCE = "sfence"
+    MFENCE = "mfence"
+    RMW = "rmw"
+
+    @property
+    def is_store(self) -> bool:
+        return self in (Opcode.STORE, Opcode.NT_STORE, Opcode.RMW)
+
+    @property
+    def is_flush(self) -> bool:
+        return self in (Opcode.CLFLUSH, Opcode.CLFLUSHOPT, Opcode.CLWB)
+
+    @property
+    def is_fence(self) -> bool:
+        """True for instructions with fence (ordering) semantics.
+
+        Read-modify-write atomics flush the store buffer to guarantee their
+        atomicity and therefore act as fences (paper, section 2).
+        """
+        return self in (Opcode.SFENCE, Opcode.MFENCE, Opcode.RMW)
+
+    @property
+    def is_persistency_instruction(self) -> bool:
+        """Flushes and fences: Mumak's default failure-point granularity."""
+        return self.is_flush or self.is_fence
+
+
+#: Flushes that may be reordered until the next fence executes.
+WEAK_FLUSHES = (Opcode.CLFLUSHOPT, Opcode.CLWB)
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """One traced PM instruction.
+
+    Attributes:
+        seq: Monotone instruction counter, unique within one execution.
+        opcode: Which instruction executed.
+        address: Target address (stores, loads, flushes, RMW); None for
+            fences, which take no argument.
+        size: Number of bytes accessed; 0 for fences.
+        data: Bytes written, for write-type events.  Carried in the trace so
+            deterministic program-order-prefix crash images can be
+            materialised without re-executing the program.
+        site: Opaque code-location identifier (the analog of the instruction
+            address Pin reports); used to build the failure point tree.
+        stack: Filtered application call stack, when backtrace collection is
+            enabled.  The minimal tracer leaves it None and a debug re-run
+            fills it in later, mirroring the paper's optimisation.
+    """
+
+    seq: int
+    opcode: Opcode
+    address: Optional[int] = None
+    size: int = 0
+    data: Optional[bytes] = None
+    site: Optional[str] = None
+    stack: Optional[Tuple[str, ...]] = field(default=None, compare=False)
+
+    @property
+    def is_write(self) -> bool:
+        return self.opcode.is_store
+
+    @property
+    def end(self) -> int:
+        if self.address is None:
+            return 0
+        return self.address + self.size
+
+    def describe(self) -> str:
+        """Human-readable one-line rendering used in bug reports."""
+        loc = f" @ {self.site}" if self.site else ""
+        if self.opcode.is_fence and self.opcode is not Opcode.RMW:
+            return f"#{self.seq} {self.opcode.value}{loc}"
+        return (
+            f"#{self.seq} {self.opcode.value}"
+            f" addr=0x{(self.address or 0):x} size={self.size}{loc}"
+        )

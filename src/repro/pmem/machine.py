@@ -1,0 +1,497 @@
+"""The simulated machine implementing x86 relaxed, buffered persistency.
+
+This is the hardware substrate everything else runs on.  It follows the
+semantics laid out in section 2 of the Mumak paper:
+
+* ``store`` writes land in volatile CPU cache lines and can stay there
+  indefinitely; they are *visible* to loads but not *persistent*.
+* ``clflush`` writes a cache line back to the medium immediately and is
+  ordered with respect to other stores.
+* ``clflushopt`` and ``clwb`` are *weak* flushes: they only take effect at
+  the next fence, until which they may be buffered (and, on real hardware,
+  reordered).  ``clflushopt`` additionally invalidates the line.
+* ``sfence``/``mfence`` execute all buffered flushes and non-temporal
+  stores, making them durable.
+* ``ntstore`` bypasses the cache but is still buffered until a fence.
+* read-modify-write atomics act as fences.
+* the cache may also evict dirty lines on its own (policy-controlled),
+  which persists data nondeterministically — the reason missing-flush bugs
+  can hide.
+
+A *crash* discards every volatile structure; only the medium survives.
+
+Applications address two disjoint regions through the same instruction
+interface: persistent memory at ``[0, pm_size)`` and a volatile region at
+``VOLATILE_BASE + x`` (the analog of ordinary DRAM mapped alongside the DAX
+mapping).  Detection tools know the PM mapping range — just as real tools
+know which address range ``mmap`` returned for the DAX file — and use it to
+classify accesses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import PMemError
+from repro.pmem.cache import Cache, CacheLine, EvictionPolicy
+from repro.pmem.constants import (
+    CACHE_LINE_SIZE,
+    DEFAULT_CACHE_CAPACITY,
+    DEFAULT_POOL_SIZE,
+    cache_line_of,
+    cache_lines_spanned,
+)
+from repro.pmem.events import MemoryEvent, Opcode
+from repro.pmem.medium import Medium
+
+#: Base of the volatile (DRAM) address region.  Anything at or above this
+#: address never survives a crash.
+VOLATILE_BASE = 1 << 40
+
+EventHook = Callable[[MemoryEvent, "PMachine"], None]
+
+
+class PMachine:
+    """A single-hart machine with persistent and volatile memory.
+
+    Event hooks registered with :meth:`add_hook` observe every PM-relevant
+    instruction; this is the attachment surface the instrumentation layer
+    (the Pin analog) uses.  Accesses to the volatile region are also
+    reported, since a black-box tool sees every instruction and must decide
+    for itself which addresses are persistent.
+    """
+
+    def __init__(
+        self,
+        pm_size: int = DEFAULT_POOL_SIZE,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        eviction: Optional[EvictionPolicy] = None,
+        trace_loads: bool = False,
+        trace_volatile: bool = False,
+        eadr: bool = False,
+    ):
+        self.medium = Medium(pm_size)
+        self.cache = Cache(cache_capacity, eviction)
+        self.trace_loads = trace_loads
+        self.trace_volatile = trace_volatile
+        #: Enhanced Asynchronous DRAM Refresh (paper, section 2): the
+        #: persistence domain extends to the CPU caches, so cache-resident
+        #: stores survive a crash without explicit flushes.  Fences are
+        #: still required to order weakly-ordered (non-temporal) stores,
+        #: and instruction-order-induced inconsistencies remain possible —
+        #: which is why Mumak's fault-injection findings still apply.
+        self.eadr = eadr
+        #: Buffered weak flushes: line base -> line data snapshotted at flush
+        #: time, applied to the medium by the next fence (insertion ordered).
+        self._pending_flushes: "OrderedDict[int, Tuple[bytes, Opcode]]" = OrderedDict()
+        #: Buffered non-temporal stores, applied by the next fence.
+        self._pending_nt: List[Tuple[int, bytes]] = []
+        #: Volatile DRAM overlay for addresses >= VOLATILE_BASE.
+        self._volatile: Dict[int, int] = {}
+        self._hooks: List[EventHook] = []
+        self._seq = 0
+        self.crashed = False
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_image(cls, image: bytes, **kwargs) -> "PMachine":
+        """Boot a fresh machine whose medium holds a crash image."""
+        machine = cls(pm_size=len(image), **kwargs)
+        machine.medium.restore(image)
+        return machine
+
+    # ------------------------------------------------------------------ #
+    # hook plumbing
+    # ------------------------------------------------------------------ #
+
+    def add_hook(self, hook: EventHook) -> None:
+        self._hooks.append(hook)
+
+    def remove_hook(self, hook: EventHook) -> None:
+        self._hooks.remove(hook)
+
+    def clear_hooks(self) -> None:
+        self._hooks.clear()
+
+    @property
+    def instruction_count(self) -> int:
+        """Value the next emitted event's ``seq`` will take."""
+        return self._seq
+
+    def _emit(
+        self,
+        opcode: Opcode,
+        address: Optional[int] = None,
+        size: int = 0,
+        data: Optional[bytes] = None,
+    ) -> MemoryEvent:
+        event = MemoryEvent(
+            seq=self._seq, opcode=opcode, address=address, size=size, data=data
+        )
+        self._seq += 1
+        for hook in list(self._hooks):
+            hook(event, self)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # address classification
+    # ------------------------------------------------------------------ #
+
+    def is_persistent(self, address: int) -> bool:
+        """True if the address lies in (or below) the persistent mapping.
+
+        Negative addresses are classified as persistent so that they fault
+        with an out-of-bounds error, like any wild pointer would — they
+        must not silently read volatile zeros.
+        """
+        return address < VOLATILE_BASE
+
+    def _check_pm_bounds(self, address: int, size: int) -> None:
+        self.medium.check_bounds(address, size)
+
+    # ------------------------------------------------------------------ #
+    # volatile region
+    # ------------------------------------------------------------------ #
+
+    def _volatile_write(self, address: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self._volatile[address + i] = byte
+
+    def _volatile_read(self, address: int, size: int) -> bytes:
+        return bytes(self._volatile.get(address + i, 0) for i in range(size))
+
+    # ------------------------------------------------------------------ #
+    # stores and loads
+    # ------------------------------------------------------------------ #
+
+    def store(self, address: int, data: bytes) -> None:
+        """Regular (cached, write-back) store."""
+        if self.crashed:
+            raise PMemError("machine has crashed; no further execution")
+        data = bytes(data)
+        if not self.is_persistent(address):
+            self._volatile_write(address, data)
+            if self.trace_volatile:
+                self._emit(Opcode.STORE, address, len(data), data)
+            return
+        self._check_pm_bounds(address, len(data))
+        self._write_through_cache(address, data)
+        self._trim_pending_nt(address, len(data))
+        self._emit(Opcode.STORE, address, len(data), data)
+
+    def _write_through_cache(self, address: int, data: bytes) -> None:
+        cursor = address
+        remaining = memoryview(data)
+        while remaining:
+            base = cache_line_of(cursor)
+            line = self.cache.get(base)
+            if line is None:
+                line = CacheLine(base, self.medium.read(base, CACHE_LINE_SIZE))
+                victim = self.cache.install(line)
+                if victim is not None:
+                    # Write-back eviction: the victim's data silently
+                    # becomes durable.
+                    self.medium.write(victim.base, victim.copy_data())
+            offset = cursor - base
+            chunk = min(len(remaining), CACHE_LINE_SIZE - offset)
+            line.write(offset, bytes(remaining[:chunk]))
+            cursor += chunk
+            remaining = remaining[chunk:]
+
+    def load(self, address: int, size: int) -> bytes:
+        if self.crashed:
+            raise PMemError("machine has crashed; no further execution")
+        if not self.is_persistent(address):
+            value = self._volatile_read(address, size)
+            if self.trace_loads and self.trace_volatile:
+                self._emit(Opcode.LOAD, address, size)
+            return value
+        self._check_pm_bounds(address, size)
+        result = bytearray(size)
+        cursor = address
+        produced = 0
+        while produced < size:
+            base = cache_line_of(cursor)
+            offset = cursor - base
+            chunk = min(size - produced, CACHE_LINE_SIZE - offset)
+            line = self.cache.peek(base)
+            if line is not None:
+                result[produced:produced + chunk] = line.data[offset:offset + chunk]
+            else:
+                result[produced:produced + chunk] = self.medium.read(cursor, chunk)
+            cursor += chunk
+            produced += chunk
+        # Non-temporal stores bypass the cache but are visible to this hart.
+        for nt_addr, nt_data in self._pending_nt:
+            lo = max(nt_addr, address)
+            hi = min(nt_addr + len(nt_data), address + size)
+            if lo < hi:
+                result[lo - address:hi - address] = nt_data[lo - nt_addr:hi - nt_addr]
+        if self.trace_loads:
+            self._emit(Opcode.LOAD, address, size)
+        return bytes(result)
+
+    def ntstore(self, address: int, data: bytes) -> None:
+        """Non-temporal store: bypasses the cache, durable at the next fence."""
+        if self.crashed:
+            raise PMemError("machine has crashed; no further execution")
+        data = bytes(data)
+        if not self.is_persistent(address):
+            self._volatile_write(address, data)
+            if self.trace_volatile:
+                self._emit(Opcode.NT_STORE, address, len(data), data)
+            return
+        self._check_pm_bounds(address, len(data))
+        # If the line is cached, keep the cached copy coherent.
+        for base in cache_lines_spanned(address, len(data)):
+            line = self.cache.peek(base)
+            if line is not None:
+                lo = max(base, address)
+                hi = min(base + CACHE_LINE_SIZE, address + len(data))
+                line.data[lo - base:hi - base] = data[lo - address:hi - address]
+        self._trim_pending_nt(address, len(data))
+        self._pending_nt.append((address, data))
+        self._emit(Opcode.NT_STORE, address, len(data), data)
+
+    def _trim_pending_nt(self, address: int, size: int) -> None:
+        """Drop buffered non-temporal bytes superseded by a later write.
+
+        Program-order-later data to the same bytes must win both for
+        visibility and at a graceful crash; keeping the stale NT bytes
+        would resurrect them at the next fence.
+        """
+        if not self._pending_nt:
+            return
+        lo, hi = address, address + size
+        trimmed = []
+        for nt_addr, nt_data in self._pending_nt:
+            nt_lo, nt_hi = nt_addr, nt_addr + len(nt_data)
+            if nt_hi <= lo or nt_lo >= hi:
+                trimmed.append((nt_addr, nt_data))
+                continue
+            if nt_lo < lo:
+                trimmed.append((nt_lo, nt_data[: lo - nt_lo]))
+            if nt_hi > hi:
+                trimmed.append((hi, nt_data[hi - nt_lo:]))
+        self._pending_nt = trimmed
+
+    # ------------------------------------------------------------------ #
+    # flushes and fences
+    # ------------------------------------------------------------------ #
+
+    def clflush(self, address: int) -> None:
+        """Strongly ordered flush: persists the line immediately."""
+        if self.crashed:
+            raise PMemError("machine has crashed; no further execution")
+        if self.is_persistent(address):
+            self._check_pm_bounds(address, 1)
+            base = cache_line_of(address)
+            line = self.cache.peek(base)
+            if line is not None:
+                if line.dirty:
+                    self.medium.write(base, line.copy_data())
+                self.cache.invalidate(base)
+            self._pending_flushes.pop(base, None)
+        self._emit(Opcode.CLFLUSH, address, CACHE_LINE_SIZE)
+
+    def clflushopt(self, address: int) -> None:
+        self._weak_flush(address, Opcode.CLFLUSHOPT)
+
+    def clwb(self, address: int) -> None:
+        self._weak_flush(address, Opcode.CLWB)
+
+    def _weak_flush(self, address: int, opcode: Opcode) -> None:
+        if self.crashed:
+            raise PMemError("machine has crashed; no further execution")
+        if self.is_persistent(address):
+            self._check_pm_bounds(address, 1)
+            base = cache_line_of(address)
+            line = self.cache.peek(base)
+            if line is not None and line.dirty:
+                # Snapshot at flush time: stores issued after this flush and
+                # before the fence are NOT covered by it.
+                self._pending_flushes[base] = (line.copy_data(), opcode)
+                self._pending_flushes.move_to_end(base)
+                line.mark_clean()
+        self._emit(opcode, address, CACHE_LINE_SIZE)
+
+    def sfence(self) -> None:
+        if self.crashed:
+            raise PMemError("machine has crashed; no further execution")
+        self._drain_persistence_buffers()
+        self._emit(Opcode.SFENCE)
+
+    def mfence(self) -> None:
+        if self.crashed:
+            raise PMemError("machine has crashed; no further execution")
+        self._drain_persistence_buffers()
+        self._emit(Opcode.MFENCE)
+
+    def _drain_persistence_buffers(self) -> None:
+        for base, (snapshot, opcode) in self._pending_flushes.items():
+            self.medium.write(base, snapshot)
+            if opcode is Opcode.CLFLUSHOPT:
+                line = self.cache.peek(base)
+                if line is not None and not line.dirty:
+                    self.cache.invalidate(base)
+        self._pending_flushes.clear()
+        for address, data in self._pending_nt:
+            self.medium.write(address, data)
+        self._pending_nt.clear()
+
+    def rmw_u64(self, address: int, func: Callable[[int], int]) -> Tuple[int, int]:
+        """Atomic read-modify-write of an aligned 8-byte word.
+
+        Acts as a full fence (paper, section 2).  The *new* value is made
+        durable immediately: the locked instruction's write is persisted as
+        part of its atomic commitment on ADR platforms only once flushed,
+        but crucially its fence semantics drain all buffered flushes.  The
+        written value itself still lives in the cache like a normal store.
+
+        Returns ``(old_value, new_value)``.
+        """
+        if self.crashed:
+            raise PMemError("machine has crashed; no further execution")
+        if address % 8 != 0:
+            raise PMemError(f"rmw address 0x{address:x} is not 8-byte aligned")
+        self._drain_persistence_buffers()
+        if self.is_persistent(address):
+            self._check_pm_bounds(address, 8)
+            old = int.from_bytes(self.load(address, 8), "little")
+            new = func(old) & (2 ** 64 - 1)
+            self._write_through_cache(address, new.to_bytes(8, "little"))
+            self._trim_pending_nt(address, 8)
+        else:
+            old = int.from_bytes(self._volatile_read(address, 8), "little")
+            new = func(old) & (2 ** 64 - 1)
+            self._volatile_write(address, new.to_bytes(8, "little"))
+        self._emit(Opcode.RMW, address, 8, new.to_bytes(8, "little"))
+        return old, new
+
+    def cas_u64(self, address: int, expected: int, desired: int) -> bool:
+        """Atomic compare-and-swap; fence semantics like all RMW ops."""
+        swapped = []
+
+        def update(old: int) -> int:
+            if old == expected:
+                swapped.append(True)
+                return desired
+            return old
+
+        self.rmw_u64(address, update)
+        return bool(swapped)
+
+    def faa_u64(self, address: int, delta: int) -> int:
+        """Atomic fetch-and-add; returns the previous value."""
+        old, _ = self.rmw_u64(address, lambda v: (v + delta) & (2 ** 64 - 1))
+        return old
+
+    # ------------------------------------------------------------------ #
+    # convenience persistence helpers (what libraries build on)
+    # ------------------------------------------------------------------ #
+
+    def flush_range(self, address: int, size: int, opcode: Opcode = Opcode.CLWB) -> None:
+        """Issue one flush per cache line spanned by ``[address, address+size)``."""
+        flushers = {
+            Opcode.CLFLUSH: self.clflush,
+            Opcode.CLFLUSHOPT: self.clflushopt,
+            Opcode.CLWB: self.clwb,
+        }
+        flush = flushers[opcode]
+        for base in cache_lines_spanned(address, size):
+            flush(base)
+
+    def persist(self, address: int, size: int) -> None:
+        """The ``pmem_persist`` idiom: flush every spanned line, then fence."""
+        self.flush_range(address, size)
+        self.sfence()
+
+    def lines_in_range(self, address: int, size: int):
+        """Cache-line bases spanned by a byte range."""
+        return cache_lines_spanned(address, size)
+
+    def dirty_lines_in_range(self, address: int, size: int):
+        """Bases of the spanned lines that currently hold unflushed stores.
+
+        Libraries that track modifications at cache-line granularity (as
+        PMDK does) use this to avoid flushing lines they never dirtied.
+        """
+        bases = []
+        for base in cache_lines_spanned(address, size):
+            line = self.cache.peek(base)
+            if line is not None and line.dirty:
+                bases.append(base)
+        return bases
+
+    # ------------------------------------------------------------------ #
+    # crash machinery
+    # ------------------------------------------------------------------ #
+
+    def crash_image(self) -> bytes:
+        """The post-failure PM contents if the machine lost power *now*.
+
+        On an ADR platform, volatile caches, buffered flushes, and
+        buffered non-temporal stores are all lost; only what already
+        reached the medium survives.  On an eADR platform the caches are
+        inside the persistence domain: cache-resident stores and buffered
+        flush snapshots survive, while non-temporal stores still need
+        their fence (they bypass the now-persistent caches).
+        """
+        if not self.eadr:
+            return self.medium.snapshot()
+        image = bytearray(self.medium.snapshot())
+        for base, (snapshot, _) in self._pending_flushes.items():
+            image[base:base + CACHE_LINE_SIZE] = snapshot
+        for line in self.cache.lines():
+            if line.dirty:
+                image[line.base:line.base + CACHE_LINE_SIZE] = line.copy_data()
+        return bytes(image)
+
+    def graceful_crash_image(self) -> bytes:
+        """The post-failure state Mumak's graceful crash produces.
+
+        "We crash the application gracefully ... after guaranteeing that
+        pending stores are persisted before each failure point" (paper,
+        section 4.1): every store issued so far — cached, buffered, or
+        non-temporal — is persisted, so the image is exactly the
+        program-order prefix of the execution.
+        """
+        image = bytearray(self.medium.snapshot())
+        # Oldest data first: buffered weak-flush snapshots, then buffered
+        # non-temporal stores, then the current dirty lines (the newest
+        # visible data, which program order says must win).
+        for base, (snapshot, _) in self._pending_flushes.items():
+            image[base:base + CACHE_LINE_SIZE] = snapshot
+        for address, data in self._pending_nt:
+            image[address:address + len(data)] = data
+        for line in self.cache.lines():
+            if line.dirty:
+                image[line.base:line.base + CACHE_LINE_SIZE] = line.copy_data()
+        return bytes(image)
+
+    def crash(self) -> bytes:
+        """Crash the machine: capture the image and refuse further work."""
+        image = self.crash_image()
+        self.cache.drop_all()
+        self._pending_flushes.clear()
+        self._pending_nt.clear()
+        self._volatile.clear()
+        self.crashed = True
+        return image
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def dirty_line_count(self) -> int:
+        return len(self.cache.dirty_lines())
+
+    def pending_flush_count(self) -> int:
+        return len(self._pending_flushes)
+
+    def pending_nt_count(self) -> int:
+        return len(self._pending_nt)

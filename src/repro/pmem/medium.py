@@ -1,0 +1,66 @@
+"""The persistent medium: the storage that survives crashes.
+
+Only bytes written to the :class:`Medium` are durable.  Everything above it
+(store buffers, CPU caches, pending flush queues — see
+:mod:`repro.pmem.machine`) is volatile and disappears at a crash.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OutOfBoundsError
+
+
+class Medium:
+    """A flat, byte-addressable persistent storage device.
+
+    The medium itself guarantees failure atomicity only for aligned 8-byte
+    writes (see :data:`repro.pmem.constants.ATOMIC_WRITE_SIZE`); torn larger
+    writes are modelled by the crash simulator, not here.
+    """
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError(f"medium size must be positive, got {size}")
+        self._data = bytearray(size)
+        self._write_count = 0
+
+    @classmethod
+    def from_image(cls, image: bytes) -> "Medium":
+        """Reconstruct a medium from a crash image (post-failure state)."""
+        medium = cls(len(image))
+        medium._data[:] = image
+        return medium
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    @property
+    def write_count(self) -> int:
+        """Number of write operations the device has absorbed (wear proxy)."""
+        return self._write_count
+
+    def check_bounds(self, address: int, size: int) -> None:
+        if address < 0 or size < 0 or address + size > len(self._data):
+            raise OutOfBoundsError(address, size, len(self._data))
+
+    def read(self, address: int, size: int) -> bytes:
+        self.check_bounds(address, size)
+        return bytes(self._data[address:address + size])
+
+    def write(self, address: int, data: bytes) -> None:
+        self.check_bounds(address, len(data))
+        self._data[address:address + len(data)] = data
+        self._write_count += 1
+
+    def snapshot(self) -> bytes:
+        """Return an immutable copy of the full device contents."""
+        return bytes(self._data)
+
+    def restore(self, image: bytes) -> None:
+        """Overwrite the device contents with a previously taken snapshot."""
+        if len(image) != len(self._data):
+            raise ValueError(
+                f"image size {len(image)} does not match medium size {len(self._data)}"
+            )
+        self._data[:] = image

@@ -1,0 +1,112 @@
+"""Pool management: the thin layer giving a raw PM region a header and root.
+
+Mirrors what ``pmemobj_create``/``pmemobj_open`` provide: a magic number, a
+layout name so the wrong application cannot open the pool, and a root-object
+offset that recovery code uses as its entry point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import PoolError
+from repro.pmem.machine import PMachine
+
+#: Reserved bytes at the start of every pool.
+HEADER_SIZE = 64
+
+_MAGIC = b"MUMAKPM1"
+_MAGIC_OFF = 0
+_LAYOUT_OFF = 8      # 8-byte layout-name digest
+_ROOT_OFF = 16       # u64 root offset
+_ROOT_SIZE_OFF = 24  # u64 root size
+
+
+def _layout_digest(layout: str) -> bytes:
+    return hashlib.sha256(layout.encode("utf-8")).digest()[:8]
+
+
+class PmemPool:
+    """A named persistent pool living on a :class:`PMachine`.
+
+    The usable area starts at :data:`HEADER_SIZE`; allocators carve it up.
+    """
+
+    def __init__(self, machine: PMachine, layout: str):
+        self.machine = machine
+        self.layout = layout
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(cls, machine: PMachine, layout: str) -> "PmemPool":
+        """Initialise a fresh pool header (persisted before returning)."""
+        pool = cls.create_unpublished(machine, layout)
+        pool.publish()
+        return pool
+
+    @classmethod
+    def create_unpublished(cls, machine: PMachine, layout: str) -> "PmemPool":
+        """Write the header but *not* the magic.
+
+        Callers that lay out further metadata (logs, heaps) call
+        :meth:`publish` once everything is durable, so a crash anywhere
+        during initialisation leaves a recognisably uninitialised pool
+        rather than a half-formatted one.
+        """
+        existing = machine.load(_MAGIC_OFF, len(_MAGIC))
+        if existing == _MAGIC:
+            raise PoolError(f"pool already initialised (layout {layout!r})")
+        machine.store(_LAYOUT_OFF, _layout_digest(layout))
+        machine.store(_ROOT_OFF, (0).to_bytes(8, "little"))
+        machine.store(_ROOT_SIZE_OFF, (0).to_bytes(8, "little"))
+        machine.persist(_LAYOUT_OFF, HEADER_SIZE - _LAYOUT_OFF)
+        return cls(machine, layout)
+
+    def publish(self) -> None:
+        """Persist the magic, making the pool openable (goes last)."""
+        self.machine.store(_MAGIC_OFF, _MAGIC)
+        self.machine.persist(_MAGIC_OFF, len(_MAGIC))
+
+    @classmethod
+    def open(cls, machine: PMachine, layout: str) -> "PmemPool":
+        """Open an existing pool, validating magic and layout."""
+        magic = machine.load(_MAGIC_OFF, len(_MAGIC))
+        if magic != _MAGIC:
+            raise PoolError("pool header magic missing or corrupt")
+        digest = machine.load(_LAYOUT_OFF, 8)
+        if digest != _layout_digest(layout):
+            raise PoolError(f"pool layout mismatch (expected {layout!r})")
+        return cls(machine, layout)
+
+    @classmethod
+    def create_or_open(cls, machine: PMachine, layout: str) -> "PmemPool":
+        magic = machine.load(_MAGIC_OFF, len(_MAGIC))
+        if magic == _MAGIC:
+            return cls.open(machine, layout)
+        return cls.create(machine, layout)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def usable_base(self) -> int:
+        return HEADER_SIZE
+
+    @property
+    def size(self) -> int:
+        return self.machine.medium.size
+
+    @property
+    def root_offset(self) -> int:
+        return int.from_bytes(self.machine.load(_ROOT_OFF, 8), "little")
+
+    @property
+    def root_size(self) -> int:
+        return int.from_bytes(self.machine.load(_ROOT_SIZE_OFF, 8), "little")
+
+    def set_root(self, offset: int, size: int) -> None:
+        """Atomically publish the root object (offset persisted last)."""
+        self.machine.store(_ROOT_SIZE_OFF, size.to_bytes(8, "little"))
+        self.machine.persist(_ROOT_SIZE_OFF, 8)
+        self.machine.store(_ROOT_OFF, offset.to_bytes(8, "little"))
+        self.machine.persist(_ROOT_OFF, 8)

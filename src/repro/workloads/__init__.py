@@ -1,0 +1,18 @@
+"""Workload generation for driving targets under analysis."""
+
+from repro.workloads.generator import (
+    DEFAULT_MIX,
+    Operation,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.workloads.ycsb import YCSB_MIXES, ycsb_workload
+
+__all__ = [
+    "DEFAULT_MIX",
+    "Operation",
+    "WorkloadSpec",
+    "YCSB_MIXES",
+    "generate_workload",
+    "ycsb_workload",
+]

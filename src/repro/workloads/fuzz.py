@@ -1,0 +1,143 @@
+"""PMFuzz-style coverage-guided workload generation (paper, section 3).
+
+PMFuzz is orthogonal to bug detection: it mutates seed inputs, prioritising
+those whose executions reach new code paths containing PM accesses, and
+feeds the resulting corpus to a detector for better bug coverage.  This
+module provides that loop for any :class:`~repro.apps.base.PMApplication`:
+
+    explorer = CoverageGuidedExplorer(lambda: BTree(spt=True))
+    corpus = explorer.explore(rounds=10)
+    best = explorer.best_workload()
+
+The coverage metric is the paper's own Figure 3 metric — unique execution
+paths leading to PM accesses — so the explorer's progress is directly
+comparable to the workload-size study.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.instrument.runner import run_instrumented
+from repro.instrument.tracer import PathCounter
+from repro.workloads.generator import Operation, generate_workload
+
+
+@dataclass
+class CorpusEntry:
+    """One workload and the PM-path coverage it achieved."""
+
+    workload: List[Operation]
+    persistency_paths: int
+    store_paths: int
+    new_paths: int
+
+    @property
+    def score(self) -> int:
+        return self.persistency_paths + self.store_paths
+
+
+@dataclass
+class CoverageGuidedExplorer:
+    """Mutate workloads, keep those that discover new PM paths."""
+
+    app_factory: Callable
+    seed: int = 0
+    seed_ops: int = 60
+    corpus: List[CorpusEntry] = field(default_factory=list)
+
+    def __post_init__(self):
+        self._rng = random.Random(self.seed)
+        self._seen_persistency: Set[Tuple[str, ...]] = set()
+        self._seen_store: Set[Tuple[str, ...]] = set()
+
+    # ------------------------------------------------------------------ #
+    # measurement
+    # ------------------------------------------------------------------ #
+
+    def measure(self, workload: Sequence[Operation]) -> CorpusEntry:
+        """Run one workload, recording which PM paths are new."""
+        counter = PathCounter()
+        run_instrumented(self.app_factory, workload, hooks=[counter])
+        new_paths = len(counter.persistency_paths - self._seen_persistency)
+        new_paths += len(counter.store_paths - self._seen_store)
+        self._seen_persistency |= counter.persistency_paths
+        self._seen_store |= counter.store_paths
+        return CorpusEntry(
+            workload=list(workload),
+            persistency_paths=counter.unique_persistency_paths,
+            store_paths=counter.unique_store_paths,
+            new_paths=new_paths,
+        )
+
+    # ------------------------------------------------------------------ #
+    # mutation operators
+    # ------------------------------------------------------------------ #
+
+    def _mutate(self, workload: List[Operation]) -> List[Operation]:
+        """Apply one random PMFuzz-style mutation."""
+        rng = self._rng
+        mutated = list(workload)
+        operator = rng.randrange(4)
+        if operator == 0 and mutated:
+            # Duplicate a slice (stresses repeated structural operations).
+            start = rng.randrange(len(mutated))
+            end = min(len(mutated), start + rng.randrange(1, 10))
+            mutated[start:start] = mutated[start:end]
+        elif operator == 1 and mutated:
+            # Flip operation kinds within a region (put <-> delete churn).
+            start = rng.randrange(len(mutated))
+            for i in range(start, min(len(mutated), start + 8)):
+                op = mutated[i]
+                if op.kind in ("put", "update"):
+                    mutated[i] = Operation("delete", op.key)
+                elif op.kind == "delete":
+                    mutated[i] = Operation("put", op.key, b"fuzzed!!")
+        elif operator == 2:
+            # Splice in a fresh random tail.
+            tail = generate_workload(
+                rng.randrange(5, 30), seed=rng.randrange(1 << 30),
+                key_space=max(4, len(mutated) // 2),
+            )
+            mutated.extend(tail)
+        else:
+            # Narrow the key space of a region (bucket/node collisions).
+            if mutated:
+                hot = mutated[rng.randrange(len(mutated))].key
+                start = rng.randrange(len(mutated))
+                for i in range(start, min(len(mutated), start + 6)):
+                    op = mutated[i]
+                    mutated[i] = Operation(op.kind, hot, op.value)
+        return mutated
+
+    # ------------------------------------------------------------------ #
+    # the exploration loop
+    # ------------------------------------------------------------------ #
+
+    def explore(self, rounds: int = 8, mutants_per_round: int = 4
+                ) -> List[CorpusEntry]:
+        """Run the coverage-guided loop; returns the retained corpus."""
+        if not self.corpus:
+            seed_workload = generate_workload(
+                self.seed_ops, seed=self.seed
+            )
+            self.corpus.append(self.measure(seed_workload))
+        for _ in range(rounds):
+            parent = max(self.corpus, key=lambda entry: entry.score)
+            for _ in range(mutants_per_round):
+                child = self._mutate(parent.workload)
+                entry = self.measure(child)
+                # PMFuzz's retention rule: keep inputs reaching new PM
+                # paths; drop the rest.
+                if entry.new_paths > 0:
+                    self.corpus.append(entry)
+        return self.corpus
+
+    def best_workload(self) -> List[Operation]:
+        return max(self.corpus, key=lambda entry: entry.score).workload
+
+    @property
+    def total_paths_discovered(self) -> int:
+        return len(self._seen_persistency) + len(self._seen_store)

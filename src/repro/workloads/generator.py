@@ -1,0 +1,111 @@
+"""Key-value workload generation.
+
+The paper drives every target with workloads "equally distributed among
+puts, gets and deletes" (section 6.1); :data:`DEFAULT_MIX` reproduces that.
+Generation is fully determined by the seed, which Mumak's reproducible
+fault injection depends on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: The paper's default operation mix: equal puts, gets, deletes.
+DEFAULT_MIX: Dict[str, float] = {"put": 1 / 3, "get": 1 / 3, "delete": 1 / 3}
+
+_KINDS = ("put", "get", "delete", "update", "scan")
+_DISTRIBUTIONS = ("uniform", "zipfian", "latest")
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One key-value operation."""
+
+    kind: str
+    key: bytes
+    value: bytes = b""
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown operation kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a workload (used by experiment configs)."""
+
+    n_ops: int
+    mix: Tuple[Tuple[str, float], ...] = tuple(DEFAULT_MIX.items())
+    key_space: int = 0  # 0 -> derived from n_ops
+    value_size: int = 8
+    distribution: str = "uniform"
+    seed: int = 0
+
+    def generate(self) -> List[Operation]:
+        return generate_workload(
+            self.n_ops,
+            mix=dict(self.mix),
+            key_space=self.key_space or None,
+            value_size=self.value_size,
+            distribution=self.distribution,
+            seed=self.seed,
+        )
+
+
+def _zipf_weights(n: int, theta: float = 0.99) -> List[float]:
+    return [1.0 / ((i + 1) ** theta) for i in range(n)]
+
+
+def generate_workload(
+    n_ops: int,
+    mix: Dict[str, float] = None,
+    key_space: int = None,
+    value_size: int = 8,
+    distribution: str = "uniform",
+    seed: int = 0,
+) -> List[Operation]:
+    """Generate ``n_ops`` operations with the given mix and key distribution.
+
+    Keys are fixed-width decimal byte strings so every target (trees, hash
+    tables, radix tries) can consume them directly and orderings are
+    stable.
+    """
+    if n_ops < 0:
+        raise ValueError("n_ops must be non-negative")
+    mix = dict(DEFAULT_MIX if mix is None else mix)
+    total = sum(mix.values())
+    if total <= 0:
+        raise ValueError("operation mix must have positive total weight")
+    for kind in mix:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown operation kind {kind!r}")
+    if distribution not in _DISTRIBUTIONS:
+        raise ValueError(f"unknown distribution {distribution!r}")
+    rng = random.Random(seed)
+    if key_space is None:
+        key_space = max(1, n_ops // 2)
+    kinds = list(mix)
+    kind_weights = [mix[k] / total for k in kinds]
+    key_indices = list(range(key_space))
+    zipf = _zipf_weights(key_space) if distribution == "zipfian" else None
+
+    ops: List[Operation] = []
+    width = max(8, len(str(key_space)))
+    for i in range(n_ops):
+        kind = rng.choices(kinds, weights=kind_weights)[0]
+        if distribution == "uniform":
+            key_index = rng.randrange(key_space)
+        elif distribution == "zipfian":
+            key_index = rng.choices(key_indices, weights=zipf)[0]
+        else:  # latest: bias toward recently generated keys
+            key_index = min(key_space - 1, int(abs(rng.gauss(0, key_space / 8))))
+            key_index = (i - key_index) % key_space
+        key = str(key_index).zfill(width).encode("ascii")
+        if kind in ("put", "update"):
+            value = rng.randbytes(value_size)
+            ops.append(Operation(kind, key, value))
+        else:
+            ops.append(Operation(kind, key))
+    return ops

@@ -1,0 +1,39 @@
+"""YCSB-style named workload mixes.
+
+Witcher requires a YCSB-like driver (paper, section 6.5); these mixes let
+the experiments speak the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.generator import Operation, generate_workload
+
+#: Standard YCSB core workload mixes (reads map to get, updates to put).
+YCSB_MIXES: Dict[str, Dict[str, float]] = {
+    "a": {"get": 0.5, "update": 0.5},
+    "b": {"get": 0.95, "update": 0.05},
+    "c": {"get": 1.0},
+    "d": {"get": 0.95, "put": 0.05},
+    "f": {"get": 0.5, "update": 0.25, "put": 0.25},
+}
+
+
+def ycsb_workload(
+    name: str,
+    n_ops: int,
+    key_space: int = None,
+    seed: int = 0,
+    distribution: str = "zipfian",
+) -> List[Operation]:
+    """Generate a named YCSB workload (a, b, c, d or f)."""
+    try:
+        mix = YCSB_MIXES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown YCSB workload {name!r}; known: {sorted(YCSB_MIXES)}"
+        ) from None
+    return generate_workload(
+        n_ops, mix=mix, key_space=key_space, seed=seed, distribution=distribution
+    )

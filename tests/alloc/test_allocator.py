@@ -1,0 +1,206 @@
+"""Unit and property tests for the persistent allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc import (
+    STATUS_ALLOCATED,
+    STATUS_FREE,
+    HeapStats,
+    PAllocator,
+)
+from repro.errors import AllocationError, RecoveryError
+from repro.pmem import PMachine
+
+HEAP_BASE = 1024
+HEAP_END = 512 * 1024
+
+
+@pytest.fixture
+def heap():
+    machine = PMachine(pm_size=HEAP_END)
+    return PAllocator.format(machine, HEAP_BASE, HEAP_END)
+
+
+class TestAllocFree:
+    def test_alloc_returns_distinct_payloads(self, heap):
+        addrs = {heap.alloc(64) for _ in range(50)}
+        assert len(addrs) == 50
+
+    def test_payload_is_16_aligned(self, heap):
+        for size in (1, 16, 17, 64, 100):
+            assert heap.alloc(size) % 16 == 0
+
+    def test_payload_size_rounds_to_class(self, heap):
+        addr = heap.alloc(100)
+        assert heap.payload_size(addr) == 128
+
+    def test_free_then_alloc_reuses_block(self, heap):
+        addr = heap.alloc(64)
+        heap.free(addr)
+        assert heap.alloc(64) == addr
+
+    def test_free_lists_are_per_class(self, heap):
+        small = heap.alloc(16)
+        large = heap.alloc(4096)
+        heap.free(small)
+        heap.free(large)
+        assert heap.alloc(4096) == large
+        assert heap.alloc(16) == small
+
+    def test_double_free_raises(self, heap):
+        addr = heap.alloc(64)
+        heap.free(addr)
+        with pytest.raises(AllocationError):
+            heap.free(addr)
+
+    def test_zero_size_raises(self, heap):
+        with pytest.raises(AllocationError):
+            heap.alloc(0)
+
+    def test_exhaustion_raises(self):
+        machine = PMachine(pm_size=8192)
+        heap = PAllocator.format(machine, 1024, 8192)
+        with pytest.raises(AllocationError):
+            for _ in range(1000):
+                heap.alloc(1024)
+
+    def test_writes_to_payload_roundtrip(self, heap):
+        addr = heap.alloc(32)
+        heap.machine.store(addr, b"payload data")
+        assert heap.machine.load(addr, 12) == b"payload data"
+
+
+class TestDurability:
+    def test_allocations_survive_crash(self, heap):
+        addr = heap.alloc(64)
+        heap.machine.store(addr, b"live")
+        heap.machine.persist(addr, 4)
+        rebooted = PMachine.from_image(heap.machine.crash())
+        heap2 = PAllocator.attach(rebooted, HEAP_BASE, HEAP_END)
+        stats = heap2.recover()
+        assert stats.allocated_blocks == 1
+        assert rebooted.load(addr, 4) == b"live"
+
+    def test_attach_unformatted_raises(self):
+        machine = PMachine(pm_size=HEAP_END)
+        with pytest.raises(RecoveryError):
+            PAllocator.attach(machine, HEAP_BASE, HEAP_END)
+
+    def test_free_survives_crash(self, heap):
+        addr = heap.alloc(64)
+        heap.free(addr)
+        rebooted = PMachine.from_image(heap.machine.crash())
+        heap2 = PAllocator.attach(rebooted, HEAP_BASE, HEAP_END)
+        stats = heap2.recover()
+        assert stats.free_blocks == 1
+        assert stats.allocated_blocks == 0
+        assert heap2.alloc(64) == addr
+
+
+class TestRecovery:
+    def test_recover_empty_heap(self, heap):
+        stats = heap.recover()
+        assert stats == HeapStats()
+
+    def test_recover_counts(self, heap):
+        kept = [heap.alloc(32) for _ in range(3)]
+        dropped = heap.alloc(32)
+        heap.free(dropped)
+        stats = heap.recover()
+        assert stats.allocated_blocks == 3
+        assert stats.free_blocks == 1
+        assert stats.allocated_bytes == 3 * 32
+        assert len(kept) == 3
+
+    def test_corrupt_status_detected(self, heap):
+        addr = heap.alloc(64)
+        heap.machine.store(addr - 8, (0xDEAD).to_bytes(8, "little"))
+        heap.machine.persist(addr - 8, 8)
+        with pytest.raises(RecoveryError):
+            heap.recover()
+
+    def test_corrupt_size_detected(self, heap):
+        addr = heap.alloc(64)
+        heap.machine.store(addr - 16, (7).to_bytes(8, "little"))
+        heap.machine.persist(addr - 16, 8)
+        with pytest.raises(RecoveryError):
+            heap.recover()
+
+    def test_free_list_to_allocated_block_detected(self, heap):
+        addr = heap.alloc(64)
+        heap.free(addr)
+        # Corrupt: flip the freed block's status back to allocated while it
+        # still sits on the free list.
+        heap.machine.store(addr - 8, STATUS_ALLOCATED.to_bytes(8, "little"))
+        heap.machine.persist(addr - 8, 8)
+        with pytest.raises(RecoveryError):
+            heap.recover()
+
+    def test_free_list_cycle_detected(self, heap):
+        a = heap.alloc(64)
+        b = heap.alloc(64)
+        heap.free(a)
+        heap.free(b)
+        # Point a's next pointer back at b, forming b -> a -> b.
+        heap.machine.store(a, b.to_bytes(8, "little"))
+        heap.machine.persist(a, 8)
+        with pytest.raises(RecoveryError):
+            heap.recover()
+
+    def test_bump_out_of_bounds_detected(self, heap):
+        heap.machine.store(HEAP_BASE + 8, (HEAP_END + 64).to_bytes(8, "little"))
+        heap.machine.persist(HEAP_BASE + 8, 8)
+        with pytest.raises(RecoveryError):
+            heap.recover()
+
+
+class TestProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["alloc", "free"]), st.integers(1, 300)),
+            max_size=60,
+        )
+    )
+    def test_heap_walk_always_consistent(self, ops):
+        machine = PMachine(pm_size=HEAP_END)
+        heap = PAllocator.format(machine, HEAP_BASE, HEAP_END)
+        live = []
+        for op, size in ops:
+            if op == "alloc" or not live:
+                live.append(heap.alloc(size))
+            else:
+                heap.free(live.pop(size % len(live)))
+        stats = heap.recover()
+        assert stats.allocated_blocks == len(live)
+        payloads = set(heap.allocated_payloads())
+        assert payloads == set(live)
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.lists(st.integers(1, 2000), min_size=1, max_size=40))
+    def test_blocks_never_overlap(self, sizes):
+        machine = PMachine(pm_size=4 * 1024 * 1024)
+        heap = PAllocator.format(machine, HEAP_BASE, 4 * 1024 * 1024)
+        ranges = []
+        for size in sizes:
+            addr = heap.alloc(size)
+            ranges.append((addr, addr + heap.payload_size(addr)))
+        ranges.sort()
+        for (_, prev_end), (next_start, _) in zip(ranges, ranges[1:]):
+            assert prev_end <= next_start
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.lists(st.integers(1, 500), min_size=1, max_size=30))
+    def test_recovery_idempotent_after_crash(self, sizes):
+        machine = PMachine(pm_size=HEAP_END)
+        heap = PAllocator.format(machine, HEAP_BASE, HEAP_END)
+        for size in sizes:
+            heap.alloc(size)
+        rebooted = PMachine.from_image(machine.crash())
+        heap2 = PAllocator.attach(rebooted, HEAP_BASE, HEAP_END)
+        first = heap2.recover()
+        second = heap2.recover()
+        assert first == second
+        assert first.allocated_blocks == len(sizes)

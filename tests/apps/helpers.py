@@ -1,0 +1,131 @@
+"""Shared test harness for target applications.
+
+Every KV application gets the same battery:
+
+* model check — results match a dict model over a random workload;
+* durability check — a crash after a clean run recovers to the same state;
+* oracle cleanliness — the bug-free configuration yields zero Mumak
+  findings (no false positives);
+* seeded-bug detection — each fault-injection-detectable bug is detected
+  when enabled alone, and each designed-to-be-missed bug is not.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.apps import faults
+from repro.core import Mumak, MumakConfig
+from repro.pmem import PMachine
+from repro.workloads import generate_workload
+
+
+def apply_model(workload) -> Dict[bytes, bytes]:
+    model: Dict[bytes, bytes] = {}
+    for op in workload:
+        if op.kind in ("put", "update"):
+            model[op.key] = op.value
+        elif op.kind == "delete":
+            model.pop(op.key, None)
+    return model
+
+
+def run_app(factory: Callable, workload):
+    app = factory()
+    machine = PMachine(pm_size=app.pool_size)
+    app.setup(machine)
+    app.run(workload)
+    return app, machine
+
+
+def assert_matches_model(factory: Callable, n_ops: int = 400, seed: int = 7,
+                         mix=None):
+    workload = generate_workload(n_ops, seed=seed, mix=mix)
+    app, machine = run_app(factory, workload)
+    model = apply_model(workload)
+    for key, value in model.items():
+        assert app.get(key) == value, f"lookup mismatch for {key!r}"
+    # A sample of deleted/absent keys must be absent.
+    absent = [op.key for op in workload if op.key not in model][:25]
+    for key in absent:
+        assert app.get(key) is None, f"ghost value for {key!r}"
+    return app, machine, model
+
+
+def assert_recovers_after_crash(factory: Callable, n_ops: int = 300,
+                                seed: int = 11):
+    workload = generate_workload(n_ops, seed=seed)
+    app, machine = run_app(factory, workload)
+    model = apply_model(workload)
+    image = machine.crash()
+    rebooted = PMachine.from_image(image)
+    app2 = factory()
+    app2.recover(rebooted)
+    for key, value in model.items():
+        assert app2.get(key) == value, f"post-recovery mismatch for {key!r}"
+    return app2
+
+
+def mumak_findings(factory: Callable, n_ops: int = 250, seed: int = 5,
+                   config: Optional[MumakConfig] = None):
+    overrides = dict(getattr(factory(), "coverage_workload", {}) or {})
+    workload = generate_workload(n_ops, seed=seed, **overrides)
+    return Mumak(config).analyze(factory, workload)
+
+
+def assert_no_false_positives(bug_free_factory: Callable, n_ops: int = 250):
+    result = mumak_findings(bug_free_factory, n_ops=n_ops)
+    bugs = result.report.bugs
+    assert not bugs, "false positives on bug-free app:\n" + "\n".join(
+        b.render() for b in bugs
+    )
+
+
+def assert_bug_detected(factory_for_bug: Callable[[str], Callable],
+                        bug_id: str, n_ops: int = 400, seed: int = 5):
+    """Enable exactly one seeded bug and expect a correctness finding."""
+    faults.REGISTRY.reset()
+    result = mumak_findings(factory_for_bug(bug_id), n_ops=n_ops, seed=seed)
+    assert bug_id in faults.REGISTRY.activated(), (
+        f"{bug_id} never executed on this workload"
+    )
+    findings = result.report.correctness_bugs()
+    assert findings, f"{bug_id} was not detected by fault injection"
+    return findings
+
+
+def assert_bug_missed(factory_for_bug: Callable[[str], Callable],
+                      bug_id: str, n_ops: int = 400, seed: int = 5):
+    """A reorder-only bug: must execute, must NOT yield a correctness bug,
+    and should leave an ordering warning from trace analysis."""
+    faults.REGISTRY.reset()
+    result = mumak_findings(factory_for_bug(bug_id), n_ops=n_ops, seed=seed)
+    assert bug_id in faults.REGISTRY.activated(), (
+        f"{bug_id} never executed on this workload"
+    )
+    findings = result.report.correctness_bugs()
+    assert not findings, (
+        f"{bug_id} unexpectedly detected:\n"
+        + "\n".join(f.render() for f in findings)
+    )
+    return result
+
+
+def assert_perf_bugs_found(factory_with_bugs: Callable[[Iterable[str]], Callable],
+                           bug_ids, n_ops: int = 300, seed: int = 5):
+    """Enable all performance bugs at once; every site must be attributed."""
+    bug_ids = set(bug_ids)
+    faults.REGISTRY.reset()
+    result = mumak_findings(factory_with_bugs(bug_ids), n_ops=n_ops, seed=seed)
+    sites = {b.site for b in result.report.performance_bugs()}
+    missing = {
+        bug_id
+        for bug_id in bug_ids
+        if bug_id in faults.REGISTRY.activated()
+        and not (faults.REGISTRY.sites_for(bug_id) & sites)
+    }
+    assert not missing, f"performance bugs not reported: {sorted(missing)}"
+    never_ran = {
+        b for b in bug_ids if b not in faults.REGISTRY.activated()
+    }
+    return never_ran

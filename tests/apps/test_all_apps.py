@@ -1,0 +1,59 @@
+"""The common application battery, parameterized over every target.
+
+Every KV target must: match a dict model, survive crash+recovery with no
+data loss, and yield zero Mumak findings in its bug-free configuration
+(the no-false-positive property of section 6.2).
+"""
+
+import pytest
+
+from repro.apps import APPLICATIONS
+
+from .helpers import (
+    assert_matches_model,
+    assert_no_false_positives,
+    assert_recovers_after_crash,
+)
+
+#: Bug-free factory configurations for every registered application.
+CONFIGS = {
+    "btree": {"bugs": (), "spt": True},
+    "rbtree": {"bugs": (), "spt": True},
+    "hashmap_atomic": {"bugs": ()},
+    "wort": {"bugs": ()},
+    "level_hashing": {"bugs": (), "with_recovery": True},
+    "fast_fair": {"bugs": ()},
+    "cceh": {"bugs": ()},
+    "redis_pm": {"bugs": ()},
+    "rocksdb_pm": {"bugs": ()},
+    "pmemkv_cmap": {"bugs": ()},
+    "pmemkv_stree": {"bugs": ()},
+    "montage_hashtable": {"bugs": ()},
+    "montage_lfhashtable": {"bugs": ()},
+    "art": {"bugs": ()},
+}
+
+
+def factory_for(name):
+    options = CONFIGS[name]
+    cls = APPLICATIONS[name]
+    return lambda: cls(**options)
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_matches_dict_model(name):
+    assert_matches_model(factory_for(name), n_ops=350)
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_crash_recovery_preserves_data(name):
+    assert_recovers_after_crash(factory_for(name), n_ops=250)
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_no_false_positives(name):
+    assert_no_false_positives(factory_for(name), n_ops=160)
+
+
+def test_registry_covers_all_config():
+    assert set(CONFIGS) == set(APPLICATIONS)

@@ -1,0 +1,143 @@
+"""Montage runtime and allocator tests."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.montage import MontageAllocator, MontageRuntime
+from repro.montage.allocator import STATUS_FREE, STATUS_USED
+from repro.montage.epoch import PayloadView
+from repro.pmem import PMachine
+
+SLAB_BASE = 64
+N_BLOCKS = 128
+
+
+def fresh_runtime(epoch_length=4, bugs=frozenset()):
+    machine = PMachine(pm_size=1024 * 1024)
+    allocator = MontageAllocator.format(machine, SLAB_BASE, N_BLOCKS)
+    runtime = MontageRuntime(
+        machine, allocator, epoch_length=epoch_length, bugs=bugs
+    )
+    return machine, allocator, runtime
+
+
+class TestAllocator:
+    def test_alloc_returns_free_blocks(self):
+        machine, allocator, _ = fresh_runtime()
+        a, b = allocator.alloc(), allocator.alloc()
+        assert a != b
+        assert allocator.status_of(a) == STATUS_FREE  # runtime commits it
+
+    def test_exhaustion(self):
+        machine, allocator, _ = fresh_runtime()
+        for _ in range(N_BLOCKS):
+            allocator.alloc()
+        from repro.errors import AllocationError
+
+        with pytest.raises(AllocationError):
+            allocator.alloc()
+
+    def test_open_rescans_statuses(self):
+        machine, allocator, runtime = fresh_runtime()
+        block = runtime.create_payload(b"k", b"v")
+        runtime.advance()
+        reopened = MontageAllocator.open(machine, SLAB_BASE)
+        assert block not in reopened._free
+        assert len(reopened._free) == N_BLOCKS - 1
+
+    def test_clean_shutdown_roundtrip(self):
+        machine, allocator, runtime = fresh_runtime()
+        runtime.create_payload(b"k", b"v")
+        runtime.shutdown()
+        reopened = MontageAllocator.open(machine, SLAB_BASE, validate=True)
+        assert len(reopened._free) == N_BLOCKS - 1
+
+    def test_stale_summary_detected_on_validate(self):
+        machine, allocator, runtime = fresh_runtime()
+        runtime.create_payload(b"k", b"v")
+        runtime.shutdown()
+        # Emulate the dtor-window state: the clean flag is trusted but the
+        # summary does not reflect the actual free population.
+        machine.store(SLAB_BASE + 24, (1).to_bytes(8, "little"))
+        machine.persist(SLAB_BASE + 24, 8)
+        with pytest.raises(RecoveryError):
+            MontageAllocator.open(machine, SLAB_BASE, validate=True)
+
+    def test_unformatted_slab_rejected(self):
+        machine = PMachine(pm_size=65536)
+        assert not MontageAllocator.is_formatted(machine, SLAB_BASE)
+        with pytest.raises(RecoveryError):
+            MontageAllocator.open(machine, SLAB_BASE)
+
+
+class TestEpochRuntime:
+    def test_unadvanced_epoch_not_recovered(self):
+        machine, _, runtime = fresh_runtime(epoch_length=100)
+        runtime.create_payload(b"k", b"v")
+        image = machine.crash()
+        rebooted = PMachine.from_image(image)
+        allocator = MontageAllocator.open(rebooted, SLAB_BASE, validate=True)
+        recovered = MontageRuntime(rebooted, allocator)
+        assert recovered.recover_payloads() == {}
+
+    def test_advanced_epoch_recovered(self):
+        machine, _, runtime = fresh_runtime()
+        runtime.create_payload(b"key-1", b"value-1")
+        runtime.advance()
+        rebooted = PMachine.from_image(machine.crash())
+        allocator = MontageAllocator.open(rebooted, SLAB_BASE, validate=True)
+        live = MontageRuntime(rebooted, allocator).recover_payloads()
+        assert set(live) == {b"key-1"}
+        assert live[b"key-1"][1] == b"value-1"
+
+    def test_delete_before_advance_discarded(self):
+        machine, _, runtime = fresh_runtime(epoch_length=100)
+        block = runtime.create_payload(b"k", b"v")
+        runtime.advance()
+        runtime.retire_payload(block)  # epoch not advanced again
+        rebooted = PMachine.from_image(machine.crash())
+        allocator = MontageAllocator.open(rebooted, SLAB_BASE, validate=True)
+        live = MontageRuntime(rebooted, allocator).recover_payloads()
+        assert set(live) == {b"k"}  # retirement was not durable yet
+
+    def test_update_supersedes(self):
+        machine, _, runtime = fresh_runtime()
+        block = runtime.create_payload(b"k", b"v1")
+        runtime.advance()
+        runtime.update_payload(block, b"k", b"v2")
+        runtime.advance()
+        rebooted = PMachine.from_image(machine.crash())
+        allocator = MontageAllocator.open(rebooted, SLAB_BASE, validate=True)
+        live = MontageRuntime(rebooted, allocator).recover_payloads()
+        assert live[b"k"][1] == b"v2"
+
+    def test_count_mismatch_is_unrecoverable(self):
+        machine, _, runtime = fresh_runtime()
+        block = runtime.create_payload(b"k", b"v")
+        runtime.advance()
+        # Wipe the payload behind the runtime's back (the allocator-misuse
+        # end state).
+        machine.store(block, (STATUS_FREE).to_bytes(8, "little"))
+        machine.persist(block, 8)
+        rebooted = PMachine.from_image(machine.crash())
+        allocator = MontageAllocator.open(rebooted, SLAB_BASE, validate=True)
+        with pytest.raises(RecoveryError):
+            MontageRuntime(rebooted, allocator).recover_payloads()
+
+    def test_deferred_free_returns_blocks(self):
+        machine, allocator, runtime = fresh_runtime()
+        block = runtime.create_payload(b"k", b"v")
+        runtime.advance()
+        runtime.retire_payload(block)
+        assert allocator.status_of(block) == STATUS_USED
+        runtime.advance()
+        assert allocator.status_of(block) == STATUS_FREE
+
+    def test_payload_view_fields(self):
+        machine, _, runtime = fresh_runtime()
+        block = runtime.create_payload(b"alpha", b"beta")
+        view = PayloadView(machine, block)
+        assert view.key == b"alpha"
+        assert view.value == b"beta"
+        assert view.epoch == runtime.current_epoch
+        assert view.retired == 0

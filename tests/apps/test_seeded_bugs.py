@@ -1,0 +1,104 @@
+"""Seeded-bug spot checks (the exhaustive sweep is the coverage bench).
+
+One fault-injection-detectable bug and one designed-to-be-missed bug per
+target family, plus registry-shape invariants mirroring the paper's
+numbers.
+"""
+
+import pytest
+
+from repro.apps import APPLICATIONS
+from repro.apps.bugs import (
+    MISSED,
+    REGISTRY,
+    default_bugs_for,
+    spec,
+    witcher_list,
+)
+
+from .helpers import assert_bug_detected, assert_bug_missed
+
+_OPTIONS = {
+    "btree": {"spt": True},
+    "rbtree": {"spt": True},
+    "level_hashing": {"with_recovery": True},
+}
+
+
+def factory_builder(app_name):
+    options = _OPTIONS.get(app_name, {})
+    cls = APPLICATIONS[app_name]
+
+    def for_bug(bug_id):
+        return lambda: cls(bugs={bug_id}, **options)
+
+    return for_bug
+
+
+DETECTED_SAMPLES = [
+    "btree.c3_root_switch_no_txadd",
+    "rbtree.c2_rotate_child_first",
+    "hashmap_atomic.c2_bucket_link_order",
+    "wort.c2_leaf_before_parent",
+    "level_hashing.c1_resize_ptr_garbage",
+    "fast_fair.c1_sibling_before_split",
+    "redis_pm.c1_dict_resize_no_tx",
+]
+
+MISSED_SAMPLES = [
+    "btree.c4_split_fence_gap",
+    "hashmap_atomic.c5_init_fence_gap",
+    "cceh.c1_dir_split_fence_gap",
+    "fast_fair.c2_shift_fence_gap",
+]
+
+
+@pytest.mark.parametrize("bug_id", DETECTED_SAMPLES)
+def test_seeded_bug_detected(bug_id):
+    app = spec(bug_id).app
+    assert_bug_detected(factory_builder(app), bug_id, n_ops=600, seed=7)
+
+
+@pytest.mark.parametrize("bug_id", MISSED_SAMPLES)
+def test_reorder_only_bug_missed_but_warned(bug_id):
+    app = spec(bug_id).app
+    result = assert_bug_missed(factory_builder(app), bug_id, n_ops=600,
+                               seed=7)
+    assert result.report.warnings, (
+        f"{bug_id}: trace analysis should at least warn"
+    )
+
+
+class TestRegistryShape:
+    def test_paper_totals(self):
+        bugs = witcher_list()
+        correctness = [b for b in bugs if b.is_correctness]
+        performance = [b for b in bugs if not b.is_correctness]
+        assert len(bugs) == 144
+        assert len(correctness) == 43
+        assert len(performance) == 101
+
+    def test_expected_coverage_is_ninety_percent(self):
+        bugs = witcher_list()
+        found = [b for b in bugs if b.expected_detector != MISSED]
+        assert len(found) / len(bugs) == pytest.approx(0.90, abs=0.01)
+
+    def test_every_missed_bug_is_an_ordering_bug(self):
+        from repro.core.taxonomy import BugKind
+
+        for bug in witcher_list():
+            if bug.expected_detector == MISSED:
+                assert bug.kind is BugKind.ORDERING
+
+    def test_new_bugs_outside_the_denominator(self):
+        new = [b for b in REGISTRY.values() if not b.in_witcher_list]
+        assert {b.bug_id for b in new} == {
+            "montage.c1_allocator_misuse",
+            "montage.c2_dtor_window",
+            "art.c1_insert_commit",
+            "pmdk.c1_tx_commit_overflow",
+        }
+
+    def test_default_bugs_match_registry(self):
+        assert "btree.c1_count_outside_tx" in default_bugs_for("btree")
+        assert "pmdk.c1_tx_commit_overflow" not in default_bugs_for("pmdk")

@@ -1,0 +1,119 @@
+"""Hypothesis property tests on the data structures' own invariants.
+
+These drive each structure through random operation sequences and then
+run its *recovery procedure* as the invariant checker — the recovery code
+is the oracle, so its own strength gets exercised too.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.btree import BTree
+from repro.apps.cceh import CCEH
+from repro.apps.fast_fair import FastFair
+from repro.apps.hashmap_atomic import HashmapAtomic
+from repro.apps.level_hashing import LevelHashing
+from repro.apps.rbtree import RBTree
+from repro.apps.wort import Wort
+from repro.pmem import PMachine
+from repro.workloads.generator import Operation
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete", "get"]),
+        st.integers(0, 40),
+    ),
+    max_size=120,
+)
+
+
+def run_random(cls, script, **options):
+    app = cls(bugs=(), **options)
+    machine = PMachine(pm_size=app.pool_size)
+    app.setup(machine)
+    model = {}
+    for kind, key_index in script:
+        key = str(key_index).zfill(8).encode()
+        if kind == "put":
+            value = f"v{key_index}".encode()
+            app.apply(Operation("put", key, value))
+            model[key] = value
+        elif kind == "delete":
+            app.apply(Operation("delete", key))
+            model.pop(key, None)
+        else:
+            app.apply(Operation("get", key))
+    if hasattr(app, "finish"):
+        app.finish()
+    if hasattr(app, "runtime") and app.runtime is not None:
+        app.runtime.shutdown()
+    return app, machine, model
+
+
+def check_model_and_recovery(cls, script, **options):
+    app, machine, model = run_random(cls, script, **options)
+    for key, value in model.items():
+        assert app.get(key) == value
+    # Recovery doubles as the invariant check.
+    recovered = cls(bugs=(), **options)
+    recovered.recover(PMachine.from_image(machine.crash()))
+    for key, value in model.items():
+        assert recovered.get(key) == value
+
+
+@settings(deadline=None, max_examples=20)
+@given(ops_strategy)
+def test_btree_random_ops(script):
+    check_model_and_recovery(BTree, script, spt=True)
+
+
+@settings(deadline=None, max_examples=20)
+@given(ops_strategy)
+def test_rbtree_random_ops(script):
+    check_model_and_recovery(RBTree, script, spt=True)
+
+
+@settings(deadline=None, max_examples=20)
+@given(ops_strategy)
+def test_hashmap_atomic_random_ops(script):
+    check_model_and_recovery(HashmapAtomic, script)
+
+
+@settings(deadline=None, max_examples=20)
+@given(ops_strategy)
+def test_wort_random_ops(script):
+    check_model_and_recovery(Wort, script)
+
+
+@settings(deadline=None, max_examples=15)
+@given(ops_strategy)
+def test_level_hashing_random_ops(script):
+    check_model_and_recovery(LevelHashing, script, with_recovery=True)
+
+
+@settings(deadline=None, max_examples=15)
+@given(ops_strategy)
+def test_fast_fair_random_ops(script):
+    check_model_and_recovery(FastFair, script)
+
+
+@settings(deadline=None, max_examples=15)
+@given(ops_strategy)
+def test_cceh_random_ops(script):
+    check_model_and_recovery(CCEH, script)
+
+
+@settings(deadline=None, max_examples=10)
+@given(ops_strategy, st.integers(0, 10_000))
+def test_btree_mid_run_crash_recovers(script, cut_seed):
+    """Crash after an arbitrary prefix of operations: the committed state
+    must recover to the prefix's model (SPT: each op is a transaction)."""
+    if not script:
+        return
+    cut = cut_seed % len(script)
+    prefix = script[:cut]
+    app, machine, model = run_random(BTree, prefix, spt=True)
+    recovered = BTree(bugs=(), spt=True)
+    recovered.recover(PMachine.from_image(machine.crash()))
+    for key, value in model.items():
+        assert recovered.get(key) == value

@@ -1,0 +1,101 @@
+"""Baseline-tool behaviour tests (fast configurations)."""
+
+import pytest
+
+from repro.apps.btree import BTree
+from repro.apps.montage_apps import MontageHashtable
+from repro.baselines import ALL_TOOLS, tool_by_name
+from repro.baselines.base import WORK_UNITS_PER_HOUR
+from repro.errors import ToolError
+from repro.workloads import generate_workload
+
+WORKLOAD = generate_workload(120, seed=5)
+
+
+def buggy_btree():
+    return BTree(spt=True)  # as-published defaults
+
+
+def clean_btree():
+    return BTree(bugs=(), spt=True)
+
+
+class TestHarness:
+    def test_registry_names(self):
+        assert set(ALL_TOOLS) == {
+            "Mumak", "Agamotto", "XFDetector", "PMDebugger", "Witcher", "Yat"
+        }
+        with pytest.raises(KeyError):
+            tool_by_name("Hypothetical")
+
+    def test_budget_marks_timeout(self):
+        run = tool_by_name("XFDetector").analyze(
+            buggy_btree, WORKLOAD, budget_hours=0.05
+        )
+        assert run.timed_out
+        assert run.modelled_hours >= 0.05
+
+    def test_unbounded_budget(self):
+        run = tool_by_name("Mumak").analyze(
+            clean_btree, WORKLOAD, budget_hours=None
+        )
+        assert not run.timed_out
+        assert run.work_units > 0
+        assert run.modelled_hours == run.work_units / WORK_UNITS_PER_HOUR
+
+
+class TestMumakTool:
+    def test_finds_seeded_bugs(self):
+        run = tool_by_name("Mumak").analyze(buggy_btree, WORKLOAD,
+                                            budget_hours=None)
+        assert run.report.correctness_bugs()
+        assert run.report.performance_bugs()
+        assert run.resources.pm_overhead() == 1.0
+
+    def test_faster_than_agamotto(self):
+        mumak = tool_by_name("Mumak").analyze(buggy_btree, WORKLOAD,
+                                              budget_hours=None)
+        agamotto = tool_by_name("Agamotto").analyze(
+            buggy_btree, WORKLOAD, budget_hours=None
+        )
+        assert mumak.modelled_hours < agamotto.modelled_hours
+
+
+class TestToolRequirements:
+    def test_pmdebugger_rejects_non_pmdk_targets(self):
+        with pytest.raises(ToolError):
+            tool_by_name("PMDebugger").analyze(
+                lambda: MontageHashtable(bugs=()), WORKLOAD,
+                budget_hours=None,
+            )
+
+    def test_mumak_analyzes_non_pmdk_targets(self):
+        run = tool_by_name("Mumak").analyze(
+            lambda: MontageHashtable(bugs=()),
+            generate_workload(100, seed=5),
+            budget_hours=None,
+        )
+        assert not run.report.bugs  # clean config, black-box, no PMDK
+
+
+class TestWitcher:
+    def test_no_false_positives_on_clean_target(self):
+        run = tool_by_name("Witcher").analyze(
+            clean_btree, generate_workload(80, seed=5), budget_hours=12.0
+        )
+        assert run.report.bugs == []
+
+    def test_models_extreme_parallel_memory(self):
+        run = tool_by_name("Witcher").analyze(
+            clean_btree, generate_workload(40, seed=5), budget_hours=12.0
+        )
+        assert run.resources.peak_tool_bytes > 100 * clean_btree().pool_size
+        assert run.resources.cpu_load > 100
+
+
+class TestYat:
+    def test_state_space_counted(self):
+        run = tool_by_name("Yat").analyze(
+            clean_btree, generate_workload(15, seed=2), budget_hours=1.0
+        )
+        assert run.detail["state_space"] > run.detail["states_checked"]

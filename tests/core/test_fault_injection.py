@@ -1,0 +1,128 @@
+"""Fault-injection engine tests, including trace/replay equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.btree import BTree
+from repro.apps.hashmap_atomic import HashmapAtomic
+from repro.core import ENGINE_REPLAY, ENGINE_TRACE, FaultInjector
+from repro.core.oracle import RecoveryStatus
+from repro.instrument.tracer import GRANULARITY_STORE
+from repro.workloads import generate_workload
+
+
+def clean_btree():
+    return BTree(bugs=(), spt=True)
+
+
+def buggy_btree():
+    return BTree(bugs={"btree.c1_count_outside_tx"}, spt=True)
+
+
+WORKLOAD = generate_workload(120, seed=5)
+
+
+class TestTraceEngine:
+    def test_every_failure_point_injected_once(self):
+        result = FaultInjector().run(clean_btree, WORKLOAD)
+        assert result.stats.injections == result.stats.unique_failure_points
+        assert result.tree.unvisited_count == 0
+
+    def test_clean_app_all_recoveries_succeed(self):
+        result = FaultInjector().run(clean_btree, WORKLOAD)
+        assert result.stats.recovery_failures == 0
+        assert all(
+            outcome.status is RecoveryStatus.OK
+            for _, outcome in result.outcomes
+        )
+
+    def test_buggy_app_yields_findings_with_paths(self):
+        result = FaultInjector().run(buggy_btree, WORKLOAD)
+        assert result.stats.recovery_failures > 0
+        for finding in result.findings:
+            assert finding.stack
+            assert finding.recovery_error
+
+    def test_max_injections_caps_work(self):
+        result = FaultInjector(max_injections=5).run(clean_btree, WORKLOAD)
+        assert result.stats.injections == 5
+
+    def test_candidates_exceed_unique_failure_points(self):
+        result = FaultInjector().run(clean_btree, WORKLOAD)
+        assert result.stats.candidates >= result.stats.unique_failure_points
+
+
+class TestReplayEngine:
+    def test_replay_equivalent_to_trace(self):
+        trace_result = FaultInjector(engine=ENGINE_TRACE).run(
+            buggy_btree, WORKLOAD
+        )
+        replay_result = FaultInjector(engine=ENGINE_REPLAY).run(
+            buggy_btree, WORKLOAD
+        )
+        assert (
+            trace_result.stats.unique_failure_points
+            == replay_result.stats.unique_failure_points
+        )
+        assert (
+            trace_result.stats.recovery_failures
+            == replay_result.stats.recovery_failures
+        )
+        assert {f.stack for f in trace_result.findings} == {
+            f.stack for f in replay_result.findings
+        }
+
+    def test_replay_reexecutes_per_failure_point(self):
+        result = FaultInjector(engine=ENGINE_REPLAY).run(
+            clean_btree, generate_workload(40, seed=2)
+        )
+        assert result.stats.executions > result.stats.unique_failure_points
+
+    @settings(deadline=None, max_examples=5)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_engines_equivalent_across_seeds(self, seed):
+        workload = generate_workload(50, seed=seed)
+        trace_result = FaultInjector(engine=ENGINE_TRACE).run(
+            lambda: HashmapAtomic(
+                bugs={"hashmap_atomic.c1_count_not_atomic"}
+            ),
+            workload,
+        )
+        replay_result = FaultInjector(engine=ENGINE_REPLAY).run(
+            lambda: HashmapAtomic(
+                bugs={"hashmap_atomic.c1_count_not_atomic"}
+            ),
+            workload,
+        )
+        assert {f.stack for f in trace_result.findings} == {
+            f.stack for f in replay_result.findings
+        }
+
+
+class TestStoreGranularity:
+    def test_store_granularity_explores_more_points(self):
+        persistency = FaultInjector().run(clean_btree, WORKLOAD)
+        stores = FaultInjector(granularity=GRANULARITY_STORE).run(
+            clean_btree, WORKLOAD
+        )
+        assert (
+            stores.stats.unique_failure_points
+            > persistency.stats.unique_failure_points
+        )
+
+    def test_reduction_shrinks_failure_points(self):
+        with_reduction = FaultInjector(require_store_since_last=True).run(
+            clean_btree, WORKLOAD
+        )
+        without = FaultInjector(require_store_since_last=False).run(
+            clean_btree, WORKLOAD
+        )
+        assert (
+            with_reduction.stats.unique_failure_points
+            <= without.stats.unique_failure_points
+        )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(engine="quantum")

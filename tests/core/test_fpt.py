@@ -1,0 +1,132 @@
+"""Failure point tree tests (unit + property)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fpt import FailurePointTree
+
+A = ("main:1:main", "put:5:put", "persist:2:persist")
+B = ("main:1:main", "put:9:put", "persist:2:persist")
+C = ("main:1:main", "put:5:put")  # prefix of A
+
+
+class TestInsertFind:
+    def test_insert_new_returns_true(self):
+        tree = FailurePointTree()
+        assert tree.insert(A, seq=10)
+        assert not tree.insert(A, seq=20)
+        assert tree.failure_point_count == 1
+
+    def test_first_seq_is_first_occurrence(self):
+        tree = FailurePointTree()
+        tree.insert(A, seq=10)
+        tree.insert(A, seq=20)
+        assert tree.find(A).first_seq == 10
+
+    def test_shared_prefixes_share_nodes(self):
+        tree = FailurePointTree()
+        tree.insert(A)
+        tree.insert(B)
+        # main + put@5 + put@9 + two persist leaves = 5 nodes.
+        assert tree.node_count() == 5
+        assert tree.failure_point_count == 2
+
+    def test_prefix_stack_is_its_own_failure_point(self):
+        tree = FailurePointTree()
+        tree.insert(A)
+        assert not tree.contains(C)
+        tree.insert(C)
+        assert tree.contains(C)
+        assert tree.failure_point_count == 2
+
+    def test_find_missing(self):
+        tree = FailurePointTree()
+        assert tree.find(A) is None
+        assert not tree.contains(A)
+
+
+class TestVisit:
+    def test_visit_marks_once(self):
+        tree = FailurePointTree()
+        tree.insert(A)
+        assert tree.visit(A)
+        assert not tree.visit(A)
+
+    def test_visit_nonterminal_is_false(self):
+        tree = FailurePointTree()
+        tree.insert(A)
+        assert not tree.visit(C)
+
+    def test_unvisited_count(self):
+        tree = FailurePointTree()
+        tree.insert(A)
+        tree.insert(B)
+        assert tree.unvisited_count == 2
+        tree.visit(A)
+        assert tree.unvisited_count == 1
+
+
+class TestIteration:
+    def test_failure_points_ordered_by_first_seq(self):
+        tree = FailurePointTree()
+        tree.insert(B, seq=50)
+        tree.insert(A, seq=10)
+        order = [node.first_seq for _, node in tree.failure_points()]
+        assert order == [10, 50]
+
+    def test_yields_full_stacks(self):
+        tree = FailurePointTree()
+        tree.insert(A, seq=1)
+        stacks = [stack for stack, _ in tree.failure_points()]
+        assert stacks == [A]
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self):
+        tree = FailurePointTree()
+        tree.insert(A, seq=10)
+        tree.insert(B, seq=50)
+        tree.visit(A)
+        clone = FailurePointTree.deserialize(tree.serialize())
+        assert clone.failure_point_count == 2
+        assert clone.find(A).visited
+        assert not clone.find(B).visited
+        assert clone.find(B).first_seq == 50
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(
+            st.lists(
+                st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=5
+            ).map(tuple),
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, stacks):
+        tree = FailurePointTree()
+        for seq, stack in enumerate(stacks):
+            tree.insert(stack, seq=seq)
+        clone = FailurePointTree.deserialize(tree.serialize())
+        assert clone.failure_point_count == tree.failure_point_count
+        assert clone.node_count() == tree.node_count()
+        for stack in stacks:
+            assert clone.contains(tuple(stack))
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(
+            st.lists(
+                st.sampled_from(["x", "y", "z"]), min_size=1, max_size=4
+            ).map(tuple),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_every_unique_stack_visited_exactly_once(self, stacks):
+        tree = FailurePointTree()
+        for seq, stack in enumerate(stacks):
+            tree.insert(stack, seq=seq)
+        visits = sum(1 for stack in stacks if tree.visit(stack))
+        assert visits == len(set(stacks))
+        assert tree.unvisited_count == 0

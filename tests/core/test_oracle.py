@@ -1,0 +1,60 @@
+"""Recovery-oracle classification tests."""
+
+from repro.core.oracle import RecoveryStatus, run_recovery
+from repro.errors import RecoveryError
+from repro.pmem import PMachine
+
+
+class _App:
+    pool_size = 4096
+
+    def __init__(self, behaviour):
+        self.behaviour = behaviour
+
+    def recover(self, machine):
+        if self.behaviour == "ok":
+            return
+        if self.behaviour == "report":
+            raise RecoveryError("state unrecoverable")
+        raise ZeroDivisionError("segfault analog")
+
+
+IMAGE = bytes(4096)
+
+
+def test_ok():
+    outcome = run_recovery(lambda: _App("ok"), IMAGE)
+    assert outcome.status is RecoveryStatus.OK
+    assert not outcome.status.is_bug
+    assert outcome.error is None
+
+
+def test_reported_unrecoverable():
+    outcome = run_recovery(lambda: _App("report"), IMAGE)
+    assert outcome.status is RecoveryStatus.REPORTED_UNRECOVERABLE
+    assert outcome.status.is_bug
+    assert "unrecoverable" in outcome.error
+    assert outcome.trace is None
+
+
+def test_abrupt_crash_captures_call_trace():
+    outcome = run_recovery(lambda: _App("crash"), IMAGE)
+    assert outcome.status is RecoveryStatus.CRASHED
+    assert outcome.status.is_bug
+    assert "ZeroDivisionError" in outcome.error
+    assert "recover" in outcome.trace  # the recovery call trace
+
+
+def test_recovery_runs_on_the_given_image():
+    captured = {}
+
+    class Probe:
+        pool_size = 4096
+
+        def recover(self, machine):
+            captured["byte"] = machine.load(100, 1)
+
+    image = bytearray(4096)
+    image[100] = 0x7F
+    run_recovery(Probe, bytes(image))
+    assert captured["byte"] == b"\x7f"

@@ -1,0 +1,68 @@
+"""Resource accounting and budget-meter tests."""
+
+import pytest
+
+from repro.baselines.base import (
+    BudgetMeter,
+    WORK_UNITS_PER_HOUR,
+)
+from repro.core.resources import (
+    PhaseTimer,
+    ResourceUsage,
+    estimate_trace_bytes,
+)
+from repro.pmem.events import MemoryEvent, Opcode
+
+
+class TestResourceUsage:
+    def test_overheads(self):
+        usage = ResourceUsage(pool_bytes=100, tool_pm_bytes=90)
+        usage.note_bytes(50)
+        assert usage.ram_overhead(app_bytes=100) == 1.5
+        assert usage.pm_overhead() == 1.9
+
+    def test_note_bytes_keeps_peak(self):
+        usage = ResourceUsage()
+        usage.note_bytes(100)
+        usage.note_bytes(40)
+        assert usage.peak_tool_bytes == 100
+
+    def test_degenerate_ratios(self):
+        usage = ResourceUsage()
+        assert usage.ram_overhead(0) == 1.0
+        assert usage.pm_overhead() == 1.0
+
+    def test_phase_timer_accumulates(self):
+        usage = ResourceUsage()
+        timer = PhaseTimer(usage)
+        with timer.phase("a"):
+            pass
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert set(usage.phase_seconds) == {"a", "b"}
+        assert usage.total_seconds >= 0
+
+
+class TestTraceBytes:
+    def test_estimate_counts_payloads(self):
+        events = [
+            MemoryEvent(0, Opcode.STORE, 10, 4, b"abcd"),
+            MemoryEvent(1, Opcode.SFENCE),
+        ]
+        assert estimate_trace_bytes(events) == 56 + 4 + 56
+
+
+class TestBudgetMeter:
+    def test_charges_accumulate(self):
+        meter = BudgetMeter(budget_hours=1.0)
+        meter.charge(WORK_UNITS_PER_HOUR / 2)
+        assert not meter.exhausted
+        meter.charge(WORK_UNITS_PER_HOUR / 2)
+        assert meter.exhausted
+
+    def test_unbounded(self):
+        meter = BudgetMeter(budget_hours=None)
+        meter.charge(1e12)
+        assert not meter.exhausted

@@ -1,0 +1,219 @@
+"""Trace-analysis pattern tests against hand-built event streams."""
+
+import pytest
+
+from repro.core.taxonomy import BugKind
+from repro.core.trace_analysis import TraceAnalyzer
+from repro.pmem import PMachine, VOLATILE_BASE
+from repro.instrument.tracer import MinimalTracer
+
+PM_SIZE = 64 * 1024
+
+
+def analyze(drive, include_warnings=True, **kwargs):
+    """Run ``drive(machine)`` and analyze the resulting trace."""
+    machine = PMachine(pm_size=PM_SIZE)
+    tracer = MinimalTracer()
+    machine.add_hook(tracer)
+    drive(machine)
+    analyzer = TraceAnalyzer(
+        pm_size=PM_SIZE, include_warnings=include_warnings, **kwargs
+    )
+    return analyzer.analyze(tracer.events)
+
+
+def kinds(pending, warning=None):
+    return [
+        p.kind
+        for p in pending
+        if warning is None or p.is_warning == warning
+    ]
+
+
+class TestPattern1Durability:
+    def test_unflushed_store_on_flushed_line_is_durability_bug(self):
+        def drive(m):
+            m.store(128, b"\x01")
+            m.persist(128, 1)        # the line IS flushed at some point
+            m.store(129, b"\x02")    # ...but this store never is
+
+        pending, _ = analyze(drive)
+        assert BugKind.DURABILITY in kinds(pending, warning=False)
+
+    def test_unfenced_flush_leaves_durability_bug(self):
+        def drive(m):
+            m.store(128, b"\x01")
+            m.clwb(128)  # never fenced
+
+        pending, _ = analyze(drive)
+        assert BugKind.DURABILITY in kinds(pending, warning=False)
+
+    def test_never_flushed_line_is_transient_warning(self):
+        def drive(m):
+            m.store(4096, b"\x01")  # line never flushed anywhere
+
+        pending, _ = analyze(drive)
+        assert BugKind.TRANSIENT_DATA in kinds(pending, warning=True)
+        assert BugKind.DURABILITY not in kinds(pending, warning=False)
+
+    def test_properly_persisted_store_is_clean(self):
+        def drive(m):
+            m.store(128, b"\x01")
+            m.persist(128, 1)
+
+        pending, _ = analyze(drive)
+        assert kinds(pending, warning=False) == []
+
+
+class TestPattern2RedundantFlush:
+    def test_flush_of_clean_line(self):
+        def drive(m):
+            m.store(128, b"\x01")
+            m.persist(128, 1)
+            m.clwb(128)  # nothing written since
+            m.sfence()
+
+        pending, _ = analyze(drive)
+        assert BugKind.REDUNDANT_FLUSH in kinds(pending, warning=False)
+
+    def test_flush_of_never_written_line(self):
+        def drive(m):
+            m.clwb(1024)
+            m.sfence()
+
+        pending, _ = analyze(drive)
+        assert BugKind.REDUNDANT_FLUSH in kinds(pending, warning=False)
+
+    def test_flush_of_volatile_address(self):
+        def drive(m):
+            m.clwb(VOLATILE_BASE + 64)
+            m.sfence()
+
+        pending, _ = analyze(drive)
+        flagged = [p for p in pending if p.kind is BugKind.REDUNDANT_FLUSH]
+        assert any("volatile" in p.message for p in flagged)
+
+    def test_double_flush_before_fence(self):
+        def drive(m):
+            m.store(128, b"\x01")
+            m.clwb(128)
+            m.clwb(128)  # second flush covers nothing new
+            m.sfence()
+
+        pending, _ = analyze(drive)
+        assert BugKind.REDUNDANT_FLUSH in kinds(pending, warning=False)
+
+
+class TestPattern3MultiStoreFlush:
+    def test_flush_covering_multiple_stores_warns(self):
+        def drive(m):
+            m.store(128, b"\x01")
+            m.store(140, b"\x02")  # same line
+            m.persist(128, 1)
+
+        pending, _ = analyze(drive)
+        flagged = [
+            p for p in pending
+            if p.is_warning and p.kind is BugKind.REDUNDANT_FLUSH
+        ]
+        assert flagged and "memory arrangement" in flagged[0].message
+
+    def test_warning_suppressed_when_disabled(self):
+        def drive(m):
+            m.store(128, b"\x01")
+            m.store(140, b"\x02")
+            m.persist(128, 1)
+
+        pending, _ = analyze(drive, include_warnings=False)
+        assert all(not p.is_warning for p in pending)
+
+
+class TestPattern4RedundantFence:
+    def test_fence_without_pending_work(self):
+        def drive(m):
+            m.store(128, b"\x01")
+            m.persist(128, 1)
+            m.sfence()  # nothing since the previous fence
+
+        pending, _ = analyze(drive)
+        assert BugKind.REDUNDANT_FENCE in kinds(pending, warning=False)
+
+    def test_fence_after_flush_is_fine(self):
+        def drive(m):
+            m.store(128, b"\x01")
+            m.clwb(128)
+            m.sfence()
+
+        pending, _ = analyze(drive)
+        assert BugKind.REDUNDANT_FENCE not in kinds(pending)
+
+    def test_fence_after_ntstore_is_fine(self):
+        def drive(m):
+            m.ntstore(128, b"\x01")
+            m.sfence()
+
+        pending, _ = analyze(drive)
+        assert BugKind.REDUNDANT_FENCE not in kinds(pending)
+
+    def test_rmw_counts_as_fence_but_never_reported(self):
+        def drive(m):
+            m.store(512, b"\x01" * 8)
+            m.clwb(512)
+            m.rmw_u64(1024, lambda v: v + 1)  # drains the flush
+            m.sfence()  # now redundant
+
+        pending, _ = analyze(drive)
+        assert BugKind.REDUNDANT_FENCE in kinds(pending, warning=False)
+
+
+class TestPattern5FenceOrderingWarning:
+    def test_fence_over_multiple_weak_flushes_warns(self):
+        def drive(m):
+            m.store(128, b"\x01")
+            m.store(1024, b"\x02")
+            m.clwb(128)
+            m.clwb(1024)
+            m.sfence()
+
+        pending, _ = analyze(drive)
+        flagged = [
+            p for p in pending
+            if p.is_warning and p.kind is BugKind.ORDERING
+        ]
+        assert flagged and "not deterministic" in flagged[0].message
+
+    def test_single_flush_fence_does_not_warn(self):
+        def drive(m):
+            m.store(128, b"\x01")
+            m.clwb(128)
+            m.sfence()
+
+        pending, _ = analyze(drive)
+        assert BugKind.ORDERING not in kinds(pending)
+
+
+class TestDirtyOverwrites:
+    def test_detected_only_when_enabled(self):
+        def drive(m):
+            m.store(128, b"\x01")
+            m.store(128, b"\x02")  # overwrite before any persist
+            m.persist(128, 1)
+
+        pending, _ = analyze(drive)
+        assert BugKind.DURABILITY not in kinds(pending, warning=False)
+        pending, _ = analyze(drive, detect_dirty_overwrites=True)
+        assert BugKind.DURABILITY in kinds(pending, warning=False)
+
+
+class TestStats:
+    def test_counts(self):
+        def drive(m):
+            m.store(128, b"\x01")
+            m.clwb(128)
+            m.sfence()
+
+        pending, stats = analyze(drive)
+        assert stats.events == 3
+        assert stats.stores == 1
+        assert stats.flushes == 1
+        assert stats.fences == 1

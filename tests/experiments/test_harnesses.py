@@ -1,0 +1,100 @@
+"""Experiment-harness unit tests (tiny scales; the real runs are benches)."""
+
+from repro.experiments.common import (
+    SCALE_BENCH,
+    SCALE_QUICK,
+    app_factory,
+    check_mark,
+    format_table,
+    workload_for,
+)
+from repro.experiments.fig3_coverage import run_fig3
+from repro.experiments.fig5_scalability import Fig5Result, ScalePoint
+from repro.experiments.coverage import (
+    run_correctness_coverage,
+    run_performance_coverage,
+)
+from repro.experiments.tables import render_table1, render_table3
+
+
+class TestCommon:
+    def test_scales_sane(self):
+        for scale in (SCALE_QUICK, SCALE_BENCH):
+            assert scale.perf_ops > 0
+            assert list(scale.coverage_sizes) == sorted(scale.coverage_sizes)
+
+    def test_app_factory_binds_options(self):
+        factory = app_factory("btree", spt=True, bugs=frozenset())
+        app = factory()
+        assert app.spt and app.bugs == frozenset()
+
+    def test_workload_for_honours_coverage_params(self):
+        factory = app_factory("wort")
+        workload = workload_for(factory, 50, seed=1)
+        assert len({op.key for op in workload}) > 10  # wide key space
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bb" in lines[2]
+        assert "22" in lines[-1]
+
+    def test_check_mark(self):
+        assert check_mark(True) == "yes"
+        assert check_mark(False) == ""
+        assert check_mark("annotations") == "annotations"
+
+
+class TestFig3:
+    def test_points_shape(self):
+        result = run_fig3(sizes=(20, 60), targets=("btree",))
+        assert len(result.points) == 2
+        assert result.series("btree", "store_paths") == [
+            p.store_paths for p in result.points
+        ]
+        assert result.store_to_persistency_ratio() >= 1.0
+
+
+class TestFig5Stats:
+    def make(self, pairs):
+        return Fig5Result([
+            ScalePoint(f"t{i}", kloc, hours, 0.0, 0, 0)
+            for i, (kloc, hours) in enumerate(pairs)
+        ])
+
+    def test_perfect_correlation(self):
+        result = self.make([(1, 1), (2, 2), (3, 3), (4, 4)])
+        assert result.spearman_rho() == 1.0
+
+    def test_perfect_anticorrelation(self):
+        result = self.make([(1, 4), (2, 3), (3, 2), (4, 1)])
+        assert result.spearman_rho() == -1.0
+
+    def test_uncorrelated_near_zero(self):
+        result = self.make([(1, 2), (2, 4), (3, 1), (4, 3)])
+        assert abs(result.spearman_rho()) < 0.5
+
+
+class TestCoverageHarness:
+    def test_single_app_correctness(self):
+        result = run_correctness_coverage(n_ops=500, seed=5, apps=["btree"])
+        assert result.total == 4
+        assert result.found == 3  # c4 is the reorder-only miss
+        assert all(o.activated for o in result.outcomes)
+
+    def test_single_app_performance(self):
+        result = run_performance_coverage(n_ops=400, seed=5, apps=["btree"])
+        assert result.total == 12
+        assert result.found == 12
+
+
+class TestTables:
+    def test_render_table1_contains_all_tools(self):
+        text = render_table1()
+        for name in ("pmemcheck", "PMTest", "Yat", "Jaaru", "Mumak"):
+            assert name in text
+
+    def test_render_table3_shape(self):
+        text = render_table3()
+        assert "Mumak" in text and "Witcher" in text

@@ -1,0 +1,69 @@
+"""Codec unit + property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.layout import codec
+
+
+class TestU64:
+    def test_roundtrip(self):
+        assert codec.decode_u64(codec.encode_u64(12345)) == 12345
+
+    def test_bounds(self):
+        codec.encode_u64(0)
+        codec.encode_u64(codec.U64_MAX)
+        with pytest.raises(ValueError):
+            codec.encode_u64(-1)
+        with pytest.raises(ValueError):
+            codec.encode_u64(codec.U64_MAX + 1)
+
+    def test_decode_wrong_width(self):
+        with pytest.raises(ValueError):
+            codec.decode_u64(b"\x00" * 7)
+
+    @given(st.integers(min_value=0, max_value=codec.U64_MAX))
+    def test_roundtrip_property(self, value):
+        assert codec.decode_u64(codec.encode_u64(value)) == value
+
+
+class TestI64:
+    @given(st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1))
+    def test_roundtrip_property(self, value):
+        assert codec.decode_i64(codec.encode_i64(value)) == value
+
+    def test_negative(self):
+        assert codec.decode_i64(codec.encode_i64(-42)) == -42
+
+
+class TestU32:
+    @given(st.integers(min_value=0, max_value=codec.U32_MAX))
+    def test_roundtrip_property(self, value):
+        assert codec.decode_u32(codec.encode_u32(value)) == value
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            codec.encode_u32(codec.U32_MAX + 1)
+
+
+class TestBytes:
+    def test_roundtrip(self):
+        encoded = codec.encode_bytes(b"hello", 32)
+        assert len(encoded) == 32
+        assert codec.decode_bytes(encoded) == b"hello"
+
+    def test_empty(self):
+        assert codec.decode_bytes(codec.encode_bytes(b"", 8)) == b""
+
+    def test_too_long_raises(self):
+        with pytest.raises(ValueError):
+            codec.encode_bytes(b"x" * 29, 32)
+
+    def test_corrupt_length_raises(self):
+        with pytest.raises(ValueError):
+            codec.decode_bytes(codec.encode_u32(100) + bytes(4))
+
+    @given(st.binary(max_size=28))
+    def test_roundtrip_property(self, value):
+        assert codec.decode_bytes(codec.encode_bytes(value, 32)) == value

@@ -1,0 +1,96 @@
+"""Struct layout / view tests."""
+
+import pytest
+
+from repro.layout import Field, StructLayout
+from repro.pmem import PMachine
+
+RECORD = StructLayout(
+    "record",
+    [
+        Field.u64("key"),
+        Field.i64("balance"),
+        Field.u32("flags"),
+        Field.blob("name", 36),
+    ],
+)
+
+
+@pytest.fixture
+def view():
+    machine = PMachine(pm_size=4096)
+    return RECORD.view(machine, 256)
+
+
+def test_offsets_are_sequential():
+    assert RECORD.offset("key") == 0
+    assert RECORD.offset("balance") == 8
+    assert RECORD.offset("flags") == 16
+    assert RECORD.offset("name") == 20
+    assert RECORD.size == 56
+
+
+def test_duplicate_field_rejected():
+    with pytest.raises(ValueError):
+        StructLayout("bad", [Field.u64("x"), Field.u32("x")])
+
+
+def test_u64_roundtrip(view):
+    view.set_u64("key", 99)
+    assert view.get_u64("key") == 99
+
+
+def test_i64_roundtrip(view):
+    view.set_i64("balance", -500)
+    assert view.get_i64("balance") == -500
+
+
+def test_u32_roundtrip(view):
+    view.set_u32("flags", 7)
+    assert view.get_u32("flags") == 7
+
+
+def test_bytes_roundtrip(view):
+    view.set_bytes("name", b"alice")
+    assert view.get_bytes("name") == b"alice"
+
+
+def test_blob_exact_width_enforced(view):
+    with pytest.raises(ValueError):
+        view.set_blob("name", b"short")
+
+
+def test_fields_do_not_overlap(view):
+    view.set_u64("key", 2 ** 64 - 1)
+    view.set_i64("balance", -1)
+    view.set_u32("flags", 0xFFFFFFFF)
+    view.set_bytes("name", b"bob")
+    assert view.get_u64("key") == 2 ** 64 - 1
+    assert view.get_i64("balance") == -1
+    assert view.get_u32("flags") == 0xFFFFFFFF
+    assert view.get_bytes("name") == b"bob"
+
+
+def test_persist_field_survives_crash(view):
+    view.set_u64("key", 42)
+    view.persist_field("key")
+    image = view.machine.crash()
+    rebooted = PMachine.from_image(image)
+    assert RECORD.view(rebooted, 256).get_u64("key") == 42
+
+
+def test_unpersisted_field_lost_at_crash(view):
+    view.set_u64("key", 42)
+    image = view.machine.crash()
+    rebooted = PMachine.from_image(image)
+    assert RECORD.view(rebooted, 256).get_u64("key") == 0
+
+
+def test_persist_all_covers_struct(view):
+    view.set_u64("key", 1)
+    view.set_bytes("name", b"zed")
+    view.persist_all()
+    rebooted = PMachine.from_image(view.machine.crash())
+    reread = RECORD.view(rebooted, 256)
+    assert reread.get_u64("key") == 1
+    assert reread.get_bytes("name") == b"zed"

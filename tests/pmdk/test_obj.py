@@ -1,0 +1,88 @@
+"""ObjPool lifecycle and version-registry tests."""
+
+import pytest
+
+from repro.errors import PoolError
+from repro.pmdk import (
+    ObjPool,
+    PMDK_1_6,
+    PMDK_1_8,
+    PMDK_1_12,
+    PMDK_FIXED,
+    lookup_version,
+)
+from repro.pmem import PMachine
+
+POOL = 2 * 1024 * 1024
+
+
+class TestVersions:
+    def test_lookup(self):
+        assert lookup_version("1.6") is PMDK_1_6
+        assert lookup_version("1.12") is PMDK_1_12
+        with pytest.raises(KeyError):
+            lookup_version("0.9")
+
+    def test_quirk_flags(self):
+        assert PMDK_1_6.redundant_commit_flush
+        assert PMDK_1_8.hashmap_atomic_broken
+        assert PMDK_1_12.tx_commit_overflow_ordering_bug
+        assert not PMDK_FIXED.tx_commit_overflow_ordering_bug
+        assert str(PMDK_1_8) == "PMDK 1.8"
+
+
+class TestObjPool:
+    def test_create_open_roundtrip(self):
+        machine = PMachine(pm_size=POOL)
+        ObjPool.create(machine, "layout-x")
+        reopened = ObjPool.open(machine, "layout-x")
+        assert reopened.check_heap().total_blocks == 0
+
+    def test_open_wrong_layout(self):
+        machine = PMachine(pm_size=POOL)
+        ObjPool.create(machine, "alpha")
+        with pytest.raises(PoolError):
+            ObjPool.open(machine, "beta")
+
+    def test_magic_published_last(self):
+        """A crash at any point during create leaves an unopenable pool —
+        verified by replaying every store prefix of the creation trace."""
+        from repro.instrument.tracer import MinimalTracer
+        from repro.pmem.crashsim import prefix_image
+
+        machine = PMachine(pm_size=POOL)
+        tracer = MinimalTracer()
+        machine.add_hook(tracer)
+        initial = machine.medium.snapshot()
+        ObjPool.create(machine, "layout-x")
+        machine.clear_hooks()
+        end = machine.instruction_count
+        # At every creation prefix, open either fails cleanly (PoolError:
+        # the magic is not yet durable) or yields a fully formatted pool —
+        # never a half-formatted one.  Once the magic's store is in the
+        # prefix, everything formatted before it (program order) is too.
+        opened = 0
+        for cut in range(0, end):
+            image = prefix_image(initial, tracer.events, cut)
+            rebooted = PMachine.from_image(image)
+            try:
+                pool = ObjPool.open(rebooted, "layout-x")
+            except PoolError:
+                continue
+            opened += 1
+            pool.check_heap()  # must not raise: fully formatted
+        assert 0 < opened < end  # some prefixes fail, the late ones open
+
+    def test_root_size_mismatch(self):
+        machine = PMachine(pm_size=POOL)
+        pool = ObjPool.create(machine, "layout-x")
+        pool.root(64)
+        with pytest.raises(PoolError):
+            pool.root(128)
+
+    def test_existing_root_none_before_allocation(self):
+        machine = PMachine(pm_size=POOL)
+        pool = ObjPool.create(machine, "layout-x")
+        assert pool.existing_root() is None
+        addr = pool.root(64)
+        assert pool.existing_root() == addr

@@ -1,0 +1,163 @@
+"""Transaction-level tests, including the seeded PMDK 1.12 commit bug."""
+
+import pytest
+
+from repro.errors import RecoveryError, TransactionError
+from repro.pmdk import PMDK_1_6, PMDK_1_12, PMDK_FIXED, ObjPool
+from repro.pmem import Opcode, PMachine
+
+POOL_SIZE = 2 * 1024 * 1024
+
+
+def fresh_pool(version=PMDK_FIXED):
+    machine = PMachine(pm_size=POOL_SIZE)
+    pool = ObjPool.create(machine, "txtest", version=version)
+    return machine, pool
+
+
+class TestCommit:
+    def test_committed_writes_survive_crash(self):
+        machine, pool = fresh_pool()
+        with pool.tx() as tx:
+            addr = tx.alloc(64)
+            machine.store(addr, b"committed!")
+        rebooted = PMachine.from_image(machine.crash())
+        reopened = ObjPool.open(rebooted, "txtest")
+        assert rebooted.load(addr, 10) == b"committed!"
+        assert reopened.check_heap().allocated_blocks == 1
+
+    def test_crash_mid_tx_rolls_back_on_open(self):
+        machine, pool = fresh_pool()
+        with pool.tx() as tx:
+            addr = tx.alloc(64)
+            machine.store(addr, b"v1")
+            machine.persist(addr, 2)
+        tx2 = pool.tx()
+        tx2.__enter__()
+        tx2.add(addr, 2)
+        machine.store(addr, b"v2")
+        machine.persist(addr, 2)
+        # Crash without committing tx2.
+        rebooted = PMachine.from_image(machine.crash())
+        ObjPool.open(rebooted, "txtest")
+        assert rebooted.load(addr, 2) == b"v1"
+
+    def test_abort_on_exception(self):
+        machine, pool = fresh_pool()
+        with pool.tx() as tx:
+            addr = tx.alloc(64)
+            machine.store(addr, b"keep")
+        with pytest.raises(RuntimeError):
+            with pool.tx() as tx:
+                tx.add(addr, 4)
+                machine.store(addr, b"lost")
+                raise RuntimeError("boom")
+        assert machine.load(addr, 4) == b"keep"
+
+    def test_tx_free_deferred_until_commit(self):
+        machine, pool = fresh_pool()
+        with pool.tx() as tx:
+            addr = tx.alloc(64)
+        with pytest.raises(RuntimeError):
+            with pool.tx() as tx:
+                tx.free(addr)
+                raise RuntimeError("abort")
+        # The aborted free must not have happened.
+        assert pool.check_heap().allocated_blocks == 1
+        with pool.tx() as tx:
+            tx.free(addr)
+        assert pool.check_heap().allocated_blocks == 0
+
+    def test_add_deduplicates_ranges(self):
+        machine, pool = fresh_pool()
+        with pool.tx() as tx:
+            addr = tx.alloc(64)
+        with pool.tx() as tx:
+            tx.add(addr, 8)
+            tx.add(addr, 8)
+            assert pool.log.num_entries == 1  # second add is a no-op
+
+    def test_ops_outside_tx_raise(self):
+        machine, pool = fresh_pool()
+        tx = pool.tx()
+        with pytest.raises(TransactionError):
+            tx.add(0, 8)
+        with pytest.raises(TransactionError):
+            tx.alloc(8)
+
+
+class TestRoot:
+    def test_root_allocated_once(self):
+        machine, pool = fresh_pool()
+        first = pool.root(128)
+        second = pool.root(128)
+        assert first == second
+
+    def test_root_survives_reopen(self):
+        machine, pool = fresh_pool()
+        addr = pool.root(128)
+        machine.store(addr, b"rootdata")
+        machine.persist(addr, 8)
+        rebooted = PMachine.from_image(machine.crash())
+        reopened = ObjPool.open(rebooted, "txtest")
+        assert reopened.existing_root() == addr
+        assert rebooted.load(addr, 8) == b"rootdata"
+
+    def test_root_zeroed(self):
+        machine, pool = fresh_pool()
+        addr = pool.root(64)
+        assert machine.load(addr, 64) == bytes(64)
+
+
+class TestVersionQuirks:
+    def large_tx(self, machine, pool, n=200):
+        """Run one transaction large enough to spill into overflow space."""
+        base = pool.root(8 * n)
+        with pool.tx() as tx:
+            for i in range(n):
+                tx.add(base + 8 * i, 8)
+                machine.store(base + 8 * i, i.to_bytes(8, "little"))
+
+    def test_fixed_version_large_tx_commit_is_safe(self):
+        machine, pool = fresh_pool(PMDK_FIXED)
+        self.large_tx(machine, pool)
+        rebooted = PMachine.from_image(machine.crash())
+        ObjPool.open(rebooted, "txtest")  # must not raise
+
+    def test_112_bug_window_poisons_recovery(self):
+        """Reproduce pmem/pmdk#5461: crash while a buggy commit is releasing
+        the overflow log -> recovery sees an active tx pointing at freed
+        memory and fails."""
+        machine, pool = fresh_pool(PMDK_1_12)
+        base = pool.root(8 * 200)
+        # Drive the commit manually so we can crash inside the window.
+        tx = pool.tx()
+        tx.__enter__()
+        for i in range(200):
+            tx.add(base + 8 * i, 8)
+            machine.store(base + 8 * i, i.to_bytes(8, "little"))
+        assert pool.log.overflow_ptr != 0
+        # The buggy commit frees the overflow chain first; emulate the crash
+        # right after the free, before mark_idle.
+        block = pool.log.overflow_ptr
+        pool.allocator.free(block)
+        image = machine.crash()
+        rebooted = PMachine.from_image(image)
+        with pytest.raises(RecoveryError):
+            ObjPool.open(rebooted, "txtest")
+
+    def test_16_redundant_commit_flush_doubles_flushes(self):
+        machine6, pool6 = fresh_pool(PMDK_1_6)
+        machinef, poolf = fresh_pool(PMDK_FIXED)
+        counts = {}
+        for name, machine, pool in (("1.6", machine6, pool6), ("fixed", machinef, poolf)):
+            flushes = []
+            machine.add_hook(
+                lambda e, m, acc=flushes: acc.append(e) if e.opcode.is_flush else None
+            )
+            with pool.tx() as tx:
+                addr = tx.alloc(64)
+                tx.add(addr, 8)
+                machine.store(addr, b"x" * 8)
+            counts[name] = len(flushes)
+        assert counts["1.6"] > counts["fixed"]

@@ -1,0 +1,190 @@
+"""Unit tests for the undo log."""
+
+import pytest
+
+from repro.alloc import PAllocator
+from repro.errors import RecoveryError, TransactionError
+from repro.pmdk.undolog import (
+    KIND_ALLOC,
+    KIND_SNAPSHOT,
+    OVERFLOW_BLOCK_SIZE,
+    TX_ACTIVE,
+    TX_IDLE,
+    UndoLog,
+)
+from repro.pmem import PMachine
+
+POOL = 1024 * 1024
+LOG_BASE = 64
+LOG_CAP = 1024
+HEAP_BASE = 2048
+
+
+@pytest.fixture
+def setup():
+    machine = PMachine(pm_size=POOL)
+    allocator = PAllocator.format(machine, HEAP_BASE, POOL)
+    log = UndoLog(machine, LOG_BASE, LOG_CAP, allocator)
+    log.format()
+    return machine, allocator, log
+
+
+class TestLifecycle:
+    def test_begin_marks_active(self, setup):
+        _, _, log = setup
+        log.begin()
+        assert log.tx_state == TX_ACTIVE
+
+    def test_double_begin_raises(self, setup):
+        _, _, log = setup
+        log.begin()
+        with pytest.raises(TransactionError):
+            log.begin()
+
+    def test_mark_idle(self, setup):
+        _, _, log = setup
+        log.begin()
+        log.mark_idle()
+        assert log.tx_state == TX_IDLE
+
+    def test_begin_resets_counters(self, setup):
+        _, _, log = setup
+        log.begin()
+        log.append_snapshot(4096, 8)
+        log.mark_idle()
+        log.begin()
+        assert log.num_entries == 0
+        assert log.data_tail == 0
+
+
+class TestEntries:
+    def test_snapshot_captures_old_data(self, setup):
+        machine, _, log = setup
+        machine.store(4096, b"original")
+        log.begin()
+        log.append_snapshot(4096, 8)
+        entries = log.collect_entries()
+        assert len(entries) == 1
+        assert entries[0].kind == KIND_SNAPSHOT
+        assert entries[0].old_data == b"original"
+
+    def test_alloc_entry(self, setup):
+        _, allocator, log = setup
+        payload = allocator.alloc(64)
+        log.begin()
+        log.append_alloc(payload)
+        entries = log.collect_entries()
+        assert entries[0].kind == KIND_ALLOC
+        assert entries[0].addr == payload
+
+    def test_entries_keep_order(self, setup):
+        machine, _, log = setup
+        log.begin()
+        for i in range(5):
+            machine.store(4096 + i * 8, bytes([i]) * 8)
+            log.append_snapshot(4096 + i * 8, 8)
+        addrs = [e.addr for e in log.collect_entries()]
+        assert addrs == [4096 + i * 8 for i in range(5)]
+
+
+class TestOverflow:
+    def fill_past_primary(self, machine, log, n=50, size=64):
+        log.begin()
+        for i in range(n):
+            machine.store(8192 + i * size, bytes(size))
+            log.append_snapshot(8192 + i * size, size)
+
+    def test_overflow_engages_for_large_tx(self, setup):
+        machine, _, log = setup
+        self.fill_past_primary(machine, log)
+        assert log.overflow_ptr != 0
+        assert len(log.collect_entries()) == 50
+
+    def test_overflow_chains_multiple_blocks(self, setup):
+        machine, _, log = setup
+        per_block = OVERFLOW_BLOCK_SIZE // 600
+        self.fill_past_primary(machine, log, n=3 * per_block, size=512)
+        entries = log.collect_entries()
+        assert len(entries) == 3 * per_block
+
+    def test_release_overflow_frees_chain(self, setup):
+        machine, allocator, log = setup
+        self.fill_past_primary(machine, log)
+        before = allocator.recover().allocated_blocks
+        log.release_overflow()
+        after = allocator.recover().allocated_blocks
+        assert after < before
+        assert log.overflow_ptr == 0
+
+    def test_freed_overflow_detected_on_collect(self, setup):
+        machine, allocator, log = setup
+        self.fill_past_primary(machine, log)
+        block = log.overflow_ptr
+        allocator.free(block)  # simulate the 6.4 bug window
+        with pytest.raises(RecoveryError):
+            log.collect_entries()
+
+
+class TestRollback:
+    def test_rollback_restores_old_data(self, setup):
+        machine, _, log = setup
+        machine.store(4096, b"old-data")
+        machine.persist(4096, 8)
+        log.begin()
+        log.append_snapshot(4096, 8)
+        machine.store(4096, b"new-data")
+        assert log.rollback() == 1
+        assert machine.load(4096, 8) == b"old-data"
+        assert log.tx_state == TX_IDLE
+
+    def test_rollback_frees_tx_allocations(self, setup):
+        _, allocator, log = setup
+        log.begin()
+        payload = allocator.alloc(64)
+        log.append_alloc(payload)
+        log.rollback()
+        stats = allocator.recover()
+        assert stats.allocated_blocks == 0
+        assert payload  # silence lint
+
+    def test_rollback_applies_reverse_order(self, setup):
+        machine, _, log = setup
+        machine.store(4096, b"\x01" * 8)
+        log.begin()
+        log.append_snapshot(4096, 8)
+        machine.store(4096, b"\x02" * 8)
+        log.append_snapshot(4096, 8)  # snapshots the intermediate value
+        machine.store(4096, b"\x03" * 8)
+        log.rollback()
+        # Reverse order: intermediate applied first, then the original.
+        assert machine.load(4096, 8) == b"\x01" * 8
+
+    def test_rollback_idle_is_noop(self, setup):
+        _, _, log = setup
+        assert log.rollback() == 0
+
+    def test_rollback_survives_crash_and_rerun(self, setup):
+        machine, allocator, log = setup
+        machine.store(4096, b"old-data")
+        machine.persist(4096, 8)
+        log.begin()
+        log.append_snapshot(4096, 8)
+        machine.store(4096, b"new-data")
+        machine.persist(4096, 8)
+        image = machine.crash()
+        rebooted = PMachine.from_image(image)
+        allocator2 = PAllocator.attach(rebooted, HEAP_BASE, POOL)
+        log2 = UndoLog(rebooted, LOG_BASE, LOG_CAP, allocator2)
+        assert log2.tx_state == TX_ACTIVE
+        log2.rollback()
+        assert rebooted.load(4096, 8) == b"old-data"
+
+    def test_corrupt_entry_kind_detected(self, setup):
+        machine, _, log = setup
+        log.begin()
+        log.append_snapshot(4096, 8)
+        # Smash the entry's kind word.
+        machine.store(LOG_BASE + 64, (99).to_bytes(8, "little"))
+        machine.persist(LOG_BASE + 64, 8)
+        with pytest.raises(RecoveryError):
+            log.collect_entries()

@@ -1,0 +1,126 @@
+"""CPU-cache model tests: lines, policies, eviction accounting."""
+
+import pytest
+
+from repro.pmem.cache import (
+    Cache,
+    CacheLine,
+    LRUEviction,
+    NoEviction,
+    RandomEviction,
+)
+from repro.pmem.constants import CACHE_LINE_SIZE
+
+
+def line(base, fill=0):
+    return CacheLine(base, bytes([fill]) * CACHE_LINE_SIZE)
+
+
+class TestCacheLine:
+    def test_write_sets_dirty_mask(self):
+        cl = line(0)
+        assert not cl.dirty
+        cl.write(4, b"ab")
+        assert cl.dirty
+        assert cl.dirty_mask == 0b11 << 4
+
+    def test_mark_clean(self):
+        cl = line(0)
+        cl.write(0, b"x")
+        cl.mark_clean()
+        assert not cl.dirty
+        assert cl.copy_data()[0] == ord("x")  # data retained
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLine(0, b"short")
+
+
+class TestNoEviction:
+    def test_never_evicts(self):
+        cache = Cache(capacity=2, policy=NoEviction())
+        for i in range(10):
+            cache.install(line(i * 64))
+        assert cache.eviction_count == 0
+        assert len(cache) == 10  # capacity is advisory under NoEviction
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        cache = Cache(capacity=2, policy=LRUEviction())
+        a, b = line(0), line(64)
+        a.write(0, b"a")
+        b.write(0, b"b")
+        cache.install(a)
+        cache.install(b)
+        cache.get(0)  # refresh A
+        victim = cache.install(line(128))
+        assert victim is b  # B was least recently used
+        assert cache.eviction_count == 1
+
+    def test_clean_victim_not_returned(self):
+        cache = Cache(capacity=1, policy=LRUEviction())
+        cache.install(line(0))  # clean
+        victim = cache.install(line(64))
+        assert victim is None
+        assert cache.eviction_count == 1
+
+    def test_reinstall_existing_does_not_evict(self):
+        cache = Cache(capacity=1, policy=LRUEviction())
+        cache.install(line(0))
+        cache.install(line(0))
+        assert cache.eviction_count == 0
+
+
+class TestRandomEviction:
+    def test_deterministic_per_seed(self):
+        def victims(seed):
+            cache = Cache(capacity=2, policy=RandomEviction(seed))
+            out = []
+            for i in range(6):
+                cl = line(i * 64)
+                cl.write(0, b"x")
+                evicted = cache.install(cl)
+                out.append(evicted.base if evicted else None)
+            return out
+
+        assert victims(3) == victims(3)
+
+    def test_capacity_respected(self):
+        cache = Cache(capacity=3, policy=RandomEviction(0))
+        for i in range(20):
+            cache.install(line(i * 64))
+        assert len(cache) == 3
+
+
+class TestCacheApi:
+    def test_peek_does_not_refresh(self):
+        cache = Cache(capacity=2, policy=LRUEviction())
+        a, b = line(0), line(64)
+        a.write(0, b"a")
+        cache.install(a)
+        cache.install(b)
+        cache.peek(0)  # must NOT refresh A
+        victim = cache.install(line(128))
+        assert victim is a
+
+    def test_dirty_lines(self):
+        cache = Cache(capacity=4)
+        a = line(0)
+        a.write(0, b"x")
+        cache.install(a)
+        cache.install(line(64))
+        assert set(cache.dirty_lines()) == {0}
+
+    def test_invalidate_and_drop(self):
+        cache = Cache(capacity=4)
+        cache.install(line(0))
+        cache.invalidate(0)
+        assert 0 not in cache
+        cache.install(line(64))
+        cache.drop_all()
+        assert len(cache) == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(capacity=0)

@@ -1,0 +1,128 @@
+"""Tests for crash-image generation from traces."""
+
+from repro.pmem import PMachine
+from repro.pmem.crashsim import (
+    count_reordered_images,
+    enumerate_reordered_images,
+    prefix_image,
+)
+
+
+def traced_machine():
+    machine = PMachine(pm_size=8 * 1024)
+    trace = []
+    machine.add_hook(lambda event, m: trace.append(event))
+    return machine, trace
+
+
+class TestPrefixImage:
+    def test_prefix_zero_is_initial(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")
+        assert prefix_image(initial, trace, 0) == initial
+
+    def test_prefix_applies_all_prior_writes(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")   # seq 0
+        machine.store(256, b"\x02")   # seq 1
+        machine.clwb(128)             # seq 2
+        machine.sfence()              # seq 3
+        image = prefix_image(initial, trace, 2)
+        # Prefix images persist every prior store regardless of flushing:
+        # Mumak's graceful crash persists pending stores first.
+        assert image[128] == 1
+        assert image[256] == 2
+
+    def test_prefix_excludes_later_writes(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")   # seq 0
+        machine.store(256, b"\x02")   # seq 1
+        image = prefix_image(initial, trace, 1)
+        assert image[128] == 1
+        assert image[256] == 0
+
+    def test_prefix_includes_nt_and_rmw_writes(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.ntstore(128, b"\x07")        # seq 0
+        machine.rmw_u64(512, lambda v: 9)    # seq 1
+        image = prefix_image(initial, trace, 2)
+        assert image[128] == 7
+        assert int.from_bytes(image[512:520], "little") == 9
+
+    def test_overlapping_writes_last_wins(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")
+        machine.store(128, b"\x02")
+        image = prefix_image(initial, trace, 2)
+        assert image[128] == 2
+
+
+class TestReorderedImages:
+    def test_single_unflushed_store_two_states(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")
+        images = list(enumerate_reordered_images(initial, trace, 10))
+        values = sorted(img[128] for img in images)
+        assert values == [0, 1]  # absent or evicted
+
+    def test_flushed_fenced_store_is_mandatory(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")
+        machine.clwb(128)
+        machine.sfence()
+        images = list(enumerate_reordered_images(initial, trace, 10))
+        assert all(img[128] == 1 for img in images)
+
+    def test_independent_lines_multiply(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")    # line A
+        machine.store(1024, b"\x02")   # line B
+        count = count_reordered_images(trace, 10)
+        assert count == 4  # 2 choices per line
+        images = set(enumerate_reordered_images(initial, trace, 10))
+        assert len(images) == 4
+
+    def test_exponential_growth_in_dirty_lines(self):
+        machine, trace = traced_machine()
+        for i in range(12):
+            machine.store(128 + i * 64, b"\x01")
+        assert count_reordered_images(trace, 1000) == 2 ** 12
+
+    def test_limit_truncates_enumeration(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        for i in range(8):
+            machine.store(128 + i * 64, b"\x01")
+        images = list(enumerate_reordered_images(initial, trace, 1000, limit=5))
+        assert len(images) == 5
+
+    def test_same_line_prefix_ordering(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")  # same cache line, sequential
+        machine.store(129, b"\x02")
+        values = sorted(
+            (img[128], img[129])
+            for img in enumerate_reordered_images(initial, trace, 10)
+        )
+        # Line persists as a whole at some cut: nothing, after first store,
+        # or after both.  The second store alone is not a legal state.
+        assert values == [(0, 0), (1, 0), (1, 2)]
+
+    def test_prefix_image_is_among_legal_states_when_all_fenced(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x05")
+        machine.clwb(128)
+        machine.sfence()
+        at = machine.instruction_count
+        legal = set(enumerate_reordered_images(initial, trace, at))
+        assert prefix_image(initial, trace, at) in legal

@@ -1,0 +1,168 @@
+"""Strict images, drop-one-line images, and cross-model properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instrument.tracer import MinimalTracer
+from repro.pmem import PMachine
+from repro.pmem.crashsim import (
+    drop_one_line_images,
+    enumerate_reordered_images,
+    prefix_image,
+    strict_image,
+)
+
+
+def traced_machine():
+    machine = PMachine(pm_size=8 * 1024)
+    tracer = MinimalTracer()
+    machine.add_hook(tracer)
+    return machine, tracer.events
+
+
+class TestStrictImage:
+    def test_unflushed_store_absent(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")
+        image = strict_image(initial, trace, 10)
+        assert image[128] == 0
+        # ...whereas the graceful prefix persists it.
+        assert prefix_image(initial, trace, 10)[128] == 1
+
+    def test_flushed_fenced_store_present(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")
+        machine.clwb(128)
+        machine.sfence()
+        assert strict_image(initial, trace, 10)[128] == 1
+
+    def test_unfenced_weak_flush_absent(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")
+        machine.clwb(128)
+        assert strict_image(initial, trace, 10)[128] == 0
+
+    def test_clflush_immediate(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")
+        machine.clflush(128)
+        assert strict_image(initial, trace, 10)[128] == 1
+
+    def test_ntstore_needs_fence(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.ntstore(128, b"\x07")
+        assert strict_image(initial, trace, 10)[128] == 0
+        machine.sfence()
+        assert strict_image(initial, trace, 10)[128] == 7
+
+    def test_store_after_flush_not_covered(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")
+        machine.clwb(128)
+        machine.store(129, b"\x02")
+        machine.sfence()
+        image = strict_image(initial, trace, 10)
+        assert image[128] == 1
+        assert image[129] == 0
+
+    def test_strict_matches_machine_crash_image(self):
+        """The strict model must agree with the machine's own idea of what
+        survives a power loss."""
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")
+        machine.clwb(128)
+        machine.sfence()
+        machine.store(1024, b"\x02")       # dirty, lost
+        machine.ntstore(2048, b"\x03")     # buffered, lost
+        machine.clflush(4096)              # clean line, no-op
+        expected = machine.crash_image()
+        assert strict_image(initial, trace, 1 << 30) == expected
+
+
+class TestDropOneLine:
+    def test_one_image_per_unfenced_line(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")   # line A, unfenced
+        machine.store(1024, b"\x02")  # line B, unfenced
+        images = list(drop_one_line_images(initial, trace, 10))
+        assert len(images) == 2
+        states = sorted((img[128], img[1024]) for img in images)
+        assert states == [(0, 2), (1, 0)]
+
+    def test_fenced_lines_never_dropped(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")
+        machine.persist(128, 1)
+        images = list(drop_one_line_images(initial, trace, 10))
+        assert images == []
+
+    def test_drop_images_within_legal_space(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(128, b"\x01")
+        machine.store(1024, b"\x02")
+        machine.store(2048, b"\x03")
+        at = machine.instruction_count
+        legal = set(enumerate_reordered_images(initial, trace, at))
+        for image in drop_one_line_images(initial, trace, at):
+            assert image in legal
+
+
+class TestCrossModelProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(st.lists(
+        st.tuples(
+            st.sampled_from(["store", "clwb", "clflush", "sfence", "nt"]),
+            st.integers(0, 20),
+        ),
+        max_size=40,
+    ))
+    def test_strict_is_subset_of_prefix(self, script):
+        """Everything the strict image keeps, the graceful prefix keeps."""
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        for op, slot in script:
+            addr = 128 + slot * 64
+            if op == "store":
+                machine.store(addr, bytes([slot + 1]))
+            elif op == "clwb":
+                machine.clwb(addr)
+            elif op == "clflush":
+                machine.clflush(addr)
+            elif op == "nt":
+                machine.ntstore(addr, bytes([slot + 1]))
+            else:
+                machine.sfence()
+        at = machine.instruction_count
+        strict = strict_image(initial, trace, at)
+        prefix = prefix_image(initial, trace, at)
+        for index, byte in enumerate(strict):
+            if byte:
+                assert prefix[index] == byte
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.lists(
+        st.tuples(st.integers(0, 6), st.booleans()),
+        min_size=1, max_size=10,
+    ))
+    def test_strict_equals_machine_crash(self, script):
+        """Property: the trace-replayed strict image equals the machine's
+        crash image for arbitrary store/persist interleavings."""
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        for slot, persist in script:
+            addr = 128 + slot * 64
+            machine.store(addr, bytes([slot + 1]))
+            if persist:
+                machine.persist(addr, 1)
+        at = machine.instruction_count
+        assert strict_image(initial, trace, at) == machine.crash_image()

@@ -1,0 +1,82 @@
+"""Unit tests for the persistent medium."""
+
+import pytest
+
+from repro.errors import OutOfBoundsError
+from repro.pmem.medium import Medium
+
+
+def test_starts_zeroed():
+    medium = Medium(256)
+    assert medium.read(0, 256) == bytes(256)
+
+
+def test_write_then_read_back():
+    medium = Medium(256)
+    medium.write(10, b"hello")
+    assert medium.read(10, 5) == b"hello"
+    assert medium.read(9, 1) == b"\x00"
+    assert medium.read(15, 1) == b"\x00"
+
+
+def test_write_counts_accumulate():
+    medium = Medium(64)
+    assert medium.write_count == 0
+    medium.write(0, b"a")
+    medium.write(1, b"b")
+    assert medium.write_count == 2
+
+
+def test_out_of_bounds_read_raises():
+    medium = Medium(16)
+    with pytest.raises(OutOfBoundsError):
+        medium.read(10, 7)
+
+
+def test_out_of_bounds_write_raises():
+    medium = Medium(16)
+    with pytest.raises(OutOfBoundsError):
+        medium.write(16, b"x")
+
+
+def test_negative_address_raises():
+    medium = Medium(16)
+    with pytest.raises(OutOfBoundsError):
+        medium.read(-1, 1)
+
+
+def test_zero_size_must_be_positive():
+    with pytest.raises(ValueError):
+        Medium(0)
+
+
+def test_snapshot_is_immutable_copy():
+    medium = Medium(32)
+    medium.write(0, b"abc")
+    snap = medium.snapshot()
+    medium.write(0, b"xyz")
+    assert snap[:3] == b"abc"
+    assert medium.read(0, 3) == b"xyz"
+
+
+def test_restore_roundtrip():
+    medium = Medium(32)
+    medium.write(4, b"data")
+    snap = medium.snapshot()
+    medium.write(4, b"junk")
+    medium.restore(snap)
+    assert medium.read(4, 4) == b"data"
+
+
+def test_restore_size_mismatch_raises():
+    medium = Medium(32)
+    with pytest.raises(ValueError):
+        medium.restore(bytes(16))
+
+
+def test_from_image():
+    original = Medium(32)
+    original.write(0, b"persist")
+    clone = Medium.from_image(original.snapshot())
+    assert clone.read(0, 7) == b"persist"
+    assert clone.size == 32

@@ -1,0 +1,58 @@
+"""Tests for pool headers and root objects."""
+
+import pytest
+
+from repro.errors import PoolError
+from repro.pmem import HEADER_SIZE, PMachine, PmemPool
+
+
+def test_create_then_open_roundtrip():
+    machine = PMachine(pm_size=16 * 1024)
+    PmemPool.create(machine, "kvstore")
+    pool = PmemPool.open(machine, "kvstore")
+    assert pool.usable_base == HEADER_SIZE
+    assert pool.size == 16 * 1024
+
+
+def test_open_uninitialised_raises():
+    machine = PMachine(pm_size=4096)
+    with pytest.raises(PoolError):
+        PmemPool.open(machine, "kvstore")
+
+
+def test_open_wrong_layout_raises():
+    machine = PMachine(pm_size=4096)
+    PmemPool.create(machine, "alpha")
+    with pytest.raises(PoolError):
+        PmemPool.open(machine, "beta")
+
+
+def test_double_create_raises():
+    machine = PMachine(pm_size=4096)
+    PmemPool.create(machine, "alpha")
+    with pytest.raises(PoolError):
+        PmemPool.create(machine, "alpha")
+
+
+def test_create_or_open_is_idempotent():
+    machine = PMachine(pm_size=4096)
+    PmemPool.create_or_open(machine, "alpha")
+    PmemPool.create_or_open(machine, "alpha")
+
+
+def test_header_survives_crash():
+    machine = PMachine(pm_size=4096)
+    pool = PmemPool.create(machine, "kvstore")
+    pool.set_root(256, 64)
+    image = machine.crash()
+    rebooted = PMachine.from_image(image)
+    reopened = PmemPool.open(rebooted, "kvstore")
+    assert reopened.root_offset == 256
+    assert reopened.root_size == 64
+
+
+def test_root_defaults_to_zero():
+    machine = PMachine(pm_size=4096)
+    pool = PmemPool.create(machine, "kvstore")
+    assert pool.root_offset == 0
+    assert pool.root_size == 0

@@ -1,0 +1,56 @@
+"""CLI frontend tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_targets_lists_all(capsys):
+    assert main(["targets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("btree", "rbtree", "rocksdb_pm", "montage_hashtable"):
+        assert name in out
+
+
+def test_bugs_lists_registry(capsys):
+    assert main(["bugs", "btree"]) == 0
+    out = capsys.readouterr().out
+    assert "btree.c1_count_outside_tx" in out
+    assert "btree.pf1" in out
+
+
+def test_tools_prints_tables(capsys):
+    assert main(["tools"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Table 3" in out
+    assert "Mumak" in out
+
+
+def test_analyze_clean_target_exits_zero(capsys):
+    code = main([
+        "analyze", "btree", "--ops", "60", "--spt", "--bugs", "none",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 unique bug(s)" in out
+
+
+def test_analyze_buggy_target_exits_nonzero(capsys):
+    code = main([
+        "analyze", "btree", "--ops", "120", "--spt",
+        "--bugs", "btree.c1_count_outside_tx", "--no-warnings",
+    ])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "crash_consistency" in out
+
+
+def test_parser_rejects_unknown_target():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["analyze", "memcached"])
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig9"])

@@ -1,0 +1,46 @@
+"""Every example must run end-to-end and show what it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart_finds_the_ordering_bug():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "crash_consistency" in proc.stdout
+    assert "recovery failures:" in proc.stdout
+
+
+def test_machine_semantics_walkthrough():
+    proc = run_example("machine_semantics.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "graceful image byte" in proc.stdout
+    assert "0xaa" in proc.stdout
+
+
+def test_analyze_kv_store():
+    proc = run_example("analyze_kv_store.py", "80")
+    assert proc.returncode == 0, proc.stderr
+    assert "crash-consistency findings:" in proc.stdout
+    assert "phase timing" in proc.stdout
+
+
+@pytest.mark.slow
+def test_compare_tools():
+    proc = run_example("compare_tools.py", "60", timeout=400)
+    assert proc.returncode == 0, proc.stderr
+    assert "Mumak" in proc.stdout and "Agamotto" in proc.stdout

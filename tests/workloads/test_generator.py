@@ -1,0 +1,100 @@
+"""Workload generator tests (unit + property)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    DEFAULT_MIX,
+    Operation,
+    WorkloadSpec,
+    YCSB_MIXES,
+    generate_workload,
+    ycsb_workload,
+)
+
+
+class TestOperation:
+    def test_valid_kinds(self):
+        Operation("put", b"k", b"v")
+        Operation("get", b"k")
+        with pytest.raises(ValueError):
+            Operation("frobnicate", b"k")
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        assert generate_workload(100, seed=9) == generate_workload(100, seed=9)
+        assert generate_workload(100, seed=9) != generate_workload(100, seed=10)
+
+    def test_default_mix_roughly_even(self):
+        ops = generate_workload(3000, seed=1)
+        counts = {}
+        for op in ops:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        for kind in DEFAULT_MIX:
+            assert abs(counts[kind] / len(ops) - 1 / 3) < 0.05
+
+    def test_key_space_respected(self):
+        ops = generate_workload(500, key_space=10, seed=2)
+        assert len({op.key for op in ops}) <= 10
+
+    def test_values_sized(self):
+        ops = generate_workload(200, value_size=12, seed=3)
+        puts = [op for op in ops if op.kind == "put"]
+        assert puts and all(len(op.value) == 12 for op in puts)
+
+    def test_zipfian_skews(self):
+        ops = generate_workload(
+            3000, key_space=100, distribution="zipfian", seed=4,
+            mix={"get": 1.0},
+        )
+        counts = {}
+        for op in ops:
+            counts[op.key] = counts.get(op.key, 0) + 1
+        top = max(counts.values())
+        assert top > 3 * (len(ops) / 100)  # hot key well above uniform
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            generate_workload(-1)
+        with pytest.raises(ValueError):
+            generate_workload(10, mix={"teleport": 1.0})
+        with pytest.raises(ValueError):
+            generate_workload(10, distribution="pareto")
+        with pytest.raises(ValueError):
+            generate_workload(10, mix={"put": 0.0})
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        n=st.integers(0, 300),
+        seed=st.integers(0, 10_000),
+        key_space=st.integers(1, 50),
+    )
+    def test_shape_property(self, n, seed, key_space):
+        ops = generate_workload(n, seed=seed, key_space=key_space)
+        assert len(ops) == n
+        for op in ops:
+            assert op.key.isdigit()
+            if op.kind in ("put", "update"):
+                assert op.value
+            else:
+                assert op.value == b""
+
+
+class TestSpecAndYCSB:
+    def test_spec_generates(self):
+        spec = WorkloadSpec(n_ops=50, seed=3)
+        assert spec.generate() == spec.generate()
+        assert len(spec.generate()) == 50
+
+    def test_ycsb_mixes(self):
+        for name in YCSB_MIXES:
+            ops = ycsb_workload(name, 200, seed=5)
+            assert len(ops) == 200
+        c_only = ycsb_workload("c", 100, seed=5)
+        assert all(op.kind == "get" for op in c_only)
+
+    def test_unknown_ycsb_rejected(self):
+        with pytest.raises(ValueError):
+            ycsb_workload("z", 10)
