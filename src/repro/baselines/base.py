@@ -23,9 +23,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from repro.core.harness import supervised_call
+from repro.core.oracle import format_capped_trace
 from repro.core.report import AnalysisReport
 from repro.core.resources import ResourceUsage
 from repro.core.taxonomy import BugKind
+from repro.errors import ToolError, WatchdogTimeout
 
 #: Global conversion for the analysis-time figures.  Calibrated so that
 #: Mumak's analysis of the PMDK data-store benchmark lands well under one
@@ -132,8 +135,17 @@ class DetectionTool(abc.ABC):
         workload: Sequence,
         budget_hours: Optional[float] = DEFAULT_BUDGET_HOURS,
         seed: int = 0,
+        timeout_seconds: Optional[float] = None,
     ) -> ToolRun:
-        """Run the tool; never raises on budget exhaustion."""
+        """Run the tool; never raises on budget exhaustion.
+
+        The call is routed through the same watchdog/containment wrapper
+        as Mumak's hardened campaign runner: a hang (with
+        ``timeout_seconds`` set) is recorded as a timed-out run and an
+        unexpected tool crash is contained into ``run.detail["harness"]``
+        — so a comparative (Figure 4 / Table 2) sweep survives any one
+        misbehaving tool or target and still delivers partial results.
+        """
         meter = BudgetMeter(budget_hours)
         usage = ResourceUsage(cpu_load=self.cpu_load)
         report = AnalysisReport()
@@ -145,12 +157,32 @@ class DetectionTool(abc.ABC):
         )
         started = time.perf_counter()
         try:
-            self._analyze(app_factory, workload, meter, usage, report, run,
-                          seed)
+            supervised_call(
+                lambda: self._analyze(
+                    app_factory, workload, meter, usage, report, run, seed
+                ),
+                timeout_seconds,
+            )
+        except WatchdogTimeout as err:
+            run.timed_out = True
+            run.detail["harness"] = {
+                "status": "hung",
+                "error": f"{type(err).__name__}: {err}",
+            }
+        except ToolError:
+            # A declared refusal (e.g. PMDebugger on a non-PMDK target,
+            # Table 3) — part of the tool's contract, not tool trouble.
+            raise
+        except Exception as err:  # noqa: BLE001 - containment boundary
+            run.detail["harness"] = {
+                "status": "infra_error",
+                "error": f"{type(err).__name__}: {err}",
+                "trace": format_capped_trace(err),
+            }
         finally:
             usage.phase_seconds["total"] = time.perf_counter() - started
             run.work_units = meter.units
-            run.timed_out = meter.exhausted
+            run.timed_out = run.timed_out or meter.exhausted
             pool = app_factory().pool_size
             usage.pool_bytes = pool
             usage.tool_pm_bytes = int((self.pm_overhead_model - 1.0) * pool)

@@ -40,6 +40,37 @@ def _add_analyze(sub) -> None:
                         help="suppress warning-level findings")
     parser.add_argument("--engine", choices=["trace", "replay"],
                         default="trace")
+    parser.add_argument("--no-fault-injection", action="store_true",
+                        help="skip the fault-injection phase "
+                             "(trace analysis only)")
+    parser.add_argument("--max-injections", type=int, default=None,
+                        metavar="N",
+                        help="cap the number of injected faults")
+    # Hardened campaign runner (repro.core.harness).
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallel injection workers (default 1; "
+                             "output is identical to a serial run)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock watchdog per recovery call; "
+                             "hung recoveries are reported, not fatal")
+    parser.add_argument("--step-budget", type=int, default=None,
+                        metavar="N",
+                        help="machine step budget per recovery call")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="containment retries before an injection "
+                             "is quarantined (default 2)")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="journal campaign state to PATH every "
+                             "--checkpoint-interval injections")
+    parser.add_argument("--checkpoint-interval", type=int, default=25,
+                        metavar="K",
+                        help="checkpoint flush cadence (default 25)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted campaign from "
+                             "--checkpoint (fingerprint-checked; the "
+                             "resumed report is byte-identical to an "
+                             "uninterrupted run)")
 
 
 def _cmd_analyze(args) -> int:
@@ -52,6 +83,10 @@ def _cmd_analyze(args) -> int:
     elif args.bugs != "default":
         options["bugs"] = frozenset(args.bugs.split(","))
 
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+
     def factory():
         return cls(**options)
 
@@ -60,16 +95,36 @@ def _cmd_analyze(args) -> int:
         include_warnings=not args.no_warnings,
         engine=args.engine,
         seed=args.seed,
+        run_fault_injection=not args.no_fault_injection,
+        max_injections=args.max_injections,
+        timeout_seconds=args.timeout,
+        step_budget=args.step_budget,
+        max_retries=args.retries,
+        jobs=args.jobs,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
     )
-    result = Mumak(config).analyze(factory, workload)
+    resume_from = args.checkpoint if args.resume else None
+    result = Mumak(config).analyze(factory, workload, resume_from=resume_from)
     print(result.report.render(include_warnings=not args.no_warnings))
-    stats = result.fault_injection.stats
-    print(
-        f"\n[{args.target}] trace: {result.trace_length} events | "
-        f"failure points: {stats.unique_failure_points} | "
-        f"injections: {stats.injections} | "
-        f"wall: {result.resources.total_seconds:.1f}s"
-    )
+    summary = [f"[{args.target}] trace: {result.trace_length} events"]
+    if result.fault_injection is not None:
+        stats = result.fault_injection.stats
+        summary.append(f"failure points: {stats.unique_failure_points}")
+        summary.append(f"injections: {stats.injections}")
+        if stats.resumed:
+            summary.append(f"resumed: {stats.resumed}")
+        if stats.hung or stats.resource_exhausted:
+            summary.append(
+                f"hung: {stats.hung} | "
+                f"budget-exhausted: {stats.resource_exhausted}"
+            )
+        if stats.quarantined:
+            summary.append(f"quarantined: {stats.quarantined}")
+    else:
+        summary.append("fault injection: skipped (trace analysis only)")
+    summary.append(f"wall: {result.resources.total_seconds:.1f}s")
+    print("\n" + " | ".join(summary))
     return 1 if result.report.bugs else 0
 
 

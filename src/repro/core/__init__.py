@@ -17,6 +17,13 @@ from repro.core.fault_injection import (
     FaultInjector,
 )
 from repro.core.fpt import FailurePointTree
+from repro.core.harness import (
+    CampaignJournal,
+    HarnessConfig,
+    QuarantineRecord,
+    load_checkpoint,
+    run_campaign,
+)
 from repro.core.oracle import RecoveryOutcome, RecoveryStatus, run_recovery
 from repro.core.pipeline import Mumak, MumakConfig, MumakResult
 from repro.core.report import (
@@ -36,6 +43,11 @@ from repro.core.trace_analysis import TraceAnalyzer
 __all__ = [
     "AnalysisReport",
     "BugKind",
+    "CampaignJournal",
+    "HarnessConfig",
+    "QuarantineRecord",
+    "load_checkpoint",
+    "run_campaign",
     "CORRECTNESS_KINDS",
     "ENGINE_REPLAY",
     "ENGINE_TRACE",

@@ -24,17 +24,34 @@ Three steps, each requiring less instrumentation than the previous one:
    on each crash image; a failure is a reported bug carrying the complete
    code path of the failure point and the recovery error (plus the
    recovery call trace when recovery crashed abruptly).
+
+Both engines route every recovery through the hardened campaign runner
+(:mod:`repro.core.harness`): watchdogged oracle execution, per-injection
+containment with retry + quarantine, optional checkpoint journaling, and
+(for the trace engine) a supervised parallel worker pool whose merged
+output is identical to a serial run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.fpt import FailurePointTree
-from repro.core.oracle import RecoveryOutcome, run_recovery
-from repro.core.report import Finding, PHASE_FAULT_INJECTION
-from repro.core.taxonomy import BugKind
+from repro.core.harness import (
+    CampaignJournal,
+    CampaignResult,
+    HarnessConfig,
+    InjectionResult,
+    InjectionTask,
+    PrefixImageSource,
+    QuarantineRecord,
+    execute_injection,
+    make_finding,
+    run_campaign,
+)
+from repro.core.oracle import RecoveryOutcome, RecoveryStatus
+from repro.core.report import Finding
 from repro.errors import CrashInjected
 from repro.instrument.runner import run_instrumented
 from repro.instrument.tracer import (
@@ -42,7 +59,6 @@ from repro.instrument.tracer import (
     FailurePointObserver,
     MinimalTracer,
 )
-from repro.pmem.crashsim import apply_write
 from repro.pmem.events import MemoryEvent
 from repro.pmem.machine import PMachine
 
@@ -60,6 +76,14 @@ class FaultInjectionStats:
     recovery_failures: int = 0
     executions: int = 0
     trace_length: int = 0
+    # Hardened-runner bookkeeping.
+    quarantined: int = 0
+    hung: int = 0
+    resource_exhausted: int = 0
+    retries: int = 0
+    worker_deaths: int = 0
+    #: Injections restored from a checkpoint instead of re-executed.
+    resumed: int = 0
 
 
 @dataclass
@@ -70,6 +94,7 @@ class FaultInjectionResult:
     outcomes: List[Tuple[Tuple[str, ...], RecoveryOutcome]] = field(
         default_factory=list
     )
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
 
 
 class FaultInjector:
@@ -81,6 +106,7 @@ class FaultInjector:
         require_store_since_last: bool = True,
         engine: str = ENGINE_TRACE,
         max_injections: Optional[int] = None,
+        harness: Optional[HarnessConfig] = None,
     ):
         if engine not in (ENGINE_TRACE, ENGINE_REPLAY):
             raise ValueError(f"unknown injection engine {engine!r}")
@@ -88,6 +114,7 @@ class FaultInjector:
         self.require_store_since_last = require_store_since_last
         self.engine = engine
         self.max_injections = max_injections
+        self.harness = harness or HarnessConfig()
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -98,6 +125,8 @@ class FaultInjector:
         app_factory: Callable[[], Any],
         workload: Sequence,
         seed: int = 0,
+        journal: Optional[CampaignJournal] = None,
+        resume_state: Optional[Dict[int, InjectionResult]] = None,
     ) -> FaultInjectionResult:
         tree, trace, initial_image = self._detect(app_factory, workload, seed)
         return self.inject(
@@ -108,6 +137,8 @@ class FaultInjector:
             initial_image,
             seed=seed,
             candidates=self._candidates,
+            journal=journal,
+            resume_state=resume_state,
         )
 
     def inject(
@@ -119,6 +150,8 @@ class FaultInjector:
         initial_image: bytes,
         seed: int = 0,
         candidates: int = 0,
+        journal: Optional[CampaignJournal] = None,
+        resume_state: Optional[Dict[int, InjectionResult]] = None,
     ) -> FaultInjectionResult:
         """Injection against an already-built tree/trace (pipeline entry)."""
         stats = FaultInjectionStats(
@@ -129,7 +162,13 @@ class FaultInjector:
         )
         if self.engine == ENGINE_TRACE:
             return self._inject_from_trace(
-                app_factory, tree, trace, initial_image, stats
+                app_factory,
+                tree,
+                trace,
+                initial_image,
+                stats,
+                journal=journal,
+                resume_state=resume_state,
             )
         return self._inject_by_replay(app_factory, workload, seed, tree, stats)
 
@@ -156,39 +195,40 @@ class FaultInjector:
         return tree, tracer.events, artifacts.initial_image
 
     # ------------------------------------------------------------------ #
-    # step 2+3, trace engine
+    # step 2+3, trace engine (through the hardened campaign runner)
     # ------------------------------------------------------------------ #
 
     def _inject_from_trace(
-        self, app_factory, tree, trace, initial_image, stats
+        self,
+        app_factory,
+        tree,
+        trace,
+        initial_image,
+        stats,
+        journal=None,
+        resume_state=None,
     ) -> FaultInjectionResult:
-        findings: List[Finding] = []
-        outcomes = []
-        # Failure points come back in first-occurrence order, so the
-        # program-order-prefix image can be maintained incrementally: apply
-        # the trace's writes between consecutive failure points instead of
-        # rebuilding each image from scratch.
-        running = bytearray(initial_image)
-        cursor = 0
+        tasks: List[InjectionTask] = []
         for stack, node in tree.failure_points():
             if self.max_injections is not None and (
-                stats.injections >= self.max_injections
+                len(tasks) >= self.max_injections
             ):
                 break
             node.visited = True
-            stats.injections += 1
-            while cursor < len(trace) and trace[cursor].seq < node.first_seq:
-                event = trace[cursor]
-                if event.is_write:
-                    apply_write(running, event)
-                cursor += 1
-            image = bytes(running)
-            outcome = run_recovery(app_factory, image)
-            outcomes.append((stack, outcome))
-            if outcome.status.is_bug:
-                stats.recovery_failures += 1
-                findings.append(self._finding(stack, node.first_seq, outcome))
-        return FaultInjectionResult(findings, stats, tree, outcomes)
+            tasks.append(
+                InjectionTask(
+                    index=len(tasks), stack=stack, seq=node.first_seq
+                )
+            )
+        campaign = run_campaign(
+            tasks,
+            PrefixImageSource(initial_image, trace),
+            app_factory,
+            config=self.harness,
+            journal=journal,
+            resume_state=resume_state,
+        )
+        return self._collect(campaign, stats, tree)
 
     # ------------------------------------------------------------------ #
     # step 2+3, replay engine
@@ -197,11 +237,15 @@ class FaultInjector:
     def _inject_by_replay(
         self, app_factory, workload, seed, tree, stats
     ) -> FaultInjectionResult:
-        findings: List[Finding] = []
-        outcomes = []
+        # The replay engine re-executes the target per failure point and
+        # shares visited-marking state through the tree, so it runs
+        # serially; each recovery still goes through watchdog + contain-
+        # ment, so a pathological target cannot stall the campaign.
+        campaign = CampaignResult()
+        index = 0
         while tree.unvisited_count > 0:
             if self.max_injections is not None and (
-                stats.injections >= self.max_injections
+                index >= self.max_injections
             ):
                 break
             injector = _ReplayInjector(
@@ -216,35 +260,60 @@ class FaultInjector:
                 # whatever remains unvisited is unreachable on this
                 # workload (should not happen with deterministic targets).
                 break
-            stats.injections += 1
-            outcome = run_recovery(app_factory, injector.image)
-            outcomes.append((injector.stack, outcome))
-            if outcome.status.is_bug:
-                stats.recovery_failures += 1
-                findings.append(
-                    self._finding(
-                        injector.stack, artifacts.injected.sequence, outcome
-                    )
-                )
-        return FaultInjectionResult(findings, stats, tree, outcomes)
+            task = InjectionTask(
+                index=index,
+                stack=injector.stack,
+                seq=artifacts.injected.sequence,
+            )
+            index += 1
+            image = injector.image
+            result = execute_injection(
+                task, lambda _task: image, app_factory, self.harness
+            )
+            campaign.retries += result.attempts - 1
+            campaign.results.append(result)
+        return self._collect(campaign, stats, tree)
 
     # ------------------------------------------------------------------ #
 
     @staticmethod
-    def _finding(stack, seq, outcome: RecoveryOutcome) -> Finding:
-        return Finding(
-            kind=BugKind.CRASH_CONSISTENCY,
-            phase=PHASE_FAULT_INJECTION,
-            message=(
-                "recovery cannot handle the post-failure state at this "
-                "failure point"
-            ),
-            site=stack[-1] if stack else None,
-            stack=stack,
-            seq=seq,
-            recovery_error=outcome.error,
-            recovery_trace=outcome.trace,
+    def _collect(
+        campaign: CampaignResult,
+        stats: FaultInjectionStats,
+        tree: FailurePointTree,
+    ) -> FaultInjectionResult:
+        findings: List[Finding] = []
+        outcomes: List[Tuple[Tuple[str, ...], RecoveryOutcome]] = []
+        for result in campaign.results:
+            stats.injections += 1
+            if result.restored:
+                stats.resumed += 1
+            if result.quarantine is not None:
+                stats.quarantined += 1
+                continue
+            outcome = result.outcome
+            outcomes.append((result.task.stack, outcome))
+            if outcome.status is RecoveryStatus.HUNG:
+                stats.hung += 1
+            elif outcome.status is RecoveryStatus.RESOURCE_EXHAUSTED:
+                stats.resource_exhausted += 1
+            if result.finding is not None:
+                stats.recovery_failures += 1
+                findings.append(result.finding)
+        stats.retries += campaign.retries
+        stats.worker_deaths += campaign.worker_deaths
+        return FaultInjectionResult(
+            findings,
+            stats,
+            tree,
+            outcomes,
+            quarantined=campaign.quarantined,
         )
+
+    @staticmethod
+    def _finding(stack, seq, outcome: RecoveryOutcome) -> Finding:
+        """Kept for API compatibility; delegates to the harness."""
+        return make_finding(stack, seq, outcome)
 
 
 class _ReplayInjector(FailurePointObserver):

@@ -1,0 +1,851 @@
+"""Fault-tolerant campaign execution (the hardened runner).
+
+Mumak's central loop runs an *untrusted, black-box* recovery procedure
+once per unique failure point.  The paper's Pin implementation gets crash
+isolation for free — each recovery is a separate process — but this
+in-process pipeline must build the same robustness explicitly, or a
+single hung, runaway, or infrastructure-crashing recovery kills an entire
+multi-thousand-injection campaign with no partial report.
+
+Four pillars, all routed through :func:`run_campaign`:
+
+1. **Watchdogged oracle execution** — every recovery runs under a
+   deadline enforced two ways: a wall-clock timeout (machine-level
+   deadline checks plus a supervising thread that asynchronously
+   interrupts pure-Python infinite loops) and a machine step budget.
+   Runaway recoveries become ``RecoveryStatus.HUNG`` /
+   ``RecoveryStatus.RESOURCE_EXHAUSTED`` outcomes; the campaign continues.
+2. **Per-injection containment with retry + quarantine** — any exception
+   while materialising a crash image, constructing the app, or consulting
+   the oracle is captured with (capped) context, retried up to N times
+   with deterministic jittered backoff for transient classes, then
+   quarantined.  Partial results are always delivered.
+3. **Checkpoint / resume** — :class:`CampaignJournal` journals campaign
+   state (fingerprint, per-injection outcomes, findings, quarantines) to
+   a JSON-lines file every K injections; an interrupted campaign resumed
+   from its checkpoint renders a report byte-identical to an
+   uninterrupted run (property-tested).
+4. **Supervised parallel execution** — a worker-pool executor
+   (``jobs > 1``) fans independent injections out, requeues work on
+   worker death, enforces the watchdog per task, and merges results in
+   deterministic (index-sorted) order so parallel output is identical to
+   serial output.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import json
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.oracle import (
+    RecoveryOutcome,
+    RecoveryStatus,
+    format_capped_trace,
+    run_recovery,
+)
+from repro.core.report import Finding, PHASE_FAULT_INJECTION
+from repro.core.taxonomy import BugKind
+from repro.errors import CheckpointError, WatchdogTimeout
+
+#: Exception classes considered *transient*: they may disappear on retry,
+#: so they earn the (deterministic, jittered) backoff before each retry.
+TRANSIENT_ERRORS = (MemoryError, OSError)
+
+#: Checkpoint journal format version.
+JOURNAL_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# configuration
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class HarnessConfig:
+    """Knobs of the hardened campaign runner.
+
+    The defaults are fully backwards compatible: no watchdog, no
+    checkpointing, serial execution, quarantine after two retries.
+    """
+
+    #: Wall-clock deadline per recovery call (None = unlimited).
+    timeout_seconds: Optional[float] = None
+    #: Machine step budget per recovery call (None = unlimited).
+    step_budget: Optional[int] = None
+    #: Containment retries before an injection is quarantined.
+    max_retries: int = 2
+    #: Base of the deterministic jittered backoff for transient errors,
+    #: in seconds (0 disables sleeping entirely).
+    backoff_base: float = 0.0
+    #: Worker threads for the parallel injection executor.
+    jobs: int = 1
+    #: How many times a task is re-queued after *worker* death before it
+    #: is quarantined as a poison pill.
+    max_requeues: int = 3
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+def deterministic_backoff(key: str, attempt: int, base: float) -> float:
+    """Exponential backoff with *deterministic* jitter.
+
+    The jitter is derived from a hash of (key, attempt), so two runs of
+    the same campaign sleep identically — randomness without
+    nondeterminism.
+    """
+    if base <= 0:
+        return 0.0
+    digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+    jitter = 0.5 + digest[0] / 255.0  # [0.5, 1.5]
+    return base * (2 ** attempt) * jitter
+
+
+# --------------------------------------------------------------------- #
+# watchdogged (supervised) calls
+# --------------------------------------------------------------------- #
+
+
+def _async_raise(thread_ident: int, exc_type: type) -> bool:
+    """Raise ``exc_type`` asynchronously inside another thread.
+
+    Pure-Python code honours the exception at its next bytecode boundary;
+    threads blocked in C calls do not (the caller then abandons the
+    daemon thread).  Returns True when the interrupt was delivered.
+    """
+    try:
+        res = ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_ulong(thread_ident), ctypes.py_object(exc_type)
+        )
+    except Exception:  # pragma: no cover - platform without ctypes API
+        return False
+    if res > 1:  # pragma: no cover - undo on over-delivery, per CPython docs
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_ulong(thread_ident), None
+        )
+        return False
+    return res == 1
+
+
+def supervised_call(
+    fn: Callable[[], Any],
+    timeout_seconds: Optional[float] = None,
+    grace_seconds: float = 1.0,
+) -> Any:
+    """Run ``fn`` under a wall-clock watchdog.
+
+    Without a timeout this is a plain call (zero overhead).  With one,
+    ``fn`` runs in a supervised worker thread; on deadline overrun a
+    :class:`~repro.errors.WatchdogTimeout` is asynchronously raised inside
+    the worker (pure-Python hangs stop at the next bytecode boundary and
+    surface through ``fn``'s own handling), and if the worker still does
+    not stop within the grace period it is abandoned (daemon thread) and
+    ``WatchdogTimeout`` is raised to the caller.
+    """
+    if timeout_seconds is None:
+        return fn()
+    box: Dict[str, Any] = {}
+
+    def runner():
+        try:
+            box["result"] = fn()
+        except BaseException as err:  # noqa: BLE001 - transported to caller
+            box["error"] = err
+
+    worker = threading.Thread(
+        target=runner, daemon=True, name="mumak-watchdog-call"
+    )
+    worker.start()
+    worker.join(timeout_seconds)
+    if worker.is_alive():
+        _async_raise(worker.ident, WatchdogTimeout)
+        worker.join(grace_seconds)
+        if worker.is_alive():
+            raise WatchdogTimeout(
+                timeout_seconds,
+                f"supervised call exceeded its {timeout_seconds:.3f}s "
+                "deadline and did not stop; worker thread abandoned",
+            )
+    if "error" in box:
+        raise box["error"]
+    if "result" in box:
+        return box["result"]
+    raise WatchdogTimeout(timeout_seconds)  # pragma: no cover - defensive
+
+
+# --------------------------------------------------------------------- #
+# tasks, results, quarantine
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class InjectionTask:
+    """One fault injection: a unique failure point to probe."""
+
+    index: int
+    stack: Tuple[str, ...]
+    seq: int
+
+
+@dataclass
+class QuarantineRecord:
+    """An injection the harness gave up on (tool trouble, not a finding)."""
+
+    stack: Tuple[str, ...]
+    seq: Optional[int]
+    phase: str  # "materialise" | "recovery"
+    attempts: int
+    error: str
+    trace: Optional[str] = None
+
+    def render(self) -> str:
+        where = self.stack[-1] if self.stack else f"seq {self.seq}"
+        return (
+            f"  [quarantined] {where} ({self.phase}, "
+            f"{self.attempts} attempt(s)): {self.error}"
+        )
+
+
+@dataclass
+class InjectionResult:
+    """What one injection produced (exactly one of outcome/quarantine)."""
+
+    task: InjectionTask
+    outcome: Optional[RecoveryOutcome] = None
+    finding: Optional[Finding] = None
+    quarantine: Optional[QuarantineRecord] = None
+    attempts: int = 1
+    #: True when reconstructed from a checkpoint rather than executed.
+    restored: bool = False
+
+
+@dataclass
+class CampaignResult:
+    """Merged, deterministic (index-sorted) results of a campaign."""
+
+    results: List[InjectionResult] = field(default_factory=list)
+    #: Worker deaths observed (parallel executor bookkeeping).
+    worker_deaths: int = 0
+    retries: int = 0
+
+    @property
+    def outcomes(self) -> List[Tuple[Tuple[str, ...], RecoveryOutcome]]:
+        return [
+            (r.task.stack, r.outcome)
+            for r in self.results
+            if r.outcome is not None
+        ]
+
+    @property
+    def findings(self) -> List[Finding]:
+        return [r.finding for r in self.results if r.finding is not None]
+
+    @property
+    def quarantined(self) -> List[QuarantineRecord]:
+        return [
+            r.quarantine for r in self.results if r.quarantine is not None
+        ]
+
+
+def make_finding(
+    stack: Tuple[str, ...], seq: Optional[int], outcome: RecoveryOutcome
+) -> Optional[Finding]:
+    """The fault-injection finding for a bug outcome (None otherwise)."""
+    if outcome is None or not outcome.status.is_bug:
+        return None
+    messages = {
+        RecoveryStatus.HUNG: (
+            "recovery hangs on the post-failure state at this failure "
+            "point (watchdog deadline exceeded)"
+        ),
+        RecoveryStatus.RESOURCE_EXHAUSTED: (
+            "recovery exhausts its execution budget on the post-failure "
+            "state at this failure point"
+        ),
+    }
+    message = messages.get(
+        outcome.status,
+        "recovery cannot handle the post-failure state at this failure "
+        "point",
+    )
+    return Finding(
+        kind=BugKind.CRASH_CONSISTENCY,
+        phase=PHASE_FAULT_INJECTION,
+        message=message,
+        site=stack[-1] if stack else None,
+        stack=stack,
+        seq=seq,
+        recovery_error=outcome.error,
+        recovery_trace=outcome.trace,
+    )
+
+
+# --------------------------------------------------------------------- #
+# per-injection containment
+# --------------------------------------------------------------------- #
+
+
+def execute_injection(
+    task: InjectionTask,
+    image_for: Callable[[InjectionTask], bytes],
+    app_factory: Callable[[], Any],
+    config: HarnessConfig,
+    sleep: Callable[[float], None] = time.sleep,
+) -> InjectionResult:
+    """One injection under full containment.
+
+    Materialise the crash image, consult the oracle under the watchdog,
+    retry tool-side failures up to ``config.max_retries`` times (with
+    deterministic jittered backoff for transient classes), then
+    quarantine.  Never raises.
+    """
+    attempts = 0
+    phase = "materialise"
+    last_error = "unknown"
+    last_trace: Optional[str] = None
+    key = "/".join(task.stack) or str(task.seq)
+    while attempts <= config.max_retries:
+        attempts += 1
+        try:
+            phase = "materialise"
+            image = image_for(task)
+            phase = "recovery"
+            outcome = supervised_call(
+                lambda: run_recovery(
+                    app_factory,
+                    image,
+                    timeout=config.timeout_seconds,
+                    step_budget=config.step_budget,
+                    stack_key=task.stack,
+                ),
+                config.timeout_seconds,
+            )
+        except WatchdogTimeout as err:
+            # Unkillable hang: the worker thread was abandoned.  This is
+            # a definitive HUNG classification, not tool trouble — do not
+            # retry (re-running would hang again and leak another thread).
+            outcome = RecoveryOutcome(
+                RecoveryStatus.HUNG,
+                error=f"{type(err).__name__}: {err}",
+                stack_key=task.stack,
+            )
+            return InjectionResult(
+                task,
+                outcome=outcome,
+                finding=make_finding(task.stack, task.seq, outcome),
+                attempts=attempts,
+            )
+        except Exception as err:  # noqa: BLE001 - containment boundary
+            last_error = f"{type(err).__name__}: {err}"
+            last_trace = format_capped_trace(err)
+            if attempts <= config.max_retries and isinstance(
+                err, TRANSIENT_ERRORS
+            ):
+                delay = deterministic_backoff(
+                    key, attempts, config.backoff_base
+                )
+                if delay > 0:
+                    sleep(delay)
+            continue
+        if outcome.status.is_infrastructure:
+            # The oracle already classified this as tool trouble; treat
+            # it like a contained exception (retry, then quarantine).
+            last_error = outcome.error or "infrastructure error"
+            last_trace = outcome.trace
+            continue
+        return InjectionResult(
+            task,
+            outcome=outcome,
+            finding=make_finding(task.stack, task.seq, outcome),
+            attempts=attempts,
+        )
+    return InjectionResult(
+        task,
+        quarantine=QuarantineRecord(
+            stack=task.stack,
+            seq=task.seq,
+            phase=phase,
+            attempts=attempts,
+            error=last_error,
+            trace=last_trace,
+        ),
+        attempts=attempts,
+    )
+
+
+# --------------------------------------------------------------------- #
+# incremental crash-image materialisation
+# --------------------------------------------------------------------- #
+
+
+class PrefixImageSource:
+    """Worker-local builder of program-order-prefix crash images.
+
+    Each worker obtains its own cursor via :meth:`cursor`; a cursor
+    maintains a running image and only ever applies trace writes forward,
+    so a worker that processes tasks in increasing-seq order (the common
+    case) pays the trace cost once.  A requeued task with an older seq
+    falls back to rebuilding from the initial image.
+    """
+
+    def __init__(self, initial_image: bytes, trace: Sequence):
+        self._initial = initial_image
+        self._trace = trace
+
+    def cursor(self) -> "_PrefixCursor":
+        return _PrefixCursor(self._initial, self._trace)
+
+
+class _PrefixCursor:
+    def __init__(self, initial_image: bytes, trace: Sequence):
+        self._initial = initial_image
+        self._trace = trace
+        self._running = bytearray(initial_image)
+        self._pos = 0
+        self._last_seq = -1
+
+    def image_at(self, seq: int) -> bytes:
+        from repro.pmem.crashsim import apply_write
+
+        if seq < self._last_seq:
+            self._running = bytearray(self._initial)
+            self._pos = 0
+        self._last_seq = seq
+        trace = self._trace
+        while self._pos < len(trace) and trace[self._pos].seq < seq:
+            event = trace[self._pos]
+            if event.is_write:
+                apply_write(self._running, event)
+            self._pos += 1
+        return bytes(self._running)
+
+    def __call__(self, task: InjectionTask) -> bytes:
+        return self.image_at(task.seq)
+
+
+# --------------------------------------------------------------------- #
+# checkpoint journal
+# --------------------------------------------------------------------- #
+
+
+def _outcome_to_dict(outcome: RecoveryOutcome) -> dict:
+    return {
+        "status": outcome.status.value,
+        "error": outcome.error,
+        "trace": outcome.trace,
+        "stack_key": list(outcome.stack_key) if outcome.stack_key else None,
+    }
+
+
+def _outcome_from_dict(data: dict) -> RecoveryOutcome:
+    return RecoveryOutcome(
+        status=RecoveryStatus(data["status"]),
+        error=data.get("error"),
+        trace=data.get("trace"),
+        stack_key=tuple(data["stack_key"]) if data.get("stack_key") else None,
+    )
+
+
+def _finding_to_dict(finding: Finding) -> dict:
+    return {
+        "kind": finding.kind.value,
+        "phase": finding.phase,
+        "message": finding.message,
+        "site": finding.site,
+        "stack": list(finding.stack),
+        "is_warning": finding.is_warning,
+        "seq": finding.seq,
+        "recovery_error": finding.recovery_error,
+        "recovery_trace": finding.recovery_trace,
+    }
+
+
+def _finding_from_dict(data: dict) -> Finding:
+    return Finding(
+        kind=BugKind(data["kind"]),
+        phase=data["phase"],
+        message=data["message"],
+        site=data.get("site"),
+        stack=tuple(data.get("stack") or ()),
+        is_warning=bool(data.get("is_warning")),
+        seq=data.get("seq"),
+        recovery_error=data.get("recovery_error"),
+        recovery_trace=data.get("recovery_trace"),
+    )
+
+
+def _quarantine_to_dict(record: QuarantineRecord) -> dict:
+    return {
+        "stack": list(record.stack),
+        "seq": record.seq,
+        "phase": record.phase,
+        "attempts": record.attempts,
+        "error": record.error,
+        "trace": record.trace,
+    }
+
+
+def _quarantine_from_dict(data: dict) -> QuarantineRecord:
+    return QuarantineRecord(
+        stack=tuple(data.get("stack") or ()),
+        seq=data.get("seq"),
+        phase=data["phase"],
+        attempts=data["attempts"],
+        error=data["error"],
+        trace=data.get("trace"),
+    )
+
+
+def result_to_record(result: InjectionResult) -> dict:
+    return {
+        "type": "injection",
+        "i": result.task.index,
+        "stack": list(result.task.stack),
+        "seq": result.task.seq,
+        "attempts": result.attempts,
+        "outcome": (
+            _outcome_to_dict(result.outcome) if result.outcome else None
+        ),
+        "finding": (
+            _finding_to_dict(result.finding) if result.finding else None
+        ),
+        "quarantine": (
+            _quarantine_to_dict(result.quarantine)
+            if result.quarantine
+            else None
+        ),
+    }
+
+
+def result_from_record(record: dict) -> InjectionResult:
+    task = InjectionTask(
+        index=record["i"],
+        stack=tuple(record.get("stack") or ()),
+        seq=record.get("seq"),
+    )
+    return InjectionResult(
+        task=task,
+        outcome=(
+            _outcome_from_dict(record["outcome"])
+            if record.get("outcome")
+            else None
+        ),
+        finding=(
+            _finding_from_dict(record["finding"])
+            if record.get("finding")
+            else None
+        ),
+        quarantine=(
+            _quarantine_from_dict(record["quarantine"])
+            if record.get("quarantine")
+            else None
+        ),
+        attempts=record.get("attempts", 1),
+        restored=True,
+    )
+
+
+class CampaignJournal:
+    """JSON-lines checkpoint writer with periodic durability.
+
+    One header line (format version + campaign fingerprint + seed), then
+    one line per completed injection.  Records are buffered and flushed +
+    fsynced every ``interval`` injections so an interrupted campaign
+    loses at most K results.  Opening an existing journal for the same
+    campaign appends; a fingerprint mismatch raises
+    :class:`~repro.errors.CheckpointError`.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fingerprint: str,
+        seed: int = 0,
+        interval: int = 25,
+    ):
+        self.path = path
+        self.fingerprint = fingerprint
+        self.interval = max(1, interval)
+        self._since_flush = 0
+        self.bytes_written = 0
+        existing_header = None
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            existing_header, _ = read_journal(path)
+        if existing_header is not None:
+            if existing_header.get("fingerprint") != fingerprint:
+                raise CheckpointError(
+                    f"checkpoint {path!r} belongs to campaign "
+                    f"{existing_header.get('fingerprint')!r}, not "
+                    f"{fingerprint!r}; refusing to append"
+                )
+            self._fh = open(path, "a", encoding="utf-8")
+        else:
+            self._fh = open(path, "w", encoding="utf-8")
+            self._write_line(
+                {
+                    "type": "header",
+                    "version": JOURNAL_VERSION,
+                    "fingerprint": fingerprint,
+                    "seed": seed,
+                }
+            )
+            self.flush()
+
+    def _write_line(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._fh.write(line + "\n")
+        self.bytes_written += len(line) + 1
+
+    def record(self, result: InjectionResult) -> None:
+        self._write_line(result_to_record(result))
+        self._since_flush += 1
+        if self._since_flush >= self.interval:
+            self.flush()
+
+    def flush(self) -> None:
+        self._since_flush = 0
+        self._fh.flush()
+        try:
+            os.fsync(self._fh.fileno())
+        except OSError:  # pragma: no cover - fsync-less filesystems
+            pass
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path: str):
+    """Read a checkpoint journal; tolerates a torn trailing line.
+
+    Returns ``(header, records)``; header is None for an empty file.
+    """
+    header = None
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines) - 1:
+                break  # torn write from an interrupted campaign
+            raise CheckpointError(
+                f"corrupt checkpoint {path!r} at line {lineno + 1}"
+            )
+        if record.get("type") == "header":
+            header = record
+        else:
+            records.append(record)
+    return header, records
+
+
+def load_checkpoint(
+    path: str, fingerprint: Optional[str] = None
+) -> Dict[int, InjectionResult]:
+    """Load completed injections from a checkpoint, keyed by task index."""
+    if not os.path.exists(path):
+        raise CheckpointError(f"checkpoint {path!r} does not exist")
+    header, records = read_journal(path)
+    if header is None:
+        return {}
+    if header.get("version") != JOURNAL_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has journal version "
+            f"{header.get('version')!r}, expected {JOURNAL_VERSION}"
+        )
+    if fingerprint is not None and header.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"checkpoint {path!r} was written by campaign "
+            f"{header.get('fingerprint')!r}; this campaign is "
+            f"{fingerprint!r} (config/seed/target changed?)"
+        )
+    restored: Dict[int, InjectionResult] = {}
+    for record in records:
+        if record.get("type") != "injection":
+            continue
+        result = result_from_record(record)
+        restored[result.task.index] = result
+    return restored
+
+
+def campaign_fingerprint(payload: dict) -> str:
+    """Stable identity of a campaign configuration (for resume safety)."""
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------- #
+# the campaign runner (serial + supervised parallel)
+# --------------------------------------------------------------------- #
+
+
+def run_campaign(
+    tasks: Sequence[InjectionTask],
+    image_source: PrefixImageSource,
+    app_factory: Callable[[], Any],
+    config: Optional[HarnessConfig] = None,
+    journal: Optional[CampaignJournal] = None,
+    resume_state: Optional[Dict[int, InjectionResult]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    _worker_fault: Optional[Callable[[int, InjectionTask], None]] = None,
+) -> CampaignResult:
+    """Run an injection campaign to completion, whatever the targets do.
+
+    ``resume_state`` (from :func:`load_checkpoint`) short-circuits
+    already-completed tasks; ``journal`` checkpoints fresh completions.
+    ``_worker_fault`` is a test hook invoked at task pickup inside the
+    parallel workers (raising simulates worker death).
+    """
+    config = config or HarnessConfig()
+    resume_state = resume_state or {}
+    campaign = CampaignResult()
+    todo: List[InjectionTask] = []
+    for task in tasks:
+        restored = resume_state.get(task.index)
+        if restored is not None and restored.task.stack == task.stack:
+            campaign.results.append(restored)
+        else:
+            todo.append(task)
+
+    if config.jobs <= 1 or len(todo) <= 1:
+        cursor = image_source.cursor()
+        for task in todo:
+            result = execute_injection(
+                task, cursor, app_factory, config, sleep=sleep
+            )
+            campaign.retries += result.attempts - 1
+            campaign.results.append(result)
+            if journal is not None:
+                journal.record(result)
+    else:
+        _run_parallel(
+            todo,
+            image_source,
+            app_factory,
+            config,
+            campaign,
+            journal,
+            sleep,
+            _worker_fault,
+        )
+
+    if journal is not None:
+        journal.flush()
+    campaign.results.sort(key=lambda r: r.task.index)
+    return campaign
+
+
+def _run_parallel(
+    todo: List[InjectionTask],
+    image_source: PrefixImageSource,
+    app_factory: Callable[[], Any],
+    config: HarnessConfig,
+    campaign: CampaignResult,
+    journal: Optional[CampaignJournal],
+    sleep: Callable[[float], None],
+    worker_fault: Optional[Callable[[int, InjectionTask], None]],
+) -> None:
+    pending: "queue.Queue[InjectionTask]" = queue.Queue()
+    for task in todo:
+        pending.put(task)
+    events: "queue.Queue[tuple]" = queue.Queue()
+    shutdown = threading.Event()
+    requeues: Dict[int, int] = {}
+    worker_serial = [0]
+
+    def worker(worker_id: int) -> None:
+        cursor = image_source.cursor()
+        while not shutdown.is_set():
+            try:
+                task = pending.get(timeout=0.02)
+            except queue.Empty:
+                continue
+            try:
+                if worker_fault is not None:
+                    worker_fault(worker_id, task)
+                result = execute_injection(
+                    task, cursor, app_factory, config, sleep=sleep
+                )
+            except BaseException as err:  # noqa: BLE001 - worker death
+                events.put(("death", worker_id, task, err))
+                return  # the worker thread is gone; supervisor respawns
+            events.put(("done", worker_id, task, result))
+
+    def spawn() -> threading.Thread:
+        worker_serial[0] += 1
+        thread = threading.Thread(
+            target=worker,
+            args=(worker_serial[0],),
+            daemon=True,
+            name=f"mumak-injector-{worker_serial[0]}",
+        )
+        thread.start()
+        return thread
+
+    workers = [spawn() for _ in range(config.jobs)]
+    completed = 0
+    try:
+        while completed < len(todo):
+            kind, worker_id, task, payload = events.get()
+            if kind == "death":
+                campaign.worker_deaths += 1
+                count = requeues.get(task.index, 0) + 1
+                requeues[task.index] = count
+                if count > config.max_requeues:
+                    # Poison pill: the task killed several workers in a
+                    # row.  Quarantine it instead of thrashing the pool.
+                    result = InjectionResult(
+                        task,
+                        quarantine=QuarantineRecord(
+                            stack=task.stack,
+                            seq=task.seq,
+                            phase="recovery",
+                            attempts=count,
+                            error=(
+                                "task killed "
+                                f"{count} worker(s): "
+                                f"{type(payload).__name__}: {payload}"
+                            ),
+                            trace=format_capped_trace(payload),
+                        ),
+                        attempts=count,
+                    )
+                    campaign.results.append(result)
+                    if journal is not None:
+                        journal.record(result)
+                    completed += 1
+                else:
+                    pending.put(task)
+                workers = [t for t in workers if t.is_alive()]
+                workers.append(spawn())
+                continue
+            result = payload
+            campaign.retries += result.attempts - 1
+            campaign.results.append(result)
+            if journal is not None:
+                journal.record(result)
+            completed += 1
+    finally:
+        shutdown.set()
+    for thread in workers:
+        thread.join(timeout=2.0)

@@ -13,53 +13,187 @@ The recovery procedure runs *uninstrumented* on the post-failure state:
 The oracle is deliberately imperfect: if recovery fails to flag an
 inconsistency, Mumak has a false negative — which is exactly the trade-off
 the Level Hashing experiment in section 6.2 quantifies.
+
+Because the recovery procedure is *untrusted black-box code*, the oracle is
+hardened (the Pin implementation gets this for free from process
+isolation; an in-process pipeline must build it):
+
+* an optional **watchdog** (wall-clock deadline + machine step budget,
+  armed on the booted machine) turns infinite loops and runaway
+  executions into :attr:`RecoveryStatus.HUNG` /
+  :attr:`RecoveryStatus.RESOURCE_EXHAUSTED` outcomes instead of freezing
+  the campaign;
+* **infrastructure errors** — ``MemoryError``/``RecursionError`` raised
+  from tool code rather than from the target's own recovery logic — are
+  classified :attr:`RecoveryStatus.INFRA_ERROR` (not a finding; the
+  campaign harness retries and eventually quarantines them) instead of
+  being mistaken for genuine target crashes;
+* captured recovery call traces are **capped** (frame and byte limits) so
+  deeply recursive crashes cannot bloat findings or checkpoints.
 """
 
 from __future__ import annotations
 
 import enum
+import os
+import time
 import traceback
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, StepBudgetExceeded, WatchdogTimeout
 from repro.pmem.machine import PMachine
+
+#: Caps applied to captured recovery call traces.
+TRACE_FRAME_LIMIT = 16
+TRACE_CHAR_LIMIT = 4096
+
+#: Directories whose frames count as *tool* code for the purpose of
+#: infrastructure-error classification (the targets live in ``apps``,
+#: ``pmdk``, ``montage``... — crashes there are genuine findings).
+_REPRO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_TOOL_DIRS = tuple(
+    os.path.join(_REPRO_ROOT, d) + os.sep
+    for d in ("core", "pmem", "instrument", "baselines")
+)
 
 
 class RecoveryStatus(enum.Enum):
     OK = "ok"
     REPORTED_UNRECOVERABLE = "reported_unrecoverable"
     CRASHED = "crashed"
+    #: Recovery overran its wall-clock deadline (watchdog fired).
+    HUNG = "hung"
+    #: Recovery overran its machine step budget.
+    RESOURCE_EXHAUSTED = "resource_exhausted"
+    #: The *tool* failed underneath recovery (retryable, never a finding).
+    INFRA_ERROR = "infra_error"
 
     @property
     def is_bug(self) -> bool:
-        return self is not RecoveryStatus.OK
+        return self not in (RecoveryStatus.OK, RecoveryStatus.INFRA_ERROR)
+
+    @property
+    def is_infrastructure(self) -> bool:
+        return self is RecoveryStatus.INFRA_ERROR
 
 
 @dataclass
 class RecoveryOutcome:
     status: RecoveryStatus
     error: Optional[str] = None
-    #: Recovery call trace, captured when recovery crashed abruptly.
+    #: Recovery call trace, captured when recovery crashed abruptly
+    #: (frame- and byte-capped; see :data:`TRACE_FRAME_LIMIT`).
     trace: Optional[str] = None
+    #: Call-stack key of the failure point this recovery was probing —
+    #: carried so quarantine records and checkpoints can identify the
+    #: injection without the caller re-threading context.
+    stack_key: Optional[Tuple[str, ...]] = None
+
+
+def format_capped_trace(
+    err: Optional[BaseException] = None,
+    frame_limit: int = TRACE_FRAME_LIMIT,
+    char_limit: int = TRACE_CHAR_LIMIT,
+) -> str:
+    """``traceback.format_exc`` with hard frame *and* byte caps.
+
+    ``limit`` alone does not protect against pathological cases (huge
+    repr in the exception message, deeply recursive frames each carrying
+    long source lines), so the rendered text is additionally truncated.
+    """
+    if err is not None:
+        text = "".join(
+            traceback.format_exception(
+                type(err), err, err.__traceback__, limit=frame_limit
+            )
+        )
+    else:
+        text = traceback.format_exc(limit=frame_limit)
+    if len(text) > char_limit:
+        text = text[:char_limit] + "\n... [trace truncated]"
+    return text
+
+
+def _raised_in_tool_code(err: BaseException) -> bool:
+    """True when the innermost frame of ``err`` lies in tool code.
+
+    Used to split ``MemoryError``/``RecursionError``: raised from the
+    target's own recovery logic they are genuine crashes; raised from the
+    simulator/harness they are infrastructure trouble to retry.
+    """
+    tb = err.__traceback__
+    filename = None
+    while tb is not None:
+        filename = tb.tb_frame.f_code.co_filename
+        tb = tb.tb_next
+    if filename is None:
+        return True
+    filename = os.path.abspath(filename)
+    return any(filename.startswith(d) for d in _TOOL_DIRS)
 
 
 def run_recovery(
-    app_factory: Callable[[], Any], image: bytes
+    app_factory: Callable[[], Any],
+    image: bytes,
+    timeout: Optional[float] = None,
+    step_budget: Optional[int] = None,
+    stack_key: Optional[Tuple[str, ...]] = None,
 ) -> RecoveryOutcome:
-    """Boot the crash image and run the application's recovery procedure."""
+    """Boot the crash image and run the application's recovery procedure.
+
+    ``timeout``/``step_budget`` arm the machine watchdog for the duration
+    of the recovery; ``stack_key`` is threaded into the outcome for
+    campaign bookkeeping.  Errors raised while *constructing* the app or
+    booting the image (before recovery runs) propagate to the caller —
+    that is the containment layer's jurisdiction, not the oracle's.
+    """
     app = app_factory()
     machine = PMachine.from_image(image)
+    if timeout is not None or step_budget is not None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        machine.arm_watchdog(step_limit=step_budget, deadline=deadline)
     try:
         app.recover(machine)
     except RecoveryError as err:
         return RecoveryOutcome(
-            RecoveryStatus.REPORTED_UNRECOVERABLE, error=str(err)
+            RecoveryStatus.REPORTED_UNRECOVERABLE,
+            error=str(err)[:TRACE_CHAR_LIMIT],
+            stack_key=stack_key,
         )
-    except Exception as err:  # noqa: BLE001 - any crash is a finding
+    except StepBudgetExceeded as err:
+        return RecoveryOutcome(
+            RecoveryStatus.RESOURCE_EXHAUSTED,
+            error=f"{type(err).__name__}: {err}",
+            stack_key=stack_key,
+        )
+    except WatchdogTimeout as err:
+        return RecoveryOutcome(
+            RecoveryStatus.HUNG,
+            error=f"{type(err).__name__}: {err}",
+            stack_key=stack_key,
+        )
+    except (MemoryError, RecursionError) as err:
+        if _raised_in_tool_code(err):
+            return RecoveryOutcome(
+                RecoveryStatus.INFRA_ERROR,
+                error=f"{type(err).__name__}: {err}",
+                trace=format_capped_trace(err),
+                stack_key=stack_key,
+            )
         return RecoveryOutcome(
             RecoveryStatus.CRASHED,
             error=f"{type(err).__name__}: {err}",
-            trace=traceback.format_exc(limit=16),
+            trace=format_capped_trace(err),
+            stack_key=stack_key,
         )
-    return RecoveryOutcome(RecoveryStatus.OK)
+    except Exception as err:  # noqa: BLE001 - any target crash is a finding
+        return RecoveryOutcome(
+            RecoveryStatus.CRASHED,
+            error=f"{type(err).__name__}: {str(err)[:TRACE_CHAR_LIMIT]}",
+            trace=format_capped_trace(err),
+            stack_key=stack_key,
+        )
+    finally:
+        machine.arm_watchdog()  # disarm
+    return RecoveryOutcome(RecoveryStatus.OK, stack_key=stack_key)

@@ -23,6 +23,12 @@ from repro.core.fault_injection import (
     FaultInjector,
 )
 from repro.core.fpt import FailurePointTree
+from repro.core.harness import (
+    CampaignJournal,
+    HarnessConfig,
+    campaign_fingerprint,
+    load_checkpoint,
+)
 from repro.core.report import AnalysisReport
 from repro.core.resources import (
     PhaseTimer,
@@ -61,6 +67,48 @@ class MumakConfig:
     run_fault_injection: bool = True
     run_trace_analysis: bool = True
     seed: int = 0
+    # ---- hardened campaign runner (repro.core.harness) ---- #
+    #: Wall-clock deadline per recovery call (None = unlimited).
+    timeout_seconds: Optional[float] = None
+    #: Machine step budget per recovery call (None = unlimited).
+    step_budget: Optional[int] = None
+    #: Containment retries before an injection is quarantined.
+    max_retries: int = 2
+    #: Worker threads for the parallel injection executor.
+    jobs: int = 1
+    #: Path of the campaign checkpoint journal (None = no checkpointing).
+    checkpoint_path: Optional[str] = None
+    #: Journal flush/fsync cadence, in injections.
+    checkpoint_interval: int = 25
+
+    def harness_config(self) -> HarnessConfig:
+        return HarnessConfig(
+            timeout_seconds=self.timeout_seconds,
+            step_budget=self.step_budget,
+            max_retries=self.max_retries,
+            jobs=self.jobs,
+        )
+
+    def fingerprint(self, target_name: str) -> str:
+        """Campaign identity used to guard checkpoint resumption.
+
+        Deliberately excludes ``jobs`` and checkpoint knobs: parallel and
+        serial campaigns are equivalent by construction, and where the
+        journal lives does not change what it records.
+        """
+        return campaign_fingerprint(
+            {
+                "target": target_name,
+                "granularity": self.granularity,
+                "require_store_since_last": self.require_store_since_last,
+                "engine": self.engine,
+                "eadr": self.eadr,
+                "max_injections": self.max_injections,
+                "seed": self.seed,
+                "timeout_seconds": self.timeout_seconds,
+                "step_budget": self.step_budget,
+            }
+        )
 
 
 @dataclass
@@ -83,8 +131,19 @@ class Mumak:
         self.config = config or MumakConfig()
 
     def analyze(
-        self, app_factory: Callable[[], Any], workload: Sequence
+        self,
+        app_factory: Callable[[], Any],
+        workload: Sequence,
+        resume_from: Optional[str] = None,
     ) -> MumakResult:
+        """Run the full analysis.
+
+        ``resume_from`` names a checkpoint journal written by an earlier
+        (interrupted) run of the *same* campaign — config, seed, and
+        target are fingerprint-checked — whose completed injections are
+        restored instead of re-executed.  The resumed report is
+        byte-identical to an uninterrupted run.
+        """
         config = self.config
         usage = ResourceUsage(cpu_load=MUMAK_CPU_LOAD)
         timer = PhaseTimer(usage)
@@ -110,7 +169,8 @@ class Mumak:
             estimate_trace_bytes(tracer.events) + 200 * tree.node_count()
         )
 
-        # Step 2: fault injection against the recovery oracle.
+        # Step 2: fault injection against the recovery oracle, through
+        # the hardened campaign runner (watchdog, containment, journal).
         fi_result = None
         if config.run_fault_injection:
             injector = FaultInjector(
@@ -118,18 +178,41 @@ class Mumak:
                 require_store_since_last=config.require_store_since_last,
                 engine=config.engine,
                 max_injections=config.max_injections,
+                harness=config.harness_config(),
             )
-            with timer.phase("fault_injection"):
-                fi_result = injector.inject(
-                    app_factory,
-                    workload,
-                    tree,
-                    tracer.events,
-                    artifacts.initial_image,
+            fingerprint = config.fingerprint(
+                getattr(artifacts.app, "name", "target")
+            )
+            resume_state = None
+            if resume_from is not None:
+                resume_state = load_checkpoint(resume_from, fingerprint)
+            journal = None
+            if config.checkpoint_path is not None:
+                journal = CampaignJournal(
+                    config.checkpoint_path,
+                    fingerprint,
                     seed=config.seed,
-                    candidates=observer.candidates_seen,
+                    interval=config.checkpoint_interval,
                 )
+            try:
+                with timer.phase("fault_injection"):
+                    fi_result = injector.inject(
+                        app_factory,
+                        workload,
+                        tree,
+                        tracer.events,
+                        artifacts.initial_image,
+                        seed=config.seed,
+                        candidates=observer.candidates_seen,
+                        journal=journal,
+                        resume_state=resume_state,
+                    )
+            finally:
+                if journal is not None:
+                    journal.close()
+                    usage.checkpoint_bytes = journal.bytes_written
             report.extend(fi_result.findings)
+            report.extend_quarantined(fi_result.quarantined)
             # One crash image is materialised at a time.
             usage.note_bytes(
                 usage.peak_tool_bytes + artifacts.machine.medium.size

@@ -66,11 +66,19 @@ class Finding:
 
 
 class AnalysisReport:
-    """Deduplicated collection of findings from one analysis."""
+    """Deduplicated collection of findings from one analysis.
+
+    Besides findings, the report carries the *quarantined* injections the
+    hardened campaign runner gave up on (tool-side failures, retried and
+    contained — see :mod:`repro.core.harness`).  They are never counted
+    as bugs or warnings, but they are always rendered, so a degraded
+    campaign still delivers an honest partial report.
+    """
 
     def __init__(self):
         self._findings: Dict[Tuple, Finding] = {}
         self.duplicates_filtered = 0
+        self._quarantined: List = []
 
     def add(self, finding: Finding) -> bool:
         """Record a finding; returns False when it duplicates a known bug."""
@@ -84,6 +92,14 @@ class AnalysisReport:
     def extend(self, findings) -> None:
         for finding in findings:
             self.add(finding)
+
+    def add_quarantined(self, record) -> None:
+        """Record an injection the campaign runner quarantined."""
+        self._quarantined.append(record)
+
+    def extend_quarantined(self, records) -> None:
+        for record in records:
+            self.add_quarantined(record)
 
     # ------------------------------------------------------------------ #
     # views
@@ -100,6 +116,11 @@ class AnalysisReport:
     @property
     def warnings(self) -> List[Finding]:
         return [f for f in self._findings.values() if f.is_warning]
+
+    @property
+    def quarantined(self) -> List:
+        """Injections skipped after containment gave up (not findings)."""
+        return list(self._quarantined)
 
     def bugs_of_kind(self, kind: BugKind) -> List[Finding]:
         return [f for f in self.bugs if f.kind == kind]
@@ -134,6 +155,13 @@ class AnalysisReport:
         if include_warnings:
             for finding in self.warnings:
                 sections.append(finding.render())
+        if self._quarantined:
+            lines = [
+                f"{len(self._quarantined)} injection(s) quarantined "
+                "(tool-side failures; not findings):"
+            ]
+            lines.extend(record.render() for record in self._quarantined)
+            sections.append("\n".join(lines))
         return "\n\n".join(sections)
 
     def __len__(self) -> int:

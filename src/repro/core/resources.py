@@ -28,6 +28,8 @@ class ResourceUsage:
     cpu_load: float = 1.0
     #: Size of the target's pool, for overhead ratios.
     pool_bytes: int = 0
+    #: Bytes written to the campaign checkpoint journal (0 = disabled).
+    checkpoint_bytes: int = 0
 
     @property
     def total_seconds(self) -> float:

@@ -57,6 +57,46 @@ class CrashInjected(ReproError):
         self.sequence = sequence
 
 
+class StepBudgetExceeded(PMemError):
+    """The machine executed more instructions than its configured budget.
+
+    The hardened campaign runner (``repro.core.harness``) arms a per-run
+    step budget before handing the machine to an untrusted recovery
+    procedure; a runaway or infinite-looping recovery trips this instead
+    of freezing the campaign.
+    """
+
+    def __init__(self, limit: int, message: str = ""):
+        super().__init__(
+            message or f"machine exceeded its step budget of {limit} instructions"
+        )
+        self.limit = limit
+
+
+class WatchdogTimeout(ReproError):
+    """A supervised call overran its wall-clock deadline.
+
+    Raised *inside* the supervised code (via the machine deadline check or
+    an asynchronous interrupt) so that the harness can classify the call as
+    hung and keep the campaign alive.
+    """
+
+    def __init__(self, seconds: float = 0.0, message: str = ""):
+        super().__init__(
+            message or f"call exceeded its {seconds:.3f}s wall-clock deadline"
+        )
+        self.seconds = seconds
+
+
+class HarnessError(ReproError):
+    """The hardened campaign runner itself failed (not the target)."""
+
+
+class CheckpointError(HarnessError):
+    """A campaign checkpoint could not be read, or does not match the
+    campaign configuration it is being resumed into."""
+
+
 class ToolError(ReproError):
     """A bug-detection tool failed in a way unrelated to the target."""
 

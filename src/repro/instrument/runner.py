@@ -35,6 +35,8 @@ def run_instrumented(
     workload: Sequence,
     hooks: Iterable[EventHook] = (),
     seed: int = 0,
+    step_limit: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> ExecutionArtifacts:
     """Execute ``app.setup(); app.run(workload)`` on a fresh machine.
 
@@ -45,9 +47,17 @@ def run_instrumented(
     An in-flight :class:`~repro.errors.CrashInjected` (raised by a fault
     injector's hook) stops the target and is reported in the artifacts
     rather than propagated.
+
+    ``step_limit`` / ``deadline`` arm the machine's runaway-execution
+    watchdog (see :meth:`~repro.pmem.machine.PMachine.arm_watchdog`) so
+    a supervising harness can bound even the instrumented detection run;
+    the resulting :class:`~repro.errors.StepBudgetExceeded` /
+    :class:`~repro.errors.WatchdogTimeout` propagate to the caller.
     """
     app = app_factory()
     machine = PMachine(pm_size=app.pool_size)
+    if step_limit is not None or deadline is not None:
+        machine.arm_watchdog(step_limit=step_limit, deadline=deadline)
     for hook in hooks:
         machine.add_hook(hook)
     initial_image = machine.medium.snapshot()

@@ -30,10 +30,11 @@ classify accesses.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import PMemError
+from repro.errors import PMemError, StepBudgetExceeded, WatchdogTimeout
 from repro.pmem.cache import Cache, CacheLine, EvictionPolicy
 from repro.pmem.constants import (
     CACHE_LINE_SIZE,
@@ -92,6 +93,10 @@ class PMachine:
         self._hooks: List[EventHook] = []
         self._seq = 0
         self.crashed = False
+        #: Runaway-execution watchdog (armed by the campaign harness).
+        self._steps = 0
+        self._step_limit: Optional[int] = None
+        self._watchdog_deadline: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -121,6 +126,49 @@ class PMachine:
     def instruction_count(self) -> int:
         """Value the next emitted event's ``seq`` will take."""
         return self._seq
+
+    # ------------------------------------------------------------------ #
+    # runaway-execution watchdog
+    # ------------------------------------------------------------------ #
+
+    @property
+    def steps(self) -> int:
+        """Machine operations executed since the watchdog was last armed.
+
+        Unlike :attr:`instruction_count` this counts *every* machine-level
+        operation (including untraced loads), so an uninstrumented recovery
+        procedure spinning on PM reads still advances it.
+        """
+        return self._steps
+
+    def arm_watchdog(
+        self,
+        step_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
+        """Arm (or, with both ``None``, disarm) the execution watchdog.
+
+        ``step_limit`` bounds the number of machine operations before
+        :class:`~repro.errors.StepBudgetExceeded` is raised;  ``deadline``
+        is an absolute :func:`time.monotonic` instant after which
+        :class:`~repro.errors.WatchdogTimeout` is raised.  The campaign
+        harness arms this before handing the machine to an untrusted
+        recovery procedure so runaway executions cannot stall a campaign.
+        """
+        self._steps = 0
+        self._step_limit = step_limit
+        self._watchdog_deadline = deadline
+
+    def _step(self) -> None:
+        self._steps += 1
+        if self._step_limit is not None and self._steps > self._step_limit:
+            raise StepBudgetExceeded(self._step_limit)
+        if (
+            self._watchdog_deadline is not None
+            and (self._steps & 0x3F) == 0
+            and time.monotonic() > self._watchdog_deadline
+        ):
+            raise WatchdogTimeout(0.0, "machine overran its watchdog deadline")
 
     def _emit(
         self,
@@ -172,6 +220,7 @@ class PMachine:
         """Regular (cached, write-back) store."""
         if self.crashed:
             raise PMemError("machine has crashed; no further execution")
+        self._step()
         data = bytes(data)
         if not self.is_persistent(address):
             self._volatile_write(address, data)
@@ -205,6 +254,7 @@ class PMachine:
     def load(self, address: int, size: int) -> bytes:
         if self.crashed:
             raise PMemError("machine has crashed; no further execution")
+        self._step()
         if not self.is_persistent(address):
             value = self._volatile_read(address, size)
             if self.trace_loads and self.trace_volatile:
@@ -239,6 +289,7 @@ class PMachine:
         """Non-temporal store: bypasses the cache, durable at the next fence."""
         if self.crashed:
             raise PMemError("machine has crashed; no further execution")
+        self._step()
         data = bytes(data)
         if not self.is_persistent(address):
             self._volatile_write(address, data)
@@ -287,6 +338,7 @@ class PMachine:
         """Strongly ordered flush: persists the line immediately."""
         if self.crashed:
             raise PMemError("machine has crashed; no further execution")
+        self._step()
         if self.is_persistent(address):
             self._check_pm_bounds(address, 1)
             base = cache_line_of(address)
@@ -307,6 +359,7 @@ class PMachine:
     def _weak_flush(self, address: int, opcode: Opcode) -> None:
         if self.crashed:
             raise PMemError("machine has crashed; no further execution")
+        self._step()
         if self.is_persistent(address):
             self._check_pm_bounds(address, 1)
             base = cache_line_of(address)
@@ -322,12 +375,14 @@ class PMachine:
     def sfence(self) -> None:
         if self.crashed:
             raise PMemError("machine has crashed; no further execution")
+        self._step()
         self._drain_persistence_buffers()
         self._emit(Opcode.SFENCE)
 
     def mfence(self) -> None:
         if self.crashed:
             raise PMemError("machine has crashed; no further execution")
+        self._step()
         self._drain_persistence_buffers()
         self._emit(Opcode.MFENCE)
 
@@ -356,6 +411,7 @@ class PMachine:
         """
         if self.crashed:
             raise PMemError("machine has crashed; no further execution")
+        self._step()
         if address % 8 != 0:
             raise PMemError(f"rmw address 0x{address:x} is not 8-byte aligned")
         self._drain_persistence_buffers()

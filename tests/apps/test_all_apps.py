@@ -9,6 +9,8 @@ import pytest
 
 from repro.apps import APPLICATIONS
 
+pytestmark = pytest.mark.slow  # full battery; smoke tier skips
+
 from .helpers import (
     assert_matches_model,
     assert_no_false_positives,

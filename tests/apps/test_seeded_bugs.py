@@ -18,6 +18,8 @@ from repro.apps.bugs import (
 
 from .helpers import assert_bug_detected, assert_bug_missed
 
+pytestmark = pytest.mark.slow  # exhaustive sweep; smoke tier skips
+
 _OPTIONS = {
     "btree": {"spt": True},
     "rbtree": {"spt": True},

@@ -5,7 +5,7 @@ import pytest
 from repro.apps.btree import BTree
 from repro.apps.montage_apps import MontageHashtable
 from repro.baselines import ALL_TOOLS, tool_by_name
-from repro.baselines.base import WORK_UNITS_PER_HOUR
+from repro.baselines.base import WORK_UNITS_PER_HOUR, DetectionTool
 from repro.errors import ToolError
 from repro.workloads import generate_workload
 
@@ -35,6 +35,7 @@ class TestHarness:
         assert run.timed_out
         assert run.modelled_hours >= 0.05
 
+    @pytest.mark.slow
     def test_unbounded_budget(self):
         run = tool_by_name("Mumak").analyze(
             clean_btree, WORKLOAD, budget_hours=None
@@ -43,7 +44,41 @@ class TestHarness:
         assert run.work_units > 0
         assert run.modelled_hours == run.work_units / WORK_UNITS_PER_HOUR
 
+    def test_hung_tool_is_contained(self):
+        """A tool that hangs is reported timed out, not a stuck sweep."""
 
+        class HangingTool(DetectionTool):
+            name = "Hanging"
+
+            def _analyze(self, *args, **kwargs):
+                while True:
+                    pass
+
+        run = HangingTool().analyze(
+            clean_btree, WORKLOAD, budget_hours=None, timeout_seconds=0.2
+        )
+        assert run.timed_out
+        assert run.detail["harness"]["status"] == "hung"
+        assert run.wall_seconds > 0
+
+    def test_crashing_tool_is_contained(self):
+        """An unexpected tool crash is contained into run.detail."""
+
+        class CrashingTool(DetectionTool):
+            name = "Crashing"
+
+            def _analyze(self, *args, **kwargs):
+                raise ZeroDivisionError("tool bug")
+
+        run = CrashingTool().analyze(clean_btree, WORKLOAD)
+        assert not run.report.bugs
+        harness = run.detail["harness"]
+        assert harness["status"] == "infra_error"
+        assert "ZeroDivisionError" in harness["error"]
+        assert "trace" in harness
+
+
+@pytest.mark.slow
 class TestMumakTool:
     def test_finds_seeded_bugs(self):
         run = tool_by_name("Mumak").analyze(buggy_btree, WORKLOAD,
@@ -78,6 +113,7 @@ class TestToolRequirements:
         assert not run.report.bugs  # clean config, black-box, no PMDK
 
 
+@pytest.mark.slow
 class TestWitcher:
     def test_no_false_positives_on_clean_target(self):
         run = tool_by_name("Witcher").analyze(
@@ -93,6 +129,7 @@ class TestWitcher:
         assert run.resources.cpu_load > 100
 
 
+@pytest.mark.slow
 class TestYat:
     def test_state_space_counted(self):
         run = tool_by_name("Yat").analyze(

@@ -1,0 +1,111 @@
+"""A crash-monkey-style target whose recovery misbehaves on demand.
+
+Used by the hardened-campaign-runner tests: its recovery procedure can
+hang, spin on machine operations, crash, recurse to death, or report
+unrecoverable state, selected per crash image — so one campaign exercises
+every classification the harness must survive.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RecoveryError
+
+#: Marker addresses the monkey persists during its run (one per op).
+SLOT_A = 64
+SLOT_B = 128
+SLOT_C = 192
+
+
+class CrashMonkey:
+    """Minimal PM target with a scriptable recovery procedure.
+
+    ``behaviour`` selects what :meth:`recover` does:
+
+    * ``"ok"`` — always recover cleanly;
+    * ``"report"`` — raise :class:`RecoveryError` once slot A persisted;
+    * ``"crash"`` — raise ``ZeroDivisionError`` once slot A persisted;
+    * ``"hang"`` — pure-Python infinite loop once slot B persisted
+      (only the thread watchdog can stop it);
+    * ``"spin"`` — infinite loop of machine loads once slot B persisted
+      (the machine step budget stops it deterministically);
+    * ``"recurse"`` — recurse without bound once slot A persisted
+      (``RecursionError`` raised from target code ⇒ a genuine crash);
+    * ``"staged"`` — report at slot A, hang at slot B: a campaign with
+      both genuine findings and hangs.
+    """
+
+    name = "crash_monkey"
+    pool_size = 4096
+
+    def __init__(self, behaviour: str = "ok"):
+        self.behaviour = behaviour
+        self.machine = None
+
+    # ------------------------------------------------------------------ #
+    # target lifecycle
+    # ------------------------------------------------------------------ #
+
+    def setup(self, machine) -> None:
+        self.machine = machine
+        machine.store(0, b"\x2a")
+        machine.persist(0, 1)
+
+    def run(self, workload) -> None:
+        machine = self.machine
+        self._op(machine, SLOT_A, b"\x01")
+        self._op(machine, SLOT_B, b"\x02")
+        self._op(machine, SLOT_C, b"\x03")
+
+    @staticmethod
+    def _op(machine, slot: int, value: bytes) -> None:
+        machine.store(slot, value)
+        machine.persist(slot, len(value))
+
+    # ------------------------------------------------------------------ #
+    # the (misbehaving) recovery procedure
+    # ------------------------------------------------------------------ #
+
+    def recover(self, machine) -> None:
+        a = machine.load(SLOT_A, 1) == b"\x01"
+        b = machine.load(SLOT_B, 1) == b"\x02"
+        behaviour = self.behaviour
+        if behaviour == "ok":
+            return
+        if behaviour == "report" and a:
+            raise RecoveryError("monkey: state unrecoverable")
+        if behaviour == "crash" and a:
+            raise ZeroDivisionError("monkey: recovery segfault analog")
+        if behaviour == "hang" and b:
+            while True:  # pure-Python hang: no machine ops, no progress
+                pass
+        if behaviour == "spin" and b:
+            while True:  # machine-op hang: the step budget catches this
+                machine.load(0, 8)
+        if behaviour == "recurse" and a:
+            self._recurse()
+        if behaviour == "staged":
+            if b:
+                while True:
+                    pass
+            if a:
+                raise RecoveryError("monkey: slot A inconsistent")
+
+    def _recurse(self) -> None:
+        self._recurse()
+
+
+def make_tool_code_raiser(exc_source: str):
+    """Fabricate a function whose frames live in *tool* code.
+
+    Compiles ``exc_source`` against ``repro.core.harness``'s file name, so
+    exceptions it raises are classified as infrastructure errors by
+    :func:`repro.core.oracle._raised_in_tool_code` — exactly what a
+    ``MemoryError`` thrown by the simulator underneath a recovery looks
+    like.
+    """
+    import repro.core.harness as harness_module
+
+    namespace: dict = {}
+    code = compile(exc_source, harness_module.__file__, "exec")
+    exec(code, namespace)  # noqa: S102 - test fixture
+    return namespace["boom"]

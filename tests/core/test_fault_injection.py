@@ -23,6 +23,7 @@ def buggy_btree():
 WORKLOAD = generate_workload(120, seed=5)
 
 
+@pytest.mark.slow
 class TestTraceEngine:
     def test_every_failure_point_injected_once(self):
         result = FaultInjector().run(clean_btree, WORKLOAD)
@@ -53,6 +54,7 @@ class TestTraceEngine:
         assert result.stats.candidates >= result.stats.unique_failure_points
 
 
+@pytest.mark.slow
 class TestReplayEngine:
     def test_replay_equivalent_to_trace(self):
         trace_result = FaultInjector(engine=ENGINE_TRACE).run(
@@ -100,6 +102,7 @@ class TestReplayEngine:
         }
 
 
+@pytest.mark.slow
 class TestStoreGranularity:
     def test_store_granularity_explores_more_points(self):
         persistency = FaultInjector().run(clean_btree, WORKLOAD)

@@ -19,10 +19,12 @@ WORKLOAD = generate_workload(150, seed=3)
 
 
 class TestPipeline:
+    @pytest.mark.slow
     def test_clean_target_no_bugs(self):
         result = Mumak().analyze(lambda: BTree(bugs=(), spt=True), WORKLOAD)
         assert result.report.bugs == []
 
+    @pytest.mark.slow
     def test_phases_can_be_disabled(self):
         config = MumakConfig(run_trace_analysis=False)
         result = Mumak(config).analyze(
@@ -38,6 +40,7 @@ class TestPipeline:
         assert result.fault_injection is None
         assert result.report.correctness_bugs() == []
 
+    @pytest.mark.slow
     def test_both_phases_contribute(self):
         result = Mumak().analyze(
             lambda: BTree(
@@ -48,6 +51,7 @@ class TestPipeline:
         phases = {f.phase for f in result.report.bugs}
         assert phases == {PHASE_FAULT_INJECTION, PHASE_TRACE_ANALYSIS}
 
+    @pytest.mark.slow
     def test_trace_findings_have_sites(self):
         result = Mumak().analyze(
             lambda: BTree(bugs={"btree.pf4", "btree.pn3"}, spt=True), WORKLOAD
@@ -55,6 +59,7 @@ class TestPipeline:
         for finding in result.report.performance_bugs():
             assert finding.site and "btree.py" in finding.site
 
+    @pytest.mark.slow
     def test_resources_tracked(self):
         result = Mumak().analyze(lambda: BTree(bugs=(), spt=True), WORKLOAD)
         assert result.resources.total_seconds > 0

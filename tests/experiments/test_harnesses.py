@@ -1,5 +1,7 @@
 """Experiment-harness unit tests (tiny scales; the real runs are benches)."""
 
+import pytest
+
 from repro.experiments.common import (
     SCALE_BENCH,
     SCALE_QUICK,
@@ -76,6 +78,7 @@ class TestFig5Stats:
         assert abs(result.spearman_rho()) < 0.5
 
 
+@pytest.mark.slow
 class TestCoverageHarness:
     def test_single_app_correctness(self):
         result = run_correctness_coverage(n_ops=500, seed=5, apps=["btree"])

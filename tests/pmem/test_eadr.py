@@ -1,5 +1,7 @@
 """eADR platform semantics (paper, sections 2 and 4.3)."""
 
+import pytest
+
 from repro.core import Mumak, MumakConfig
 from repro.core.taxonomy import BugKind
 from repro.core.trace_analysis import TraceAnalyzer
@@ -80,6 +82,7 @@ class TestEadrAnalysis:
 
 
 class TestEadrPipeline:
+    @pytest.mark.slow
     def test_fault_injection_findings_survive_eadr(self):
         """Section 4.3: 'the atomicity and ordering bugs reported by
         Mumak's fault injection component would still be present in an

@@ -16,6 +16,20 @@ op_strategy = st.tuples(
 )
 
 
+def byte_model(script):
+    """Program-order-newest value per byte address (the visible model)."""
+    model = {}
+    for op, slot, value in script:
+        addr = 256 + slot * CACHE_LINE_SIZE
+        if op in ("store", "nt"):
+            model[addr] = value
+        elif op == "rmw":
+            base = addr & ~7
+            for i, byte in enumerate(value.to_bytes(8, "little")):
+                model[base + i] = byte
+    return model
+
+
 def drive(machine, script):
     """Apply a script of (op, slot, value) steps; returns a visible-state
     model dict slot -> last written byte."""
@@ -74,28 +88,43 @@ class TestVisibilityProperties:
     @settings(deadline=None, max_examples=40)
     @given(st.lists(op_strategy, max_size=50))
     def test_graceful_image_supersets_power_loss(self, script):
-        """Whatever survives power loss also survives a graceful crash."""
+        """Whatever survives power loss also survives a graceful crash —
+        except where program order wrote something *newer*: the graceful
+        image is the program-order prefix (paper §4.1), so a durable byte
+        may legitimately be superseded by the newest visible value (e.g.
+        a drained NT store overwritten by a later RMW)."""
         machine = PMachine(pm_size=PM_SIZE)
         drive(machine, script)
+        model = byte_model(script)
         hard = machine.crash_image()
         graceful = machine.graceful_crash_image()
         for index, byte in enumerate(hard):
             if byte:
-                assert graceful[index] == byte
+                assert graceful[index] in (byte, model.get(index)), (
+                    f"byte {index}: hard={byte}, "
+                    f"graceful={graceful[index]}, newest={model.get(index)}"
+                )
 
     @settings(deadline=None, max_examples=40)
     @given(st.lists(op_strategy, max_size=40))
     def test_eadr_image_supersets_adr(self, script):
-        """An eADR machine never loses anything an ADR one keeps."""
+        """An eADR machine never loses anything an ADR one keeps —
+        except where the (persistent) caches hold something *newer*: a
+        flushed-then-overwritten line keeps its flush snapshot on ADR
+        but its newest cache-resident value on eADR."""
         adr = PMachine(pm_size=PM_SIZE)
         eadr = PMachine(pm_size=PM_SIZE, eadr=True)
         drive(adr, script)
         drive(eadr, script)
+        model = byte_model(script)
         adr_image = adr.crash_image()
         eadr_image = eadr.crash_image()
         for index, byte in enumerate(adr_image):
             if byte:
-                assert eadr_image[index] == byte
+                assert eadr_image[index] in (byte, model.get(index)), (
+                    f"byte {index}: adr={byte}, "
+                    f"eadr={eadr_image[index]}, newest={model.get(index)}"
+                )
 
 
 class TestEvictionProperties:

@@ -36,6 +36,7 @@ def test_analyze_clean_target_exits_zero(capsys):
     assert "0 unique bug(s)" in out
 
 
+@pytest.mark.slow
 def test_analyze_buggy_target_exits_nonzero(capsys):
     code = main([
         "analyze", "btree", "--ops", "120", "--spt",
@@ -44,6 +45,59 @@ def test_analyze_buggy_target_exits_nonzero(capsys):
     out = capsys.readouterr().out
     assert code == 1
     assert "crash_consistency" in out
+
+
+def test_analyze_without_fault_injection(capsys):
+    """Regression: summary printing must survive a skipped phase."""
+    code = main([
+        "analyze", "btree", "--ops", "40", "--spt", "--bugs", "none",
+        "--no-fault-injection",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fault injection: skipped" in out
+    assert "failure points" not in out
+
+
+def test_analyze_caps_injections(capsys):
+    code = main([
+        "analyze", "btree", "--ops", "60", "--spt", "--bugs", "none",
+        "--max-injections", "3",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "injections: 3" in out
+
+
+@pytest.mark.slow
+def test_analyze_parallel_jobs(capsys):
+    code = main([
+        "analyze", "btree", "--ops", "40", "--spt", "--bugs", "none",
+        "--jobs", "4", "--timeout", "30", "--step-budget", "5000000",
+    ])
+    assert code == 0
+    assert "0 unique bug(s)" in capsys.readouterr().out
+
+
+def test_resume_requires_checkpoint(capsys):
+    code = main(["analyze", "btree", "--resume"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--resume requires --checkpoint" in err
+
+
+@pytest.mark.slow
+def test_checkpoint_resume_round_trip(tmp_path, capsys):
+    path = str(tmp_path / "ckpt.jsonl")
+    base = ["analyze", "btree", "--ops", "40", "--spt", "--bugs", "none",
+            "--checkpoint", path, "--checkpoint-interval", "1"]
+    assert main(base) == 0
+    first = capsys.readouterr().out
+    assert main(base + ["--resume"]) == 0
+    second = capsys.readouterr().out
+    assert "resumed:" in second
+    # The rendered report (everything before the summary line) matches.
+    assert first.split("\n\n[")[0] == second.split("\n\n[")[0]
 
 
 def test_parser_rejects_unknown_target():

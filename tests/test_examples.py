@@ -32,6 +32,7 @@ def test_machine_semantics_walkthrough():
     assert "0xaa" in proc.stdout
 
 
+@pytest.mark.slow
 def test_analyze_kv_store():
     proc = run_example("analyze_kv_store.py", "80")
     assert proc.returncode == 0, proc.stderr

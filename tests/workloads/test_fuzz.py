@@ -1,5 +1,7 @@
 """Coverage-guided workload exploration tests."""
 
+import pytest
+
 from repro.apps.btree import BTree
 from repro.core import Mumak
 from repro.workloads.fuzz import CoverageGuidedExplorer
@@ -34,6 +36,7 @@ def test_deterministic():
     assert [e.score for e in first.corpus] == [e.score for e in second.corpus]
 
 
+@pytest.mark.slow
 def test_best_workload_feeds_detection():
     """The PMFuzz pairing from the paper: explore, then detect."""
     fuzzer = CoverageGuidedExplorer(
