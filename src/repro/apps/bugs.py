@@ -34,6 +34,10 @@ from repro.core.taxonomy import BugKind
 FAULT_INJECTION = "fault_injection"
 TRACE_ANALYSIS = "trace_analysis"
 MISSED = "missed"
+#: Only exposed by an adversarial fault model (torn writes / reordering /
+#: media errors; see :mod:`repro.pmem.faultmodel`) — invisible to the
+#: paper's graceful program-order-prefix crash.
+ADVERSARIAL = "adversarial"
 
 
 @dataclass(frozen=True)
@@ -232,6 +236,15 @@ _SPECS += [
         "large-transaction commit frees the overflow undo log before the "
         "commit point (pmem/pmdk#5461); realised by PMDK version 1.12",
         FAULT_INJECTION, in_witcher_list=False, default_enabled=False,
+    ),
+    BugSpec(
+        "hashmap_atomic.c6_torn_inplace_update", "hashmap_atomic", _A,
+        "in-place 24-byte value+checksum overwrite relies on store "
+        "atomicity beyond the hardware's aligned 8-byte unit; every "
+        "program-order-prefix crash state is self-consistent, but a torn "
+        "store leaves value and checksum mismatched "
+        "(requires --fault-model torn/adversarial)",
+        ADVERSARIAL, in_witcher_list=False, default_enabled=False,
     ),
 ]
 

@@ -44,6 +44,10 @@ ENTRY = StructLayout(
     [
         Field.u64("key"),
         Field.blob("value", _VALUE_WIDTH),
+        # Checksum over the value bytes, adjacent to them so value+vsum
+        # form one contiguous 24-byte region.  Recovery validates it,
+        # which is what makes torn value writes *detectable*.
+        Field.u64("vsum"),
         Field.u64("next"),
     ],
 )
@@ -57,6 +61,14 @@ ROOT = StructLayout(
 def key_to_int(key: bytes) -> int:
     value = int.from_bytes(key[:8].ljust(8, b"\x00"), "big")
     return value or 1  # 0 is the empty-slot sentinel
+
+
+def value_checksum(raw: bytes) -> int:
+    """FNV-1a over the fixed-width value bytes (the ``vsum`` invariant)."""
+    acc = 0xCBF29CE484222325
+    for byte in raw:
+        acc = ((acc ^ byte) * 0x100000001B3) & (2 ** 64 - 1)
+    return acc
 
 
 class HashmapAtomic(PMApplication):
@@ -175,6 +187,11 @@ class HashmapAtomic(PMApplication):
                 key = entry.get_u64("key")
                 self.require(key != 0, f"empty key in bucket {i}")
                 self.require(key not in seen_keys, f"duplicate key {key}")
+                raw = bytes(entry.get_blob("value"))
+                self.require(
+                    entry.get_u64("vsum") == value_checksum(raw),
+                    f"value checksum mismatch for key {key} (torn write?)",
+                )
                 seen_keys.add(key)
                 items += 1
                 cursor = entry.get_u64("next")
@@ -240,14 +257,27 @@ class HashmapAtomic(PMApplication):
             )
         prev, existing = self._find(array, n, k)
         if existing != 0:
+            entry = ENTRY.view(self.machine, existing)
+            if faults.branch(self, "hashmap_atomic.c6_torn_inplace_update"):
+                # BUG (torn-write-only): the 24-byte value+checksum region
+                # of the *reachable* entry is overwritten in place with a
+                # single store, then persisted.  In program order the
+                # store is all-or-nothing, so every prefix crash state is
+                # consistent and Mumak's graceful model cannot see it;
+                # real hardware only guarantees aligned 8-byte units, and
+                # a tear leaves value and vsum mismatched.
+                blob = raw + codec.encode_u64(value_checksum(raw))
+                self.machine.store(entry.addr("value"), blob)
+                self.machine.persist(entry.addr("value"), len(blob))
+                return False
             # Out-of-place update: a multi-word value cannot be overwritten
             # failure-atomically in place, so a fully persisted replacement
             # entry is swapped in with one atomic pointer write.
-            entry = ENTRY.view(self.machine, existing)
             clone = self.heap.alloc(ENTRY.size)
             clone_view = ENTRY.view(self.machine, clone)
             clone_view.set_u64("key", k)
             clone_view.set_blob("value", raw)
+            clone_view.set_u64("vsum", value_checksum(raw))
             clone_view.set_u64("next", entry.get_u64("next"))
             clone_view.persist_all()
             self._write_persist(prev, clone)
@@ -268,11 +298,13 @@ class HashmapAtomic(PMApplication):
             self._write_persist(slot, fresh)
             entry.set_u64("key", k)
             entry.set_blob("value", raw)
+            entry.set_u64("vsum", value_checksum(raw))
             entry.set_u64("next", head)
             entry.persist_all()
         else:
             entry.set_u64("key", k)
             entry.set_blob("value", raw)
+            entry.set_u64("vsum", value_checksum(raw))
             entry.set_u64("next", head)
             entry.persist_all()
             self._write_persist(slot, fresh)
@@ -338,6 +370,7 @@ class HashmapAtomic(PMApplication):
                 clone_view = ENTRY.view(self.machine, clone)
                 clone_view.set_u64("key", entry.get_u64("key"))
                 clone_view.set_blob("value", entry.get_blob("value"))
+                clone_view.set_u64("vsum", entry.get_u64("vsum"))
                 clone_view.set_u64("next", self._read_u64(new_slot))
                 clone_view.persist_all()
                 self.machine.store(new_slot, codec.encode_u64(clone))

@@ -21,6 +21,7 @@ import sys
 from repro.apps import APPLICATIONS
 from repro.apps.bugs import bugs_for_app, default_bugs_for
 from repro.core import Mumak, MumakConfig
+from repro.pmem.faultmodel import MODELS, FaultModelConfig
 from repro.workloads import generate_workload
 
 
@@ -71,6 +72,30 @@ def _add_analyze(sub) -> None:
                              "--checkpoint (fingerprint-checked; the "
                              "resumed report is byte-identical to an "
                              "uninterrupted run)")
+    # Adversarial fault model (repro.pmem.faultmodel).
+    parser.add_argument("--fault-model", choices=list(MODELS),
+                        default="prefix", dest="fault_model",
+                        help="crash-image model: 'prefix' (the paper's "
+                             "graceful crash, default), 'torn' (tear "
+                             "in-flight multi-word stores), 'reorder' "
+                             "(sample dirty-line write-back orders), or "
+                             "'adversarial' (all families + media errors)")
+    parser.add_argument("--torn-writes", action="store_true",
+                        help="additionally tear unflushed multi-word "
+                             "stores (implied by --fault-model torn/"
+                             "adversarial)")
+    parser.add_argument("--media-errors", action="store_true",
+                        help="additionally plant poisoned lines and bit "
+                             "flips on the recovered medium (implied by "
+                             "--fault-model adversarial)")
+    parser.add_argument("--adversarial-samples", type=int, default=2,
+                        metavar="K",
+                        help="adversarial variants per failure point per "
+                             "family (default 2)")
+    parser.add_argument("--fault-seed", type=int, default=0, metavar="S",
+                        help="seed for all adversarial sampling; the same "
+                             "seed reproduces byte-identical crash images "
+                             "and findings (default 0)")
 
 
 def _cmd_analyze(args) -> int:
@@ -91,6 +116,13 @@ def _cmd_analyze(args) -> int:
         return cls(**options)
 
     workload = generate_workload(args.ops, seed=args.seed)
+    fault_model = FaultModelConfig(
+        model=args.fault_model,
+        torn_writes=args.torn_writes,
+        media_errors=args.media_errors,
+        samples=args.adversarial_samples,
+        seed=args.fault_seed,
+    )
     config = MumakConfig(
         include_warnings=not args.no_warnings,
         engine=args.engine,
@@ -103,6 +135,7 @@ def _cmd_analyze(args) -> int:
         jobs=args.jobs,
         checkpoint_path=args.checkpoint,
         checkpoint_interval=args.checkpoint_interval,
+        fault_model=fault_model,
     )
     resume_from = args.checkpoint if args.resume else None
     result = Mumak(config).analyze(factory, workload, resume_from=resume_from)
@@ -112,6 +145,12 @@ def _cmd_analyze(args) -> int:
         stats = result.fault_injection.stats
         summary.append(f"failure points: {stats.unique_failure_points}")
         summary.append(f"injections: {stats.injections}")
+        if stats.adversarial_injections:
+            summary.append(
+                f"adversarial: {stats.adversarial_injections}"
+            )
+        if stats.media_faults:
+            summary.append(f"media faults: {stats.media_faults}")
         if stats.resumed:
             summary.append(f"resumed: {stats.resumed}")
         if stats.hung or stats.resource_exhausted:
@@ -191,6 +230,10 @@ def _cmd_experiment(args) -> int:
         from repro.experiments.new_bugs import render, run_new_bugs
 
         print(render(run_new_bugs(n_ops=scale.bug_ops)))
+    elif name == "adversarial":
+        from repro.experiments.adversarial import render, run_adversarial
+
+        print(render(run_adversarial()))
     elif name == "tables":
         return _cmd_tools(args)
     else:  # pragma: no cover - argparse restricts choices
@@ -213,7 +256,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="regenerate a paper artefact")
     exp.add_argument(
         "name",
-        choices=["fig3", "fig4", "fig5", "coverage", "newbugs", "tables"],
+        choices=["fig3", "fig4", "fig5", "coverage", "newbugs",
+                 "adversarial", "tables"],
     )
     exp.add_argument("--scale", choices=["quick", "bench"], default="quick")
     return parser

@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.fpt import FailurePointTree
 from repro.core.harness import (
+    AdversarialImageSource,
     CampaignJournal,
     CampaignResult,
     HarnessConfig,
@@ -51,7 +52,7 @@ from repro.core.harness import (
     run_campaign,
 )
 from repro.core.oracle import RecoveryOutcome, RecoveryStatus
-from repro.core.report import Finding
+from repro.core.report import Finding, ModelComparison
 from repro.errors import CrashInjected
 from repro.instrument.runner import run_instrumented
 from repro.instrument.tracer import (
@@ -60,6 +61,11 @@ from repro.instrument.tracer import (
     MinimalTracer,
 )
 from repro.pmem.events import MemoryEvent
+from repro.pmem.faultmodel import (
+    VARIANT_PREFIX,
+    AdversarialImageFactory,
+    FaultModelConfig,
+)
 from repro.pmem.machine import PMachine
 
 ENGINE_TRACE = "trace"
@@ -76,6 +82,10 @@ class FaultInjectionStats:
     recovery_failures: int = 0
     executions: int = 0
     trace_length: int = 0
+    #: Injections of non-prefix fault-model variants (torn/reorder/media).
+    adversarial_injections: int = 0
+    #: Recoveries that died on an unhandled uncorrectable media error.
+    media_faults: int = 0
     # Hardened-runner bookkeeping.
     quarantined: int = 0
     hung: int = 0
@@ -95,6 +105,9 @@ class FaultInjectionResult:
         default_factory=list
     )
     quarantined: List[QuarantineRecord] = field(default_factory=list)
+    #: Prefix-vs-adversarial summary (populated when the fault model
+    #: materialises any non-prefix variant).
+    comparison: Optional[ModelComparison] = None
 
 
 class FaultInjector:
@@ -107,6 +120,7 @@ class FaultInjector:
         engine: str = ENGINE_TRACE,
         max_injections: Optional[int] = None,
         harness: Optional[HarnessConfig] = None,
+        fault_model: Optional[FaultModelConfig] = None,
     ):
         if engine not in (ENGINE_TRACE, ENGINE_REPLAY):
             raise ValueError(f"unknown injection engine {engine!r}")
@@ -115,6 +129,7 @@ class FaultInjector:
         self.engine = engine
         self.max_injections = max_injections
         self.harness = harness or HarnessConfig()
+        self.fault_model = fault_model or FaultModelConfig()
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -208,21 +223,51 @@ class FaultInjector:
         journal=None,
         resume_state=None,
     ) -> FaultInjectionResult:
+        adversarial = self.fault_model.is_adversarial
+        planner = (
+            AdversarialImageFactory(self.fault_model, initial_image, trace)
+            if adversarial
+            else None
+        )
         tasks: List[InjectionTask] = []
+
+        def room() -> bool:
+            return self.max_injections is None or (
+                len(tasks) < self.max_injections
+            )
+
         for stack, node in tree.failure_points():
-            if self.max_injections is not None and (
-                len(tasks) >= self.max_injections
-            ):
+            if not room():
                 break
             node.visited = True
+            # The graceful prefix crash is always injected first at every
+            # failure point, so finding dedup attributes a bug reachable
+            # both ways to the prefix; adversarial variants ride after.
             tasks.append(
                 InjectionTask(
                     index=len(tasks), stack=stack, seq=node.first_seq
                 )
             )
+            if planner is not None:
+                for variant in planner.plan(node.first_seq):
+                    if not room():
+                        break
+                    tasks.append(
+                        InjectionTask(
+                            index=len(tasks),
+                            stack=stack,
+                            seq=node.first_seq,
+                            variant=variant,
+                        )
+                    )
+        source = (
+            AdversarialImageSource(initial_image, trace, self.fault_model)
+            if adversarial
+            else PrefixImageSource(initial_image, trace)
+        )
         campaign = run_campaign(
             tasks,
-            PrefixImageSource(initial_image, trace),
+            source,
             app_factory,
             config=self.harness,
             journal=journal,
@@ -241,18 +286,28 @@ class FaultInjector:
         # shares visited-marking state through the tree, so it runs
         # serially; each recovery still goes through watchdog + contain-
         # ment, so a pathological target cannot stall the campaign.
+        adversarial = self.fault_model.is_adversarial
         campaign = CampaignResult()
         index = 0
+
+        def room() -> bool:
+            return self.max_injections is None or index < self.max_injections
+
         while tree.unvisited_count > 0:
-            if self.max_injections is not None and (
-                index >= self.max_injections
-            ):
+            if not room():
                 break
             injector = _ReplayInjector(
                 tree, self.granularity, self.require_store_since_last
             )
+            # The adversarial families need the event trace of *this*
+            # replay to analyse in-flight stores and dirty lines; the
+            # prefix-only replay engine skips that cost.
+            tracer = MinimalTracer() if adversarial else None
+            hooks: List[Any] = [injector]
+            if tracer is not None:
+                hooks.insert(0, tracer)
             artifacts = run_instrumented(
-                app_factory, workload, hooks=[injector], seed=seed
+                app_factory, workload, hooks=hooks, seed=seed
             )
             stats.executions += 1
             if artifacts.injected is None:
@@ -260,10 +315,9 @@ class FaultInjector:
                 # whatever remains unvisited is unreachable on this
                 # workload (should not happen with deterministic targets).
                 break
+            fail_seq = artifacts.injected.sequence
             task = InjectionTask(
-                index=index,
-                stack=injector.stack,
-                seq=artifacts.injected.sequence,
+                index=index, stack=injector.stack, seq=fail_seq
             )
             index += 1
             image = injector.image
@@ -272,12 +326,37 @@ class FaultInjector:
             )
             campaign.retries += result.attempts - 1
             campaign.results.append(result)
+            if tracer is not None:
+                factory = AdversarialImageFactory(
+                    self.fault_model, artifacts.initial_image, tracer.events
+                )
+                for variant in factory.plan(fail_seq):
+                    if not room():
+                        break
+                    variant_task = InjectionTask(
+                        index=index,
+                        stack=injector.stack,
+                        seq=fail_seq,
+                        variant=variant,
+                    )
+                    index += 1
+                    crash = factory.materialise(
+                        fail_seq, variant, prefix_image=image
+                    )
+                    result = execute_injection(
+                        variant_task,
+                        lambda _task, _crash=crash: _crash,
+                        app_factory,
+                        self.harness,
+                    )
+                    campaign.retries += result.attempts - 1
+                    campaign.results.append(result)
         return self._collect(campaign, stats, tree)
 
     # ------------------------------------------------------------------ #
 
-    @staticmethod
     def _collect(
+        self,
         campaign: CampaignResult,
         stats: FaultInjectionStats,
         tree: FailurePointTree,
@@ -286,6 +365,8 @@ class FaultInjector:
         outcomes: List[Tuple[Tuple[str, ...], RecoveryOutcome]] = []
         for result in campaign.results:
             stats.injections += 1
+            if result.task.variant != VARIANT_PREFIX:
+                stats.adversarial_injections += 1
             if result.restored:
                 stats.resumed += 1
             if result.quarantine is not None:
@@ -297,17 +378,53 @@ class FaultInjector:
                 stats.hung += 1
             elif outcome.status is RecoveryStatus.RESOURCE_EXHAUSTED:
                 stats.resource_exhausted += 1
+            elif outcome.status is RecoveryStatus.MEDIA_ERROR:
+                stats.media_faults += 1
             if result.finding is not None:
                 stats.recovery_failures += 1
                 findings.append(result.finding)
         stats.retries += campaign.retries
         stats.worker_deaths += campaign.worker_deaths
+        comparison = (
+            self._compare(findings, stats)
+            if self.fault_model.is_adversarial
+            else None
+        )
         return FaultInjectionResult(
             findings,
             stats,
             tree,
             outcomes,
             quarantined=campaign.quarantined,
+            comparison=comparison,
+        )
+
+    def _compare(
+        self, findings: List[Finding], stats: FaultInjectionStats
+    ) -> ModelComparison:
+        """Prefix-vs-adversarial summary over the raw (pre-dedup) findings."""
+        prefix_keys = set()
+        adversarial_keys: Dict[Tuple, Finding] = {}
+        for finding in findings:
+            key = finding.dedup_key()
+            if (finding.variant or VARIANT_PREFIX) == VARIANT_PREFIX:
+                prefix_keys.add(key)
+            else:
+                adversarial_keys.setdefault(key, finding)
+        only = [
+            (finding.variant or "?", finding.message)
+            for key, finding in sorted(
+                adversarial_keys.items(), key=lambda kv: repr(kv[0])
+            )
+            if key not in prefix_keys
+        ]
+        return ModelComparison(
+            model=self.fault_model.model,
+            prefix_injections=stats.injections - stats.adversarial_injections,
+            adversarial_injections=stats.adversarial_injections,
+            prefix_bugs=len(prefix_keys),
+            adversarial_bugs=len(adversarial_keys),
+            adversarial_only=only,
         )
 
     @staticmethod

@@ -53,6 +53,12 @@ from repro.core.oracle import (
 from repro.core.report import Finding, PHASE_FAULT_INJECTION
 from repro.core.taxonomy import BugKind
 from repro.errors import CheckpointError, WatchdogTimeout
+from repro.pmem.faultmodel import (
+    VARIANT_PREFIX,
+    AdversarialImageFactory,
+    CrashImage,
+    FaultModelConfig,
+)
 
 #: Exception classes considered *transient*: they may disappear on retry,
 #: so they earn the (deterministic, jittered) backoff before each retry.
@@ -190,11 +196,20 @@ def supervised_call(
 
 @dataclass(frozen=True)
 class InjectionTask:
-    """One fault injection: a unique failure point to probe."""
+    """One fault injection: a unique failure point to probe.
+
+    ``variant`` names the fault-model variant whose crash image this
+    injection materialises (``"prefix"`` is the paper's graceful crash;
+    ``"torn:N"``/``"reorder:N"``/``"media:N"`` are adversarial — see
+    :mod:`repro.pmem.faultmodel`).  Variant identity is part of the
+    checkpoint record, so resuming a campaign under a different fault
+    model never silently reuses the wrong results.
+    """
 
     index: int
     stack: Tuple[str, ...]
     seq: int
+    variant: str = VARIANT_PREFIX
 
 
 @dataclass
@@ -258,9 +273,16 @@ class CampaignResult:
 
 
 def make_finding(
-    stack: Tuple[str, ...], seq: Optional[int], outcome: RecoveryOutcome
+    stack: Tuple[str, ...],
+    seq: Optional[int],
+    outcome: RecoveryOutcome,
+    variant: str = VARIANT_PREFIX,
 ) -> Optional[Finding]:
-    """The fault-injection finding for a bug outcome (None otherwise)."""
+    """The fault-injection finding for a bug outcome (None otherwise).
+
+    ``variant`` attributes the finding to the fault-model variant whose
+    crash image exposed it.
+    """
     if outcome is None or not outcome.status.is_bug:
         return None
     messages = {
@@ -271,6 +293,10 @@ def make_finding(
         RecoveryStatus.RESOURCE_EXHAUSTED: (
             "recovery exhausts its execution budget on the post-failure "
             "state at this failure point"
+        ),
+        RecoveryStatus.MEDIA_ERROR: (
+            "recovery crashes on an unhandled media error (poisoned "
+            "line) in the post-failure state at this failure point"
         ),
     }
     message = messages.get(
@@ -287,12 +313,25 @@ def make_finding(
         seq=seq,
         recovery_error=outcome.error,
         recovery_trace=outcome.trace,
+        variant=variant,
     )
 
 
 # --------------------------------------------------------------------- #
 # per-injection containment
 # --------------------------------------------------------------------- #
+
+
+def _unpack_image(materialised) -> Tuple[bytes, Tuple[int, ...]]:
+    """Normalise an image source's product to ``(bytes, poisoned_lines)``.
+
+    Image sources may return raw bytes (the classic prefix source) or a
+    :class:`~repro.pmem.faultmodel.CrashImage` carrying media-error
+    state.
+    """
+    if isinstance(materialised, CrashImage):
+        return materialised.data, materialised.poisoned_lines
+    return bytes(materialised), ()
 
 
 def execute_injection(
@@ -318,7 +357,7 @@ def execute_injection(
         attempts += 1
         try:
             phase = "materialise"
-            image = image_for(task)
+            image, poisoned_lines = _unpack_image(image_for(task))
             phase = "recovery"
             outcome = supervised_call(
                 lambda: run_recovery(
@@ -327,6 +366,7 @@ def execute_injection(
                     timeout=config.timeout_seconds,
                     step_budget=config.step_budget,
                     stack_key=task.stack,
+                    poisoned_lines=poisoned_lines,
                 ),
                 config.timeout_seconds,
             )
@@ -342,7 +382,9 @@ def execute_injection(
             return InjectionResult(
                 task,
                 outcome=outcome,
-                finding=make_finding(task.stack, task.seq, outcome),
+                finding=make_finding(
+                    task.stack, task.seq, outcome, variant=task.variant
+                ),
                 attempts=attempts,
             )
         except Exception as err:  # noqa: BLE001 - containment boundary
@@ -366,7 +408,9 @@ def execute_injection(
         return InjectionResult(
             task,
             outcome=outcome,
-            finding=make_finding(task.stack, task.seq, outcome),
+            finding=make_finding(
+                task.stack, task.seq, outcome, variant=task.variant
+            ),
             attempts=attempts,
         )
     return InjectionResult(
@@ -433,6 +477,50 @@ class _PrefixCursor:
         return self.image_at(task.seq)
 
 
+class AdversarialImageSource:
+    """Image source that understands fault-model variants.
+
+    The graceful ``"prefix"`` variant reuses the incremental prefix
+    cursor; adversarial variants are materialised on demand by an
+    :class:`~repro.pmem.faultmodel.AdversarialImageFactory` seeded from
+    the campaign's fault-model configuration — deterministically, so a
+    parallel, resumed, or repeated campaign sees identical images.
+    """
+
+    def __init__(
+        self,
+        initial_image: bytes,
+        trace: Sequence,
+        fault_model: FaultModelConfig,
+    ):
+        self._initial = initial_image
+        self._trace = trace
+        self.fault_model = fault_model
+        self.factory = AdversarialImageFactory(
+            fault_model, initial_image, trace
+        )
+
+    def cursor(self) -> "_AdversarialCursor":
+        return _AdversarialCursor(self)
+
+
+class _AdversarialCursor:
+    def __init__(self, source: AdversarialImageSource):
+        self._prefix = _PrefixCursor(source._initial, source._trace)
+        # Worker-local factory: the planner cache is not thread-safe.
+        self._factory = AdversarialImageFactory(
+            source.fault_model, source._initial, source._trace
+        )
+
+    def __call__(self, task: InjectionTask):
+        prefix = self._prefix.image_at(task.seq)
+        if task.variant == VARIANT_PREFIX:
+            return prefix
+        return self._factory.materialise(
+            task.seq, task.variant, prefix_image=prefix
+        )
+
+
 # --------------------------------------------------------------------- #
 # checkpoint journal
 # --------------------------------------------------------------------- #
@@ -467,6 +555,7 @@ def _finding_to_dict(finding: Finding) -> dict:
         "seq": finding.seq,
         "recovery_error": finding.recovery_error,
         "recovery_trace": finding.recovery_trace,
+        "variant": finding.variant,
     }
 
 
@@ -481,6 +570,7 @@ def _finding_from_dict(data: dict) -> Finding:
         seq=data.get("seq"),
         recovery_error=data.get("recovery_error"),
         recovery_trace=data.get("recovery_trace"),
+        variant=data.get("variant", VARIANT_PREFIX),
     )
 
 
@@ -512,6 +602,7 @@ def result_to_record(result: InjectionResult) -> dict:
         "i": result.task.index,
         "stack": list(result.task.stack),
         "seq": result.task.seq,
+        "variant": result.task.variant,
         "attempts": result.attempts,
         "outcome": (
             _outcome_to_dict(result.outcome) if result.outcome else None
@@ -532,6 +623,7 @@ def result_from_record(record: dict) -> InjectionResult:
         index=record["i"],
         stack=tuple(record.get("stack") or ()),
         seq=record.get("seq"),
+        variant=record.get("variant", VARIANT_PREFIX),
     )
     return InjectionResult(
         task=task,
@@ -722,7 +814,11 @@ def run_campaign(
     todo: List[InjectionTask] = []
     for task in tasks:
         restored = resume_state.get(task.index)
-        if restored is not None and restored.task.stack == task.stack:
+        if (
+            restored is not None
+            and restored.task.stack == task.stack
+            and restored.task.variant == task.variant
+        ):
             campaign.results.append(restored)
         else:
             todo.append(task)

@@ -41,7 +41,12 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple
 
-from repro.errors import RecoveryError, StepBudgetExceeded, WatchdogTimeout
+from repro.errors import (
+    MediaError,
+    RecoveryError,
+    StepBudgetExceeded,
+    WatchdogTimeout,
+)
 from repro.pmem.machine import PMachine
 
 #: Caps applied to captured recovery call traces.
@@ -66,6 +71,12 @@ class RecoveryStatus(enum.Enum):
     HUNG = "hung"
     #: Recovery overran its machine step budget.
     RESOURCE_EXHAUSTED = "resource_exhausted"
+    #: Recovery crashed on an unhandled uncorrectable media error
+    #: (:class:`~repro.errors.MediaError`, the SIGBUS analog).  Distinct
+    #: from :attr:`CRASHED`: a recovery procedure that dies on a poisoned
+    #: line and one that detects the fault and degrades (skips, repairs,
+    #: or reports the damaged region) earn different verdicts.
+    MEDIA_ERROR = "media_error"
     #: The *tool* failed underneath recovery (retryable, never a finding).
     INFRA_ERROR = "infra_error"
 
@@ -139,17 +150,23 @@ def run_recovery(
     timeout: Optional[float] = None,
     step_budget: Optional[int] = None,
     stack_key: Optional[Tuple[str, ...]] = None,
+    poisoned_lines: Tuple[int, ...] = (),
 ) -> RecoveryOutcome:
     """Boot the crash image and run the application's recovery procedure.
 
     ``timeout``/``step_budget`` arm the machine watchdog for the duration
     of the recovery; ``stack_key`` is threaded into the outcome for
-    campaign bookkeeping.  Errors raised while *constructing* the app or
-    booting the image (before recovery runs) propagate to the caller —
-    that is the containment layer's jurisdiction, not the oracle's.
+    campaign bookkeeping.  ``poisoned_lines`` marks uncorrectable media
+    errors on the recovered medium (the adversarial media model): loads
+    touching them raise :class:`~repro.errors.MediaError`, and a recovery
+    that lets one escape is classified
+    :attr:`RecoveryStatus.MEDIA_ERROR`.  Errors raised while
+    *constructing* the app or booting the image (before recovery runs)
+    propagate to the caller — that is the containment layer's
+    jurisdiction, not the oracle's.
     """
     app = app_factory()
-    machine = PMachine.from_image(image)
+    machine = PMachine.from_image(image, poisoned_lines=poisoned_lines)
     if timeout is not None or step_budget is not None:
         deadline = None if timeout is None else time.monotonic() + timeout
         machine.arm_watchdog(step_limit=step_budget, deadline=deadline)
@@ -171,6 +188,13 @@ def run_recovery(
         return RecoveryOutcome(
             RecoveryStatus.HUNG,
             error=f"{type(err).__name__}: {err}",
+            stack_key=stack_key,
+        )
+    except MediaError as err:
+        return RecoveryOutcome(
+            RecoveryStatus.MEDIA_ERROR,
+            error=f"{type(err).__name__}: {str(err)[:TRACE_CHAR_LIMIT]}",
+            trace=format_capped_trace(err),
             stack_key=stack_key,
         )
     except (MemoryError, RecursionError) as err:

@@ -47,6 +47,7 @@ from repro.instrument.tracer import (
     FailurePointObserver,
     MinimalTracer,
 )
+from repro.pmem.faultmodel import FaultModelConfig
 
 #: Mumak's CPU-load factor from the paper's Table 2 (1.20-1.44).
 MUMAK_CPU_LOAD = 1.3
@@ -80,6 +81,10 @@ class MumakConfig:
     checkpoint_path: Optional[str] = None
     #: Journal flush/fsync cadence, in injections.
     checkpoint_interval: int = 25
+    # ---- adversarial fault model (repro.pmem.faultmodel) ---- #
+    #: Crash-image materialisation model; the default is the paper's
+    #: graceful program-order-prefix crash.
+    fault_model: FaultModelConfig = field(default_factory=FaultModelConfig)
 
     def harness_config(self) -> HarnessConfig:
         return HarnessConfig(
@@ -107,6 +112,10 @@ class MumakConfig:
                 "seed": self.seed,
                 "timeout_seconds": self.timeout_seconds,
                 "step_budget": self.step_budget,
+                # Variant plans and images depend on the fault model, so a
+                # prefix checkpoint must not resume a torn campaign (and
+                # vice versa).
+                "fault_model": self.fault_model.payload(),
             }
         )
 
@@ -179,6 +188,7 @@ class Mumak:
                 engine=config.engine,
                 max_injections=config.max_injections,
                 harness=config.harness_config(),
+                fault_model=config.fault_model,
             )
             fingerprint = config.fingerprint(
                 getattr(artifacts.app, "name", "target")
@@ -213,6 +223,7 @@ class Mumak:
                     usage.checkpoint_bytes = journal.bytes_written
             report.extend(fi_result.findings)
             report.extend_quarantined(fi_result.quarantined)
+            report.set_model_comparison(fi_result.comparison)
             # One crash image is materialised at a time.
             usage.note_bytes(
                 usage.peak_tool_bytes + artifacts.machine.medium.size

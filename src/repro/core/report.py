@@ -37,6 +37,10 @@ class Finding:
     recovery_error: Optional[str] = None
     #: For abrupt recovery failures: the recovery call trace.
     recovery_trace: Optional[str] = None
+    #: Fault-model variant that exposed the finding ("prefix", "torn:0",
+    #: "reorder:1", "media:0", ...).  ``None`` for trace-analysis findings
+    #: and reports predating the fault-model layer.
+    variant: Optional[str] = None
 
     def dedup_key(self) -> Tuple:
         """Two findings with the same key are the same bug.
@@ -55,12 +59,56 @@ class Finding:
             lines.append(f"  at {self.site}")
         if self.stack:
             lines.append(format_stack(self.stack))
+        if self.variant and self.variant != "prefix":
+            lines.append(f"  exposed by fault-model variant '{self.variant}'")
         if self.recovery_error:
             lines.append(f"  recovery failed: {self.recovery_error}")
         if self.recovery_trace:
             lines.append("  recovery call trace:")
             lines.extend(
                 f"    {line}" for line in self.recovery_trace.splitlines()
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ModelComparison:
+    """Prefix-vs-adversarial outcome summary for one campaign.
+
+    Quantifies what the adversarial fault-model layer bought over Mumak's
+    deterministic program-order-prefix crash (the paper only materialises
+    the latter): how many unique bugs each side exposed, and which bugs
+    *only* an adversarial variant could reach.
+    """
+
+    model: str = "prefix"
+    prefix_injections: int = 0
+    adversarial_injections: int = 0
+    prefix_bugs: int = 0
+    adversarial_bugs: int = 0
+    #: Dedup-keyed bugs exposed only by a non-prefix variant, as
+    #: ``(variant, message)`` pairs.
+    adversarial_only: List[Tuple[str, str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"fault-model comparison (model={self.model}):",
+            f"  prefix injections:      {self.prefix_injections}"
+            f" -> {self.prefix_bugs} bug(s)",
+            f"  adversarial injections: {self.adversarial_injections}"
+            f" -> {self.adversarial_bugs} bug(s)",
+        ]
+        if self.adversarial_only:
+            lines.append(
+                f"  {len(self.adversarial_only)} bug(s) exposed ONLY by "
+                "adversarial variants (missed by the prefix crash):"
+            )
+            for variant, message in self.adversarial_only:
+                lines.append(f"    [{variant}] {message}")
+        else:
+            lines.append(
+                "  no adversarial-only bugs: every finding was already "
+                "reachable through the prefix crash"
             )
         return "\n".join(lines)
 
@@ -79,6 +127,7 @@ class AnalysisReport:
         self._findings: Dict[Tuple, Finding] = {}
         self.duplicates_filtered = 0
         self._quarantined: List = []
+        self._model_comparison: Optional[ModelComparison] = None
 
     def add(self, finding: Finding) -> bool:
         """Record a finding; returns False when it duplicates a known bug."""
@@ -100,6 +149,14 @@ class AnalysisReport:
     def extend_quarantined(self, records) -> None:
         for record in records:
             self.add_quarantined(record)
+
+    def set_model_comparison(self, comparison: Optional[ModelComparison]) -> None:
+        """Attach the prefix-vs-adversarial comparison for rendering."""
+        self._model_comparison = comparison
+
+    @property
+    def model_comparison(self) -> Optional[ModelComparison]:
+        return self._model_comparison
 
     # ------------------------------------------------------------------ #
     # views
@@ -155,6 +212,8 @@ class AnalysisReport:
         if include_warnings:
             for finding in self.warnings:
                 sections.append(finding.render())
+        if self._model_comparison is not None:
+            sections.append(self._model_comparison.render())
         if self._quarantined:
             lines = [
                 f"{len(self._quarantined)} injection(s) quarantined "

@@ -25,6 +25,33 @@ class PoolError(PMemError):
     """Pool-level failure (bad header, wrong layout, double create...)."""
 
 
+class MediaError(PMemError):
+    """A read touched a poisoned (uncorrectable) region of the medium.
+
+    Models hardware media errors on persistent memory: after a power
+    failure, a line whose ECC can no longer be corrected is *poisoned* and
+    every load from it machine-checks (the DAX analog is SIGBUS).  The
+    adversarial fault model (:mod:`repro.pmem.faultmodel`) plants poisoned
+    lines on recovered media; a recovery procedure that dereferences one
+    without handling the fault crashes — a distinct robustness verdict
+    from an ordinary recovery crash (see
+    :attr:`repro.core.oracle.RecoveryStatus.MEDIA_ERROR`).
+
+    Real hardware clears poison when the full line is rewritten without
+    reading it first (``movdir64b`` / non-temporal stores); the simulated
+    :class:`~repro.pmem.medium.Medium` mirrors that.
+    """
+
+    def __init__(self, address: int, size: int, line_base: int):
+        super().__init__(
+            f"read [{address}, {address + size}) hit poisoned line at "
+            f"0x{line_base:x} (uncorrectable media error)"
+        )
+        self.address = address
+        self.size = size
+        self.line_base = line_base
+
+
 class AllocationError(ReproError):
     """The persistent allocator could not satisfy a request."""
 

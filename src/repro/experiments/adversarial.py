@@ -1,0 +1,135 @@
+"""Prefix-sufficiency validation: what the graceful crash can(not) see.
+
+Mumak's central design bet (paper, section 4.1) is that the single
+deterministic program-order-prefix crash image per failure point finds
+the bugs that exhaustive-reordering tools find.  This experiment probes
+that claim inside the reproduction, using the adversarial fault-model
+layer (:mod:`repro.pmem.faultmodel`):
+
+* **Witcher-list bugs stay found.**  For a sample of seeded
+  fault-injection-detectable bugs, the prefix model alone detects them —
+  and still attributes them to ``prefix`` when adversarial variants run
+  alongside (the prefix image is injected first at every failure point).
+* **The bet has a boundary.**  The seeded
+  ``hashmap_atomic.c6_torn_inplace_update`` bug — an in-place multi-word
+  value+checksum overwrite relying on store atomicity the hardware does
+  not provide — is invisible to every program-order-prefix state and
+  exposed only by the torn-write model.
+
+Run via ``mumak experiment adversarial``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.apps import APPLICATIONS
+from repro.core import Mumak, MumakConfig
+from repro.experiments.common import format_table
+from repro.pmem.faultmodel import FaultModelConfig, variant_family
+from repro.workloads import generate_workload
+
+
+@dataclass
+class AdversarialProbe:
+    bug: str
+    prefix_detected: bool
+    adversarial_detected: bool
+    exposing_family: str
+    adversarial_injections: int
+
+
+@dataclass
+class AdversarialResult:
+    probes: List[AdversarialProbe] = field(default_factory=list)
+
+    @property
+    def prefix_only_misses(self) -> List[AdversarialProbe]:
+        """Bugs the graceful crash missed but an adversarial variant found."""
+        return [
+            p
+            for p in self.probes
+            if p.adversarial_detected and not p.prefix_detected
+        ]
+
+
+_PROBES = [
+    # (bug id, app, app options) — prefix-detectable samples first, the
+    # adversarial-only boundary case last.
+    ("btree.c1_count_outside_tx", "btree", {"spt": True}),
+    ("hashmap_atomic.c2_bucket_link_order", "hashmap_atomic", {}),
+    ("hashmap_atomic.c6_torn_inplace_update", "hashmap_atomic", {}),
+]
+
+
+def _analyze(factory, workload, seed, fault_model):
+    config = MumakConfig(
+        seed=seed, run_trace_analysis=False, fault_model=fault_model
+    )
+    return Mumak(config).analyze(factory, workload)
+
+
+def run_adversarial(
+    n_ops: int = 200, seed: int = 7, fault_seed: int = 3
+) -> AdversarialResult:
+    result = AdversarialResult()
+    workload = generate_workload(n_ops, seed=seed)
+    torn = FaultModelConfig(model="torn", seed=fault_seed)
+    for bug_id, app_name, options in _PROBES:
+        cls = APPLICATIONS[app_name]
+
+        def factory(cls=cls, bug=bug_id, options=options):
+            return cls(bugs={bug}, **options)
+
+        prefix_run = _analyze(factory, workload, seed, FaultModelConfig())
+        torn_run = _analyze(factory, workload, seed, torn)
+        bugs = torn_run.report.correctness_bugs()
+        family = ""
+        if bugs:
+            families = {variant_family(b.variant or "prefix") for b in bugs}
+            family = (
+                "prefix"
+                if "prefix" in families
+                else ",".join(sorted(families))
+            )
+        result.probes.append(
+            AdversarialProbe(
+                bug=bug_id,
+                prefix_detected=bool(prefix_run.report.correctness_bugs()),
+                adversarial_detected=bool(bugs),
+                exposing_family=family or "-",
+                adversarial_injections=(
+                    torn_run.fault_injection.stats.adversarial_injections
+                ),
+            )
+        )
+    return result
+
+
+def render(result: AdversarialResult) -> str:
+    rows = [
+        [
+            probe.bug,
+            "found" if probe.prefix_detected else "MISSED",
+            "found" if probe.adversarial_detected else "MISSED",
+            probe.exposing_family,
+            probe.adversarial_injections,
+        ]
+        for probe in result.probes
+    ]
+    table = format_table(
+        ["bug", "prefix model", "torn model", "attributed to",
+         "adv. injections"],
+        rows,
+        title="Prefix-sufficiency probe (graceful crash vs torn writes)",
+    )
+    misses = result.prefix_only_misses
+    coda = (
+        f"{len(misses)} bug(s) exposed only by the adversarial model — "
+        "the paper's prefix-crash bet holds for ordering/atomicity bugs "
+        "in program order, and has exactly this boundary."
+        if misses
+        else "no adversarial-only bugs in this sample."
+    )
+    return table + "\n\n" + coda

@@ -20,20 +20,30 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.errors import OutOfBoundsError
 from repro.pmem.constants import CACHE_LINE_SIZE, cache_lines_spanned
 from repro.pmem.events import MemoryEvent, Opcode
 from repro.pmem.machine import VOLATILE_BASE
 
 
 def apply_write(image: bytearray, event: MemoryEvent) -> None:
+    """Apply one traced PM write to a crash image under construction.
+
+    Volatile-region writes are ignored (they never survive a crash).  A
+    PM write extending past the end of the image is *not* silently
+    clipped: the live machine would have refused the access, so a trace
+    containing one is corrupt, and building a quietly-wrong crash image
+    from it would poison every downstream verdict.  It raises the same
+    :class:`~repro.errors.OutOfBoundsError` the medium raises.
+    """
     if event.data is None or event.address is None:
         return
     if event.address >= VOLATILE_BASE:
         return
-    end = min(event.address + len(event.data), len(image))
-    if event.address >= len(image):
-        return
-    image[event.address:end] = event.data[: end - event.address]
+    end = event.address + len(event.data)
+    if event.address < 0 or end > len(image):
+        raise OutOfBoundsError(event.address, len(event.data), len(image))
+    image[event.address:end] = event.data
 
 
 def prefix_image(

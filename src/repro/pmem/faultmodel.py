@@ -1,0 +1,442 @@
+"""Adversarial fault models: what *else* a crash can do to the medium.
+
+Mumak's headline design (paper, section 4.1) materialises exactly one
+deterministic crash image per failure point: the program-order prefix of
+the execution.  That model is graceful twice over — stores persist whole,
+and the medium survives unharmed.  Real persistent memory is neither:
+
+* **Torn writes** — the hardware guarantees failure atomicity only for
+  aligned 8-byte units (:data:`~repro.pmem.constants.ATOMIC_WRITE_SIZE`).
+  A larger store in flight at the failure point may persist any subset of
+  its units.  The torn model tears, per failure point, stores whose
+  durability was not yet *guaranteed* (no completed flush+fence covers
+  them) at sub-cacheline granularity.
+* **Dirty-line reordering** — the full Yat-style space
+  (:func:`~repro.pmem.crashsim.enumerate_reordered_images`) is exponential
+  in the number of concurrently dirty lines.  The reorder model draws a
+  bounded, seeded sample of it, so a campaign can probe reorderings
+  without the blowup.
+* **Media errors** — power failure can leave uncorrectable (poisoned)
+  lines and flipped bits behind.  The media model plants both on the
+  recovered medium; reading a poisoned line raises
+  :class:`~repro.errors.MediaError`, and the recovery oracle classifies a
+  recovery that crashes on one separately from one that detects and
+  degrades.
+
+Everything is deterministic: every random choice is drawn from an RNG
+derived by hashing ``(seed, failure-point seq, family, variant index)``,
+so the same configuration always yields byte-identical crash images,
+poison sets, and therefore findings.  That is the contract the
+checkpoint/resume machinery and the reproducibility tests rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.pmem.constants import (
+    ATOMIC_WRITE_SIZE,
+    CACHE_LINE_SIZE,
+    cache_lines_spanned,
+)
+from repro.pmem.crashsim import apply_write, build_line_histories
+from repro.pmem.events import MemoryEvent, Opcode
+from repro.pmem.machine import VOLATILE_BASE
+
+#: Fault-model names (the CLI's ``--fault-model`` vocabulary).
+MODEL_PREFIX = "prefix"
+MODEL_TORN = "torn"
+MODEL_REORDER = "reorder"
+MODEL_ADVERSARIAL = "adversarial"
+
+MODELS = (MODEL_PREFIX, MODEL_TORN, MODEL_REORDER, MODEL_ADVERSARIAL)
+
+#: Variant families (the prefix of a variant id; ``variant_family``).
+FAMILY_PREFIX = "prefix"
+FAMILY_TORN = "torn"
+FAMILY_REORDER = "reorder"
+FAMILY_MEDIA = "media"
+
+#: The variant id of the paper's graceful program-order-prefix crash.
+VARIANT_PREFIX = "prefix"
+
+
+def variant_family(variant: str) -> str:
+    """``"torn:1"`` → ``"torn"``; ``"prefix"`` → ``"prefix"``."""
+    return variant.split(":", 1)[0]
+
+
+@dataclass(frozen=True)
+class FaultModelConfig:
+    """How crash images are materialised and how recovered media behave.
+
+    ``model`` picks the base family; ``torn_writes``/``media_errors`` are
+    additive toggles so e.g. ``model="reorder", media_errors=True`` probes
+    both.  ``samples`` bounds the adversarial variants injected per
+    failure point *per family*; ``seed`` drives every sampled choice.
+    """
+
+    model: str = MODEL_PREFIX
+    torn_writes: bool = False
+    media_errors: bool = False
+    #: Adversarial variants per failure point per enabled family.
+    samples: int = 2
+    seed: int = 0
+    #: Corruptions per media variant.
+    media_bit_flips: int = 1
+    media_poisoned_lines: int = 1
+
+    def __post_init__(self):
+        if self.model not in MODELS:
+            raise ValueError(
+                f"unknown fault model {self.model!r}; choose from {MODELS}"
+            )
+        if self.samples < 1:
+            raise ValueError(f"samples must be >= 1, got {self.samples}")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def torn_enabled(self) -> bool:
+        return self.torn_writes or self.model in (
+            MODEL_TORN,
+            MODEL_ADVERSARIAL,
+        )
+
+    @property
+    def reorder_enabled(self) -> bool:
+        return self.model in (MODEL_REORDER, MODEL_ADVERSARIAL)
+
+    @property
+    def media_enabled(self) -> bool:
+        return self.media_errors or self.model == MODEL_ADVERSARIAL
+
+    @property
+    def is_adversarial(self) -> bool:
+        """True when any family beyond the graceful prefix is enabled."""
+        return self.torn_enabled or self.reorder_enabled or self.media_enabled
+
+    def payload(self) -> dict:
+        """Stable dict for campaign fingerprints (checkpoint identity)."""
+        return {
+            "model": self.model,
+            "torn_writes": self.torn_enabled,
+            "reorder": self.reorder_enabled,
+            "media_errors": self.media_enabled,
+            "samples": self.samples,
+            "fault_seed": self.seed,
+            "media_bit_flips": self.media_bit_flips,
+            "media_poisoned_lines": self.media_poisoned_lines,
+        }
+
+
+@dataclass(frozen=True)
+class CrashImage:
+    """A materialised post-failure medium state.
+
+    ``data`` is the byte contents; ``poisoned_lines`` the cache-line bases
+    that fault on read (media model); ``variant`` the fault-model variant
+    that produced it.
+    """
+
+    data: bytes
+    poisoned_lines: Tuple[int, ...] = ()
+    variant: str = VARIANT_PREFIX
+
+
+def derive_rng(
+    seed: int, fail_seq: int, family: str, index: int
+) -> random.Random:
+    """The deterministic RNG for one (failure point, family, variant).
+
+    Hash-derived so neighbouring failure points get uncorrelated streams
+    while two runs of the same campaign get identical ones.
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{fail_seq}:{family}:{index}".encode()
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def _atomic_units(address: int, size: int) -> List[Tuple[int, int]]:
+    """The aligned 8-byte units overlapped by ``[address, address+size)``.
+
+    Returns ``(lo, hi)`` byte ranges clipped to the store; a torn write
+    persists each unit independently.
+    """
+    units = []
+    first = address & ~(ATOMIC_WRITE_SIZE - 1)
+    cursor = first
+    while cursor < address + size:
+        lo = max(cursor, address)
+        hi = min(cursor + ATOMIC_WRITE_SIZE, address + size)
+        units.append((lo, hi))
+        cursor += ATOMIC_WRITE_SIZE
+    return units
+
+
+class AdversarialImageFactory:
+    """Plans and materialises adversarial crash-image variants.
+
+    One factory serves one recorded execution (``initial`` + ``trace``).
+    :meth:`plan` lists the variant ids to inject at a failure point;
+    :meth:`materialise` builds the image for one id.  Both are pure
+    functions of (config, trace, fail_seq, variant id) — the same id
+    always materialises to the same bytes, which is what lets a resumed
+    campaign skip completed variants safely.
+    """
+
+    def __init__(
+        self,
+        config: FaultModelConfig,
+        initial: bytes,
+        trace: Sequence[MemoryEvent],
+    ):
+        self.config = config
+        self._initial = initial
+        self._trace = trace
+        #: Memoised per-failure-point analysis (campaigns visit failure
+        #: points in order, so a size-1 cache hits almost always).
+        self._cache_seq: Optional[int] = None
+        self._cache_candidates: List[MemoryEvent] = []
+        self._cache_cuts: List[Tuple[int, List[int]]] = []
+        self._cache_written_lines: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # per-failure-point analysis
+    # ------------------------------------------------------------------ #
+
+    def _analyse(self, fail_seq: int) -> None:
+        if self._cache_seq == fail_seq:
+            return
+        histories = build_line_histories(self._trace, fail_seq)
+        # Torn candidates: multi-unit PM stores executed before the
+        # failure point whose durability no completed flush+fence
+        # guarantees yet.  Most recent first — the store in flight at the
+        # crash is the most physically plausible victim.
+        candidates: List[MemoryEvent] = []
+        written: set = set()
+        for event in self._trace:
+            if event.seq >= fail_seq:
+                break
+            if not event.is_write or event.data is None:
+                continue
+            if event.address is None or event.address >= VOLATILE_BASE:
+                continue
+            for base in cache_lines_spanned(event.address, len(event.data)):
+                if 0 <= base < len(self._initial):
+                    written.add(base)
+            if event.opcode is Opcode.RMW:
+                continue  # hardware-atomic by definition
+            if len(event.data) <= ATOMIC_WRITE_SIZE:
+                continue
+            guaranteed = True
+            for base in cache_lines_spanned(event.address, len(event.data)):
+                history = histories.get(base)
+                if history is None or history.mandatory_seq < event.seq:
+                    guaranteed = False
+                    break
+            if not guaranteed:
+                candidates.append(event)
+        candidates.reverse()
+        self._cache_candidates = candidates
+        self._cache_cuts = [
+            (line.base, line.candidate_cut_seqs())
+            for line in sorted(histories.values(), key=lambda h: h.base)
+        ]
+        self._cache_written_lines = sorted(written)
+        self._cache_seq = fail_seq
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+
+    def plan(self, fail_seq: int) -> List[str]:
+        """Adversarial variant ids to inject at ``fail_seq``.
+
+        The graceful ``"prefix"`` variant is *not* listed — the campaign
+        always injects it first; these ride along after it.
+        """
+        config = self.config
+        if not config.is_adversarial:
+            return []
+        self._analyse(fail_seq)
+        variants: List[str] = []
+        if config.torn_enabled and self._cache_candidates:
+            variants.extend(
+                f"{FAMILY_TORN}:{i}" for i in range(config.samples)
+            )
+        if config.reorder_enabled:
+            space = 1
+            for _, cuts in self._cache_cuts:
+                space *= len(cuts)
+                if space > config.samples:
+                    break
+            if space > 1:
+                variants.extend(
+                    f"{FAMILY_REORDER}:{i}"
+                    for i in range(min(config.samples, space - 1))
+                )
+        if config.media_enabled and self._cache_written_lines:
+            variants.extend(
+                f"{FAMILY_MEDIA}:{i}" for i in range(config.samples)
+            )
+        return variants
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+
+    def materialise(
+        self,
+        fail_seq: int,
+        variant: str,
+        prefix_image: Optional[bytes] = None,
+    ) -> CrashImage:
+        """Build the crash image for one variant id at ``fail_seq``.
+
+        ``prefix_image`` (the graceful image at the same failure point)
+        is an optimisation input for families derived from it; it is
+        recomputed when omitted.
+        """
+        family = variant_family(variant)
+        if family == FAMILY_PREFIX:
+            return CrashImage(
+                data=(
+                    prefix_image
+                    if prefix_image is not None
+                    else self._prefix(fail_seq)
+                ),
+                variant=VARIANT_PREFIX,
+            )
+        try:
+            index = int(variant.split(":", 1)[1])
+        except (IndexError, ValueError):
+            raise ValueError(f"malformed variant id {variant!r}")
+        self._analyse(fail_seq)
+        rng = derive_rng(self.config.seed, fail_seq, family, index)
+        if family == FAMILY_TORN:
+            return self._materialise_torn(fail_seq, variant, index, rng)
+        if family == FAMILY_REORDER:
+            return self._materialise_reorder(fail_seq, variant, rng)
+        if family == FAMILY_MEDIA:
+            return self._materialise_media(
+                fail_seq, variant, rng, prefix_image
+            )
+        raise ValueError(f"unknown fault-model family {family!r}")
+
+    def _prefix(self, fail_seq: int) -> bytes:
+        image = bytearray(self._initial)
+        for event in self._trace:
+            if event.seq >= fail_seq:
+                break
+            if event.is_write:
+                apply_write(image, event)
+        return bytes(image)
+
+    # -- torn writes --------------------------------------------------- #
+
+    def _materialise_torn(
+        self, fail_seq: int, variant: str, index: int, rng: random.Random
+    ) -> CrashImage:
+        candidates = self._cache_candidates
+        if not candidates:
+            # Planned against a different analysis?  Degenerate safely.
+            return CrashImage(self._prefix(fail_seq), variant=variant)
+        victim = candidates[index % len(candidates)]
+        units = _atomic_units(victim.address, len(victim.data))
+        if len(units) < 2:  # pragma: no cover - candidates are multi-unit
+            return CrashImage(self._prefix(fail_seq), variant=variant)
+        # A proper, non-empty subset of units persisted: the tear.
+        mask = rng.getrandbits(len(units))
+        full = (1 << len(units)) - 1
+        while mask == 0 or mask == full:
+            mask = rng.getrandbits(len(units))
+        image = bytearray(self._initial)
+        for event in self._trace:
+            if event.seq >= fail_seq:
+                break
+            if not event.is_write:
+                continue
+            if event.seq == victim.seq:
+                for bit, (lo, hi) in enumerate(units):
+                    if mask & (1 << bit):
+                        image[lo:hi] = victim.data[
+                            lo - victim.address:hi - victim.address
+                        ]
+                continue
+            apply_write(image, event)
+        return CrashImage(bytes(image), variant=variant)
+
+    # -- dirty-line reordering sampling -------------------------------- #
+
+    def _materialise_reorder(
+        self, fail_seq: int, variant: str, rng: random.Random
+    ) -> CrashImage:
+        image = bytearray(self._initial)
+        # Rendering needs per-line store data, not just the memoised cut
+        # lists, so the histories are recomputed here.
+        histories = build_line_histories(self._trace, fail_seq)
+        lines = sorted(histories.values(), key=lambda h: h.base)
+        choices: List[int] = []
+        any_movable = False
+        for line in lines:
+            cuts = line.candidate_cut_seqs()
+            choice = rng.randrange(len(cuts))
+            choices.append(choice)
+            if len(cuts) > 1:
+                any_movable = True
+        latest = all(
+            choice == len(line.candidate_cut_seqs()) - 1
+            for choice, line in zip(choices, lines)
+        )
+        if latest and any_movable:
+            # All-latest is (up to NT-store detail) the prefix image;
+            # hold one movable line back at its mandatory frontier so the
+            # sample genuinely reorders.
+            movable = [
+                i
+                for i, line in enumerate(lines)
+                if len(line.candidate_cut_seqs()) > 1
+            ]
+            choices[movable[rng.randrange(len(movable))]] = 0
+        for line, choice in zip(lines, choices):
+            line.render(image, line.candidate_cut_seqs()[choice])
+        return CrashImage(bytes(image), variant=variant)
+
+    # -- media errors --------------------------------------------------- #
+
+    def _materialise_media(
+        self,
+        fail_seq: int,
+        variant: str,
+        rng: random.Random,
+        prefix_image: Optional[bytes],
+    ) -> CrashImage:
+        base_image = (
+            prefix_image if prefix_image is not None else self._prefix(fail_seq)
+        )
+        image = bytearray(base_image)
+        written = self._cache_written_lines
+        if not written:
+            return CrashImage(bytes(image), variant=variant)
+        poisoned: List[int] = []
+        n_poison = min(self.config.media_poisoned_lines, len(written))
+        if n_poison > 0:
+            poisoned = sorted(rng.sample(written, n_poison))
+        flippable = [base for base in written if base not in poisoned]
+        for _ in range(self.config.media_bit_flips):
+            if not flippable:
+                break
+            base = flippable[rng.randrange(len(flippable))]
+            offset = rng.randrange(CACHE_LINE_SIZE)
+            bit = rng.randrange(8)
+            address = base + offset
+            if address < len(image):
+                image[address] ^= 1 << bit
+        return CrashImage(
+            bytes(image), poisoned_lines=tuple(poisoned), variant=variant
+        )

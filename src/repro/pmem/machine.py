@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import PMemError, StepBudgetExceeded, WatchdogTimeout
 from repro.pmem.cache import Cache, CacheLine, EvictionPolicy
@@ -103,10 +103,21 @@ class PMachine:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def from_image(cls, image: bytes, **kwargs) -> "PMachine":
-        """Boot a fresh machine whose medium holds a crash image."""
+    def from_image(
+        cls, image: bytes, poisoned_lines: Iterable[int] = (), **kwargs
+    ) -> "PMachine":
+        """Boot a fresh machine whose medium holds a crash image.
+
+        ``poisoned_lines`` marks cache-line bases of the recovered medium
+        as uncorrectable media errors: any load (or cache fill) touching
+        one raises :class:`~repro.errors.MediaError` until the full line
+        is rewritten without being read (a whole-line store or a
+        non-temporal store, mirroring ``movdir64b`` semantics).
+        """
         machine = cls(pm_size=len(image), **kwargs)
         machine.medium.restore(image)
+        for base in poisoned_lines:
+            machine.medium.poison_line(base)
         return machine
 
     # ------------------------------------------------------------------ #
@@ -237,16 +248,25 @@ class PMachine:
         remaining = memoryview(data)
         while remaining:
             base = cache_line_of(cursor)
+            offset = cursor - base
+            chunk = min(len(remaining), CACHE_LINE_SIZE - offset)
             line = self.cache.get(base)
             if line is None:
-                line = CacheLine(base, self.medium.read(base, CACHE_LINE_SIZE))
+                if offset == 0 and chunk == CACHE_LINE_SIZE:
+                    # Whole-line store: no fill read needed (write
+                    # combining).  Crucially, this lets recovery code
+                    # rewrite a *poisoned* line without faulting, the
+                    # same way ``movdir64b`` clears poison on hardware.
+                    line = CacheLine(base, bytes(CACHE_LINE_SIZE))
+                else:
+                    line = CacheLine(
+                        base, self.medium.read(base, CACHE_LINE_SIZE)
+                    )
                 victim = self.cache.install(line)
                 if victim is not None:
                     # Write-back eviction: the victim's data silently
                     # becomes durable.
                     self.medium.write(victim.base, victim.copy_data())
-            offset = cursor - base
-            chunk = min(len(remaining), CACHE_LINE_SIZE - offset)
             line.write(offset, bytes(remaining[:chunk]))
             cursor += chunk
             remaining = remaining[chunk:]

@@ -3,11 +3,23 @@
 Only bytes written to the :class:`Medium` are durable.  Everything above it
 (store buffers, CPU caches, pending flush queues — see
 :mod:`repro.pmem.machine`) is volatile and disappears at a crash.
+
+Besides plain storage, the medium models *uncorrectable media errors*
+(poisoned lines): a line may be marked poisoned — typically by the
+adversarial fault model when it materialises a post-crash medium — and any
+read overlapping it raises :class:`~repro.errors.MediaError`, the simulated
+machine-check.  Mirroring real persistent memory, a write that covers the
+entire poisoned line re-establishes its ECC and clears the poison; partial
+writes do not (the device would have to read the rest of the line to merge,
+and that read is exactly what faults).
 """
 
 from __future__ import annotations
 
-from repro.errors import OutOfBoundsError
+from typing import Iterable, Tuple
+
+from repro.errors import MediaError, OutOfBoundsError
+from repro.pmem.constants import CACHE_LINE_SIZE, cache_lines_spanned
 
 
 class Medium:
@@ -15,7 +27,8 @@ class Medium:
 
     The medium itself guarantees failure atomicity only for aligned 8-byte
     writes (see :data:`repro.pmem.constants.ATOMIC_WRITE_SIZE`); torn larger
-    writes are modelled by the crash simulator, not here.
+    writes are modelled by the crash simulator and the adversarial fault
+    model (:mod:`repro.pmem.faultmodel`), not here.
     """
 
     def __init__(self, size: int):
@@ -23,12 +36,22 @@ class Medium:
             raise ValueError(f"medium size must be positive, got {size}")
         self._data = bytearray(size)
         self._write_count = 0
+        #: Cache-line bases whose contents are uncorrectable (poisoned).
+        self._poisoned: set = set()
 
     @classmethod
-    def from_image(cls, image: bytes) -> "Medium":
-        """Reconstruct a medium from a crash image (post-failure state)."""
+    def from_image(
+        cls, image: bytes, poisoned_lines: Iterable[int] = ()
+    ) -> "Medium":
+        """Reconstruct a medium from a crash image (post-failure state).
+
+        ``poisoned_lines`` marks cache-line bases as uncorrectable media
+        errors on the recovered device (see :meth:`poison_line`).
+        """
         medium = cls(len(image))
         medium._data[:] = image
+        for base in poisoned_lines:
+            medium.poison_line(base)
         return medium
 
     @property
@@ -40,21 +63,69 @@ class Medium:
         """Number of write operations the device has absorbed (wear proxy)."""
         return self._write_count
 
+    # ------------------------------------------------------------------ #
+    # media errors (poisoned lines)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def poisoned_lines(self) -> Tuple[int, ...]:
+        """Bases of currently poisoned cache lines, sorted."""
+        return tuple(sorted(self._poisoned))
+
+    def poison_line(self, base: int) -> None:
+        """Mark the cache line at ``base`` as an uncorrectable media error."""
+        if base % CACHE_LINE_SIZE != 0:
+            raise ValueError(
+                f"poison base 0x{base:x} is not cache-line aligned"
+            )
+        self.check_bounds(base, CACHE_LINE_SIZE)
+        self._poisoned.add(base)
+
+    def clear_poison(self, base: int) -> None:
+        """Explicitly clear poison (device management op, e.g. ndctl)."""
+        self._poisoned.discard(base)
+
+    def _check_poison(self, address: int, size: int) -> None:
+        if not self._poisoned or size <= 0:
+            return
+        for base in cache_lines_spanned(address, size):
+            if base in self._poisoned:
+                raise MediaError(address, size, base)
+
+    # ------------------------------------------------------------------ #
+    # storage
+    # ------------------------------------------------------------------ #
+
     def check_bounds(self, address: int, size: int) -> None:
         if address < 0 or size < 0 or address + size > len(self._data):
             raise OutOfBoundsError(address, size, len(self._data))
 
     def read(self, address: int, size: int) -> bytes:
         self.check_bounds(address, size)
+        self._check_poison(address, size)
         return bytes(self._data[address:address + size])
 
     def write(self, address: int, data: bytes) -> None:
         self.check_bounds(address, len(data))
         self._data[address:address + len(data)] = data
         self._write_count += 1
+        if self._poisoned:
+            # Rewriting an entire line re-establishes its ECC.
+            for base in cache_lines_spanned(address, len(data)):
+                if (
+                    base in self._poisoned
+                    and address <= base
+                    and address + len(data) >= base + CACHE_LINE_SIZE
+                ):
+                    self._poisoned.discard(base)
 
     def snapshot(self) -> bytes:
-        """Return an immutable copy of the full device contents."""
+        """Return an immutable copy of the full device contents.
+
+        Poison state is *not* part of the image — it travels separately
+        (see :meth:`from_image`), just as a DAX file's contents and its
+        badblocks list are separate on real hardware.
+        """
         return bytes(self._data)
 
     def restore(self, image: bytes) -> None:

@@ -99,6 +99,7 @@ class TestRegistryShape:
             "montage.c2_dtor_window",
             "art.c1_insert_commit",
             "pmdk.c1_tx_commit_overflow",
+            "hashmap_atomic.c6_torn_inplace_update",
         }
 
     def test_default_bugs_match_registry(self):

@@ -1,0 +1,40 @@
+"""The prefix-sufficiency experiment (``mumak experiment adversarial``)."""
+
+import pytest
+
+from repro.experiments.adversarial import render, run_adversarial
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_adversarial()
+
+
+def test_prefix_detectable_probes_stay_found(result):
+    by_bug = {p.bug: p for p in result.probes}
+    for bug in ("btree.c1_count_outside_tx",
+                "hashmap_atomic.c2_bucket_link_order"):
+        probe = by_bug[bug]
+        assert probe.prefix_detected, bug
+        assert probe.adversarial_detected, bug
+        # Prefix-first injection means dual-reachable bugs are attributed
+        # to the graceful crash even when torn variants run alongside.
+        assert probe.exposing_family == "prefix", bug
+
+
+def test_exactly_one_adversarial_only_miss(result):
+    misses = result.prefix_only_misses
+    assert [p.bug for p in misses] == [
+        "hashmap_atomic.c6_torn_inplace_update"
+    ]
+    assert misses[0].exposing_family == "torn"
+    assert misses[0].adversarial_injections > 0
+
+
+def test_render(result):
+    text = render(result)
+    assert "hashmap_atomic.c6_torn_inplace_update" in text
+    assert "MISSED" in text
+    assert "exposed only by the adversarial model" in text

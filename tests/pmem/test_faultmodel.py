@@ -1,0 +1,358 @@
+"""Tests for the adversarial fault-model layer (repro.pmem.faultmodel).
+
+Covers the determinism contract (same seed -> byte-identical images and
+poison sets), the torn-write semantics (aligned 8-byte units, proper
+subsets only), the bounded reorder sampling, and the media-error planting.
+Also regression-tests the ``apply_write`` out-of-bounds fix in crashsim.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import OutOfBoundsError
+from repro.pmem import PMachine
+from repro.pmem.constants import ATOMIC_WRITE_SIZE, CACHE_LINE_SIZE
+from repro.pmem.crashsim import (
+    apply_write,
+    enumerate_reordered_images,
+    prefix_image,
+)
+from repro.pmem.events import MemoryEvent, Opcode
+from repro.pmem.faultmodel import (
+    MODEL_ADVERSARIAL,
+    MODEL_PREFIX,
+    MODEL_REORDER,
+    MODEL_TORN,
+    VARIANT_PREFIX,
+    AdversarialImageFactory,
+    CrashImage,
+    FaultModelConfig,
+    derive_rng,
+    variant_family,
+)
+
+
+def traced_machine(pm_size=8 * 1024):
+    machine = PMachine(pm_size=pm_size)
+    trace = []
+    machine.add_hook(lambda event, m: trace.append(event))
+    return machine, trace
+
+
+# --------------------------------------------------------------------- #
+# satellite: apply_write must refuse out-of-bounds trace writes
+# --------------------------------------------------------------------- #
+
+
+class TestApplyWriteBounds:
+    def _event(self, address, data):
+        return MemoryEvent(
+            seq=0, opcode=Opcode.STORE, address=address, size=len(data),
+            data=data,
+        )
+
+    def test_in_bounds_write_applies(self):
+        image = bytearray(256)
+        apply_write(image, self._event(64, b"\x05\x06"))
+        assert image[64:66] == b"\x05\x06"
+
+    def test_overhanging_write_raises(self):
+        image = bytearray(256)
+        with pytest.raises(OutOfBoundsError):
+            apply_write(image, self._event(250, b"\xff" * 10))
+
+    def test_negative_address_raises(self):
+        image = bytearray(256)
+        with pytest.raises(OutOfBoundsError):
+            apply_write(image, self._event(-8, b"\x01" * 8))
+
+
+# --------------------------------------------------------------------- #
+# satellite: prefix_image == direct medium replay (property)
+# --------------------------------------------------------------------- #
+
+
+class TestPrefixMatchesMediumReplay:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_random_workload(self, seed):
+        rng = random.Random(seed)
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        for _ in range(120):
+            action = rng.randrange(5)
+            address = rng.randrange(0, machine.medium.size - 64)
+            if action == 0:
+                machine.store(address, rng.randbytes(rng.randrange(1, 33)))
+            elif action == 1:
+                machine.ntstore(
+                    address & ~7, rng.randbytes(8 * rng.randrange(1, 4))
+                )
+            elif action == 2:
+                machine.clwb(address)
+            elif action == 3:
+                machine.clflush(address)
+            else:
+                machine.sfence()
+        for fail_seq in (0, 1, len(trace) // 2, len(trace)):
+            expected = bytearray(initial)
+            for event in trace:
+                if event.seq >= fail_seq:
+                    break
+                if event.is_write and event.data is not None:
+                    expected[
+                        event.address:event.address + len(event.data)
+                    ] = event.data
+            assert prefix_image(initial, trace, fail_seq) == bytes(expected)
+
+
+# --------------------------------------------------------------------- #
+# configuration
+# --------------------------------------------------------------------- #
+
+
+class TestFaultModelConfig:
+    def test_default_is_pure_prefix(self):
+        config = FaultModelConfig()
+        assert config.model == MODEL_PREFIX
+        assert not config.is_adversarial
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            FaultModelConfig(model="yat")
+
+    def test_samples_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultModelConfig(samples=0)
+
+    def test_family_toggles(self):
+        assert FaultModelConfig(model=MODEL_TORN).torn_enabled
+        assert FaultModelConfig(model=MODEL_REORDER).reorder_enabled
+        adv = FaultModelConfig(model=MODEL_ADVERSARIAL)
+        assert adv.torn_enabled and adv.reorder_enabled and adv.media_enabled
+        assert FaultModelConfig(torn_writes=True).is_adversarial
+        assert FaultModelConfig(media_errors=True).media_enabled
+
+    def test_payload_reflects_effective_families(self):
+        payload = FaultModelConfig(model=MODEL_TORN, seed=9).payload()
+        assert payload["torn_writes"] is True
+        assert payload["fault_seed"] == 9
+
+    def test_variant_family(self):
+        assert variant_family("torn:3") == "torn"
+        assert variant_family(VARIANT_PREFIX) == "prefix"
+
+
+class TestDeriveRng:
+    def test_same_key_same_stream(self):
+        a = derive_rng(1, 10, "torn", 0)
+        b = derive_rng(1, 10, "torn", 0)
+        assert [a.random() for _ in range(8)] == [
+            b.random() for _ in range(8)
+        ]
+
+    def test_different_keys_differ(self):
+        streams = {
+            derive_rng(*key).random()
+            for key in [
+                (1, 10, "torn", 0),
+                (1, 10, "torn", 1),
+                (1, 11, "torn", 0),
+                (1, 10, "media", 0),
+                (2, 10, "torn", 0),
+            ]
+        }
+        assert len(streams) == 5
+
+
+# --------------------------------------------------------------------- #
+# the factory
+# --------------------------------------------------------------------- #
+
+
+def in_flight_store_trace():
+    """A 24-byte store, its CLWB (the failure point), then the fence."""
+    machine, trace = traced_machine()
+    initial = machine.medium.snapshot()
+    machine.store(64, bytes(range(24)))  # seq 0: 3 atomic units
+    machine.clwb(64)                     # seq 1: failure point
+    machine.sfence()                     # seq 2: durability guaranteed
+    return initial, trace
+
+
+class TestTornWrites:
+    def config(self, **kwargs):
+        kwargs.setdefault("model", MODEL_TORN)
+        return FaultModelConfig(**kwargs)
+
+    def test_plan_offers_torn_variants_before_the_fence(self):
+        initial, trace = in_flight_store_trace()
+        factory = AdversarialImageFactory(self.config(), initial, trace)
+        assert factory.plan(1) == ["torn:0", "torn:1"]
+
+    def test_plan_empty_after_durability_guaranteed(self):
+        initial, trace = in_flight_store_trace()
+        factory = AdversarialImageFactory(self.config(), initial, trace)
+        assert factory.plan(3) == []
+
+    def test_small_stores_are_not_torn(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(64, b"\x01" * ATOMIC_WRITE_SIZE)  # single unit
+        machine.clwb(64)
+        factory = AdversarialImageFactory(self.config(), initial, trace)
+        assert factory.plan(1) == []
+
+    def test_torn_image_is_a_proper_unit_subset(self):
+        initial, trace = in_flight_store_trace()
+        factory = AdversarialImageFactory(self.config(), initial, trace)
+        prefix = prefix_image(initial, trace, 1)
+        crash = factory.materialise(1, "torn:0", prefix_image=prefix)
+        assert isinstance(crash, CrashImage)
+        assert crash.variant == "torn:0"
+        new = prefix[64:88]
+        old = initial[64:88]
+        torn = crash.data[64:88]
+        units = [
+            (torn[i:i + 8], old[i:i + 8], new[i:i + 8])
+            for i in range(0, 24, 8)
+        ]
+        for got, before, after in units:
+            assert got in (before, after), "unit must be all-old or all-new"
+        assert torn != old, "tear must persist at least one unit"
+        assert torn != new, "tear must lose at least one unit"
+        # Nothing outside the victim store changes.
+        assert crash.data[:64] == prefix[:64]
+        assert crash.data[88:] == prefix[88:]
+
+    def test_materialise_is_deterministic(self):
+        initial, trace = in_flight_store_trace()
+        make = lambda: AdversarialImageFactory(
+            self.config(seed=5), initial, trace
+        )
+        for variant in ("torn:0", "torn:1"):
+            assert (
+                make().materialise(1, variant).data
+                == make().materialise(1, variant).data
+            )
+
+    def test_different_seeds_can_differ(self):
+        initial, trace = in_flight_store_trace()
+        images = {
+            AdversarialImageFactory(
+                self.config(seed=seed), initial, trace
+            ).materialise(1, "torn:0").data
+            for seed in range(8)
+        }
+        assert len(images) > 1
+
+    def test_malformed_variant_rejected(self):
+        initial, trace = in_flight_store_trace()
+        factory = AdversarialImageFactory(self.config(), initial, trace)
+        with pytest.raises(ValueError):
+            factory.materialise(1, "torn:")
+        with pytest.raises(ValueError):
+            factory.materialise(1, "gamma:0")
+
+
+class TestReorderSampling:
+    def make_trace(self):
+        """Two dirty lines, neither flushed -> reorderable space > 1."""
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(0, b"\xaa" * 8)                    # seq 0, line 0
+        machine.store(CACHE_LINE_SIZE, b"\xbb" * 8)      # seq 1, line 1
+        machine.clwb(0)                                  # seq 2: fp
+        return initial, trace
+
+    def test_plan_and_legality(self):
+        initial, trace = self.make_trace()
+        config = FaultModelConfig(model=MODEL_REORDER, samples=2)
+        factory = AdversarialImageFactory(config, initial, trace)
+        plan = factory.plan(2)
+        assert plan and all(v.startswith("reorder:") for v in plan)
+        legal = set(enumerate_reordered_images(initial, trace, 2))
+        for variant in plan:
+            crash = factory.materialise(2, variant)
+            assert crash.data in legal, "sample must be a legal reordering"
+
+    def test_sample_genuinely_reorders(self):
+        initial, trace = self.make_trace()
+        config = FaultModelConfig(model=MODEL_REORDER, samples=3, seed=1)
+        factory = AdversarialImageFactory(config, initial, trace)
+        prefix = prefix_image(initial, trace, 2)
+        for variant in factory.plan(2):
+            assert factory.materialise(2, variant).data != prefix
+
+    def test_deterministic(self):
+        initial, trace = self.make_trace()
+        config = FaultModelConfig(model=MODEL_REORDER, samples=2, seed=3)
+        a = AdversarialImageFactory(config, initial, trace)
+        b = AdversarialImageFactory(config, initial, trace)
+        assert [a.materialise(2, v).data for v in a.plan(2)] == [
+            b.materialise(2, v).data for v in b.plan(2)
+        ]
+
+    def test_no_variants_without_dirty_lines(self):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(0, b"\x01" * 8)
+        machine.clwb(0)
+        machine.sfence()
+        machine.clwb(0)  # a failure point with nothing in flight
+        config = FaultModelConfig(model=MODEL_REORDER)
+        factory = AdversarialImageFactory(config, initial, trace)
+        assert factory.plan(4) == []
+
+
+class TestMediaErrors:
+    def make(self, **kwargs):
+        machine, trace = traced_machine()
+        initial = machine.medium.snapshot()
+        machine.store(0, b"\x11" * 8)
+        machine.store(CACHE_LINE_SIZE, b"\x22" * 8)
+        machine.clwb(0)
+        config = FaultModelConfig(media_errors=True, **kwargs)
+        return initial, trace, AdversarialImageFactory(config, initial, trace)
+
+    def test_plan_offers_media_variants(self):
+        _, _, factory = self.make(samples=2)
+        assert factory.plan(3) == ["media:0", "media:1"]
+
+    def test_poison_targets_written_lines_only(self):
+        _, _, factory = self.make()
+        for variant in factory.plan(3):
+            crash = factory.materialise(3, variant)
+            assert crash.poisoned_lines
+            assert set(crash.poisoned_lines) <= {0, CACHE_LINE_SIZE}
+
+    def test_bit_flips_stay_in_written_unpoisoned_lines(self):
+        initial, trace, factory = self.make(media_bit_flips=1)
+        prefix = prefix_image(initial, trace, 3)
+        crash = factory.materialise(3, "media:0", prefix_image=prefix)
+        diff = [i for i in range(len(prefix)) if crash.data[i] != prefix[i]]
+        assert len(diff) <= 1
+        for i in diff:
+            base = i & ~(CACHE_LINE_SIZE - 1)
+            assert base in (0, CACHE_LINE_SIZE)
+            assert base not in crash.poisoned_lines
+
+    def test_poison_set_deterministic(self):
+        _, _, a = self.make(seed=9)
+        _, _, b = self.make(seed=9)
+        assert (
+            a.materialise(3, "media:0").poisoned_lines
+            == b.materialise(3, "media:0").poisoned_lines
+        )
+
+
+class TestPrefixVariantPassthrough:
+    def test_prefix_variant_returns_prefix_bytes(self):
+        initial, trace = in_flight_store_trace()
+        config = FaultModelConfig(model=MODEL_ADVERSARIAL)
+        factory = AdversarialImageFactory(config, initial, trace)
+        prefix = prefix_image(initial, trace, 1)
+        crash = factory.materialise(1, VARIANT_PREFIX)
+        assert crash.data == prefix
+        assert crash.variant == VARIANT_PREFIX
+        assert crash.poisoned_lines == ()

@@ -1,0 +1,155 @@
+"""Poisoned-line (uncorrectable media error) semantics, medium to oracle.
+
+The chain under test: the medium faults reads overlapping a poisoned
+line, a whole-line write re-establishes ECC and clears the poison, the
+machine boots crash images with poison attached (and lets whole-line
+cached stores bypass the faulting fill read), and the recovery oracle
+classifies an escaped :class:`MediaError` as its own verdict.
+"""
+
+import pytest
+
+from repro.errors import MediaError
+from repro.pmem import PMachine
+from repro.pmem.constants import CACHE_LINE_SIZE
+from repro.pmem.medium import Medium
+from repro.core.oracle import RecoveryStatus, run_recovery
+
+LINE = CACHE_LINE_SIZE
+
+
+class TestMediumPoison:
+    def test_read_overlapping_poison_faults(self):
+        medium = Medium(4 * LINE)
+        medium.poison_line(LINE)
+        with pytest.raises(MediaError) as excinfo:
+            medium.read(LINE + 8, 8)
+        assert excinfo.value.line_base == LINE
+        # Reads elsewhere are unaffected.
+        assert medium.read(0, LINE) == bytes(LINE)
+
+    def test_straddling_read_faults(self):
+        medium = Medium(4 * LINE)
+        medium.poison_line(LINE)
+        with pytest.raises(MediaError):
+            medium.read(LINE - 4, 8)
+
+    def test_poison_requires_alignment_and_bounds(self):
+        medium = Medium(4 * LINE)
+        with pytest.raises(ValueError):
+            medium.poison_line(LINE + 1)
+        with pytest.raises(Exception):
+            medium.poison_line(64 * LINE)
+
+    def test_full_line_write_clears_poison(self):
+        medium = Medium(4 * LINE)
+        medium.poison_line(LINE)
+        medium.write(LINE, b"\x07" * LINE)
+        assert medium.poisoned_lines == ()
+        assert medium.read(LINE, LINE) == b"\x07" * LINE
+
+    def test_partial_write_does_not_clear_poison(self):
+        medium = Medium(4 * LINE)
+        medium.poison_line(LINE)
+        medium.write(LINE, b"\x07" * 8)
+        assert medium.poisoned_lines == (LINE,)
+        with pytest.raises(MediaError):
+            medium.read(LINE, 8)
+
+    def test_snapshot_excludes_poison_state(self):
+        medium = Medium(4 * LINE)
+        medium.poison_line(0)
+        image = medium.snapshot()  # contents only, like a DAX file copy
+        rebuilt = Medium.from_image(image)
+        assert rebuilt.poisoned_lines == ()
+        rebuilt = Medium.from_image(image, poisoned_lines=(0,))
+        assert rebuilt.poisoned_lines == (0,)
+
+    def test_clear_poison(self):
+        medium = Medium(4 * LINE)
+        medium.poison_line(0)
+        medium.clear_poison(0)
+        assert medium.read(0, 8) == bytes(8)
+
+
+class TestMachineWithPoison:
+    def boot(self, poisoned=(LINE,)):
+        image = bytes(8 * LINE)
+        return PMachine.from_image(image, poisoned_lines=poisoned)
+
+    def test_load_from_poisoned_line_faults(self):
+        machine = self.boot()
+        with pytest.raises(MediaError):
+            machine.load(LINE, 8)
+
+    def test_whole_line_store_recovers_the_line(self):
+        machine = self.boot()
+        # movdir64b semantics: a full-line store needs no fill read, so it
+        # neither faults nor depends on the poisoned contents...
+        machine.store(LINE, b"\x09" * LINE)
+        machine.persist(LINE, LINE)
+        # ...and once written back it re-establishes ECC on the medium.
+        assert machine.medium.poisoned_lines == ()
+        assert machine.load(LINE, 8) == b"\x09" * 8
+
+    def test_partial_store_to_poisoned_line_faults(self):
+        machine = self.boot()
+        with pytest.raises(MediaError):
+            machine.store(LINE, b"\x09" * 8)  # fill read faults
+
+    def test_unpoisoned_lines_unaffected(self):
+        machine = self.boot()
+        machine.store(0, b"\x01" * 8)
+        machine.persist(0, 8)
+        assert machine.load(0, 8) == b"\x01" * 8
+
+
+class _CrashingRecovery:
+    """Recovery that blindly reads the whole pool (no media handling)."""
+
+    def recover(self, machine):
+        machine.load(0, machine.medium.size)
+
+
+class _DegradingRecovery:
+    """Recovery that detects damage, repairs the line, and continues."""
+
+    def recover(self, machine):
+        for base in range(0, machine.medium.size, LINE):
+            try:
+                machine.load(base, LINE)
+            except MediaError:
+                machine.store(base, bytes(LINE))  # rewrite whole line
+                machine.persist(base, LINE)
+
+
+class TestOracleMediaClassification:
+    IMAGE = bytes(8 * LINE)
+
+    def test_escaped_media_error_is_its_own_verdict(self):
+        outcome = run_recovery(
+            _CrashingRecovery, self.IMAGE, poisoned_lines=(2 * LINE,)
+        )
+        assert outcome.status is RecoveryStatus.MEDIA_ERROR
+        assert outcome.status.is_bug
+        assert "poisoned" in outcome.error
+        assert outcome.trace is not None
+
+    def test_degrading_recovery_is_ok(self):
+        outcome = run_recovery(
+            _DegradingRecovery, self.IMAGE, poisoned_lines=(2 * LINE,)
+        )
+        assert outcome.status is RecoveryStatus.OK
+
+    def test_clean_boot_without_poison(self):
+        outcome = run_recovery(_CrashingRecovery, self.IMAGE)
+        assert outcome.status is RecoveryStatus.OK
+
+    def test_stack_key_is_threaded(self):
+        outcome = run_recovery(
+            _CrashingRecovery,
+            self.IMAGE,
+            stack_key=("a", "b"),
+            poisoned_lines=(0,),
+        )
+        assert outcome.stack_key == ("a", "b")
