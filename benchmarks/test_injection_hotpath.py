@@ -1,0 +1,164 @@
+"""The injection hot path: incremental engine vs replay reference.
+
+The tentpole claim (ISSUE: O(T²) → O(T)): the replay reference rebuilds
+every crash image from scratch — O(T) per failure point, O(T²) per
+campaign — while the incremental engine materialises consecutive images
+in O(changed bytes) from one forward pass, hands the oracle pooled
+copy-on-write buffers, and serves every fault-model family from a single
+memoized history index.
+
+This benchmark runs the *same campaign* under both ``--image-engine``
+settings at three trace sizes, checks the findings are identical (the
+differential contract), and emits ``BENCH_injection.json`` at the repo
+root: per engine and size, campaign wall-clock, the materialise/recovery
+split, images per second, and bytes copied.  That file seeds the perf
+trajectory ROADMAP tracks.
+
+Knobs:
+
+* ``REPRO_SCALE=quick`` — smallest trace size only (the CI smoke tier);
+* ``REPRO_PERF_GATE=0`` — report the speedup instead of asserting the
+  ≥5x regression gate (CI boxes are noisy; the gate is for local runs
+  and for the acceptance criterion).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.apps.btree import BTree
+from repro.core import Mumak, MumakConfig
+from repro.pmem.incremental import (
+    ENGINE_IMAGE_INCREMENTAL,
+    ENGINE_IMAGE_REPLAY,
+)
+from repro.workloads import generate_workload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_injection.json"
+
+SEED = 4
+SIZES_BENCH = (60, 150, 300)
+SIZES_QUICK = (60,)
+
+#: The acceptance criterion: incremental must beat replay by at least
+#: this factor on the largest benchmarked trace.
+GATE_SPEEDUP = 5.0
+
+
+def _factory():
+    return BTree(bugs=(), spt=True)
+
+
+def _run_campaign(n_ops: int, engine: str):
+    config = MumakConfig(
+        seed=SEED, run_trace_analysis=False, image_engine=engine
+    )
+    workload = generate_workload(n_ops, seed=SEED)
+    start = time.perf_counter()
+    result = Mumak(config).analyze(_factory, workload)
+    wall = time.perf_counter() - start
+    stats = result.fault_injection.stats
+    campaign = result.resources.phase_seconds["fault_injection"]
+    materialise = stats.materialise_seconds
+    return result, {
+        "campaign_seconds": round(campaign, 4),
+        "wall_seconds": round(wall, 4),
+        "materialise_seconds": round(materialise, 4),
+        "recovery_seconds": round(stats.recovery_seconds, 4),
+        "images": stats.images_materialised,
+        "images_per_second": round(
+            stats.images_materialised / materialise, 1
+        ) if materialise > 0 else None,
+        "bytes_copied": stats.image_bytes_copied,
+        "delta_bytes_applied": stats.image_delta_bytes_applied,
+        "dirty_bytes_restored": stats.image_dirty_bytes_restored,
+        "pool_hits": stats.image_pool_hits,
+        "full_rebuilds": stats.image_full_rebuilds,
+        "history_passes": stats.history_passes,
+    }
+
+
+def _fingerprint(result):
+    return [
+        (f.variant, f.seq, f.stack, f.message, f.recovery_error)
+        for f in result.report.findings
+    ]
+
+
+def test_injection_hotpath(record_result):
+    quick = os.environ.get("REPRO_SCALE") == "quick"
+    sizes = SIZES_QUICK if quick else SIZES_BENCH
+    gate = os.environ.get("REPRO_PERF_GATE", "1") != "0"
+
+    rows = []
+    payload = {
+        "benchmark": "injection_hotpath",
+        "target": "btree (spt, bug-free)",
+        "seed": SEED,
+        "scale": "quick" if quick else "bench",
+        "gate_speedup": GATE_SPEEDUP,
+        "sizes": [],
+    }
+    for n_ops in sizes:
+        replay_result, replay = _run_campaign(n_ops, ENGINE_IMAGE_REPLAY)
+        incr_result, incremental = _run_campaign(
+            n_ops, ENGINE_IMAGE_INCREMENTAL
+        )
+        # The benchmark is only meaningful if the engines agree.
+        assert _fingerprint(replay_result) == _fingerprint(incr_result)
+        speedup = (
+            replay["campaign_seconds"] / incremental["campaign_seconds"]
+            if incremental["campaign_seconds"] > 0
+            else float("inf")
+        )
+        copy_reduction = (
+            replay["bytes_copied"] / incremental["bytes_copied"]
+            if incremental["bytes_copied"] > 0
+            else float("inf")
+        )
+        stats = incr_result.fault_injection.stats
+        payload["sizes"].append({
+            "n_ops": n_ops,
+            "trace_events": incr_result.trace_length,
+            "failure_points": stats.unique_failure_points,
+            "injections": stats.injections,
+            "engines": {
+                "replay": replay,
+                "incremental": incremental,
+            },
+            "campaign_speedup": round(speedup, 1),
+            "copy_reduction": round(copy_reduction, 1),
+        })
+        rows.append(
+            f"{n_ops:6d} {incr_result.trace_length:8d} "
+            f"{stats.unique_failure_points:6d} "
+            f"{replay['campaign_seconds']:9.3f}s "
+            f"{incremental['campaign_seconds']:9.3f}s "
+            f"{speedup:7.1f}x {copy_reduction:9.1f}x"
+        )
+
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    header = (
+        f"{'ops':>6} {'events':>8} {'points':>6} "
+        f"{'replay':>10} {'incremental':>10} {'speedup':>8} {'copies':>10}"
+    )
+    record_result(
+        "injection_hotpath",
+        "injection hot path (replay vs incremental)\n"
+        + header + "\n" + "\n".join(rows)
+        + f"\n-> {OUTPUT_PATH.name}",
+    )
+
+    largest = payload["sizes"][-1]
+    if gate:
+        assert largest["campaign_speedup"] >= GATE_SPEEDUP, (
+            f"incremental engine is only {largest['campaign_speedup']}x "
+            f"faster than replay at {largest['n_ops']} ops "
+            f"(gate: {GATE_SPEEDUP}x); hot-path regression?"
+        )
+    # The asymptotic signature, independent of machine speed: replay
+    # copies the full pool once per failure point, the incremental
+    # engine once per pooled buffer.
+    assert largest["copy_reduction"] > 10.0

@@ -22,6 +22,7 @@ from repro.apps import APPLICATIONS
 from repro.apps.bugs import bugs_for_app, default_bugs_for
 from repro.core import Mumak, MumakConfig
 from repro.pmem.faultmodel import MODELS, FaultModelConfig
+from repro.pmem.incremental import ENGINE_IMAGE_INCREMENTAL, IMAGE_ENGINES
 from repro.workloads import generate_workload
 
 
@@ -41,6 +42,17 @@ def _add_analyze(sub) -> None:
                         help="suppress warning-level findings")
     parser.add_argument("--engine", choices=["trace", "replay"],
                         default="trace")
+    parser.add_argument("--image-engine", choices=list(IMAGE_ENGINES),
+                        default=ENGINE_IMAGE_INCREMENTAL,
+                        dest="image_engine",
+                        help="crash-image materialisation engine: "
+                             "'incremental' (default; one forward pass, "
+                             "pooled copy-on-write buffers, O(changed "
+                             "bytes) per failure point) or 'replay' (the "
+                             "differential-testing reference that "
+                             "rebuilds every image from scratch). "
+                             "Findings and checkpoints are byte-identical "
+                             "across engines.")
     parser.add_argument("--no-fault-injection", action="store_true",
                         help="skip the fault-injection phase "
                              "(trace analysis only)")
@@ -136,6 +148,7 @@ def _cmd_analyze(args) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_interval=args.checkpoint_interval,
         fault_model=fault_model,
+        image_engine=args.image_engine,
     )
     resume_from = args.checkpoint if args.resume else None
     result = Mumak(config).analyze(factory, workload, resume_from=resume_from)
@@ -160,9 +173,18 @@ def _cmd_analyze(args) -> int:
             )
         if stats.quarantined:
             summary.append(f"quarantined: {stats.quarantined}")
+        summary.append(
+            f"image engine: {stats.image_engine} "
+            f"(materialise {stats.materialise_seconds:.2f}s, "
+            f"recovery {stats.recovery_seconds:.2f}s)"
+        )
     else:
         summary.append("fault injection: skipped (trace analysis only)")
     summary.append(f"wall: {result.resources.total_seconds:.1f}s")
+    for phase in sorted(result.resources.phase_seconds):
+        summary.append(
+            f"{phase}: {result.resources.phase_seconds[phase]:.2f}s"
+        )
     print("\n" + " | ".join(summary))
     return 1 if result.report.bugs else 0
 

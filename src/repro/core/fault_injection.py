@@ -66,6 +66,11 @@ from repro.pmem.faultmodel import (
     AdversarialImageFactory,
     FaultModelConfig,
 )
+from repro.pmem.incremental import (
+    ENGINE_IMAGE_INCREMENTAL,
+    ImageEngineStats,
+    validate_image_engine,
+)
 from repro.pmem.machine import PMachine
 
 ENGINE_TRACE = "trace"
@@ -94,6 +99,30 @@ class FaultInjectionStats:
     worker_deaths: int = 0
     #: Injections restored from a checkpoint instead of re-executed.
     resumed: int = 0
+    # Image-engine / hot-path accounting (repro.pmem.incremental).
+    #: Which crash-image engine materialised the campaign's images.
+    image_engine: str = ""
+    #: Wall-clock spent materialising crash images vs running recovery.
+    materialise_seconds: float = 0.0
+    recovery_seconds: float = 0.0
+    images_materialised: int = 0
+    image_bytes_copied: int = 0
+    image_delta_bytes_applied: int = 0
+    image_dirty_bytes_restored: int = 0
+    image_pool_hits: int = 0
+    image_full_rebuilds: int = 0
+    #: Full persistence-state-machine passes (1 under the incremental
+    #: engine; O(failure points) under replay).
+    history_passes: int = 0
+
+    def absorb_image_stats(self, stats: ImageEngineStats) -> None:
+        self.images_materialised += stats.images
+        self.image_bytes_copied += stats.bytes_copied
+        self.image_delta_bytes_applied += stats.delta_bytes_applied
+        self.image_dirty_bytes_restored += stats.dirty_bytes_restored
+        self.image_pool_hits += stats.pool_hits
+        self.image_full_rebuilds += stats.full_rebuilds
+        self.history_passes += stats.history_passes
 
 
 @dataclass
@@ -121,6 +150,7 @@ class FaultInjector:
         max_injections: Optional[int] = None,
         harness: Optional[HarnessConfig] = None,
         fault_model: Optional[FaultModelConfig] = None,
+        image_engine: str = ENGINE_IMAGE_INCREMENTAL,
     ):
         if engine not in (ENGINE_TRACE, ENGINE_REPLAY):
             raise ValueError(f"unknown injection engine {engine!r}")
@@ -130,6 +160,12 @@ class FaultInjector:
         self.max_injections = max_injections
         self.harness = harness or HarnessConfig()
         self.fault_model = fault_model or FaultModelConfig()
+        #: Crash-image engine: ``"incremental"`` (production default —
+        #: O(changed bytes) per failure point) or ``"replay"`` (the
+        #: differential-testing reference; O(T) per failure point).
+        #: Findings, reports, and checkpoint journals are byte-identical
+        #: across the two (property-tested).
+        self.image_engine = validate_image_engine(image_engine)
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -224,11 +260,19 @@ class FaultInjector:
         resume_state=None,
     ) -> FaultInjectionResult:
         adversarial = self.fault_model.is_adversarial
-        planner = (
-            AdversarialImageFactory(self.fault_model, initial_image, trace)
+        source = (
+            AdversarialImageSource(
+                initial_image, trace, self.fault_model,
+                image_engine=self.image_engine,
+            )
             if adversarial
-            else None
+            else PrefixImageSource(
+                initial_image, trace, image_engine=self.image_engine
+            )
         )
+        # Planning shares the source's factory so the adversarial
+        # families consume the same memoized history pass the cursors use.
+        planner = source.factory if adversarial else None
         tasks: List[InjectionTask] = []
 
         def room() -> bool:
@@ -260,11 +304,6 @@ class FaultInjector:
                             variant=variant,
                         )
                     )
-        source = (
-            AdversarialImageSource(initial_image, trace, self.fault_model)
-            if adversarial
-            else PrefixImageSource(initial_image, trace)
-        )
         campaign = run_campaign(
             tasks,
             source,
@@ -273,6 +312,7 @@ class FaultInjector:
             journal=journal,
             resume_state=resume_state,
         )
+        stats.absorb_image_stats(source.collect_stats())
         return self._collect(campaign, stats, tree)
 
     # ------------------------------------------------------------------ #
@@ -327,8 +367,11 @@ class FaultInjector:
             campaign.retries += result.attempts - 1
             campaign.results.append(result)
             if tracer is not None:
+                replay_image_stats = ImageEngineStats()
                 factory = AdversarialImageFactory(
-                    self.fault_model, artifacts.initial_image, tracer.events
+                    self.fault_model, artifacts.initial_image, tracer.events,
+                    image_engine=self.image_engine,
+                    stats=replay_image_stats,
                 )
                 for variant in factory.plan(fail_seq):
                     if not room():
@@ -351,6 +394,7 @@ class FaultInjector:
                     )
                     campaign.retries += result.attempts - 1
                     campaign.results.append(result)
+                stats.absorb_image_stats(replay_image_stats)
         return self._collect(campaign, stats, tree)
 
     # ------------------------------------------------------------------ #
@@ -385,6 +429,9 @@ class FaultInjector:
                 findings.append(result.finding)
         stats.retries += campaign.retries
         stats.worker_deaths += campaign.worker_deaths
+        stats.image_engine = self.image_engine
+        stats.materialise_seconds += campaign.materialise_seconds
+        stats.recovery_seconds += campaign.recovery_seconds
         comparison = (
             self._compare(findings, stats)
             if self.fault_model.is_adversarial

@@ -59,6 +59,14 @@ from repro.pmem.faultmodel import (
     CrashImage,
     FaultModelConfig,
 )
+from repro.pmem.incremental import (
+    ENGINE_IMAGE_INCREMENTAL,
+    ENGINE_IMAGE_REPLAY,
+    ImageEngineStats,
+    IncrementalImageEngine,
+    MaterialisedImage,
+    validate_image_engine,
+)
 
 #: Exception classes considered *transient*: they may disappear on retry,
 #: so they earn the (deterministic, jittered) backoff before each retry.
@@ -242,6 +250,12 @@ class InjectionResult:
     attempts: int = 1
     #: True when reconstructed from a checkpoint rather than executed.
     restored: bool = False
+    #: Per-phase wall-clock: crash-image materialisation vs oracle
+    #: recovery.  Deliberately *not* serialised to the checkpoint journal
+    #: (timings are run-local; journals stay byte-identical across
+    #: engines and machines).
+    materialise_seconds: float = 0.0
+    recovery_seconds: float = 0.0
 
 
 @dataclass
@@ -270,6 +284,16 @@ class CampaignResult:
         return [
             r.quarantine for r in self.results if r.quarantine is not None
         ]
+
+    @property
+    def materialise_seconds(self) -> float:
+        """Total wall-clock spent materialising crash images."""
+        return sum(r.materialise_seconds for r in self.results)
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Total wall-clock spent inside the recovery oracle."""
+        return sum(r.recovery_seconds for r in self.results)
 
 
 def make_finding(
@@ -322,15 +346,19 @@ def make_finding(
 # --------------------------------------------------------------------- #
 
 
-def _unpack_image(materialised) -> Tuple[bytes, Tuple[int, ...]]:
-    """Normalise an image source's product to ``(bytes, poisoned_lines)``.
+def _unpack_image(materialised) -> Tuple[Any, Tuple[int, ...]]:
+    """Normalise an image source's product to ``(image, poisoned_lines)``.
 
-    Image sources may return raw bytes (the classic prefix source) or a
+    Image sources may return raw bytes (the classic prefix source), a
     :class:`~repro.pmem.faultmodel.CrashImage` carrying media-error
-    state.
+    state, or a pooled :class:`~repro.pmem.incremental.MaterialisedImage`
+    — the latter is passed through *unconverted* so the recovered machine
+    can adopt its buffer without copying.
     """
     if isinstance(materialised, CrashImage):
         return materialised.data, materialised.poisoned_lines
+    if isinstance(materialised, MaterialisedImage):
+        return materialised, ()
     return bytes(materialised), ()
 
 
@@ -353,27 +381,50 @@ def execute_injection(
     last_error = "unknown"
     last_trace: Optional[str] = None
     key = "/".join(task.stack) or str(task.seq)
+    mat_seconds = 0.0
+    rec_seconds = 0.0
+    # Pooled-image protocol: a cursor exposing ``release`` hands out
+    # reusable MaterialisedImage buffers; hand them back when the
+    # recovery attempt is over (an abandoned watchdog thread may still
+    # be writing one — it is marked abandoned and leaked instead).
+    release = getattr(image_for, "release", None)
+
+    def give_back(materialised) -> None:
+        if release is not None and isinstance(materialised, MaterialisedImage):
+            release(materialised)
+
     while attempts <= config.max_retries:
         attempts += 1
+        image = None
         try:
             phase = "materialise"
+            start = time.perf_counter()
             image, poisoned_lines = _unpack_image(image_for(task))
+            mat_seconds += time.perf_counter() - start
             phase = "recovery"
-            outcome = supervised_call(
-                lambda: run_recovery(
-                    app_factory,
-                    image,
-                    timeout=config.timeout_seconds,
-                    step_budget=config.step_budget,
-                    stack_key=task.stack,
-                    poisoned_lines=poisoned_lines,
-                ),
-                config.timeout_seconds,
-            )
+            start = time.perf_counter()
+            try:
+                outcome = supervised_call(
+                    lambda: run_recovery(
+                        app_factory,
+                        image,
+                        timeout=config.timeout_seconds,
+                        step_budget=config.step_budget,
+                        stack_key=task.stack,
+                        poisoned_lines=poisoned_lines,
+                    ),
+                    config.timeout_seconds,
+                )
+            finally:
+                rec_seconds += time.perf_counter() - start
         except WatchdogTimeout as err:
             # Unkillable hang: the worker thread was abandoned.  This is
             # a definitive HUNG classification, not tool trouble — do not
             # retry (re-running would hang again and leak another thread).
+            # The abandoned thread may still write the pooled buffer, so
+            # the image is abandoned (leaked), never reused.
+            if isinstance(image, MaterialisedImage):
+                image.abandon()
             outcome = RecoveryOutcome(
                 RecoveryStatus.HUNG,
                 error=f"{type(err).__name__}: {err}",
@@ -386,8 +437,11 @@ def execute_injection(
                     task.stack, task.seq, outcome, variant=task.variant
                 ),
                 attempts=attempts,
+                materialise_seconds=mat_seconds,
+                recovery_seconds=rec_seconds,
             )
         except Exception as err:  # noqa: BLE001 - containment boundary
+            give_back(image)
             last_error = f"{type(err).__name__}: {err}"
             last_trace = format_capped_trace(err)
             if attempts <= config.max_retries and isinstance(
@@ -399,6 +453,7 @@ def execute_injection(
                 if delay > 0:
                     sleep(delay)
             continue
+        give_back(image)
         if outcome.status.is_infrastructure:
             # The oracle already classified this as tool trouble; treat
             # it like a contained exception (retry, then quarantine).
@@ -412,6 +467,8 @@ def execute_injection(
                 task.stack, task.seq, outcome, variant=task.variant
             ),
             attempts=attempts,
+            materialise_seconds=mat_seconds,
+            recovery_seconds=rec_seconds,
         )
     return InjectionResult(
         task,
@@ -424,6 +481,8 @@ def execute_injection(
             trace=last_trace,
         ),
         attempts=attempts,
+        materialise_seconds=mat_seconds,
+        recovery_seconds=rec_seconds,
     )
 
 
@@ -435,28 +494,67 @@ def execute_injection(
 class PrefixImageSource:
     """Worker-local builder of program-order-prefix crash images.
 
-    Each worker obtains its own cursor via :meth:`cursor`; a cursor
-    maintains a running image and only ever applies trace writes forward,
-    so a worker that processes tasks in increasing-seq order (the common
-    case) pays the trace cost once.  A requeued task with an older seq
-    falls back to rebuilding from the initial image.
+    Each worker obtains its own cursor via :meth:`cursor`.  With
+    ``image_engine="incremental"`` (the production default upstream) the
+    cursor is an :class:`~repro.pmem.incremental.IncrementalImageEngine`
+    handing out pooled copy-on-write buffers: moving between consecutive
+    failure points costs O(changed bytes), and the recovery oracle
+    adopts the buffer without copying.  With ``"replay"`` (the
+    differential-testing reference) the cursor re-applies trace writes
+    onto a running image and copies it per failure point.
     """
 
-    def __init__(self, initial_image: bytes, trace: Sequence):
+    def __init__(
+        self,
+        initial_image: bytes,
+        trace: Sequence,
+        image_engine: str = ENGINE_IMAGE_REPLAY,
+        stats: Optional[ImageEngineStats] = None,
+    ):
         self._initial = initial_image
         self._trace = trace
+        self.image_engine = validate_image_engine(image_engine)
+        #: Merged accounting across every cursor this source handed out.
+        self.stats = stats if stats is not None else ImageEngineStats()
+        self._cursor_stats: List[ImageEngineStats] = []
 
-    def cursor(self) -> "_PrefixCursor":
-        return _PrefixCursor(self._initial, self._trace)
+    def _new_stats(self) -> ImageEngineStats:
+        # Cursors run on worker threads; each gets a private stats
+        # object (appending to a list is atomic under the GIL).
+        stats = ImageEngineStats()
+        self._cursor_stats.append(stats)
+        return stats
+
+    def collect_stats(self) -> ImageEngineStats:
+        """Fold per-cursor counters into :attr:`stats` and return it."""
+        for stats in self._cursor_stats:
+            self.stats.merge(stats)
+        self._cursor_stats = []
+        return self.stats
+
+    def cursor(self):
+        if self.image_engine == ENGINE_IMAGE_INCREMENTAL:
+            return _IncrementalCursor(
+                self._initial, self._trace, self._new_stats()
+            )
+        return _PrefixCursor(self._initial, self._trace, self._new_stats())
 
 
 class _PrefixCursor:
-    def __init__(self, initial_image: bytes, trace: Sequence):
+    """Replay-reference cursor: running image + full copy per point."""
+
+    def __init__(
+        self,
+        initial_image: bytes,
+        trace: Sequence,
+        stats: Optional[ImageEngineStats] = None,
+    ):
         self._initial = initial_image
         self._trace = trace
         self._running = bytearray(initial_image)
         self._pos = 0
         self._last_seq = -1
+        self._stats = stats if stats is not None else ImageEngineStats()
 
     def image_at(self, seq: int) -> bytes:
         from repro.pmem.crashsim import apply_write
@@ -464,17 +562,51 @@ class _PrefixCursor:
         if seq < self._last_seq:
             self._running = bytearray(self._initial)
             self._pos = 0
+            self._stats.full_rebuilds += 1
+            self._stats.bytes_copied += len(self._initial)
         self._last_seq = seq
+        from repro.pmem.machine import VOLATILE_BASE
+
         trace = self._trace
+        applied = 0
         while self._pos < len(trace) and trace[self._pos].seq < seq:
             event = trace[self._pos]
             if event.is_write:
                 apply_write(self._running, event)
+                if (
+                    event.data is not None
+                    and event.address is not None
+                    and event.address < VOLATILE_BASE
+                ):
+                    applied += len(event.data)
             self._pos += 1
+        self._stats.delta_bytes_applied += applied
+        self._stats.images += 1
+        self._stats.bytes_copied += len(self._running)
         return bytes(self._running)
 
     def __call__(self, task: InjectionTask) -> bytes:
         return self.image_at(task.seq)
+
+
+class _IncrementalCursor:
+    """Production cursor: pooled COW buffers from the incremental engine."""
+
+    def __init__(
+        self,
+        initial_image: bytes,
+        trace: Sequence,
+        stats: Optional[ImageEngineStats] = None,
+    ):
+        self._engine = IncrementalImageEngine(
+            initial_image, trace, stats=stats
+        )
+
+    def __call__(self, task: InjectionTask) -> MaterialisedImage:
+        return self._engine.checkout(task.seq)
+
+    def release(self, image: MaterialisedImage) -> None:
+        self._engine.release(image)
 
 
 class AdversarialImageSource:
@@ -492,33 +624,85 @@ class AdversarialImageSource:
         initial_image: bytes,
         trace: Sequence,
         fault_model: FaultModelConfig,
+        image_engine: str = ENGINE_IMAGE_REPLAY,
+        stats: Optional[ImageEngineStats] = None,
     ):
         self._initial = initial_image
         self._trace = trace
         self.fault_model = fault_model
+        self.image_engine = validate_image_engine(image_engine)
+        self.stats = stats if stats is not None else ImageEngineStats()
+        self._cursor_stats: List[ImageEngineStats] = []
+        #: Planner used on the campaign's main thread (task planning
+        #: happens before workers start; cursors get private factories).
         self.factory = AdversarialImageFactory(
-            fault_model, initial_image, trace
+            fault_model, initial_image, trace,
+            image_engine=self.image_engine, stats=self._new_stats(),
         )
 
+    def _new_stats(self) -> ImageEngineStats:
+        stats = ImageEngineStats()
+        self._cursor_stats.append(stats)
+        return stats
+
+    def collect_stats(self) -> ImageEngineStats:
+        """Fold per-cursor counters into :attr:`stats` and return it."""
+        for stats in self._cursor_stats:
+            self.stats.merge(stats)
+        self._cursor_stats = []
+        return self.stats
+
     def cursor(self) -> "_AdversarialCursor":
-        return _AdversarialCursor(self)
+        return _AdversarialCursor(self, self._new_stats())
 
 
 class _AdversarialCursor:
-    def __init__(self, source: AdversarialImageSource):
-        self._prefix = _PrefixCursor(source._initial, source._trace)
+    def __init__(
+        self,
+        source: AdversarialImageSource,
+        stats: Optional[ImageEngineStats] = None,
+    ):
+        stats = stats if stats is not None else ImageEngineStats()
+        self._incremental = (
+            source.image_engine == ENGINE_IMAGE_INCREMENTAL
+        )
+        if self._incremental:
+            self._engine = IncrementalImageEngine(
+                source._initial, source._trace, stats=stats
+            )
+        else:
+            self._engine = None
+            self._prefix = _PrefixCursor(
+                source._initial, source._trace, stats
+            )
         # Worker-local factory: the planner cache is not thread-safe.
         self._factory = AdversarialImageFactory(
-            source.fault_model, source._initial, source._trace
+            source.fault_model, source._initial, source._trace,
+            image_engine=source.image_engine, stats=stats,
         )
 
     def __call__(self, task: InjectionTask):
+        if self._incremental:
+            if task.variant == VARIANT_PREFIX:
+                # Graceful prefix variant: pooled zero-copy buffer.
+                return self._engine.checkout(task.seq)
+            # Adversarial variants derive from the same engine's prefix
+            # image (one advance, shared with the prefix variant at this
+            # failure point) plus the factory's shared history index.
+            prefix = self._engine.image_at(task.seq)
+            return self._factory.materialise(
+                task.seq, task.variant, prefix_image=prefix
+            )
         prefix = self._prefix.image_at(task.seq)
         if task.variant == VARIANT_PREFIX:
             return prefix
         return self._factory.materialise(
             task.seq, task.variant, prefix_image=prefix
         )
+
+    def release(self, image: MaterialisedImage) -> None:
+        if self._engine is not None:
+            self._engine.release(image)
 
 
 # --------------------------------------------------------------------- #

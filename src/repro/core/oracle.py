@@ -146,13 +146,18 @@ def _raised_in_tool_code(err: BaseException) -> bool:
 
 def run_recovery(
     app_factory: Callable[[], Any],
-    image: bytes,
+    image: Any,
     timeout: Optional[float] = None,
     step_budget: Optional[int] = None,
     stack_key: Optional[Tuple[str, ...]] = None,
     poisoned_lines: Tuple[int, ...] = (),
 ) -> RecoveryOutcome:
     """Boot the crash image and run the application's recovery procedure.
+
+    ``image`` is raw bytes or a pooled
+    :class:`~repro.pmem.incremental.MaterialisedImage`; the latter is
+    adopted by the booted machine without copying (the snapshot-pool hot
+    path — see :meth:`~repro.pmem.machine.PMachine.from_image`).
 
     ``timeout``/``step_budget`` arm the machine watchdog for the duration
     of the recovery; ``stack_key`` is threaded into the outcome for

@@ -48,6 +48,7 @@ from repro.instrument.tracer import (
     MinimalTracer,
 )
 from repro.pmem.faultmodel import FaultModelConfig
+from repro.pmem.incremental import ENGINE_IMAGE_INCREMENTAL
 
 #: Mumak's CPU-load factor from the paper's Table 2 (1.20-1.44).
 MUMAK_CPU_LOAD = 1.3
@@ -85,6 +86,13 @@ class MumakConfig:
     #: Crash-image materialisation model; the default is the paper's
     #: graceful program-order-prefix crash.
     fault_model: FaultModelConfig = field(default_factory=FaultModelConfig)
+    # ---- crash-image engine (repro.pmem.incremental) ---- #
+    #: ``"incremental"`` (production default: one forward pass, pooled
+    #: COW buffers, O(changed bytes) per failure point) or ``"replay"``
+    #: (the differential-testing reference that rebuilds every image
+    #: from scratch).  Findings, reports, and checkpoint journals are
+    #: byte-identical across engines.
+    image_engine: str = ENGINE_IMAGE_INCREMENTAL
 
     def harness_config(self) -> HarnessConfig:
         return HarnessConfig(
@@ -97,9 +105,12 @@ class MumakConfig:
     def fingerprint(self, target_name: str) -> str:
         """Campaign identity used to guard checkpoint resumption.
 
-        Deliberately excludes ``jobs`` and checkpoint knobs: parallel and
-        serial campaigns are equivalent by construction, and where the
-        journal lives does not change what it records.
+        Deliberately excludes ``jobs``, checkpoint knobs, and
+        ``image_engine``: parallel and serial campaigns are equivalent by
+        construction, where the journal lives does not change what it
+        records, and the incremental engine is differential-tested
+        byte-identical to replay — a campaign checkpointed under one
+        engine may resume under the other.
         """
         return campaign_fingerprint(
             {
@@ -189,6 +200,7 @@ class Mumak:
                 max_injections=config.max_injections,
                 harness=config.harness_config(),
                 fault_model=config.fault_model,
+                image_engine=config.image_engine,
             )
             fingerprint = config.fingerprint(
                 getattr(artifacts.app, "name", "target")
@@ -221,6 +233,16 @@ class Mumak:
                 if journal is not None:
                     journal.close()
                     usage.checkpoint_bytes = journal.bytes_written
+            # Surface the hot-path breakdown: how much of the injection
+            # phase went to image materialisation vs oracle recovery.
+            usage.note_detail(
+                "fault_injection.materialise",
+                fi_result.stats.materialise_seconds,
+            )
+            usage.note_detail(
+                "fault_injection.recovery",
+                fi_result.stats.recovery_seconds,
+            )
             report.extend(fi_result.findings)
             report.extend_quarantined(fi_result.quarantined)
             report.set_model_comparison(fi_result.comparison)

@@ -30,10 +30,20 @@ class ResourceUsage:
     pool_bytes: int = 0
     #: Bytes written to the campaign checkpoint journal (0 = disabled).
     checkpoint_bytes: int = 0
+    #: Sub-phase wall-clock detail (e.g. ``fault_injection.materialise``
+    #: vs ``fault_injection.recovery``).  Kept separate from
+    #: :attr:`phase_seconds` so :attr:`total_seconds` never double-counts
+    #: a phase and its own breakdown.
+    detail_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
         return sum(self.phase_seconds.values())
+
+    def note_detail(self, name: str, seconds: float) -> None:
+        self.detail_seconds[name] = (
+            self.detail_seconds.get(name, 0.0) + seconds
+        )
 
     def ram_overhead(self, app_bytes: int) -> float:
         """Peak RAM relative to the vanilla application's working set."""

@@ -13,6 +13,14 @@ paper discusses (section 4.1):
   have reached the medium at any point no earlier than its last completed
   flush+fence.  The number of such states grows exponentially with the
   number of concurrently dirty lines, which is why Yat does not scale.
+
+Everything in this module is the *replay reference*: it recomputes each
+crash state from scratch, O(T) per failure point (O(T²) per campaign).
+The production hot path is :mod:`repro.pmem.incremental` (re-exported
+below): one forward pass shared by every failure point and every
+fault-model variant, differential-tested byte-for-byte against the
+functions here (``--image-engine replay`` keeps this module selectable
+as the testing oracle).
 """
 
 from __future__ import annotations
@@ -308,3 +316,20 @@ def count_reordered_images(trace: Sequence[MemoryEvent], fail_seq: int) -> int:
     for line in histories.values():
         total *= len(line.candidate_cut_seqs())
     return total
+
+
+# --------------------------------------------------------------------- #
+# the production O(T) engine (differential-tested against this module)
+# --------------------------------------------------------------------- #
+
+from repro.pmem.incremental import (  # noqa: E402  (deliberate re-export)
+    ENGINE_IMAGE_INCREMENTAL,
+    ENGINE_IMAGE_REPLAY,
+    IMAGE_ENGINES,
+    DeltaJournal,
+    ImageEngineStats,
+    IncrementalHistoryIndex,
+    IncrementalImageEngine,
+    MaterialisedImage,
+    validate_image_engine,
+)

@@ -44,6 +44,14 @@ from repro.pmem.constants import (
 )
 from repro.pmem.crashsim import apply_write, build_line_histories
 from repro.pmem.events import MemoryEvent, Opcode
+from repro.pmem.incremental import (
+    ENGINE_IMAGE_INCREMENTAL,
+    ENGINE_IMAGE_REPLAY,
+    ImageEngineStats,
+    IncrementalHistoryIndex,
+    IncrementalImageEngine,
+    validate_image_engine,
+)
 from repro.pmem.machine import VOLATILE_BASE
 
 #: Fault-model names (the CLI's ``--fault-model`` vocabulary).
@@ -194,16 +202,66 @@ class AdversarialImageFactory:
         config: FaultModelConfig,
         initial: bytes,
         trace: Sequence[MemoryEvent],
+        image_engine: str = ENGINE_IMAGE_REPLAY,
+        stats: Optional[ImageEngineStats] = None,
     ):
         self.config = config
         self._initial = initial
         self._trace = trace
+        #: ``"replay"`` recomputes per failure point (the differential
+        #: reference); ``"incremental"`` serves every family from one
+        #: shared :class:`~repro.pmem.incremental.IncrementalHistoryIndex`
+        #: pass plus an :class:`IncrementalImageEngine` for prefix bases.
+        self.image_engine = validate_image_engine(image_engine)
+        self.stats = stats
+        self._index: Optional[IncrementalHistoryIndex] = None
+        self._engine: Optional[IncrementalImageEngine] = None
         #: Memoised per-failure-point analysis (campaigns visit failure
         #: points in order, so a size-1 cache hits almost always).
         self._cache_seq: Optional[int] = None
         self._cache_candidates: List[MemoryEvent] = []
         self._cache_cuts: List[Tuple[int, List[int]]] = []
         self._cache_written_lines: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # engine dispatch (replay reference vs shared incremental pass)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _incremental(self) -> bool:
+        return self.image_engine == ENGINE_IMAGE_INCREMENTAL
+
+    def _hist_index(self) -> IncrementalHistoryIndex:
+        """The one shared history pass (built lazily, exactly once)."""
+        if self._index is None:
+            self._index = IncrementalHistoryIndex(
+                self._trace, len(self._initial)
+            )
+            if self.stats is not None:
+                self.stats.history_passes += 1
+        return self._index
+
+    def _torn_candidates(self, fail_seq: int) -> Sequence[MemoryEvent]:
+        if self._incremental:
+            return self._hist_index().torn_candidates_at(fail_seq)
+        self._analyse(fail_seq)
+        return self._cache_candidates
+
+    def _cut_counts(self, fail_seq: int):
+        """Per-line candidate-cut counts, in cache-line-base order."""
+        if self._incremental:
+            return (
+                view.cut_count()
+                for view in self._hist_index().lines_at(fail_seq)
+            )
+        self._analyse(fail_seq)
+        return (len(cuts) for _, cuts in self._cache_cuts)
+
+    def _written_lines(self, fail_seq: int) -> Sequence[int]:
+        if self._incremental:
+            return self._hist_index().written_lines_at(fail_seq)
+        self._analyse(fail_seq)
+        return self._cache_written_lines
 
     # ------------------------------------------------------------------ #
     # per-failure-point analysis
@@ -213,6 +271,8 @@ class AdversarialImageFactory:
         if self._cache_seq == fail_seq:
             return
         histories = build_line_histories(self._trace, fail_seq)
+        if self.stats is not None:
+            self.stats.history_passes += 1
         # Torn candidates: multi-unit PM stores executed before the
         # failure point whose durability no completed flush+fence
         # guarantees yet.  Most recent first — the store in flight at the
@@ -263,16 +323,15 @@ class AdversarialImageFactory:
         config = self.config
         if not config.is_adversarial:
             return []
-        self._analyse(fail_seq)
         variants: List[str] = []
-        if config.torn_enabled and self._cache_candidates:
+        if config.torn_enabled and self._torn_candidates(fail_seq):
             variants.extend(
                 f"{FAMILY_TORN}:{i}" for i in range(config.samples)
             )
         if config.reorder_enabled:
             space = 1
-            for _, cuts in self._cache_cuts:
-                space *= len(cuts)
+            for count in self._cut_counts(fail_seq):
+                space *= count
                 if space > config.samples:
                     break
             if space > 1:
@@ -280,7 +339,7 @@ class AdversarialImageFactory:
                     f"{FAMILY_REORDER}:{i}"
                     for i in range(min(config.samples, space - 1))
                 )
-        if config.media_enabled and self._cache_written_lines:
+        if config.media_enabled and self._written_lines(fail_seq):
             variants.extend(
                 f"{FAMILY_MEDIA}:{i}" for i in range(config.samples)
             )
@@ -316,10 +375,11 @@ class AdversarialImageFactory:
             index = int(variant.split(":", 1)[1])
         except (IndexError, ValueError):
             raise ValueError(f"malformed variant id {variant!r}")
-        self._analyse(fail_seq)
         rng = derive_rng(self.config.seed, fail_seq, family, index)
         if family == FAMILY_TORN:
-            return self._materialise_torn(fail_seq, variant, index, rng)
+            return self._materialise_torn(
+                fail_seq, variant, index, rng, prefix_image
+            )
         if family == FAMILY_REORDER:
             return self._materialise_reorder(fail_seq, variant, rng)
         if family == FAMILY_MEDIA:
@@ -329,20 +389,34 @@ class AdversarialImageFactory:
         raise ValueError(f"unknown fault-model family {family!r}")
 
     def _prefix(self, fail_seq: int) -> bytes:
+        if self._incremental:
+            if self._engine is None:
+                self._engine = IncrementalImageEngine(
+                    self._initial, self._trace, stats=self.stats
+                )
+            return self._engine.image_at(fail_seq)
         image = bytearray(self._initial)
         for event in self._trace:
             if event.seq >= fail_seq:
                 break
             if event.is_write:
                 apply_write(image, event)
+        if self.stats is not None:
+            self.stats.images += 1
+            self.stats.bytes_copied += len(image)
         return bytes(image)
 
     # -- torn writes --------------------------------------------------- #
 
     def _materialise_torn(
-        self, fail_seq: int, variant: str, index: int, rng: random.Random
+        self,
+        fail_seq: int,
+        variant: str,
+        index: int,
+        rng: random.Random,
+        prefix_image: Optional[bytes] = None,
     ) -> CrashImage:
-        candidates = self._cache_candidates
+        candidates = self._torn_candidates(fail_seq)
         if not candidates:
             # Planned against a different analysis?  Degenerate safely.
             return CrashImage(self._prefix(fail_seq), variant=variant)
@@ -355,6 +429,10 @@ class AdversarialImageFactory:
         full = (1 << len(units)) - 1
         while mask == 0 or mask == full:
             mask = rng.getrandbits(len(units))
+        if self._incremental:
+            return self._torn_from_prefix(
+                fail_seq, variant, victim, units, mask, prefix_image
+            )
         image = bytearray(self._initial)
         for event in self._trace:
             if event.seq >= fail_seq:
@@ -371,16 +449,70 @@ class AdversarialImageFactory:
             apply_write(image, event)
         return CrashImage(bytes(image), variant=variant)
 
+    def _torn_from_prefix(
+        self,
+        fail_seq: int,
+        variant: str,
+        victim: MemoryEvent,
+        units: List[Tuple[int, int]],
+        mask: int,
+        prefix_image: Optional[bytes] = None,
+    ) -> CrashImage:
+        """Derive a torn image from the incremental prefix image.
+
+        Equivalence to the replay loop (which skips the victim's
+        unmasked units while re-applying the whole trace): every byte
+        outside the victim, and every *persisted* unit, already equals
+        the prefix image — the victim applied whole at its program-order
+        position followed by the same later writes.  Each non-persisted
+        unit is recomputed last-writer-wins from the initial bytes plus
+        every other store that touched it before ``fail_seq`` (the
+        line-history index holds them in trace order).  An aligned
+        8-byte unit never crosses a cache-line boundary, so one line
+        record covers each unit.
+        """
+        image = bytearray(
+            prefix_image if prefix_image is not None
+            else self._prefix(fail_seq)
+        )
+        hist = self._hist_index()
+        initial = self._initial
+        for bit, (lo, hi) in enumerate(units):
+            if mask & (1 << bit):
+                continue
+            image[lo:hi] = initial[lo:hi]
+            base = lo & ~(CACHE_LINE_SIZE - 1)
+            view = hist.line_at(base, fail_seq)
+            if view is None:  # pragma: no cover - victim store is recorded
+                continue
+            for seq, offset, data in view.stores_until(fail_seq):
+                if seq == victim.seq:
+                    continue
+                s_lo = base + offset
+                s_hi = s_lo + len(data)
+                a = max(s_lo, lo)
+                b = min(s_hi, hi)
+                if a < b:
+                    image[a:b] = data[a - s_lo:b - s_lo]
+        return CrashImage(bytes(image), variant=variant)
+
     # -- dirty-line reordering sampling -------------------------------- #
 
     def _materialise_reorder(
         self, fail_seq: int, variant: str, rng: random.Random
     ) -> CrashImage:
         image = bytearray(self._initial)
-        # Rendering needs per-line store data, not just the memoised cut
-        # lists, so the histories are recomputed here.
-        histories = build_line_histories(self._trace, fail_seq)
-        lines = sorted(histories.values(), key=lambda h: h.base)
+        if self._incremental:
+            # The shared index serves render-ready per-line views; no
+            # per-variant persistence-state-machine replay.
+            lines = self._hist_index().lines_at(fail_seq)
+        else:
+            # Rendering needs per-line store data, not just the memoised
+            # cut lists, so the histories are recomputed here.
+            histories = build_line_histories(self._trace, fail_seq)
+            if self.stats is not None:
+                self.stats.history_passes += 1
+            lines = sorted(histories.values(), key=lambda h: h.base)
         choices: List[int] = []
         any_movable = False
         for line in lines:
@@ -420,7 +552,7 @@ class AdversarialImageFactory:
             prefix_image if prefix_image is not None else self._prefix(fail_seq)
         )
         image = bytearray(base_image)
-        written = self._cache_written_lines
+        written = list(self._written_lines(fail_seq))
         if not written:
             return CrashImage(bytes(image), variant=variant)
         poisoned: List[int] = []

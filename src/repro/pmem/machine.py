@@ -71,8 +71,9 @@ class PMachine:
         trace_loads: bool = False,
         trace_volatile: bool = False,
         eadr: bool = False,
+        medium: Optional[Medium] = None,
     ):
-        self.medium = Medium(pm_size)
+        self.medium = medium if medium is not None else Medium(pm_size)
         self.cache = Cache(cache_capacity, eviction)
         self.trace_loads = trace_loads
         self.trace_volatile = trace_volatile
@@ -114,8 +115,21 @@ class PMachine:
         is rewritten without being read (a whole-line store or a
         non-temporal store, mirroring ``movdir64b`` semantics).
         """
-        machine = cls(pm_size=len(image), **kwargs)
-        machine.medium.restore(image)
+        buffer = getattr(image, "pm_buffer", None)
+        if buffer is not None:
+            # Zero-copy adoption of a pooled, copy-on-write crash image
+            # (repro.pmem.incremental.MaterialisedImage): the medium reuses
+            # the image's buffer directly, and the image starts a write log
+            # so the incremental engine can reconcile the buffer in
+            # O(recovery-dirtied bytes) when it is returned to the pool.
+            medium = Medium(buffer=buffer)
+            adopted = getattr(image, "on_adopted", None)
+            if adopted is not None:
+                adopted(medium)
+            machine = cls(pm_size=len(buffer), medium=medium, **kwargs)
+        else:
+            machine = cls(pm_size=len(image), **kwargs)
+            machine.medium.restore(image)
         for base in poisoned_lines:
             machine.medium.poison_line(base)
         return machine

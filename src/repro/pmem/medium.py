@@ -16,7 +16,7 @@ and that read is exactly what faults).
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.errors import MediaError, OutOfBoundsError
 from repro.pmem.constants import CACHE_LINE_SIZE, cache_lines_spanned
@@ -31,13 +31,32 @@ class Medium:
     model (:mod:`repro.pmem.faultmodel`), not here.
     """
 
-    def __init__(self, size: int):
-        if size <= 0:
-            raise ValueError(f"medium size must be positive, got {size}")
-        self._data = bytearray(size)
+    def __init__(self, size: int = 0, buffer: Optional[bytearray] = None):
+        if buffer is not None:
+            # Adopt an externally owned buffer *without copying*.  The
+            # incremental crash-image engine (repro.pmem.incremental) uses
+            # this so the oracle recovers against a pooled copy-on-write
+            # view instead of a fresh full-size allocation per injection.
+            if not isinstance(buffer, bytearray):
+                raise TypeError(
+                    f"adopted buffer must be a bytearray, got "
+                    f"{type(buffer).__name__}"
+                )
+            if not buffer:
+                raise ValueError("adopted buffer must be non-empty")
+            self._data = buffer
+        else:
+            if size <= 0:
+                raise ValueError(
+                    f"medium size must be positive, got {size}"
+                )
+            self._data = bytearray(size)
         self._write_count = 0
         #: Cache-line bases whose contents are uncorrectable (poisoned).
         self._poisoned: set = set()
+        #: Optional (address, length) log of every mutation, used by the
+        #: incremental engine to reconcile pooled buffers in O(dirty bytes).
+        self._write_log: Optional[List[Tuple[int, int]]] = None
 
     @classmethod
     def from_image(
@@ -105,10 +124,23 @@ class Medium:
         self._check_poison(address, size)
         return bytes(self._data[address:address + size])
 
+    def start_write_log(self) -> List[Tuple[int, int]]:
+        """Begin recording every mutation as ``(address, length)`` ranges.
+
+        Returns the (live) list that subsequent :meth:`write` /
+        :meth:`restore` calls append to.  Used by the incremental
+        crash-image engine to learn which bytes of a pooled buffer the
+        recovery dirtied, so only those ranges need reconciling.
+        """
+        self._write_log = []
+        return self._write_log
+
     def write(self, address: int, data: bytes) -> None:
         self.check_bounds(address, len(data))
         self._data[address:address + len(data)] = data
         self._write_count += 1
+        if self._write_log is not None and data:
+            self._write_log.append((address, len(data)))
         if self._poisoned:
             # Rewriting an entire line re-establishes its ECC.
             for base in cache_lines_spanned(address, len(data)):
@@ -135,3 +167,5 @@ class Medium:
                 f"image size {len(image)} does not match medium size {len(self._data)}"
             )
         self._data[:] = image
+        if self._write_log is not None:
+            self._write_log.append((0, len(self._data)))

@@ -1,0 +1,219 @@
+"""Regression tests: overlapping non-temporal stores across the 8-byte
+atomicity-unit boundary.
+
+``crashsim._trim_nt`` (mirroring ``PMachine._trim_pending_nt``) decides
+which buffered NT bytes a program-order-later write supersedes, and
+``crashsim.apply_write`` is the single primitive every crash-image path —
+replay *and* incremental — funnels PM writes through.  The incremental
+engine's delta journal and line-history index must reproduce these
+byte-level decisions bit-for-bit, so the corner cases (partial overlaps,
+splits, unit-boundary straddles) get pinned here explicitly.
+"""
+
+import pytest
+
+from repro.errors import OutOfBoundsError
+from repro.pmem.constants import ATOMIC_WRITE_SIZE, CACHE_LINE_SIZE
+from repro.pmem.crashsim import (
+    _trim_nt,
+    apply_write,
+    prefix_image,
+    strict_image,
+)
+from repro.pmem.events import MemoryEvent, Opcode
+from repro.pmem.incremental import DeltaJournal, IncrementalImageEngine
+from repro.pmem.machine import VOLATILE_BASE, PMachine
+
+SIZE = 4 * CACHE_LINE_SIZE
+
+
+# --------------------------------------------------------------------- #
+# _trim_nt: the byte-level supersession decisions
+# --------------------------------------------------------------------- #
+
+
+class TestTrimNt:
+    def test_disjoint_entries_untouched(self):
+        pending = [(0, b"aaaa"), (16, b"bbbb")]
+        assert _trim_nt(pending, 8, 4) == pending
+
+    def test_exact_overlap_dropped(self):
+        assert _trim_nt([(8, b"abcdefgh")], 8, 8) == []
+
+    def test_left_partial_overlap_keeps_prefix(self):
+        # NT [4, 12) vs write [8, 16): bytes [4, 8) survive.
+        assert _trim_nt([(4, b"abcdefgh")], 8, 8) == [(4, b"abcd")]
+
+    def test_right_partial_overlap_keeps_suffix(self):
+        # NT [8, 16) vs write [4, 12): bytes [12, 16) survive.
+        assert _trim_nt([(8, b"abcdefgh")], 4, 8) == [(12, b"efgh")]
+
+    def test_interior_overlap_splits_in_two(self):
+        # NT [0, 16) vs write [6, 10): survives as [0, 6) and [10, 16).
+        trimmed = _trim_nt([(0, bytes(range(16)))], 6, 4)
+        assert trimmed == [(0, bytes(range(6))), (10, bytes(range(10, 16)))]
+
+    def test_unit_boundary_straddle(self):
+        """An NT store spanning the 8-byte atomicity-unit boundary,
+        trimmed by a store covering exactly one unit: the other unit's
+        bytes must survive byte-exactly."""
+        # NT [4, 20) spans units [0,8), [8,16), [16,24).
+        nt = (4, bytes(range(0x10, 0x20)))
+        # Store covers unit [8, 16) exactly.
+        trimmed = _trim_nt([nt], ATOMIC_WRITE_SIZE, ATOMIC_WRITE_SIZE)
+        assert trimmed == [
+            (4, bytes(range(0x10, 0x14))),     # [4, 8)
+            (16, bytes(range(0x1C, 0x20))),    # [16, 20)
+        ]
+
+    def test_multiple_entries_trimmed_independently(self):
+        pending = [(0, b"aaaaaaaa"), (8, b"bbbbbbbb"), (32, b"cccc")]
+        trimmed = _trim_nt(pending, 6, 4)
+        assert trimmed == [(0, b"aaaaaa"), (10, b"bbbbbb"), (32, b"cccc")]
+
+    def test_matches_the_machine(self):
+        """``_trim_nt`` must mirror ``PMachine._trim_pending_nt``."""
+        machine = PMachine(pm_size=SIZE)
+        pending = [(0, b"aaaaaaaa"), (4, b"bbbbbbbb"), (20, b"cc")]
+        machine._pending_nt = list(pending)
+        machine._trim_pending_nt(6, 8)
+        assert machine._pending_nt == _trim_nt(pending, 6, 8)
+
+
+# --------------------------------------------------------------------- #
+# apply_write: the one funnel for PM writes
+# --------------------------------------------------------------------- #
+
+
+class TestApplyWrite:
+    def test_applies_pm_write(self):
+        image = bytearray(SIZE)
+        apply_write(
+            image,
+            MemoryEvent(1, Opcode.NT_STORE, address=4, size=4, data=b"abcd"),
+        )
+        assert bytes(image[:8]) == b"\x00" * 4 + b"abcd"
+
+    def test_skips_volatile_and_data_less_events(self):
+        image = bytearray(SIZE)
+        apply_write(
+            image,
+            MemoryEvent(1, Opcode.STORE, address=VOLATILE_BASE + 4,
+                        size=4, data=b"abcd"),
+        )
+        apply_write(image, MemoryEvent(2, Opcode.SFENCE))
+        assert image == bytearray(SIZE)
+
+    def test_out_of_bounds_raises_not_clips(self):
+        image = bytearray(SIZE)
+        event = MemoryEvent(1, Opcode.STORE, address=SIZE - 2, size=4,
+                            data=b"abcd")
+        with pytest.raises(OutOfBoundsError):
+            apply_write(image, event)
+        negative = MemoryEvent(2, Opcode.STORE, address=-1, size=4,
+                               data=b"abcd")
+        with pytest.raises(OutOfBoundsError):
+            apply_write(image, negative)
+
+    def test_incremental_journal_uses_the_same_funnel(self):
+        """Overlapping NT stores across the unit boundary replay
+        identically through ``DeltaJournal`` and direct ``apply_write``
+        (last-writer-wins, byte-exact)."""
+        trace = [
+            MemoryEvent(1, Opcode.NT_STORE, address=4, size=16,
+                        data=bytes(range(0x10, 0x20))),
+            MemoryEvent(2, Opcode.STORE, address=8, size=8,
+                        data=bytes(range(0x40, 0x48))),
+            MemoryEvent(3, Opcode.NT_STORE, address=14, size=8,
+                        data=bytes(range(0x70, 0x78))),
+        ]
+        direct = bytearray(SIZE)
+        for event in trace:
+            apply_write(direct, event)
+        journaled = bytearray(SIZE)
+        DeltaJournal(trace).apply_range(journaled, 0, 4)
+        assert journaled == direct
+        engine = IncrementalImageEngine(bytes(SIZE), trace)
+        assert engine.image_at(4) == bytes(direct)
+
+
+# --------------------------------------------------------------------- #
+# end-to-end: machine semantics vs crash-image generators
+# --------------------------------------------------------------------- #
+
+
+def overlap_script(machine_or_none):
+    """The NT-overlap scenario, as machine ops and as a raw trace.
+
+    A cached store, then an NT store spanning three atomic units that
+    supersedes it, a second NT store overlapping the first's tail
+    mid-unit, a cached store trimming both NT stores across the unit
+    boundary, and finally the fence that makes the surviving NT bytes
+    durable.
+    """
+    steps = [
+        ("store", 8, bytes(range(0x40, 0x48))),       # store [8, 16)
+        ("nt", 4, bytes(range(0x10, 0x20))),          # NT [4, 20)
+        ("nt", 14, bytes(range(0x70, 0x78))),         # NT [14, 22)
+        ("store", 12, bytes(range(0x50, 0x54))),      # store [12, 16)
+        ("sfence", None, None),
+    ]
+    if machine_or_none is not None:
+        m = machine_or_none
+        for kind, address, data in steps:
+            if kind == "nt":
+                m.ntstore(address, data)
+            elif kind == "store":
+                m.store(address, data)
+            else:
+                m.sfence()
+        return None
+    events = []
+    for seq, (kind, address, data) in enumerate(steps, 1):
+        if kind == "nt":
+            events.append(MemoryEvent(seq, Opcode.NT_STORE, address=address,
+                                      size=len(data), data=data))
+        elif kind == "store":
+            events.append(MemoryEvent(seq, Opcode.STORE, address=address,
+                                      size=len(data), data=data))
+        else:
+            events.append(MemoryEvent(seq, Opcode.SFENCE))
+    return events
+
+
+class TestNtOverlapEndToEnd:
+    def test_strict_image_drops_superseded_nt_bytes(self):
+        """After the fence, the strict (guaranteed-durable) image holds
+        exactly the surviving NT bytes: the second NT store trimmed the
+        first mid-unit at byte 14, and the later cached store trimmed
+        both across the [8, 16) unit boundary.  The cached stores
+        themselves are durable only in the cache, so their bytes must
+        NOT appear, and neither may any stale NT byte they trimmed."""
+        trace = overlap_script(None)
+        image = strict_image(bytes(SIZE), trace, fail_seq=6)
+        expected = bytearray(SIZE)
+        expected[4:12] = bytes(range(0x10, 0x18))   # NT1 minus trims
+        expected[16:22] = bytes(range(0x72, 0x78))  # NT2 minus [12, 16)
+        assert image == bytes(expected)
+
+    def test_machine_crash_image_agrees_with_strict_image(self):
+        machine = PMachine(pm_size=SIZE)
+        overlap_script(machine)
+        trace = overlap_script(None)
+        assert machine.crash_image() == strict_image(
+            bytes(SIZE), trace, fail_seq=6
+        )
+
+    def test_machine_graceful_image_agrees_with_prefix_image(self):
+        machine = PMachine(pm_size=SIZE)
+        overlap_script(machine)
+        trace = overlap_script(None)
+        expected = prefix_image(bytes(SIZE), trace, fail_seq=6)
+        assert machine.graceful_crash_image() == expected
+        engine = IncrementalImageEngine(bytes(SIZE), trace)
+        assert engine.image_at(6) == expected
+
+    def test_pre_fence_crash_loses_all_nt_bytes(self):
+        trace = overlap_script(None)
+        image = strict_image(bytes(SIZE), trace, fail_seq=5)
+        assert image == bytes(SIZE)
