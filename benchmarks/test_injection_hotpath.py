@@ -14,12 +14,27 @@ root: per engine and size, campaign wall-clock, the materialise/recovery
 split, images per second, and bytes copied.  That file seeds the perf
 trajectory ROADMAP tracks.
 
+The campaigns run with telemetry on, and the materialise/recovery split
+in the payload is sourced from the **metrics registry** (the
+``campaign/injection/*`` span histograms) rather than the hand-threaded
+campaign timers — the benchmark asserts the two accountings agree within
+tolerance, so the registry is a trustworthy substrate for the next perf
+PRs.  Each campaign's run directory (``telemetry.jsonl`` +
+``metrics.prom`` + ``metrics.json``) lands under
+``benchmarks/results/obs/`` for CI to upload next to the JSON payload.
+
+A final **overhead probe** re-runs the smallest campaign with telemetry
+off and on (best-of-``OVERHEAD_REPS``) and records the ratio under
+``telemetry_overhead`` in the payload: the observability layer must stay
+cheap enough to leave enabled (≤ 10% on the quick bench scale — the
+acceptance criterion).
+
 Knobs:
 
 * ``REPRO_SCALE=quick`` — smallest trace size only (the CI smoke tier);
-* ``REPRO_PERF_GATE=0`` — report the speedup instead of asserting the
-  ≥5x regression gate (CI boxes are noisy; the gate is for local runs
-  and for the acceptance criterion).
+* ``REPRO_PERF_GATE=0`` — report the speedup and telemetry overhead
+  instead of asserting the ≥5x / ≤10% regression gates (CI boxes are
+  noisy; the gates are for local runs and for the acceptance criteria).
 """
 
 import json
@@ -37,6 +52,7 @@ from repro.workloads import generate_workload
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_injection.json"
+OBS_DIR = pathlib.Path(__file__).resolve().parent / "results" / "obs"
 
 SEED = 4
 SIZES_BENCH = (60, 150, 300)
@@ -46,14 +62,44 @@ SIZES_QUICK = (60,)
 #: this factor on the largest benchmarked trace.
 GATE_SPEEDUP = 5.0
 
+#: Telemetry-overhead acceptance gate: campaign wall-clock with obs on
+#: must stay within this factor of obs off (best-of-``OVERHEAD_REPS``).
+OVERHEAD_GATE = 1.10
+OVERHEAD_REPS = 5
+
+#: Relative tolerance for registry-vs-timers agreement.  The span
+#: histograms are fed the exact perf_counter deltas the campaign timers
+#: accumulate, so any drift beyond float association order is a wiring
+#: regression.
+SPLIT_AGREEMENT_RTOL = 1e-6
+
 
 def _factory():
     return BTree(bugs=(), spt=True)
 
 
+def _registry_split(result, phase: str) -> float:
+    """Read one side of the phase split off the metrics registry."""
+    return result.telemetry.registry.total(
+        "span_seconds", span=f"campaign/injection/{phase}"
+    )
+
+
+def _assert_close(registry_value: float, timer_value: float,
+                  what: str) -> None:
+    tolerance = SPLIT_AGREEMENT_RTOL * max(abs(timer_value), 1e-9)
+    assert abs(registry_value - timer_value) <= tolerance, (
+        f"{what}: registry says {registry_value!r}, campaign timers say "
+        f"{timer_value!r}; the two accountings must agree"
+    )
+
+
 def _run_campaign(n_ops: int, engine: str):
     config = MumakConfig(
-        seed=SEED, run_trace_analysis=False, image_engine=engine
+        seed=SEED,
+        run_trace_analysis=False,
+        image_engine=engine,
+        obs_dir=str(OBS_DIR / f"{engine}-{n_ops}"),
     )
     workload = generate_workload(n_ops, seed=SEED)
     start = time.perf_counter()
@@ -61,12 +107,19 @@ def _run_campaign(n_ops: int, engine: str):
     wall = time.perf_counter() - start
     stats = result.fault_injection.stats
     campaign = result.resources.phase_seconds["fault_injection"]
-    materialise = stats.materialise_seconds
+    # The split is *sourced from the registry*; the hand-threaded stats
+    # timers are demoted to the cross-check.
+    materialise = _registry_split(result, "materialise")
+    recovery = _registry_split(result, "recovery")
+    _assert_close(materialise, stats.materialise_seconds,
+                  f"{engine}/{n_ops} materialise split")
+    _assert_close(recovery, stats.recovery_seconds,
+                  f"{engine}/{n_ops} recovery split")
     return result, {
         "campaign_seconds": round(campaign, 4),
         "wall_seconds": round(wall, 4),
         "materialise_seconds": round(materialise, 4),
-        "recovery_seconds": round(stats.recovery_seconds, 4),
+        "recovery_seconds": round(recovery, 4),
         "images": stats.images_materialised,
         "images_per_second": round(
             stats.images_materialised / materialise, 1
@@ -77,6 +130,41 @@ def _run_campaign(n_ops: int, engine: str):
         "pool_hits": stats.image_pool_hits,
         "full_rebuilds": stats.image_full_rebuilds,
         "history_passes": stats.history_passes,
+    }
+
+
+def _campaign_seconds(n_ops: int, obs_enabled: bool) -> float:
+    """One quick campaign's fault-injection wall-clock, obs on or off."""
+    config = MumakConfig(
+        seed=SEED,
+        run_trace_analysis=False,
+        image_engine=ENGINE_IMAGE_INCREMENTAL,
+        obs_enabled=obs_enabled,
+    )
+    workload = generate_workload(n_ops, seed=SEED)
+    result = Mumak(config).analyze(_factory, workload)
+    return result.resources.phase_seconds["fault_injection"]
+
+
+def _overhead_probe(n_ops: int) -> dict:
+    """Best-of-N campaign wall-clock with telemetry off vs on.
+
+    Best-of (not mean) because the quantity under test is the added
+    *work*, not scheduler noise; both sides get the same treatment.
+    """
+    off = min(
+        _campaign_seconds(n_ops, False) for _ in range(OVERHEAD_REPS)
+    )
+    on = min(
+        _campaign_seconds(n_ops, True) for _ in range(OVERHEAD_REPS)
+    )
+    return {
+        "n_ops": n_ops,
+        "reps": OVERHEAD_REPS,
+        "campaign_seconds_off": round(off, 4),
+        "campaign_seconds_on": round(on, 4),
+        "overhead": round(on / off, 4) if off > 0 else None,
+        "gate": OVERHEAD_GATE,
     }
 
 
@@ -139,6 +227,9 @@ def test_injection_hotpath(record_result):
             f"{speedup:7.1f}x {copy_reduction:9.1f}x"
         )
 
+    overhead = _overhead_probe(sizes[0])
+    payload["telemetry_overhead"] = overhead
+
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     header = (
         f"{'ops':>6} {'events':>8} {'points':>6} "
@@ -148,6 +239,11 @@ def test_injection_hotpath(record_result):
         "injection_hotpath",
         "injection hot path (replay vs incremental)\n"
         + header + "\n" + "\n".join(rows)
+        + f"\ntelemetry overhead at {overhead['n_ops']} ops "
+        f"(best of {overhead['reps']}): "
+        f"{overhead['campaign_seconds_off']:.3f}s off / "
+        f"{overhead['campaign_seconds_on']:.3f}s on = "
+        f"{overhead['overhead']:.3f}x"
         + f"\n-> {OUTPUT_PATH.name}",
     )
 
@@ -157,6 +253,12 @@ def test_injection_hotpath(record_result):
             f"incremental engine is only {largest['campaign_speedup']}x "
             f"faster than replay at {largest['n_ops']} ops "
             f"(gate: {GATE_SPEEDUP}x); hot-path regression?"
+        )
+        assert overhead["overhead"] <= OVERHEAD_GATE, (
+            f"telemetry-on campaign is {overhead['overhead']}x the "
+            f"telemetry-off campaign at {overhead['n_ops']} ops "
+            f"(gate: {OVERHEAD_GATE}x); the observability layer must "
+            "stay observation-cheap"
         )
     # The asymptotic signature, independent of machine speed: replay
     # copies the full pool once per failure point, the incremental

@@ -4,22 +4,25 @@ Persistent Memory* (Gonçalves, Matos, Rodrigues — EuroSys 2023).
 Top-level public surface:
 
 * :class:`repro.core.Mumak` / :class:`repro.core.MumakConfig` — the tool.
+* :func:`quick_run` — one-call analysis returning the rendered report.
 * :mod:`repro.pmem` — the simulated x86 persistency machine.
 * :mod:`repro.apps` — the target applications with their seeded defects.
 * :mod:`repro.baselines` — the comparison tools (Agamotto, XFDetector,
   PMDebugger, Witcher, Yat).
+* :mod:`repro.obs` — observation-only campaign telemetry (spans,
+  metrics, heartbeats, exporters).
 * :mod:`repro.experiments` — harnesses regenerating every paper artefact.
 
 Quickstart::
 
+    from repro import quick_run
     from repro.apps.btree import BTree
-    from repro.core import Mumak
-    from repro.workloads import generate_workload
 
-    result = Mumak().analyze(lambda: BTree(spt=True),
-                             generate_workload(300, seed=7))
-    print(result.report.render())
+    text = quick_run(lambda: BTree(spt=True), n_ops=300, seed=7)
+    print(text)
 """
+
+from typing import Any, Callable, Optional, Sequence
 
 from repro.core import Mumak, MumakConfig, MumakResult
 from repro.pmem import PMachine
@@ -27,11 +30,36 @@ from repro.workloads import generate_workload
 
 __version__ = "1.0.0"
 
+
+def quick_run(
+    app_factory: Callable[[], Any],
+    workload: Optional[Sequence] = None,
+    config: Optional[MumakConfig] = None,
+    n_ops: int = 300,
+    seed: int = 0,
+) -> str:
+    """Analyse ``app_factory`` and *return* the rendered report.
+
+    Convenience wrapper over :meth:`Mumak.analyze` for the REPL and for
+    scripts: no stdout side effects — callers decide where the text goes
+    (the ``mumak`` CLI routes it through its single output writer).  When
+    ``workload`` is omitted, a generic workload of ``n_ops`` operations
+    is generated from ``seed``.
+    """
+    if workload is None:
+        workload = generate_workload(n_ops, seed=seed)
+    if config is None:
+        config = MumakConfig(seed=seed)
+    result = Mumak(config).analyze(app_factory, workload)
+    return result.report.render()
+
+
 __all__ = [
     "Mumak",
     "MumakConfig",
     "MumakResult",
     "PMachine",
     "generate_workload",
+    "quick_run",
     "__version__",
 ]

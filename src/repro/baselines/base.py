@@ -29,6 +29,7 @@ from repro.core.report import AnalysisReport
 from repro.core.resources import ResourceUsage
 from repro.core.taxonomy import BugKind
 from repro.errors import ToolError, WatchdogTimeout
+from repro.obs.spans import NULL_TELEMETRY
 
 #: Global conversion for the analysis-time figures.  Calibrated so that
 #: Mumak's analysis of the PMDK data-store benchmark lands well under one
@@ -136,6 +137,7 @@ class DetectionTool(abc.ABC):
         budget_hours: Optional[float] = DEFAULT_BUDGET_HOURS,
         seed: int = 0,
         timeout_seconds: Optional[float] = None,
+        telemetry=NULL_TELEMETRY,
     ) -> ToolRun:
         """Run the tool; never raises on budget exhaustion.
 
@@ -145,6 +147,11 @@ class DetectionTool(abc.ABC):
         unexpected tool crash is contained into ``run.detail["harness"]``
         — so a comparative (Figure 4 / Table 2) sweep survives any one
         misbehaving tool or target and still delivers partial results.
+
+        ``telemetry`` (observation-only) records a ``tool/<name>`` span
+        for the whole analysis plus work-unit / timed-out counters so a
+        sweep's cost structure shows up in the same registry as Mumak's
+        own campaign metrics.
         """
         meter = BudgetMeter(budget_hours)
         usage = ResourceUsage(cpu_load=self.cpu_load)
@@ -157,12 +164,14 @@ class DetectionTool(abc.ABC):
         )
         started = time.perf_counter()
         try:
-            supervised_call(
-                lambda: self._analyze(
-                    app_factory, workload, meter, usage, report, run, seed
-                ),
-                timeout_seconds,
-            )
+            with telemetry.span(f"tool/{self.name}", target=run.target):
+                supervised_call(
+                    lambda: self._analyze(
+                        app_factory, workload, meter, usage, report, run,
+                        seed
+                    ),
+                    timeout_seconds,
+                )
         except WatchdogTimeout as err:
             run.timed_out = True
             run.detail["harness"] = {

@@ -11,6 +11,8 @@ Usage examples::
     mumak analyze btree --bugs none       # analyse the bug-free variant
     mumak tools                           # Tables 1 and 3
     mumak experiment fig3                 # regenerate a paper artefact
+    mumak analyze btree --obs runs/btree  # record telemetry to a run dir
+    mumak obs report runs/btree           # per-phase attribution table
 """
 
 from __future__ import annotations
@@ -24,6 +26,21 @@ from repro.core import Mumak, MumakConfig
 from repro.pmem.faultmodel import MODELS, FaultModelConfig
 from repro.pmem.incremental import ENGINE_IMAGE_INCREMENTAL, IMAGE_ENGINES
 from repro.workloads import generate_workload
+
+
+def emit(text: str = "", stream=None) -> None:
+    """The CLI's single output writer.
+
+    Every command routes its user-facing text through here (reports and
+    tables to stdout; diagnostics and live heartbeats to stderr), so
+    output redirection and testing have exactly one seam.
+    """
+    print(text, file=stream if stream is not None else sys.stdout)
+
+
+def _heartbeat_sink(line: str) -> None:
+    """Live heartbeat renderer: stderr, so stdout stays machine-clean."""
+    emit(line, stream=sys.stderr)
 
 
 def _add_analyze(sub) -> None:
@@ -108,6 +125,20 @@ def _add_analyze(sub) -> None:
                         help="seed for all adversarial sampling; the same "
                              "seed reproduces byte-identical crash images "
                              "and findings (default 0)")
+    # Observability (repro.obs) — strictly observation-only: findings,
+    # fingerprints, and checkpoints are byte-identical with --obs on/off.
+    parser.add_argument("--obs", default=None, metavar="DIR",
+                        dest="obs_dir",
+                        help="record structured telemetry (spans + "
+                             "metrics) and write telemetry.jsonl, "
+                             "metrics.prom, and metrics.json into DIR; "
+                             "render the run with 'mumak obs report DIR'")
+    parser.add_argument("--obs-heartbeat", type=float, default=0.0,
+                        metavar="SECONDS", dest="obs_heartbeat",
+                        help="print a live campaign progress line "
+                             "(failure points/s, ETA, quarantine/hang "
+                             "counts) to stderr every SECONDS "
+                             "(default 0 = off)")
 
 
 def _cmd_analyze(args) -> int:
@@ -121,7 +152,7 @@ def _cmd_analyze(args) -> int:
         options["bugs"] = frozenset(args.bugs.split(","))
 
     if args.resume and not args.checkpoint:
-        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        emit("--resume requires --checkpoint PATH", stream=sys.stderr)
         return 2
 
     def factory():
@@ -149,10 +180,13 @@ def _cmd_analyze(args) -> int:
         checkpoint_interval=args.checkpoint_interval,
         fault_model=fault_model,
         image_engine=args.image_engine,
+        obs_dir=args.obs_dir,
+        obs_heartbeat_seconds=args.obs_heartbeat,
+        obs_sink=_heartbeat_sink if args.obs_heartbeat > 0 else None,
     )
     resume_from = args.checkpoint if args.resume else None
     result = Mumak(config).analyze(factory, workload, resume_from=resume_from)
-    print(result.report.render(include_warnings=not args.no_warnings))
+    emit(result.report.render(include_warnings=not args.no_warnings))
     summary = [f"[{args.target}] trace: {result.trace_length} events"]
     if result.fault_injection is not None:
         stats = result.fault_injection.stats
@@ -185,38 +219,55 @@ def _cmd_analyze(args) -> int:
         summary.append(
             f"{phase}: {result.resources.phase_seconds[phase]:.2f}s"
         )
-    print("\n" + " | ".join(summary))
+    emit("\n" + " | ".join(summary))
+    if args.obs_dir is not None:
+        emit(
+            f"[obs] telemetry written to {args.obs_dir} "
+            f"(render with: mumak obs report {args.obs_dir})",
+            stream=sys.stderr,
+        )
     return 1 if result.report.bugs else 0
 
 
 def _cmd_targets(_args) -> int:
     for name in sorted(APPLICATIONS):
         cls = APPLICATIONS[name]
-        print(f"{name:22s} {cls.codebase_kloc:6.1f} kloc  "
-              f"{len(default_bugs_for(name)):2d} seeded bugs")
+        emit(f"{name:22s} {cls.codebase_kloc:6.1f} kloc  "
+             f"{len(default_bugs_for(name)):2d} seeded bugs")
     return 0
 
 
 def _cmd_bugs(args) -> int:
     specs = bugs_for_app(args.target)
     if not specs:
-        print(f"no seeded bugs registered for {args.target!r}")
+        emit(f"no seeded bugs registered for {args.target!r}")
         return 0
     for spec in specs:
         marker = "correctness" if spec.is_correctness else "performance"
-        print(f"{spec.bug_id:45s} {marker:12s} {spec.kind.value:18s} "
-              f"[{spec.expected_detector}]")
+        emit(f"{spec.bug_id:45s} {marker:12s} {spec.kind.value:18s} "
+             f"[{spec.expected_detector}]")
         if spec.is_correctness:
-            print(f"    {spec.description}")
+            emit(f"    {spec.description}")
     return 0
 
 
 def _cmd_tools(_args) -> int:
     from repro.experiments.tables import render_table1, render_table3
 
-    print(render_table1())
-    print()
-    print(render_table3())
+    emit(render_table1())
+    emit()
+    emit(render_table3())
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs import report_run
+
+    try:
+        emit(report_run(args.run_dir))
+    except FileNotFoundError as err:
+        emit(str(err), stream=sys.stderr)
+        return 2
     return 0
 
 
@@ -228,7 +279,7 @@ def _cmd_experiment(args) -> int:
     if name == "fig3":
         from repro.experiments.fig3_coverage import render, run_fig3
 
-        print(render(run_fig3(scale.coverage_sizes)))
+        emit(render(run_fig3(scale.coverage_sizes)))
     elif name == "fig4":
         from repro.experiments.fig4_performance import (
             render_fig4,
@@ -237,25 +288,25 @@ def _cmd_experiment(args) -> int:
         )
 
         result = run_fig4(scale)
-        print(render_fig4(result))
-        print()
-        print(render_table2(result))
+        emit(render_fig4(result))
+        emit()
+        emit(render_table2(result))
     elif name == "fig5":
         from repro.experiments.fig5_scalability import render, run_fig5
 
-        print(render(run_fig5(scale.scalability_ops)))
+        emit(render(run_fig5(scale.scalability_ops)))
     elif name == "coverage":
         from repro.experiments.coverage import render, run_full_coverage
 
-        print(render(run_full_coverage(n_ops=scale.bug_ops)))
+        emit(render(run_full_coverage(n_ops=scale.bug_ops)))
     elif name == "newbugs":
         from repro.experiments.new_bugs import render, run_new_bugs
 
-        print(render(run_new_bugs(n_ops=scale.bug_ops)))
+        emit(render(run_new_bugs(n_ops=scale.bug_ops)))
     elif name == "adversarial":
         from repro.experiments.adversarial import render, run_adversarial
 
-        print(render(run_adversarial()))
+        emit(render(run_adversarial()))
     elif name == "tables":
         return _cmd_tools(args)
     else:  # pragma: no cover - argparse restricts choices
@@ -282,6 +333,18 @@ def build_parser() -> argparse.ArgumentParser:
                  "adversarial", "tables"],
     )
     exp.add_argument("--scale", choices=["quick", "bench"], default="quick")
+    obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="render the per-phase attribution table (p50/p95/max by "
+             "fault-model variant and worker) from a run directory "
+             "written by 'analyze --obs DIR'",
+    )
+    obs_report.add_argument(
+        "run_dir",
+        help="run directory (or a telemetry.jsonl inside one)",
+    )
     return parser
 
 
@@ -293,6 +356,7 @@ def main(argv=None) -> int:
         "bugs": _cmd_bugs,
         "tools": _cmd_tools,
         "experiment": _cmd_experiment,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

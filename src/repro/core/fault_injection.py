@@ -55,6 +55,8 @@ from repro.core.oracle import RecoveryOutcome, RecoveryStatus
 from repro.core.report import Finding, ModelComparison
 from repro.errors import CrashInjected
 from repro.instrument.runner import run_instrumented
+from repro.obs.heartbeat import HeartbeatMonitor
+from repro.obs.spans import NULL_TELEMETRY
 from repro.instrument.tracer import (
     GRANULARITY_PERSISTENCY,
     FailurePointObserver,
@@ -124,6 +126,42 @@ class FaultInjectionStats:
         self.image_full_rebuilds += stats.full_rebuilds
         self.history_passes += stats.history_passes
 
+    def publish(self, registry) -> None:
+        """Absorb this bookkeeping into a :mod:`repro.obs` registry.
+
+        Counts become ``campaign_*`` counters; the materialise/recovery
+        wall-clock split becomes ``campaign_phase_split_seconds{phase=}``
+        so exporters and the phase report can read it without reaching
+        into this dataclass.  Observation-only.
+        """
+        counts = {
+            "candidates": self.candidates,
+            "unique_failure_points": self.unique_failure_points,
+            "injections": self.injections,
+            "recovery_failures": self.recovery_failures,
+            "executions": self.executions,
+            "trace_length": self.trace_length,
+            "adversarial_injections": self.adversarial_injections,
+            "media_faults": self.media_faults,
+            "quarantined": self.quarantined,
+            "hung": self.hung,
+            "resource_exhausted": self.resource_exhausted,
+            "retries": self.retries,
+            "worker_deaths": self.worker_deaths,
+            "resumed": self.resumed,
+        }
+        for name, value in sorted(counts.items()):
+            registry.counter(f"campaign_{name}").inc(value)
+        for phase, seconds in (
+            ("materialise", self.materialise_seconds),
+            ("recovery", self.recovery_seconds),
+        ):
+            registry.counter(
+                "campaign_phase_split_seconds",
+                phase=phase,
+                engine=self.image_engine,
+            ).inc(seconds)
+
 
 @dataclass
 class FaultInjectionResult:
@@ -151,6 +189,9 @@ class FaultInjector:
         harness: Optional[HarnessConfig] = None,
         fault_model: Optional[FaultModelConfig] = None,
         image_engine: str = ENGINE_IMAGE_INCREMENTAL,
+        telemetry=NULL_TELEMETRY,
+        heartbeat_interval: float = 0.0,
+        heartbeat_sink=None,
     ):
         if engine not in (ENGINE_TRACE, ENGINE_REPLAY):
             raise ValueError(f"unknown injection engine {engine!r}")
@@ -160,6 +201,13 @@ class FaultInjector:
         self.max_injections = max_injections
         self.harness = harness or HarnessConfig()
         self.fault_model = fault_model or FaultModelConfig()
+        #: Observation-only telemetry endpoint (:mod:`repro.obs`); the
+        #: inert default keeps the hot path free of branches.
+        self.telemetry = telemetry
+        #: Heartbeat cadence in wall-clock seconds (0 = no heartbeats)
+        #: and the renderer sink (the CLI passes a stderr writer).
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_sink = heartbeat_sink
         #: Crash-image engine: ``"incremental"`` (production default —
         #: O(changed bytes) per failure point) or ``"replay"`` (the
         #: differential-testing reference; O(T) per failure point).
@@ -280,30 +328,34 @@ class FaultInjector:
                 len(tasks) < self.max_injections
             )
 
-        for stack, node in tree.failure_points():
-            if not room():
-                break
-            node.visited = True
-            # The graceful prefix crash is always injected first at every
-            # failure point, so finding dedup attributes a bug reachable
-            # both ways to the prefix; adversarial variants ride after.
-            tasks.append(
-                InjectionTask(
-                    index=len(tasks), stack=stack, seq=node.first_seq
-                )
-            )
-            if planner is not None:
-                for variant in planner.plan(node.first_seq):
-                    if not room():
-                        break
-                    tasks.append(
-                        InjectionTask(
-                            index=len(tasks),
-                            stack=stack,
-                            seq=node.first_seq,
-                            variant=variant,
-                        )
+        with self.telemetry.span(
+            "campaign/injection/planner", engine=self.image_engine
+        ):
+            for stack, node in tree.failure_points():
+                if not room():
+                    break
+                node.visited = True
+                # The graceful prefix crash is always injected first at
+                # every failure point, so finding dedup attributes a bug
+                # reachable both ways to the prefix; adversarial variants
+                # ride after.
+                tasks.append(
+                    InjectionTask(
+                        index=len(tasks), stack=stack, seq=node.first_seq
                     )
+                )
+                if planner is not None:
+                    for variant in planner.plan(node.first_seq):
+                        if not room():
+                            break
+                        tasks.append(
+                            InjectionTask(
+                                index=len(tasks),
+                                stack=stack,
+                                seq=node.first_seq,
+                                variant=variant,
+                            )
+                        )
         campaign = run_campaign(
             tasks,
             source,
@@ -311,9 +363,27 @@ class FaultInjector:
             config=self.harness,
             journal=journal,
             resume_state=resume_state,
+            telemetry=self.telemetry,
+            heartbeat=self._heartbeat(len(tasks)),
         )
-        stats.absorb_image_stats(source.collect_stats())
+        collected = source.collect_stats()
+        stats.absorb_image_stats(collected)
+        if self.telemetry.enabled:
+            collected.publish(
+                self.telemetry.registry, engine=self.image_engine
+            )
         return self._collect(campaign, stats, tree)
+
+    def _heartbeat(self, total: int) -> Optional[HeartbeatMonitor]:
+        """A live progress monitor, or None when inert (no telemetry and
+        no sink, or a zero interval)."""
+        monitor = HeartbeatMonitor(
+            total=total,
+            interval_seconds=self.heartbeat_interval,
+            telemetry=self.telemetry,
+            sink=self.heartbeat_sink,
+        )
+        return monitor if monitor.active else None
 
     # ------------------------------------------------------------------ #
     # step 2+3, replay engine
@@ -362,7 +432,8 @@ class FaultInjector:
             index += 1
             image = injector.image
             result = execute_injection(
-                task, lambda _task: image, app_factory, self.harness
+                task, lambda _task: image, app_factory, self.harness,
+                telemetry=self.telemetry,
             )
             campaign.retries += result.attempts - 1
             campaign.results.append(result)
@@ -391,6 +462,7 @@ class FaultInjector:
                         lambda _task, _crash=crash: _crash,
                         app_factory,
                         self.harness,
+                        telemetry=self.telemetry,
                     )
                     campaign.retries += result.attempts - 1
                     campaign.results.append(result)
@@ -432,6 +504,10 @@ class FaultInjector:
         stats.image_engine = self.image_engine
         stats.materialise_seconds += campaign.materialise_seconds
         stats.recovery_seconds += campaign.recovery_seconds
+        if self.telemetry.enabled:
+            # The registry absorbs the campaign bookkeeping so exporters
+            # and `mumak obs report` see one coherent metric surface.
+            stats.publish(self.telemetry.registry)
         comparison = (
             self._compare(findings, stats)
             if self.fault_model.is_adversarial

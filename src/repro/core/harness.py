@@ -53,6 +53,7 @@ from repro.core.oracle import (
 from repro.core.report import Finding, PHASE_FAULT_INJECTION
 from repro.core.taxonomy import BugKind
 from repro.errors import CheckpointError, WatchdogTimeout
+from repro.obs.spans import NULL_TELEMETRY
 from repro.pmem.faultmodel import (
     VARIANT_PREFIX,
     AdversarialImageFactory,
@@ -368,6 +369,7 @@ def execute_injection(
     app_factory: Callable[[], Any],
     config: HarnessConfig,
     sleep: Callable[[float], None] = time.sleep,
+    telemetry=NULL_TELEMETRY,
 ) -> InjectionResult:
     """One injection under full containment.
 
@@ -375,6 +377,12 @@ def execute_injection(
     retry tool-side failures up to ``config.max_retries`` times (with
     deterministic jittered backoff for transient classes), then
     quarantine.  Never raises.
+
+    ``telemetry`` (observation-only) receives one
+    ``campaign/injection/materialise`` and one
+    ``campaign/injection/recovery`` span *per attempt*, fed the same
+    ``perf_counter`` deltas the result's materialise/recovery accounting
+    accumulates — the two accountings agree by construction.
     """
     attempts = 0
     phase = "materialise"
@@ -400,7 +408,12 @@ def execute_injection(
             phase = "materialise"
             start = time.perf_counter()
             image, poisoned_lines = _unpack_image(image_for(task))
-            mat_seconds += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            mat_seconds += elapsed
+            telemetry.record_span(
+                "campaign/injection/materialise", elapsed,
+                task=task.index, variant=task.variant, attempt=attempts,
+            )
             phase = "recovery"
             start = time.perf_counter()
             try:
@@ -412,11 +425,18 @@ def execute_injection(
                         step_budget=config.step_budget,
                         stack_key=task.stack,
                         poisoned_lines=poisoned_lines,
+                        telemetry=telemetry,
                     ),
                     config.timeout_seconds,
                 )
             finally:
-                rec_seconds += time.perf_counter() - start
+                elapsed = time.perf_counter() - start
+                rec_seconds += elapsed
+                telemetry.record_span(
+                    "campaign/injection/recovery", elapsed,
+                    task=task.index, variant=task.variant,
+                    attempt=attempts,
+                )
         except WatchdogTimeout as err:
             # Unkillable hang: the worker thread was abandoned.  This is
             # a definitive HUNG classification, not tool trouble — do not
@@ -429,6 +449,11 @@ def execute_injection(
                 RecoveryStatus.HUNG,
                 error=f"{type(err).__name__}: {err}",
                 stack_key=task.stack,
+            )
+            telemetry.counter(
+                "recovery_outcomes",
+                status=outcome.status.value,
+                variant=task.variant,
             )
             return InjectionResult(
                 task,
@@ -460,6 +485,13 @@ def execute_injection(
             last_error = outcome.error or "infrastructure error"
             last_trace = outcome.trace
             continue
+        telemetry.counter(
+            "recovery_outcomes",
+            status=outcome.status.value,
+            variant=task.variant,
+        )
+        if attempts > 1:
+            telemetry.counter("injection_retries", attempts - 1)
         return InjectionResult(
             task,
             outcome=outcome,
@@ -470,6 +502,11 @@ def execute_injection(
             materialise_seconds=mat_seconds,
             recovery_seconds=rec_seconds,
         )
+    telemetry.counter(
+        "quarantined_injections", phase=phase, variant=task.variant
+    )
+    if attempts > 1:
+        telemetry.counter("injection_retries", attempts - 1)
     return InjectionResult(
         task,
         quarantine=QuarantineRecord(
@@ -975,6 +1012,17 @@ def campaign_fingerprint(payload: dict) -> str:
 # --------------------------------------------------------------------- #
 
 
+def _record_checkpoint(journal, result, telemetry) -> None:
+    """Journal one result, attributing the write to the checkpoint phase."""
+    start = time.perf_counter()
+    journal.record(result)
+    telemetry.record_span(
+        "campaign/injection/checkpoint",
+        time.perf_counter() - start,
+        task=result.task.index,
+    )
+
+
 def run_campaign(
     tasks: Sequence[InjectionTask],
     image_source: PrefixImageSource,
@@ -983,14 +1031,19 @@ def run_campaign(
     journal: Optional[CampaignJournal] = None,
     resume_state: Optional[Dict[int, InjectionResult]] = None,
     sleep: Callable[[float], None] = time.sleep,
+    telemetry=NULL_TELEMETRY,
+    heartbeat=None,
     _worker_fault: Optional[Callable[[int, InjectionTask], None]] = None,
 ) -> CampaignResult:
     """Run an injection campaign to completion, whatever the targets do.
 
     ``resume_state`` (from :func:`load_checkpoint`) short-circuits
     already-completed tasks; ``journal`` checkpoints fresh completions.
-    ``_worker_fault`` is a test hook invoked at task pickup inside the
-    parallel workers (raising simulates worker death).
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, observation-only) and
+    ``heartbeat`` (a :class:`repro.obs.HeartbeatMonitor`) stream spans
+    and progress; both default to inert.  ``_worker_fault`` is a test
+    hook invoked at task pickup inside the parallel workers (raising
+    simulates worker death).
     """
     config = config or HarnessConfig()
     resume_state = resume_state or {}
@@ -1004,6 +1057,9 @@ def run_campaign(
             and restored.task.variant == task.variant
         ):
             campaign.results.append(restored)
+            telemetry.counter("injections_restored")
+            if heartbeat is not None:
+                heartbeat.note(restored)
         else:
             todo.append(task)
 
@@ -1011,12 +1067,15 @@ def run_campaign(
         cursor = image_source.cursor()
         for task in todo:
             result = execute_injection(
-                task, cursor, app_factory, config, sleep=sleep
+                task, cursor, app_factory, config, sleep=sleep,
+                telemetry=telemetry,
             )
             campaign.retries += result.attempts - 1
             campaign.results.append(result)
             if journal is not None:
-                journal.record(result)
+                _record_checkpoint(journal, result, telemetry)
+            if heartbeat is not None:
+                heartbeat.note(result)
     else:
         _run_parallel(
             todo,
@@ -1026,9 +1085,13 @@ def run_campaign(
             campaign,
             journal,
             sleep,
+            telemetry,
+            heartbeat,
             _worker_fault,
         )
 
+    if heartbeat is not None:
+        heartbeat.finish()
     if journal is not None:
         journal.flush()
     campaign.results.sort(key=lambda r: r.task.index)
@@ -1043,6 +1106,8 @@ def _run_parallel(
     campaign: CampaignResult,
     journal: Optional[CampaignJournal],
     sleep: Callable[[float], None],
+    telemetry,
+    heartbeat,
     worker_fault: Optional[Callable[[int, InjectionTask], None]],
 ) -> None:
     pending: "queue.Queue[InjectionTask]" = queue.Queue()
@@ -1052,9 +1117,14 @@ def _run_parallel(
     shutdown = threading.Event()
     requeues: Dict[int, int] = {}
     worker_serial = [0]
+    #: Per-worker telemetry endpoints, folded back at the supervisor
+    #: (list.append is atomic under the GIL; merge happens after join).
+    worker_telemetry: List[Any] = []
 
     def worker(worker_id: int) -> None:
         cursor = image_source.cursor()
+        wtel = telemetry.child(worker_id)
+        worker_telemetry.append(wtel)
         while not shutdown.is_set():
             try:
                 task = pending.get(timeout=0.02)
@@ -1064,7 +1134,8 @@ def _run_parallel(
                 if worker_fault is not None:
                     worker_fault(worker_id, task)
                 result = execute_injection(
-                    task, cursor, app_factory, config, sleep=sleep
+                    task, cursor, app_factory, config, sleep=sleep,
+                    telemetry=wtel,
                 )
             except BaseException as err:  # noqa: BLE001 - worker death
                 events.put(("death", worker_id, task, err))
@@ -1089,6 +1160,13 @@ def _run_parallel(
             kind, worker_id, task, payload = events.get()
             if kind == "death":
                 campaign.worker_deaths += 1
+                telemetry.counter("worker_deaths")
+                telemetry.event(
+                    "campaign/injection/worker_death",
+                    task=task.index,
+                    dead_worker=worker_id,
+                    error=f"{type(payload).__name__}: {payload}",
+                )
                 count = requeues.get(task.index, 0) + 1
                 requeues[task.index] = count
                 if count > config.max_requeues:
@@ -1111,8 +1189,15 @@ def _run_parallel(
                         attempts=count,
                     )
                     campaign.results.append(result)
+                    telemetry.counter(
+                        "quarantined_injections",
+                        phase="recovery",
+                        variant=task.variant,
+                    )
                     if journal is not None:
-                        journal.record(result)
+                        _record_checkpoint(journal, result, telemetry)
+                    if heartbeat is not None:
+                        heartbeat.note(result)
                     completed += 1
                 else:
                     pending.put(task)
@@ -1123,9 +1208,15 @@ def _run_parallel(
             campaign.retries += result.attempts - 1
             campaign.results.append(result)
             if journal is not None:
-                journal.record(result)
+                _record_checkpoint(journal, result, telemetry)
+            if heartbeat is not None:
+                heartbeat.note(result)
             completed += 1
     finally:
         shutdown.set()
     for thread in workers:
         thread.join(timeout=2.0)
+    # Fold per-worker streams/registries into the supervisor; finalize
+    # later stamps the merged stream's global seq deterministically.
+    for wtel in sorted(worker_telemetry, key=lambda t: t.worker):
+        telemetry.merge_child(wtel)

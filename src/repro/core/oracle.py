@@ -47,6 +47,7 @@ from repro.errors import (
     StepBudgetExceeded,
     WatchdogTimeout,
 )
+from repro.obs.spans import NULL_TELEMETRY
 from repro.pmem.machine import PMachine
 
 #: Caps applied to captured recovery call traces.
@@ -151,6 +152,7 @@ def run_recovery(
     step_budget: Optional[int] = None,
     stack_key: Optional[Tuple[str, ...]] = None,
     poisoned_lines: Tuple[int, ...] = (),
+    telemetry=NULL_TELEMETRY,
 ) -> RecoveryOutcome:
     """Boot the crash image and run the application's recovery procedure.
 
@@ -170,11 +172,19 @@ def run_recovery(
     propagate to the caller — that is the containment layer's
     jurisdiction, not the oracle's.
     """
+    boot_start = time.perf_counter()
     app = app_factory()
     machine = PMachine.from_image(image, poisoned_lines=poisoned_lines)
     if timeout is not None or step_budget is not None:
         deadline = None if timeout is None else time.monotonic() + timeout
         machine.arm_watchdog(step_limit=step_budget, deadline=deadline)
+    # Observation-only: app construction + image boot, the machine-
+    # construction share of the recovery side the ROADMAP's pooling
+    # lever targets.
+    telemetry.record_span(
+        "campaign/injection/recovery/boot",
+        time.perf_counter() - boot_start,
+    )
     try:
         app.recover(machine)
     except RecoveryError as err:

@@ -47,6 +47,7 @@ from repro.instrument.tracer import (
     FailurePointObserver,
     MinimalTracer,
 )
+from repro.obs import NULL_TELEMETRY, Telemetry, write_run_dir
 from repro.pmem.faultmodel import FaultModelConfig
 from repro.pmem.incremental import ENGINE_IMAGE_INCREMENTAL
 
@@ -93,6 +94,28 @@ class MumakConfig:
     #: from scratch).  Findings, reports, and checkpoint journals are
     #: byte-identical across engines.
     image_engine: str = ENGINE_IMAGE_INCREMENTAL
+    # ---- observability (repro.obs) ---- #
+    #: Record structured telemetry (spans + metrics registry) for this
+    #: analysis.  Strictly observation-only: findings, campaign
+    #: fingerprints, and checkpoint journals are byte-identical with
+    #: telemetry on or off (differential-tested), and the fingerprint
+    #: deliberately excludes every ``obs_*`` knob.
+    obs_enabled: bool = False
+    #: Directory receiving ``telemetry.jsonl`` + ``metrics.prom`` +
+    #: ``metrics.json`` after the analysis (None = keep in memory only;
+    #: read them off ``MumakResult.telemetry``).  Implies
+    #: ``obs_enabled``.
+    obs_dir: Optional[str] = None
+    #: Live-progress heartbeat cadence in seconds (0 = off).  Heartbeats
+    #: are recorded as events and, when ``obs_sink`` is set (the CLI
+    #: passes a stderr writer), rendered live.
+    obs_heartbeat_seconds: float = 0.0
+    #: Callable receiving rendered heartbeat lines (None = events only).
+    obs_sink: Optional[Callable[[str], None]] = None
+
+    @property
+    def obs_active(self) -> bool:
+        return self.obs_enabled or self.obs_dir is not None
 
     def harness_config(self) -> HarnessConfig:
         return HarnessConfig(
@@ -139,6 +162,10 @@ class MumakResult:
     trace_stats: Optional[TraceAnalysisStats] = None
     tree: Optional[FailurePointTree] = None
     trace_length: int = 0
+    #: Finalized :class:`~repro.obs.Telemetry` when observability was on
+    #: (``None`` otherwise).  Holds the metrics registry and the ordered
+    #: event stream; pass it to :func:`repro.obs.write_run_dir` to export.
+    telemetry: Optional[Telemetry] = None
 
     def render(self) -> str:
         return self.report.render()
@@ -168,6 +195,7 @@ class Mumak:
         usage = ResourceUsage(cpu_load=MUMAK_CPU_LOAD)
         timer = PhaseTimer(usage)
         report = AnalysisReport()
+        telemetry = Telemetry() if config.obs_active else NULL_TELEMETRY
 
         # Step 1: one instrumented execution -> trace + failure point tree.
         tree = FailurePointTree()
@@ -178,12 +206,13 @@ class Mumak:
             require_store_since_last=config.require_store_since_last,
         )
         with timer.phase("instrumented_run"):
-            artifacts = run_instrumented(
-                app_factory,
-                workload,
-                hooks=[tracer, observer],
-                seed=config.seed,
-            )
+            with telemetry.span("campaign/instrumented_run"):
+                artifacts = run_instrumented(
+                    app_factory,
+                    workload,
+                    hooks=[tracer, observer],
+                    seed=config.seed,
+                )
         usage.pool_bytes = artifacts.machine.medium.size
         usage.note_bytes(
             estimate_trace_bytes(tracer.events) + 200 * tree.node_count()
@@ -201,6 +230,9 @@ class Mumak:
                 harness=config.harness_config(),
                 fault_model=config.fault_model,
                 image_engine=config.image_engine,
+                telemetry=telemetry,
+                heartbeat_interval=config.obs_heartbeat_seconds,
+                heartbeat_sink=config.obs_sink,
             )
             fingerprint = config.fingerprint(
                 getattr(artifacts.app, "name", "target")
@@ -217,7 +249,9 @@ class Mumak:
                     interval=config.checkpoint_interval,
                 )
             try:
-                with timer.phase("fault_injection"):
+                with timer.phase("fault_injection"), telemetry.span(
+                    "campaign/injection"
+                ):
                     fi_result = injector.inject(
                         app_factory,
                         workload,
@@ -261,14 +295,25 @@ class Mumak:
                 eadr=config.eadr,
             )
             with timer.phase("trace_analysis"):
-                pending, trace_stats = analyzer.analyze(tracer.events)
-                sites = resolve_sites(
-                    app_factory,
-                    workload,
-                    {p.seq for p in pending},
-                    seed=config.seed,
-                )
-                report.extend(findings_with_sites(pending, sites))
+                with telemetry.span("campaign/trace_analysis"):
+                    pending, trace_stats = analyzer.analyze(tracer.events)
+                    sites = resolve_sites(
+                        app_factory,
+                        workload,
+                        {p.seq for p in pending},
+                        seed=config.seed,
+                    )
+                    report.extend(findings_with_sites(pending, sites))
+
+        # Observation-only export: publish the resource accounting into
+        # the metrics registry, freeze the event stream, and (optionally)
+        # write the run directory.  None of this feeds back into the
+        # analysis: the report above is already complete.
+        if telemetry.enabled:
+            usage.publish(telemetry.registry)
+            telemetry.finalize()
+            if config.obs_dir is not None:
+                write_run_dir(telemetry, config.obs_dir)
 
         return MumakResult(
             report=report,
@@ -277,4 +322,5 @@ class Mumak:
             trace_stats=trace_stats,
             tree=tree,
             trace_length=len(tracer.events),
+            telemetry=telemetry if telemetry.enabled else None,
         )

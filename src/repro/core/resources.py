@@ -60,20 +60,72 @@ class ResourceUsage:
     def note_bytes(self, byte_count: int) -> None:
         self.peak_tool_bytes = max(self.peak_tool_bytes, byte_count)
 
+    def publish(self, registry) -> None:
+        """Absorb this accounting into a metrics registry.
+
+        Phase and sub-phase wall-clock become ``phase_seconds`` /
+        ``detail_seconds`` counters (labelled by phase); the byte and
+        load figures become gauges.  One-way, observation-only — the
+        registry never feeds back into the analysis.
+        """
+        for phase in sorted(self.phase_seconds):
+            registry.counter("phase_seconds", phase=phase).inc(
+                self.phase_seconds[phase]
+            )
+        for detail in sorted(self.detail_seconds):
+            registry.counter("detail_seconds", phase=detail).inc(
+                self.detail_seconds[detail]
+            )
+        registry.gauge("peak_tool_bytes").set(self.peak_tool_bytes)
+        registry.gauge("tool_pm_bytes").set(self.tool_pm_bytes)
+        registry.gauge("pool_bytes").set(self.pool_bytes)
+        registry.gauge("checkpoint_bytes").set(self.checkpoint_bytes)
+        registry.gauge("cpu_load").set(self.cpu_load)
+
 
 class PhaseTimer:
-    """Context-manager style phase timing."""
+    """Context-manager style phase timing.
+
+    Usage is strictly ``with timer.phase(name):`` — the phase is
+    *consumed* on exit, so a bare ``with timer:`` (or a re-entry without
+    naming a phase) raises instead of silently re-billing whichever
+    phase was timed last.  Nested use mis-attributes by construction
+    (one running ``_start``), so re-entering an already-entered timer
+    raises too.
+    """
 
     def __init__(self, usage: ResourceUsage):
         self.usage = usage
         self._phase = None
         self._start = 0.0
+        self._entered = False
 
     def phase(self, name: str) -> "PhaseTimer":
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"phase name must be a non-empty str: {name!r}")
+        if self._entered:
+            raise RuntimeError(
+                f"PhaseTimer already timing {self._phase!r}; nested use "
+                "would mis-attribute time — use a second PhaseTimer or "
+                "ResourceUsage.note_detail for sub-phases"
+            )
         self._phase = name
         return self
 
     def __enter__(self) -> "PhaseTimer":
+        if self._phase is None:
+            raise RuntimeError(
+                "PhaseTimer entered without a phase; use "
+                "'with timer.phase(name):' (the phase is consumed on "
+                "exit and never carries over)"
+            )
+        if self._entered:
+            raise RuntimeError(
+                f"PhaseTimer already timing {self._phase!r}; nested use "
+                "would mis-attribute time — use a second PhaseTimer or "
+                "ResourceUsage.note_detail for sub-phases"
+            )
+        self._entered = True
         self._start = time.perf_counter()
         return self
 
@@ -81,6 +133,8 @@ class PhaseTimer:
         elapsed = time.perf_counter() - self._start
         previous = self.usage.phase_seconds.get(self._phase, 0.0)
         self.usage.phase_seconds[self._phase] = previous + elapsed
+        self._phase = None
+        self._entered = False
 
 
 def estimate_trace_bytes(trace) -> int:

@@ -1,0 +1,157 @@
+"""Telemetry exporters: Prometheus text format and JSON snapshots.
+
+``render_prometheus`` emits the registry in the Prometheus text
+exposition format (version 0.0.4): counters as ``_total``, gauges as-is,
+histograms as cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+``_count``.  All metric names are prefixed ``mumak_`` and sanitised to
+the Prometheus grammar.  Output is deterministic (sorted metric and
+label order) so snapshots diff cleanly between runs.
+
+``write_run_dir`` is the campaign's on-disk layout — one directory per
+run holding:
+
+* ``telemetry.jsonl`` — the finalized span/heartbeat event stream;
+* ``metrics.prom``    — the Prometheus snapshot;
+* ``metrics.json``    — the same registry as structured JSON.
+
+``mumak obs report <run-dir>`` consumes this layout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LOG_BUCKET_BOUNDS,
+    MetricsRegistry,
+)
+
+#: Namespace prefix applied to every exported metric.
+PROM_PREFIX = "mumak_"
+
+#: Filenames of the run-directory layout.
+EVENTS_FILENAME = "telemetry.jsonl"
+PROM_FILENAME = "metrics.prom"
+JSON_FILENAME = "metrics.json"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return PROM_PREFIX + _NAME_RE.sub("_", name)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels, extra: Dict[str, str] = None) -> str:
+    items = [(_LABEL_RE.sub("_", k), str(v)) for k, v in labels]
+    if extra:
+        items.extend((k, str(v)) for k, v in extra.items())
+    if not items:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(items)
+    )
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN  pragma: no cover - defensive
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines = []
+    typed = set()
+    for metric in registry:
+        name = _prom_name(metric.name)
+        if isinstance(metric, Counter):
+            full = name + "_total"
+            if full not in typed:
+                lines.append(f"# TYPE {full} counter")
+                typed.add(full)
+            lines.append(
+                f"{full}{_labels_text(metric.labels)} {_fmt(metric.value)}"
+            )
+        elif isinstance(metric, Gauge):
+            if name not in typed:
+                lines.append(f"# TYPE {name} gauge")
+                typed.add(name)
+            lines.append(
+                f"{name}{_labels_text(metric.labels)} {_fmt(metric.value)}"
+            )
+        elif isinstance(metric, Histogram):
+            if name not in typed:
+                lines.append(f"# TYPE {name} histogram")
+                typed.add(name)
+            cumulative = 0
+            for bound, count in zip(
+                LOG_BUCKET_BOUNDS, metric.bucket_counts
+            ):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_labels_text(metric.labels, {'le': repr(bound)})} "
+                    f"{cumulative}"
+                )
+            cumulative += metric.bucket_counts[-1]
+            lines.append(
+                f"{name}_bucket"
+                f"{_labels_text(metric.labels, {'le': '+Inf'})} {cumulative}"
+            )
+            lines.append(
+                f"{name}_sum{_labels_text(metric.labels)} {_fmt(metric.sum)}"
+            )
+            lines.append(
+                f"{name}_count{_labels_text(metric.labels)} {metric.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(registry: MetricsRegistry) -> str:
+    """The registry as an indented, deterministic JSON document."""
+    return json.dumps(
+        {"metrics": registry.snapshot()}, indent=2, sort_keys=True
+    ) + "\n"
+
+
+def write_run_dir(telemetry, directory: str) -> Dict[str, str]:
+    """Write a run directory (events + both snapshots); returns paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = {
+        "events": os.path.join(directory, EVENTS_FILENAME),
+        "prometheus": os.path.join(directory, PROM_FILENAME),
+        "json": os.path.join(directory, JSON_FILENAME),
+    }
+    with open(paths["events"], "w", encoding="utf-8") as fh:
+        fh.write(telemetry.events_jsonl())
+    with open(paths["prometheus"], "w", encoding="utf-8") as fh:
+        fh.write(render_prometheus(telemetry.registry))
+    with open(paths["json"], "w", encoding="utf-8") as fh:
+        fh.write(render_json(telemetry.registry))
+    return paths
+
+
+__all__ = [
+    "EVENTS_FILENAME",
+    "JSON_FILENAME",
+    "PROM_FILENAME",
+    "PROM_PREFIX",
+    "render_json",
+    "render_prometheus",
+    "write_run_dir",
+]

@@ -1,0 +1,132 @@
+"""Live campaign progress heartbeats.
+
+A :class:`HeartbeatMonitor` watches the injection campaign from the
+supervisor: every completed injection updates its counters, and at a
+configurable wall-clock interval it emits one heartbeat — failure points
+per second, ETA, quarantine and HUNG tallies — both as a rendered line
+to a sink (the CLI writes it to stderr) and as a ``heartbeat`` event in
+the telemetry stream, so a campaign that stalls in production is
+diagnosable post-mortem from its own JSONL: the last heartbeat bounds
+when progress stopped and the counters say what state it stopped in.
+
+The monitor is observation-only (it never touches campaign state) and
+deterministic-friendly: the clock is injectable for tests, and with
+``interval_seconds <= 0`` it is inert.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.obs.spans import NULL_TELEMETRY
+
+
+class HeartbeatMonitor:
+    """Progress tracker emitting periodic heartbeats.
+
+    ``sink`` receives the rendered one-line summary (or None to only
+    record events); ``telemetry`` receives the structured event.  The
+    monitor emits on the first completion after each interval boundary —
+    no timers or threads, so it adds nothing to the hot path beyond one
+    clock read per completed injection.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        interval_seconds: float = 0.0,
+        telemetry=NULL_TELEMETRY,
+        sink: Optional[Callable[[str], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.total = total
+        self.interval = interval_seconds
+        self.telemetry = telemetry
+        self.sink = sink
+        self._clock = clock
+        self._started = clock()
+        self._last_emit = self._started
+        self.completed = 0
+        self.restored = 0
+        self.quarantined = 0
+        self.hung = 0
+        self.heartbeats = 0
+
+    @property
+    def active(self) -> bool:
+        return self.interval > 0 and (
+            self.telemetry.enabled or self.sink is not None
+        )
+
+    # -- updates -------------------------------------------------------- #
+
+    def note(self, result) -> None:
+        """Account one completed :class:`InjectionResult`."""
+        self.completed += 1
+        if getattr(result, "restored", False):
+            self.restored += 1
+        if getattr(result, "quarantine", None) is not None:
+            self.quarantined += 1
+        outcome = getattr(result, "outcome", None)
+        if outcome is not None and getattr(outcome.status, "name", "") == "HUNG":
+            self.hung += 1
+        if not self.active:
+            return
+        now = self._clock()
+        if now - self._last_emit >= self.interval:
+            self._emit(now, final=False)
+
+    def finish(self) -> None:
+        """Emit the closing heartbeat (always, when active)."""
+        if self.active and self.completed:
+            self._emit(self._clock(), final=True)
+
+    # -- emission ------------------------------------------------------- #
+
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        now = self._clock() if now is None else now
+        elapsed = max(now - self._started, 1e-9)
+        executed = self.completed - self.restored
+        rate = executed / elapsed
+        remaining = max(self.total - self.completed, 0)
+        eta = remaining / rate if rate > 0 else None
+        return {
+            "completed": self.completed,
+            "total": self.total,
+            "restored": self.restored,
+            "quarantined": self.quarantined,
+            "hung": self.hung,
+            "elapsed_seconds": round(elapsed, 3),
+            "rate_per_second": round(rate, 3),
+            "eta_seconds": None if eta is None else round(eta, 3),
+        }
+
+    def render(self, snap: Optional[dict] = None) -> str:
+        snap = snap or self.snapshot()
+        eta = snap["eta_seconds"]
+        parts = [
+            f"[heartbeat] {snap['completed']}/{snap['total']} injections",
+            f"{snap['rate_per_second']:.1f} fp/s",
+            "ETA " + (f"{eta:.0f}s" if eta is not None else "?"),
+        ]
+        if snap["quarantined"]:
+            parts.append(f"quarantined {snap['quarantined']}")
+        if snap["hung"]:
+            parts.append(f"hung {snap['hung']}")
+        if snap["restored"]:
+            parts.append(f"restored {snap['restored']}")
+        return " | ".join(parts)
+
+    def _emit(self, now: float, final: bool) -> None:
+        self._last_emit = now
+        self.heartbeats += 1
+        snap = self.snapshot(now)
+        snap["final"] = final
+        self.telemetry.event("campaign/heartbeat", kind="heartbeat", **snap)
+        self.telemetry.gauge("campaign_progress", snap["completed"])
+        if self.sink is not None:
+            self.sink(self.render(snap))
+
+
+__all__ = ["HeartbeatMonitor"]

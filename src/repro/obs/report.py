@@ -1,0 +1,249 @@
+"""Phase-attribution profiles from a campaign's telemetry stream.
+
+The post-mortem half of the observability layer: given a run directory
+(or a raw ``telemetry.jsonl``), build the per-phase latency profile —
+where each injection's wall-clock actually went (**materialise** vs
+**recovery** vs **checkpoint** vs **planner**), with p50/p95/max per
+failure point, broken down by fault-model variant and by worker.
+
+This is the measurement substrate the ROADMAP's next perf levers need:
+the recovery-vs-materialise split that today decides whether batched
+recovery or a shared history index is the better O(·) investment is read
+straight off this table instead of being re-instrumented per experiment.
+
+Rendered by ``mumak obs report <run-dir>``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.export import EVENTS_FILENAME
+
+#: Span-path suffix -> attribution phase.  Spans outside this map are
+#: reported under their last path component.
+PHASE_OF_SPAN = {
+    "campaign/injection/materialise": "materialise",
+    "campaign/injection/recovery": "recovery",
+    "campaign/injection/recovery/boot": "recovery_boot",
+    "campaign/injection/checkpoint": "checkpoint",
+    "campaign/injection/planner": "planner",
+}
+
+#: Phases shown in the headline attribution table, in display order.
+HEADLINE_PHASES = ("materialise", "recovery", "checkpoint", "planner")
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty list (exact, not bucketed)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of empty list")
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class PhaseProfile:
+    """Latency profile of one (phase, variant, worker) cell."""
+
+    phase: str
+    variant: str
+    worker: str
+    durations: List[float] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.durations)
+
+    @property
+    def total(self) -> float:
+        return sum(self.durations)
+
+    def stats(self) -> dict:
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "p50": round(percentile(self.durations, 0.50), 6),
+            "p95": round(percentile(self.durations, 0.95), 6),
+            "max": round(max(self.durations), 6),
+        }
+
+
+def load_events(path: str) -> List[dict]:
+    """Read a telemetry JSONL stream (tolerates a torn trailing line)."""
+    events: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if lineno == len(lines) - 1:
+                break  # torn write from a killed campaign
+            raise
+    return events
+
+
+def events_path(run_dir_or_file: str) -> str:
+    """Resolve a run directory or direct file path to the JSONL file."""
+    if os.path.isdir(run_dir_or_file):
+        return os.path.join(run_dir_or_file, EVENTS_FILENAME)
+    return run_dir_or_file
+
+
+def build_profiles(
+    events: List[dict],
+) -> Dict[Tuple[str, str, str], PhaseProfile]:
+    """Fold span events into (phase, variant, worker) profiles."""
+    profiles: Dict[Tuple[str, str, str], PhaseProfile] = {}
+    for event in events:
+        if event.get("kind") != "span" or "dur" not in event:
+            continue
+        span = event.get("span", "")
+        phase = PHASE_OF_SPAN.get(span)
+        if phase is None:
+            phase = span.rsplit("/", 1)[-1] or span
+        attrs = event.get("attrs") or {}
+        variant = str(attrs.get("variant", "-"))
+        worker = str(event.get("worker", 0))
+        key = (phase, variant, worker)
+        profile = profiles.get(key)
+        if profile is None:
+            profile = profiles[key] = PhaseProfile(phase, variant, worker)
+        profile.durations.append(float(event["dur"]))
+    return profiles
+
+
+def _aggregate(
+    profiles: Dict[Tuple[str, str, str], PhaseProfile],
+    by: str,
+) -> Dict[Tuple[str, str], PhaseProfile]:
+    """Collapse profiles to (phase, <by>) where by is 'variant'/'worker'
+    or '*' for phase-only rollups."""
+    out: Dict[Tuple[str, str], PhaseProfile] = {}
+    for (phase, variant, worker), profile in profiles.items():
+        if by == "variant":
+            sub = variant
+        elif by == "worker":
+            sub = worker
+        else:
+            sub = "*"
+        key = (phase, sub)
+        agg = out.get(key)
+        if agg is None:
+            agg = out[key] = PhaseProfile(phase, sub, sub)
+        agg.durations.extend(profile.durations)
+    return out
+
+
+def _phase_order(phases) -> List[str]:
+    known = [p for p in HEADLINE_PHASES if p in phases]
+    rest = sorted(p for p in phases if p not in HEADLINE_PHASES)
+    return known + rest
+
+
+_HEADER = (
+    f"{'phase':<16} {'by':<12} {'count':>7} {'total_s':>10} "
+    f"{'p50_ms':>9} {'p95_ms':>9} {'max_ms':>9} {'share':>7}"
+)
+
+
+def _rows(aggregated, section_total: float) -> List[str]:
+    rows = []
+    phases = _phase_order({phase for phase, _ in aggregated})
+    for phase in phases:
+        subs = sorted(sub for p, sub in aggregated if p == phase)
+        for sub in subs:
+            profile = aggregated[(phase, sub)]
+            stats = profile.stats()
+            share = (
+                stats["total"] / section_total if section_total > 0 else 0.0
+            )
+            rows.append(
+                f"{phase:<16} {sub:<12} {stats['count']:>7d} "
+                f"{stats['total']:>10.4f} "
+                f"{stats['p50'] * 1e3:>9.3f} {stats['p95'] * 1e3:>9.3f} "
+                f"{stats['max'] * 1e3:>9.3f} {share:>6.1%}"
+            )
+    return rows
+
+
+def render_phase_attribution(events: List[dict]) -> str:
+    """The phase-attribution table: overall, by variant, by worker."""
+    profiles = build_profiles(events)
+    if not profiles:
+        return "no span events recorded (was the campaign run with --obs?)"
+    overall = _aggregate(profiles, by="*")
+    grand_total = sum(p.total for p in overall.values())
+    heartbeat_count = sum(
+        1 for e in events if e.get("kind") == "heartbeat"
+    )
+    last_heartbeat = next(
+        (
+            e for e in reversed(events)
+            if e.get("kind") == "heartbeat"
+        ),
+        None,
+    )
+    sections = [
+        "campaign phase attribution "
+        f"({sum(p.count for p in overall.values())} span(s), "
+        f"{grand_total:.4f}s attributed, "
+        f"{heartbeat_count} heartbeat(s))",
+        "",
+        "== overall ==",
+        _HEADER,
+        *_rows(overall, grand_total),
+        "",
+        "== by fault-model variant ==",
+        _HEADER,
+        *_rows(_aggregate(profiles, by="variant"), grand_total),
+        "",
+        "== by worker ==",
+        _HEADER,
+        *_rows(_aggregate(profiles, by="worker"), grand_total),
+    ]
+    if last_heartbeat is not None:
+        attrs = last_heartbeat.get("attrs") or {}
+        sections.extend([
+            "",
+            "last heartbeat: "
+            f"{attrs.get('completed')}/{attrs.get('total')} injections, "
+            f"{attrs.get('rate_per_second')} fp/s, "
+            f"quarantined {attrs.get('quarantined')}, "
+            f"hung {attrs.get('hung')} "
+            f"(ts {last_heartbeat.get('ts')})",
+        ])
+    return "\n".join(sections)
+
+
+def report_run(run_dir_or_file: str) -> str:
+    """End-to-end: resolve, load, render.  Raises FileNotFoundError with
+    a actionable message when the stream is missing."""
+    path = events_path(run_dir_or_file)
+    if not os.path.exists(path):
+        raise FileNotFoundError(
+            f"no telemetry stream at {path!r}; run the campaign with "
+            "--obs DIR to record one"
+        )
+    return render_phase_attribution(load_events(path))
+
+
+__all__ = [
+    "HEADLINE_PHASES",
+    "PHASE_OF_SPAN",
+    "PhaseProfile",
+    "build_profiles",
+    "events_path",
+    "load_events",
+    "percentile",
+    "render_phase_attribution",
+    "report_run",
+]

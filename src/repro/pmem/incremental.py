@@ -118,6 +118,19 @@ class ImageEngineStats:
             "history_passes": self.history_passes,
         }
 
+    def publish(self, registry, engine: str = "") -> None:
+        """Absorb these counters into a :mod:`repro.obs` metrics registry.
+
+        Called once per campaign at stats-collection time (the engine's
+        own counters stay the hot-path source of truth; the registry is
+        the queryable/exportable face).  All metrics are labelled with
+        the materialising engine so replay-vs-incremental comparisons
+        survive in one snapshot.
+        """
+        labels = {"engine": engine} if engine else {}
+        for name, value in sorted(self.as_dict().items()):
+            registry.counter(f"image_engine_{name}", **labels).inc(value)
+
 
 # --------------------------------------------------------------------- #
 # the delta journal

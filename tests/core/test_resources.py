@@ -32,6 +32,55 @@ class TestResourceUsage:
         assert usage.ram_overhead(0) == 1.0
         assert usage.pm_overhead() == 1.0
 
+    def test_ram_overhead_negative_app_bytes(self):
+        # A nonsensical (negative) working set must not divide through.
+        usage = ResourceUsage()
+        usage.note_bytes(10_000)
+        assert usage.ram_overhead(-5) == 1.0
+
+    def test_pm_overhead_zero_pool_with_tool_bytes(self):
+        # Tool PM with a zero-sized pool: ratio is defined as neutral.
+        usage = ResourceUsage(pool_bytes=0, tool_pm_bytes=4096)
+        assert usage.pm_overhead() == 1.0
+
+    def test_note_detail_accumulates(self):
+        usage = ResourceUsage()
+        usage.note_detail("fault_injection.materialise", 0.25)
+        usage.note_detail("fault_injection.materialise", 0.5)
+        usage.note_detail("fault_injection.recovery", 1.0)
+        assert usage.detail_seconds == {
+            "fault_injection.materialise": 0.75,
+            "fault_injection.recovery": 1.0,
+        }
+
+    def test_detail_seconds_do_not_inflate_total(self):
+        # total_seconds sums phases only; a phase's own breakdown must
+        # never be double-counted.
+        usage = ResourceUsage()
+        usage.phase_seconds["fault_injection"] = 2.0
+        usage.note_detail("fault_injection.materialise", 1.5)
+        assert usage.total_seconds == 2.0
+
+    def test_publish_into_registry(self):
+        from repro.obs import MetricsRegistry
+
+        usage = ResourceUsage(
+            pool_bytes=100, tool_pm_bytes=7, checkpoint_bytes=33
+        )
+        usage.phase_seconds["fault_injection"] = 2.0
+        usage.note_detail("fault_injection.recovery", 1.25)
+        usage.note_bytes(512)
+        registry = MetricsRegistry()
+        usage.publish(registry)
+        assert registry.total(
+            "phase_seconds", phase="fault_injection"
+        ) == 2.0
+        assert registry.total(
+            "detail_seconds", phase="fault_injection.recovery"
+        ) == 1.25
+        assert registry.total("peak_tool_bytes") == 512
+        assert registry.total("checkpoint_bytes") == 33
+
     def test_phase_timer_accumulates(self):
         usage = ResourceUsage()
         timer = PhaseTimer(usage)
@@ -43,6 +92,56 @@ class TestResourceUsage:
             pass
         assert set(usage.phase_seconds) == {"a", "b"}
         assert usage.total_seconds >= 0
+
+
+class TestPhaseTimerMisuse:
+    """Regression: ``_phase`` used to survive exit, so a bare
+    ``with timer:`` silently re-billed whichever phase was timed last."""
+
+    def test_bare_with_raises(self):
+        timer = PhaseTimer(ResourceUsage())
+        with pytest.raises(RuntimeError, match="without a phase"):
+            with timer:
+                pass
+
+    def test_phase_consumed_on_exit(self):
+        usage = ResourceUsage()
+        timer = PhaseTimer(usage)
+        with timer.phase("a"):
+            pass
+        # The phase must not carry over into a bare re-entry.
+        with pytest.raises(RuntimeError, match="without a phase"):
+            with timer:
+                pass
+        assert set(usage.phase_seconds) == {"a"}
+
+    def test_phase_consumed_even_on_exception(self):
+        usage = ResourceUsage()
+        timer = PhaseTimer(usage)
+        with pytest.raises(ValueError):
+            with timer.phase("a"):
+                raise ValueError("boom")
+        with pytest.raises(RuntimeError, match="without a phase"):
+            with timer:
+                pass
+        assert set(usage.phase_seconds) == {"a"}
+
+    def test_nested_use_raises_and_keeps_outer_attribution(self):
+        usage = ResourceUsage()
+        timer = PhaseTimer(usage)
+        with pytest.raises(RuntimeError, match="already timing"):
+            with timer.phase("outer"):
+                with timer.phase("inner"):
+                    pass
+        # The outer phase is still the one billed.
+        assert set(usage.phase_seconds) == {"outer"}
+
+    def test_empty_phase_name_rejected(self):
+        timer = PhaseTimer(ResourceUsage())
+        with pytest.raises(ValueError):
+            timer.phase("")
+        with pytest.raises(ValueError):
+            timer.phase(None)
 
 
 class TestTraceBytes:

@@ -1,0 +1,126 @@
+"""Heartbeat monitor unit tests (injected clock, no sleeping)."""
+
+from types import SimpleNamespace
+
+from repro.core.oracle import RecoveryOutcome, RecoveryStatus
+from repro.obs import HeartbeatMonitor, Telemetry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, dt):
+        self.now += dt
+
+
+def _result(status=RecoveryStatus.OK, restored=False, quarantine=None):
+    return SimpleNamespace(
+        restored=restored,
+        quarantine=quarantine,
+        outcome=RecoveryOutcome(status),
+    )
+
+
+class TestActivation:
+    def test_inert_without_interval(self):
+        monitor = HeartbeatMonitor(total=10, telemetry=Telemetry())
+        assert not monitor.active
+
+    def test_inert_without_consumer(self):
+        monitor = HeartbeatMonitor(total=10, interval_seconds=1.0)
+        assert not monitor.active
+
+    def test_active_with_sink_only(self):
+        monitor = HeartbeatMonitor(
+            total=10, interval_seconds=1.0, sink=lambda line: None
+        )
+        assert monitor.active
+
+
+class TestEmission:
+    def test_emits_on_interval_boundaries(self):
+        clock = FakeClock()
+        lines = []
+        monitor = HeartbeatMonitor(
+            total=4,
+            interval_seconds=1.0,
+            sink=lines.append,
+            clock=clock,
+        )
+        monitor.note(_result())          # t=0: inside interval, no emit
+        clock.tick(1.5)
+        monitor.note(_result())          # t=1.5: emit
+        monitor.note(_result())          # still t=1.5: no emit
+        clock.tick(1.5)
+        monitor.note(_result())          # t=3.0: emit
+        assert len(lines) == 2
+        assert monitor.heartbeats == 2
+        assert "[heartbeat]" in lines[0]
+
+    def test_finish_always_emits_final(self):
+        clock = FakeClock()
+        tel = Telemetry(clock=clock)
+        monitor = HeartbeatMonitor(
+            total=2, interval_seconds=100.0, telemetry=tel, clock=clock
+        )
+        monitor.note(_result())
+        monitor.note(_result())
+        monitor.finish()
+        events = tel.finalize()
+        assert len(events) == 1
+        assert events[0]["kind"] == "heartbeat"
+        assert events[0]["attrs"]["final"] is True
+        assert events[0]["attrs"]["completed"] == 2
+        assert tel.registry.total("campaign_progress") == 2
+
+    def test_finish_without_completions_is_silent(self):
+        lines = []
+        monitor = HeartbeatMonitor(
+            total=5, interval_seconds=1.0, sink=lines.append
+        )
+        monitor.finish()
+        assert lines == []
+
+
+class TestAccounting:
+    def test_snapshot_rates_and_eta(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(
+            total=10, interval_seconds=1.0, sink=lambda s: None, clock=clock
+        )
+        clock.tick(2.0)
+        for _ in range(4):
+            monitor.note(_result())
+        snap = monitor.snapshot()
+        assert snap["completed"] == 4
+        assert snap["total"] == 10
+        assert snap["rate_per_second"] == 2.0   # 4 in 2s
+        assert snap["eta_seconds"] == 3.0       # 6 remaining at 2/s
+
+    def test_restored_excluded_from_rate(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(
+            total=4, interval_seconds=1.0, sink=lambda s: None, clock=clock
+        )
+        clock.tick(1.0)
+        monitor.note(_result(restored=True))
+        monitor.note(_result())
+        snap = monitor.snapshot()
+        assert snap["restored"] == 1
+        assert snap["rate_per_second"] == 1.0  # only the executed one
+
+    def test_quarantine_and_hang_tallies(self):
+        monitor = HeartbeatMonitor(
+            total=3, interval_seconds=1.0, sink=lambda s: None
+        )
+        monitor.note(_result(quarantine=object()))
+        monitor.note(_result(status=RecoveryStatus.HUNG))
+        snap = monitor.snapshot()
+        assert snap["quarantined"] == 1
+        assert snap["hung"] == 1
+        rendered = monitor.render(snap)
+        assert "quarantined 1" in rendered and "hung 1" in rendered

@@ -1,0 +1,175 @@
+"""Metrics registry unit tests: kinds, identity, merge, export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    LOG_BUCKET_BOUNDS,
+    MetricsRegistry,
+    render_json,
+    render_prometheus,
+)
+
+
+class TestCounters:
+    def test_inc_and_total(self):
+        reg = MetricsRegistry()
+        reg.counter("injections").inc()
+        reg.counter("injections").inc(4)
+        assert reg.total("injections") == 5
+
+    def test_labelled_identity(self):
+        reg = MetricsRegistry()
+        reg.counter("outcomes", status="ok").inc(3)
+        reg.counter("outcomes", status="crashed").inc(1)
+        assert reg.total("outcomes") == 4
+        assert reg.total("outcomes", status="ok") == 3
+        # Label order does not create a new metric.
+        reg.counter("pairs", a="1", b="2").inc()
+        reg.counter("pairs", b="2", a="1").inc()
+        assert reg.count("pairs") == 2
+        assert len(reg.find("pairs")) == 1
+
+    def test_counter_cannot_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("n").inc(-1)
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+
+class TestGauges:
+    def test_set_and_add(self):
+        reg = MetricsRegistry()
+        reg.gauge("progress").set(10)
+        reg.gauge("progress").add(5)
+        assert reg.total("progress") == 15
+
+    def test_merge_keeps_peak(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("peak_bytes").set(100)
+        b.gauge("peak_bytes").set(300)
+        a.merge(b)
+        assert a.total("peak_bytes") == 300
+        # An unset gauge never overrides a set one.
+        c = MetricsRegistry()
+        c.gauge("peak_bytes")
+        a.merge(c)
+        assert a.total("peak_bytes") == 300
+
+
+class TestHistograms:
+    def test_buckets_are_a_format_constant(self):
+        assert LOG_BUCKET_BOUNDS[0] == pytest.approx(1e-6)
+        assert LOG_BUCKET_BOUNDS[-1] == pytest.approx(1e4)
+        assert all(
+            b2 > b1 for b1, b2 in zip(LOG_BUCKET_BOUNDS, LOG_BUCKET_BOUNDS[1:])
+        )
+
+    def test_observe_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (0.001, 0.002, 0.004, 10.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(10.007)
+        assert h.min == 0.001
+        assert h.max == 10.0
+        assert reg.total("lat") == pytest.approx(10.007)
+        assert reg.count("lat") == 4
+
+    def test_overflow_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe(1e6)  # beyond the last bound
+        assert h.bucket_counts[-1] == 1
+
+    def test_quantile_bucket_resolution(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for _ in range(99):
+            h.observe(0.0009)  # lands in the 1e-3 bucket
+        h.observe(5.0)
+        p50 = h.quantile(0.50)
+        assert p50 is not None and 0.0009 <= p50 <= 0.01
+        assert h.quantile(1.0) == 5.0
+        assert reg.histogram("empty").quantile(0.5) is None
+
+    def test_merge_sums_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat").observe(0.001)
+        b.histogram("lat").observe(0.1)
+        b.histogram("lat").observe(100.0)
+        a.merge(b)
+        h = a.histogram("lat")
+        assert h.count == 3
+        assert h.min == 0.001
+        assert h.max == 100.0
+
+
+class TestExporters:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("injections", variant="prefix").inc(7)
+        reg.gauge("pool_bytes").set(4096)
+        reg.histogram("span_seconds", span="campaign").observe(0.5)
+        return reg
+
+    def test_prometheus_format(self):
+        text = render_prometheus(self._registry())
+        assert '# TYPE mumak_injections_total counter' in text
+        assert 'mumak_injections_total{variant="prefix"} 7' in text
+        assert "# TYPE mumak_pool_bytes gauge" in text
+        assert "mumak_pool_bytes 4096" in text
+        assert "# TYPE mumak_span_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "mumak_span_seconds_count" in text
+        assert "mumak_span_seconds_sum" in text
+
+    def test_prometheus_deterministic(self):
+        assert render_prometheus(self._registry()) == render_prometheus(
+            self._registry()
+        )
+
+    def test_prometheus_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe(1e-6)
+        h.observe(1.0)
+        text = render_prometheus(reg)
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("mumak_lat_bucket")
+        ]
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert counts[-1] == 2  # +Inf sees everything
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("odd", path='a"b\\c\nd').inc()
+        text = render_prometheus(reg)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_json_roundtrip(self):
+        doc = json.loads(render_json(self._registry()))
+        names = {m["name"] for m in doc["metrics"]}
+        assert names == {"injections", "pool_bytes", "span_seconds"}
+        hist = next(
+            m for m in doc["metrics"] if m["kind"] == "histogram"
+        )
+        assert hist["count"] == 1
+        assert len(hist["buckets"]) == len(LOG_BUCKET_BOUNDS) + 1
+
+    def test_snapshot_deterministic_order(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a", z="1").inc()
+        reg.counter("a", y="1").inc()
+        names = [(m["name"], m["labels"]) for m in reg.snapshot()]
+        assert names == sorted(names, key=lambda t: (t[0], sorted(t[1].items())))

@@ -1,0 +1,114 @@
+"""Phase-attribution report unit tests."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import render_phase_attribution, report_run
+from repro.obs.report import (
+    build_profiles,
+    load_events,
+    percentile,
+)
+
+
+def _span(span, dur, worker=0, variant=None, ts=0.0):
+    event = {
+        "ts": ts,
+        "span": span,
+        "seq": 0,
+        "worker": worker,
+        "kind": "span",
+        "dur": dur,
+    }
+    if variant is not None:
+        event["attrs"] = {"variant": variant}
+    return event
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestProfiles:
+    def test_grouping_by_phase_variant_worker(self):
+        events = [
+            _span("campaign/injection/materialise", 0.01, variant="prefix"),
+            _span("campaign/injection/materialise", 0.02, variant="torn:1"),
+            _span("campaign/injection/recovery", 0.2, worker=1,
+                  variant="prefix"),
+            _span("campaign/injection/checkpoint", 0.001),
+            {"ts": 0, "span": "x", "seq": 0, "worker": 0, "kind": "point"},
+        ]
+        profiles = build_profiles(events)
+        assert ("materialise", "prefix", "0") in profiles
+        assert ("materialise", "torn:1", "0") in profiles
+        assert ("recovery", "prefix", "1") in profiles
+        assert ("checkpoint", "-", "0") in profiles
+        assert len(profiles) == 4  # the point event contributes nothing
+
+    def test_unknown_spans_fall_back_to_last_component(self):
+        profiles = build_profiles([_span("tool/agamotto", 1.0)])
+        assert ("agamotto", "-", "0") in profiles
+
+
+class TestRender:
+    def test_table_sections_and_shares(self):
+        events = [
+            _span("campaign/injection/materialise", 0.25, variant="prefix"),
+            _span("campaign/injection/recovery", 0.75, worker=2,
+                  variant="prefix"),
+            {
+                "ts": 3.0, "span": "campaign/heartbeat", "seq": 9,
+                "worker": 0, "kind": "heartbeat",
+                "attrs": {"completed": 2, "total": 2,
+                          "rate_per_second": 0.5, "quarantined": 0,
+                          "hung": 0},
+            },
+        ]
+        text = render_phase_attribution(events)
+        assert "== overall ==" in text
+        assert "== by fault-model variant ==" in text
+        assert "== by worker ==" in text
+        assert "25.0%" in text and "75.0%" in text
+        assert "last heartbeat: 2/2 injections" in text
+
+    def test_no_spans_message(self):
+        assert "--obs" in render_phase_attribution([])
+
+
+class TestReportRun:
+    def test_missing_stream_is_actionable(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="--obs"):
+            report_run(str(tmp_path))
+
+    def test_reads_run_dir_and_file(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text(
+            json.dumps(_span("campaign/injection/recovery", 0.5)) + "\n"
+        )
+        for target in (str(tmp_path), str(path)):
+            assert "recovery" in report_run(target)
+
+    def test_tolerates_torn_trailing_line(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        good = json.dumps(_span("campaign/injection/recovery", 0.5))
+        path.write_text(good + "\n" + good[: len(good) // 2])
+        events = load_events(str(path))
+        assert len(events) == 1
+
+    def test_mid_stream_corruption_raises(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        good = json.dumps(_span("campaign/injection/recovery", 0.5))
+        path.write_text("{torn" + "\n" + good + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            load_events(str(path))

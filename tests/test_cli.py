@@ -108,3 +108,67 @@ def test_parser_rejects_unknown_target():
 def test_parser_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["experiment", "fig9"])
+
+
+def test_analyze_obs_writes_run_dir(tmp_path, capsys):
+    run_dir = str(tmp_path / "run")
+    code = main([
+        "analyze", "btree", "--ops", "40", "--spt", "--bugs", "none",
+        "--max-injections", "10", "--obs", run_dir,
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    import os
+
+    assert sorted(os.listdir(run_dir)) == [
+        "metrics.json", "metrics.prom", "telemetry.jsonl",
+    ]
+    # The pointer goes to stderr; stdout stays machine-clean.
+    assert "mumak obs report" in captured.err
+    assert "mumak obs report" not in captured.out
+
+
+def test_analyze_heartbeat_renders_to_stderr(capsys):
+    code = main([
+        "analyze", "btree", "--ops", "40", "--spt", "--bugs", "none",
+        "--max-injections", "10", "--obs-heartbeat", "0.000001",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "[heartbeat]" in captured.err
+    assert "[heartbeat]" not in captured.out
+
+
+def test_obs_report_renders_attribution(tmp_path, capsys):
+    run_dir = str(tmp_path / "run")
+    assert main([
+        "analyze", "btree", "--ops", "40", "--spt", "--bugs", "none",
+        "--max-injections", "10", "--obs", run_dir,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["obs", "report", run_dir]) == 0
+    out = capsys.readouterr().out
+    assert "campaign phase attribution" in out
+    assert "materialise" in out
+    assert "recovery" in out
+
+
+def test_obs_report_missing_dir_is_actionable(tmp_path, capsys):
+    code = main(["obs", "report", str(tmp_path / "nowhere")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--obs" in captured.err
+
+
+def test_quick_run_returns_text_without_printing(capsys):
+    from repro import quick_run
+    from repro.apps.btree import BTree
+    from repro.core import MumakConfig
+
+    text = quick_run(
+        lambda: BTree(bugs=(), spt=True),
+        config=MumakConfig(max_injections=5, run_trace_analysis=False),
+        n_ops=40,
+    )
+    assert "0 unique bug(s)" in text
+    assert capsys.readouterr().out == ""  # no stdout side effect
