@@ -101,6 +101,22 @@ def _add_analyze(sub) -> None:
                              "--checkpoint (fingerprint-checked; the "
                              "resumed report is byte-identical to an "
                              "uninterrupted run)")
+    # Recovery engine (repro.recovery).
+    parser.add_argument("--recovery-cache", default="on",
+                        metavar="ON|OFF|PATH", dest="recovery_cache",
+                        help="verdict memo cache for identical crash "
+                             "images: 'on' (default; persists next to "
+                             "--checkpoint when checkpointing, so "
+                             "--resume skips re-verification), 'off', "
+                             "or an explicit cache-file path. Findings "
+                             "and checkpoints are byte-identical "
+                             "on/off")
+    parser.add_argument("--machine-pool", type=int, default=1,
+                        metavar="N", dest="machine_pool",
+                        help="booted machines kept per worker and "
+                             "reused across recovery runs by full-state "
+                             "reset (default 1; 0 boots a fresh machine "
+                             "per recovery)")
     # Adversarial fault model (repro.pmem.faultmodel).
     parser.add_argument("--fault-model", choices=list(MODELS),
                         default="prefix", dest="fault_model",
@@ -159,6 +175,9 @@ def _cmd_analyze(args) -> int:
         return cls(**options)
 
     workload = generate_workload(args.ops, seed=args.seed)
+    recovery_cache = args.recovery_cache
+    if recovery_cache.lower() in ("on", "off"):
+        recovery_cache = recovery_cache.lower()
     fault_model = FaultModelConfig(
         model=args.fault_model,
         torn_writes=args.torn_writes,
@@ -180,6 +199,8 @@ def _cmd_analyze(args) -> int:
         checkpoint_interval=args.checkpoint_interval,
         fault_model=fault_model,
         image_engine=args.image_engine,
+        recovery_cache=recovery_cache,
+        machine_pool=args.machine_pool,
         obs_dir=args.obs_dir,
         obs_heartbeat_seconds=args.obs_heartbeat,
         obs_sink=_heartbeat_sink if args.obs_heartbeat > 0 else None,
@@ -212,6 +233,14 @@ def _cmd_analyze(args) -> int:
             f"(materialise {stats.materialise_seconds:.2f}s, "
             f"recovery {stats.recovery_seconds:.2f}s)"
         )
+        if stats.recovery_cache_hits or stats.recovery_cache_misses:
+            summary.append(
+                "recovery cache: "
+                f"{stats.recovery_cache_hits} hits / "
+                f"{stats.recovery_cache_misses} misses "
+                f"(dedup followers: {stats.recovery_dedup_followers}, "
+                f"pool reuses: {stats.recovery_pool_reuses})"
+            )
     else:
         summary.append("fault injection: skipped (trace analysis only)")
     summary.append(f"wall: {result.resources.total_seconds:.1f}s")
@@ -265,8 +294,13 @@ def _cmd_obs(args) -> int:
 
     try:
         emit(report_run(args.run_dir))
-    except FileNotFoundError as err:
-        emit(str(err), stream=sys.stderr)
+    except (OSError, ValueError) as err:
+        # Missing/empty run dirs and corrupt/truncated telemetry files
+        # are user-facing conditions, not tracebacks: one line, exit 2.
+        # (ValueError covers json.JSONDecodeError from a damaged
+        # telemetry.jsonl.)
+        emit(str(err) or f"cannot read run dir {args.run_dir!r}",
+             stream=sys.stderr)
         return 2
     return 0
 

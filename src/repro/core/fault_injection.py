@@ -116,6 +116,26 @@ class FaultInjectionStats:
     #: Full persistence-state-machine passes (1 under the incremental
     #: engine; O(failure points) under replay).
     history_passes: int = 0
+    # Recovery-engine accounting (repro.recovery).
+    recovery_cache_hits: int = 0
+    recovery_cache_misses: int = 0
+    recovery_cache_stored: int = 0
+    recovery_cache_loaded: int = 0
+    recovery_dedup_groups: int = 0
+    recovery_dedup_followers: int = 0
+    recovery_pool_boots: int = 0
+    recovery_pool_reuses: int = 0
+
+    def absorb_recovery_stats(self, stats) -> None:
+        """Fold a :class:`repro.recovery.RecoveryEngineStats` in."""
+        self.recovery_cache_hits += stats.cache_hits
+        self.recovery_cache_misses += stats.cache_misses
+        self.recovery_cache_stored += stats.cache_stored
+        self.recovery_cache_loaded += stats.cache_loaded
+        self.recovery_dedup_groups += stats.dedup_groups
+        self.recovery_dedup_followers += stats.dedup_followers
+        self.recovery_pool_boots += stats.pool_boots
+        self.recovery_pool_reuses += stats.pool_reuses
 
     def absorb_image_stats(self, stats: ImageEngineStats) -> None:
         self.images_materialised += stats.images
@@ -149,6 +169,14 @@ class FaultInjectionStats:
             "retries": self.retries,
             "worker_deaths": self.worker_deaths,
             "resumed": self.resumed,
+            "recovery_cache_hits": self.recovery_cache_hits,
+            "recovery_cache_misses": self.recovery_cache_misses,
+            "recovery_cache_stored": self.recovery_cache_stored,
+            "recovery_cache_loaded": self.recovery_cache_loaded,
+            "recovery_dedup_groups": self.recovery_dedup_groups,
+            "recovery_dedup_followers": self.recovery_dedup_followers,
+            "recovery_pool_boots": self.recovery_pool_boots,
+            "recovery_pool_reuses": self.recovery_pool_reuses,
         }
         for name, value in sorted(counts.items()):
             registry.counter(f"campaign_{name}").inc(value)
@@ -192,6 +220,7 @@ class FaultInjector:
         telemetry=NULL_TELEMETRY,
         heartbeat_interval: float = 0.0,
         heartbeat_sink=None,
+        recovery=None,
     ):
         if engine not in (ENGINE_TRACE, ENGINE_REPLAY):
             raise ValueError(f"unknown injection engine {engine!r}")
@@ -214,6 +243,29 @@ class FaultInjector:
         #: Findings, reports, and checkpoint journals are byte-identical
         #: across the two (property-tested).
         self.image_engine = validate_image_engine(image_engine)
+        #: Recovery-engine config (:class:`repro.recovery.
+        #: RecoveryEngineConfig`) — verdict cache + machine pool +
+        #: dedup scheduling.  ``None`` (or a disabled config) keeps the
+        #: legacy per-point recovery path byte-for-byte.
+        self.recovery = recovery
+
+    def _recovery_engine(self, trace=None):
+        """A campaign-scoped RecoveryEngine, or None when disabled."""
+        if self.recovery is None or not self.recovery.enabled:
+            return None
+        from repro.recovery import RecoveryEngine
+
+        return RecoveryEngine(
+            self.recovery, trace=trace, telemetry=self.telemetry
+        )
+
+    def _close_recovery(self, engine, stats) -> None:
+        if engine is None:
+            return
+        engine_stats = engine.close()
+        stats.absorb_recovery_stats(engine_stats)
+        if self.telemetry.enabled:
+            engine_stats.publish(self.telemetry.registry)
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -356,6 +408,7 @@ class FaultInjector:
                                 variant=variant,
                             )
                         )
+        recovery_engine = self._recovery_engine(trace=trace)
         campaign = run_campaign(
             tasks,
             source,
@@ -365,7 +418,9 @@ class FaultInjector:
             resume_state=resume_state,
             telemetry=self.telemetry,
             heartbeat=self._heartbeat(len(tasks)),
+            recovery=recovery_engine,
         )
+        self._close_recovery(recovery_engine, stats)
         collected = source.collect_stats()
         stats.absorb_image_stats(collected)
         if self.telemetry.enabled:
@@ -399,6 +454,13 @@ class FaultInjector:
         adversarial = self.fault_model.is_adversarial
         campaign = CampaignResult()
         index = 0
+        # The replay engine discovers each failure point by re-executing
+        # the target, so pre-dispatch grouping is impossible; the verdict
+        # cache and machine pool still apply per point.
+        recovery_engine = self._recovery_engine()
+        session = (
+            recovery_engine.session() if recovery_engine is not None else None
+        )
 
         def room() -> bool:
             return self.max_injections is None or index < self.max_injections
@@ -433,7 +495,7 @@ class FaultInjector:
             image = injector.image
             result = execute_injection(
                 task, lambda _task: image, app_factory, self.harness,
-                telemetry=self.telemetry,
+                telemetry=self.telemetry, recovery=session,
             )
             campaign.retries += result.attempts - 1
             campaign.results.append(result)
@@ -463,10 +525,12 @@ class FaultInjector:
                         app_factory,
                         self.harness,
                         telemetry=self.telemetry,
+                        recovery=session,
                     )
                     campaign.retries += result.attempts - 1
                     campaign.results.append(result)
                 stats.absorb_image_stats(replay_image_stats)
+        self._close_recovery(recovery_engine, stats)
         return self._collect(campaign, stats, tree)
 
     # ------------------------------------------------------------------ #

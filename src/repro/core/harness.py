@@ -54,6 +54,8 @@ from repro.core.report import Finding, PHASE_FAULT_INJECTION
 from repro.core.taxonomy import BugKind
 from repro.errors import CheckpointError, WatchdogTimeout
 from repro.obs.spans import NULL_TELEMETRY
+from repro.recovery.cache import outcome_from_record
+from repro.recovery.scheduler import OrderedJournalWriter, replay_result
 from repro.pmem.faultmodel import (
     VARIANT_PREFIX,
     AdversarialImageFactory,
@@ -370,6 +372,7 @@ def execute_injection(
     config: HarnessConfig,
     sleep: Callable[[float], None] = time.sleep,
     telemetry=NULL_TELEMETRY,
+    recovery=None,
 ) -> InjectionResult:
     """One injection under full containment.
 
@@ -383,6 +386,16 @@ def execute_injection(
     ``campaign/injection/recovery`` span *per attempt*, fed the same
     ``perf_counter`` deltas the result's materialise/recovery accounting
     accumulates — the two accountings agree by construction.
+
+    ``recovery`` (a :class:`~repro.recovery.RecoverySession`, optional)
+    adds the recovery engine to the hot path: the materialised image is
+    digested and looked up in the verdict cache (a hit replays the
+    memoised outcome, skipping the oracle entirely — the digest binds
+    scope/variant/poisons so the replay is sound), misses run through
+    the session's machine-template pool and are stored back.  Digest +
+    lookup time is billed to a separate ``recovery/cache`` span, never
+    to the materialise/recovery accounting, so those splits remain
+    engine-independent.
     """
     attempts = 0
     phase = "materialise"
@@ -391,6 +404,9 @@ def execute_injection(
     key = "/".join(task.stack) or str(task.seq)
     mat_seconds = 0.0
     rec_seconds = 0.0
+    caching = recovery is not None and recovery.caching
+    machine_pool = recovery.pool if recovery is not None else None
+    digest_value = None
     # Pooled-image protocol: a cursor exposing ``release`` hands out
     # reusable MaterialisedImage buffers; hand them back when the
     # recovery attempt is over (an abandoned watchdog thread may still
@@ -414,6 +430,40 @@ def execute_injection(
                 "campaign/injection/materialise", elapsed,
                 task=task.index, variant=task.variant, attempt=attempts,
             )
+            if caching:
+                phase = "recovery-cache"
+                start = time.perf_counter()
+                digest_value = recovery.digest(
+                    image, poisoned_lines, variant=task.variant
+                )
+                record = recovery.lookup(digest_value)
+                telemetry.record_span(
+                    "campaign/injection/recovery/cache",
+                    time.perf_counter() - start,
+                    task=task.index, variant=task.variant,
+                    hit=record is not None,
+                )
+                if record is not None:
+                    give_back(image)
+                    outcome = outcome_from_record(
+                        record, stack_key=task.stack
+                    )
+                    telemetry.counter(
+                        "recovery_outcomes",
+                        status=outcome.status.value,
+                        variant=task.variant,
+                    )
+                    return InjectionResult(
+                        task,
+                        outcome=outcome,
+                        finding=make_finding(
+                            task.stack, task.seq, outcome,
+                            variant=task.variant,
+                        ),
+                        attempts=attempts,
+                        materialise_seconds=mat_seconds,
+                        recovery_seconds=rec_seconds,
+                    )
             phase = "recovery"
             start = time.perf_counter()
             try:
@@ -426,6 +476,7 @@ def execute_injection(
                         stack_key=task.stack,
                         poisoned_lines=poisoned_lines,
                         telemetry=telemetry,
+                        machine_pool=machine_pool,
                     ),
                     config.timeout_seconds,
                 )
@@ -450,6 +501,12 @@ def execute_injection(
                 error=f"{type(err).__name__}: {err}",
                 stack_key=task.stack,
             )
+            if caching and digest_value is not None:
+                # A hang is a property of the image (the watchdog
+                # budgets are part of the digest scope), so memoise it:
+                # other points collapsing onto this image should not
+                # each burn a full timeout.
+                recovery.store(digest_value, outcome)
             telemetry.counter(
                 "recovery_outcomes",
                 status=outcome.status.value,
@@ -482,9 +539,12 @@ def execute_injection(
         if outcome.status.is_infrastructure:
             # The oracle already classified this as tool trouble; treat
             # it like a contained exception (retry, then quarantine).
+            # Never cached: harness trouble says nothing about the image.
             last_error = outcome.error or "infrastructure error"
             last_trace = outcome.trace
             continue
+        if caching and digest_value is not None:
+            recovery.store(digest_value, outcome)
         telemetry.counter(
             "recovery_outcomes",
             status=outcome.status.value,
@@ -713,9 +773,14 @@ class _AdversarialCursor:
                 source._initial, source._trace, stats
             )
         # Worker-local factory: the planner cache is not thread-safe.
+        # The planner factory's already-built history index (if any) is
+        # forked into it — shared immutable O(T) build products, private
+        # query cursors — so N cursors cost one history pass total
+        # instead of one each.
         self._factory = AdversarialImageFactory(
             source.fault_model, source._initial, source._trace,
             image_engine=source.image_engine, stats=stats,
+            shared_index=source.factory._index,
         )
 
     def __call__(self, task: InjectionTask):
@@ -1033,6 +1098,7 @@ def run_campaign(
     sleep: Callable[[float], None] = time.sleep,
     telemetry=NULL_TELEMETRY,
     heartbeat=None,
+    recovery=None,
     _worker_fault: Optional[Callable[[int, InjectionTask], None]] = None,
 ) -> CampaignResult:
     """Run an injection campaign to completion, whatever the targets do.
@@ -1044,6 +1110,17 @@ def run_campaign(
     and progress; both default to inert.  ``_worker_fault`` is a test
     hook invoked at task pickup inside the parallel workers (raising
     simulates worker death).
+
+    ``recovery`` (a :class:`~repro.recovery.RecoveryEngine`, optional)
+    turns on deduplicated dispatch: pending tasks are grouped by
+    image-equivalence *before* execution, one leader per group is
+    verified for real (through the engine's verdict cache and machine
+    pool) and followers replay its outcome.  Results complete out of
+    index order then, so the checkpoint journal is re-serialised through
+    an :class:`~repro.recovery.OrderedJournalWriter` — journal bytes
+    stay identical with the engine off, and parallel identical to
+    serial.  With ``recovery=None`` this function's behaviour is
+    byte-for-byte the legacy path.
     """
     config = config or HarnessConfig()
     resume_state = resume_state or {}
@@ -1063,19 +1140,66 @@ def run_campaign(
         else:
             todo.append(task)
 
+    writer = None
+    if recovery is not None and journal is not None:
+        writer = OrderedJournalWriter(
+            lambda result: _record_checkpoint(journal, result, telemetry),
+            [task.index for task in todo],
+        )
+
+    def finish(result: InjectionResult, count_retries: bool = True) -> None:
+        if count_retries:
+            campaign.retries += result.attempts - 1
+        campaign.results.append(result)
+        if writer is not None:
+            writer.offer(result)
+        elif journal is not None:
+            _record_checkpoint(journal, result, telemetry)
+        if heartbeat is not None:
+            heartbeat.note(result)
+
+    def replay_follower(
+        leader_result: InjectionResult, task: InjectionTask, tel
+    ) -> InjectionResult:
+        result = replay_result(leader_result, task, make_finding)
+        recovery.stats.dedup_followers += 1
+        tel.counter(
+            "recovery_outcomes",
+            status=result.outcome.status.value,
+            variant=task.variant,
+        )
+        return result
+
     if config.jobs <= 1 or len(todo) <= 1:
         cursor = image_source.cursor()
-        for task in todo:
-            result = execute_injection(
-                task, cursor, app_factory, config, sleep=sleep,
-                telemetry=telemetry,
-            )
-            campaign.retries += result.attempts - 1
-            campaign.results.append(result)
-            if journal is not None:
-                _record_checkpoint(journal, result, telemetry)
-            if heartbeat is not None:
-                heartbeat.note(result)
+        if recovery is None:
+            for task in todo:
+                result = execute_injection(
+                    task, cursor, app_factory, config, sleep=sleep,
+                    telemetry=telemetry,
+                )
+                finish(result)
+        else:
+            session = recovery.session()
+            for group in recovery.plan_groups(todo):
+                leader_result = execute_injection(
+                    group.leader, cursor, app_factory, config,
+                    sleep=sleep, telemetry=telemetry, recovery=session,
+                )
+                finish(leader_result)
+                for task in group.followers:
+                    if leader_result.outcome is not None:
+                        finish(
+                            replay_follower(leader_result, task, telemetry)
+                        )
+                    else:
+                        # Quarantined leader: its outcome is unknown, so
+                        # followers fall back to independent execution.
+                        finish(execute_injection(
+                            task, cursor, app_factory, config,
+                            sleep=sleep, telemetry=telemetry,
+                            recovery=session,
+                        ))
     else:
         _run_parallel(
             todo,
@@ -1083,13 +1207,17 @@ def run_campaign(
             app_factory,
             config,
             campaign,
-            journal,
+            finish,
+            replay_follower,
             sleep,
             telemetry,
             heartbeat,
+            recovery,
             _worker_fault,
         )
 
+    if writer is not None:
+        writer.flush_remaining()
     if heartbeat is not None:
         heartbeat.finish()
     if journal is not None:
@@ -1104,15 +1232,28 @@ def _run_parallel(
     app_factory: Callable[[], Any],
     config: HarnessConfig,
     campaign: CampaignResult,
-    journal: Optional[CampaignJournal],
+    finish: Callable[[InjectionResult], None],
+    replay_follower,
     sleep: Callable[[float], None],
     telemetry,
     heartbeat,
+    recovery,
     worker_fault: Optional[Callable[[int, InjectionTask], None]],
 ) -> None:
+    # With the recovery engine on, only group *leaders* enter the queue;
+    # followers are synthesised at the supervisor the moment their
+    # leader's outcome lands (or fall back to the queue if the leader
+    # was quarantined).  Workers therefore pull *unique* images.
+    followers_of: Dict[int, List[InjectionTask]] = {}
     pending: "queue.Queue[InjectionTask]" = queue.Queue()
-    for task in todo:
-        pending.put(task)
+    if recovery is not None:
+        for group in recovery.plan_groups(todo):
+            pending.put(group.leader)
+            if group.followers:
+                followers_of[group.leader.index] = list(group.followers)
+    else:
+        for task in todo:
+            pending.put(task)
     events: "queue.Queue[tuple]" = queue.Queue()
     shutdown = threading.Event()
     requeues: Dict[int, int] = {}
@@ -1123,6 +1264,7 @@ def _run_parallel(
 
     def worker(worker_id: int) -> None:
         cursor = image_source.cursor()
+        session = recovery.session() if recovery is not None else None
         wtel = telemetry.child(worker_id)
         worker_telemetry.append(wtel)
         while not shutdown.is_set():
@@ -1135,7 +1277,7 @@ def _run_parallel(
                     worker_fault(worker_id, task)
                 result = execute_injection(
                     task, cursor, app_factory, config, sleep=sleep,
-                    telemetry=wtel,
+                    telemetry=wtel, recovery=session,
                 )
             except BaseException as err:  # noqa: BLE001 - worker death
                 events.put(("death", worker_id, task, err))
@@ -1188,30 +1330,38 @@ def _run_parallel(
                         ),
                         attempts=count,
                     )
-                    campaign.results.append(result)
                     telemetry.counter(
                         "quarantined_injections",
                         phase="recovery",
                         variant=task.variant,
                     )
-                    if journal is not None:
-                        _record_checkpoint(journal, result, telemetry)
-                    if heartbeat is not None:
-                        heartbeat.note(result)
+                    # Requeue-thrash attempts are not campaign retries
+                    # (legacy accounting, preserved).
+                    finish(result, count_retries=False)
                     completed += 1
+                    # A quarantined leader yields no outcome to replay;
+                    # its followers go back to the queue as singletons.
+                    for follower in followers_of.pop(task.index, ()):
+                        pending.put(follower)
                 else:
                     pending.put(task)
                 workers = [t for t in workers if t.is_alive()]
                 workers.append(spawn())
                 continue
             result = payload
-            campaign.retries += result.attempts - 1
-            campaign.results.append(result)
-            if journal is not None:
-                _record_checkpoint(journal, result, telemetry)
-            if heartbeat is not None:
-                heartbeat.note(result)
+            finish(result)
             completed += 1
+            followers = followers_of.pop(task.index, None)
+            if followers:
+                if result.outcome is not None:
+                    # The leader's verdict lands; every follower in its
+                    # image-equivalence group completes instantly.
+                    for follower in followers:
+                        finish(replay_follower(result, follower, telemetry))
+                        completed += 1
+                else:
+                    for follower in followers:
+                        pending.put(follower)
     finally:
         shutdown.set()
     for thread in workers:

@@ -113,7 +113,14 @@ def format_capped_trace(
     ``limit`` alone does not protect against pathological cases (huge
     repr in the exception message, deeply recursive frames each carrying
     long source lines), so the rendered text is additionally truncated.
+
+    Edge cases are pinned down rather than incidental: negative limits
+    are clamped to 0; a ``char_limit`` of 0 yields just the truncation
+    marker; text exactly at the cap is returned unchanged (the marker
+    only appears when characters were actually dropped).
     """
+    frame_limit = max(0, frame_limit)
+    char_limit = max(0, char_limit)
     if err is not None:
         text = "".join(
             traceback.format_exception(
@@ -123,7 +130,9 @@ def format_capped_trace(
     else:
         text = traceback.format_exc(limit=frame_limit)
     if len(text) > char_limit:
-        text = text[:char_limit] + "\n... [trace truncated]"
+        truncated = text[:char_limit]
+        marker = "... [trace truncated]"
+        text = truncated + "\n" + marker if truncated else marker
     return text
 
 
@@ -153,6 +162,7 @@ def run_recovery(
     stack_key: Optional[Tuple[str, ...]] = None,
     poisoned_lines: Tuple[int, ...] = (),
     telemetry=NULL_TELEMETRY,
+    machine_pool=None,
 ) -> RecoveryOutcome:
     """Boot the crash image and run the application's recovery procedure.
 
@@ -171,10 +181,19 @@ def run_recovery(
     *constructing* the app or booting the image (before recovery runs)
     propagate to the caller — that is the containment layer's
     jurisdiction, not the oracle's.
+
+    ``machine_pool`` (a
+    :class:`~repro.recovery.MachineTemplatePool`) serves the machine by
+    reset + image adoption instead of construction; the machine rejoins
+    the pool on the way out, even when recovery raises — the next
+    acquire fully resets it.
     """
     boot_start = time.perf_counter()
     app = app_factory()
-    machine = PMachine.from_image(image, poisoned_lines=poisoned_lines)
+    if machine_pool is not None:
+        machine = machine_pool.acquire(image, poisoned_lines=poisoned_lines)
+    else:
+        machine = PMachine.from_image(image, poisoned_lines=poisoned_lines)
     if timeout is not None or step_budget is not None:
         deadline = None if timeout is None else time.monotonic() + timeout
         machine.arm_watchdog(step_limit=step_budget, deadline=deadline)
@@ -235,4 +254,6 @@ def run_recovery(
         )
     finally:
         machine.arm_watchdog()  # disarm
+        if machine_pool is not None:
+            machine_pool.release(machine)
     return RecoveryOutcome(RecoveryStatus.OK, stack_key=stack_key)

@@ -50,6 +50,7 @@ from repro.instrument.tracer import (
 from repro.obs import NULL_TELEMETRY, Telemetry, write_run_dir
 from repro.pmem.faultmodel import FaultModelConfig
 from repro.pmem.incremental import ENGINE_IMAGE_INCREMENTAL
+from repro.recovery import RecoveryEngineConfig, recovery_scope
 
 #: Mumak's CPU-load factor from the paper's Table 2 (1.20-1.44).
 MUMAK_CPU_LOAD = 1.3
@@ -94,6 +95,18 @@ class MumakConfig:
     #: from scratch).  Findings, reports, and checkpoint journals are
     #: byte-identical across engines.
     image_engine: str = ENGINE_IMAGE_INCREMENTAL
+    # ---- recovery engine (repro.recovery) ---- #
+    #: Verdict memo cache: ``"on"`` (default; persists next to the
+    #: checkpoint journal when checkpointing is active), ``"off"``, or
+    #: an explicit cache-file path.  Identical crash images are
+    #: verified once; the digest binds target, oracle budgets,
+    #: fault-model family, and poison set, so replays are sound.
+    #: Findings, journals, and reports are byte-identical on/off
+    #: (differential-tested).
+    recovery_cache: str = "on"
+    #: Machines kept booted per worker for recovery-run reuse (0 =
+    #: construct a fresh machine per recovery, the legacy path).
+    machine_pool: int = 1
     # ---- observability (repro.obs) ---- #
     #: Record structured telemetry (spans + metrics registry) for this
     #: analysis.  Strictly observation-only: findings, campaign
@@ -128,12 +141,14 @@ class MumakConfig:
     def fingerprint(self, target_name: str) -> str:
         """Campaign identity used to guard checkpoint resumption.
 
-        Deliberately excludes ``jobs``, checkpoint knobs, and
-        ``image_engine``: parallel and serial campaigns are equivalent by
-        construction, where the journal lives does not change what it
-        records, and the incremental engine is differential-tested
-        byte-identical to replay — a campaign checkpointed under one
-        engine may resume under the other.
+        Deliberately excludes ``jobs``, checkpoint knobs,
+        ``image_engine``, and the recovery-engine knobs
+        (``recovery_cache`` / ``machine_pool``): parallel and serial
+        campaigns are equivalent by construction, where the journal
+        lives does not change what it records, and both the incremental
+        image engine and the recovery engine are differential-tested
+        byte-identical to their references — a campaign checkpointed
+        under one setting may resume under another.
         """
         return campaign_fingerprint(
             {
@@ -222,6 +237,23 @@ class Mumak:
         # the hardened campaign runner (watchdog, containment, journal).
         fi_result = None
         if config.run_fault_injection:
+            target_name = getattr(artifacts.app, "name", "target")
+            # The recovery scope binds everything that can change a
+            # recovery *verdict* into the verdict-cache digests: a
+            # cached outcome recorded under one oracle budget (or
+            # target) can never be replayed under another.
+            recovery_config = RecoveryEngineConfig.resolve(
+                config.recovery_cache,
+                config.machine_pool,
+                recovery_scope(
+                    {
+                        "target": target_name,
+                        "timeout_seconds": config.timeout_seconds,
+                        "step_budget": config.step_budget,
+                    }
+                ),
+                config.checkpoint_path,
+            )
             injector = FaultInjector(
                 granularity=config.granularity,
                 require_store_since_last=config.require_store_since_last,
@@ -233,10 +265,9 @@ class Mumak:
                 telemetry=telemetry,
                 heartbeat_interval=config.obs_heartbeat_seconds,
                 heartbeat_sink=config.obs_sink,
+                recovery=recovery_config,
             )
-            fingerprint = config.fingerprint(
-                getattr(artifacts.app, "name", "target")
-            )
+            fingerprint = config.fingerprint(target_name)
             resume_state = None
             if resume_from is not None:
                 resume_state = load_checkpoint(resume_from, fingerprint)

@@ -30,12 +30,15 @@ PHASE_OF_SPAN = {
     "campaign/injection/materialise": "materialise",
     "campaign/injection/recovery": "recovery",
     "campaign/injection/recovery/boot": "recovery_boot",
+    "campaign/injection/recovery/cache": "recovery_cache",
     "campaign/injection/checkpoint": "checkpoint",
     "campaign/injection/planner": "planner",
 }
 
 #: Phases shown in the headline attribution table, in display order.
-HEADLINE_PHASES = ("materialise", "recovery", "checkpoint", "planner")
+HEADLINE_PHASES = (
+    "materialise", "recovery", "recovery_cache", "checkpoint", "planner"
+)
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -55,6 +58,9 @@ class PhaseProfile:
     variant: str
     worker: str
     durations: List[float] = field(default_factory=list)
+    #: Verdict-cache hits among these spans (``recovery_cache`` only —
+    #: counted off the span's ``hit`` attribute).
+    hits: int = 0
 
     @property
     def count(self) -> int:
@@ -118,6 +124,8 @@ def build_profiles(
         if profile is None:
             profile = profiles[key] = PhaseProfile(phase, variant, worker)
         profile.durations.append(float(event["dur"]))
+        if attrs.get("hit") is True:
+            profile.hits += 1
     return profiles
 
 
@@ -140,6 +148,7 @@ def _aggregate(
         if agg is None:
             agg = out[key] = PhaseProfile(phase, sub, sub)
         agg.durations.extend(profile.durations)
+        agg.hits += profile.hits
     return out
 
 
@@ -150,7 +159,7 @@ def _phase_order(phases) -> List[str]:
 
 
 _HEADER = (
-    f"{'phase':<16} {'by':<12} {'count':>7} {'total_s':>10} "
+    f"{'phase':<16} {'by':<12} {'count':>7} {'hits':>6} {'total_s':>10} "
     f"{'p50_ms':>9} {'p95_ms':>9} {'max_ms':>9} {'share':>7}"
 )
 
@@ -166,8 +175,15 @@ def _rows(aggregated, section_total: float) -> List[str]:
             share = (
                 stats["total"] / section_total if section_total > 0 else 0.0
             )
+            # The hits column only means something for verdict-cache
+            # lookups; other phases show a dash.
+            hits = (
+                f"{profile.hits:>6d}" if phase == "recovery_cache"
+                else f"{'-':>6}"
+            )
             rows.append(
                 f"{phase:<16} {sub:<12} {stats['count']:>7d} "
+                f"{hits} "
                 f"{stats['total']:>10.4f} "
                 f"{stats['p50'] * 1e3:>9.3f} {stats['p95'] * 1e3:>9.3f} "
                 f"{stats['max'] * 1e3:>9.3f} {share:>6.1%}"

@@ -485,6 +485,32 @@ class IncrementalHistoryIndex:
         self._lines_cache: Tuple[int, List[LineHistoryView]] = (-1, [])
         self._written_cache: Tuple[int, Tuple[int, ...]] = (-1, ())
 
+    def fork(self) -> "IncrementalHistoryIndex":
+        """A query-independent view sharing this index's built state.
+
+        The O(T) ``_build`` products (``_records``, written/torn
+        tables) are immutable after construction and safely shared; the
+        mutable *query* state (candidate sweep cursor, size-1 caches)
+        is private per fork, so parallel workers — or a per-cursor
+        :class:`~repro.pmem.faultmodel.AdversarialImageFactory` — can
+        each hold a fork and sweep independently without a second
+        history pass.
+        """
+        forked = object.__new__(IncrementalHistoryIndex)
+        forked._image_size = self._image_size
+        forked._records = self._records
+        forked._written_bases = self._written_bases
+        forked._written_seqs = self._written_seqs
+        forked._torn_events = self._torn_events
+        forked._torn_guaranteed = self._torn_guaranteed
+        forked._cand_fail_seq = -1
+        forked._cand_ptr = 0
+        forked._cand_live = {}
+        forked._cand_heap = []
+        forked._lines_cache = (-1, [])
+        forked._written_cache = (-1, ())
+        return forked
+
     # -- construction: exactly build_line_histories, once, full trace -- #
 
     def _build(self, trace: Sequence[MemoryEvent]) -> None:

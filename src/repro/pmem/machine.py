@@ -134,6 +134,44 @@ class PMachine:
             machine.medium.poison_line(base)
         return machine
 
+    def reset_to_image(
+        self, image: bytes, poisoned_lines: Iterable[int] = ()
+    ) -> "PMachine":
+        """Re-adopt this machine onto a new crash image.
+
+        Contractually equivalent to ``PMachine.from_image(image,
+        poisoned_lines, **same-config)``: every piece of mutable state
+        is rebuilt or cleared, so a pooled machine serving its Nth
+        recovery run is indistinguishable from a fresh boot
+        (property-tested in ``tests/recovery/test_pool.py``).  Only the
+        construction-time config (cache capacity/policy, trace flags,
+        ``eadr``) survives — which is exactly what the machine-template
+        pool wants to amortise.
+        """
+        buffer = getattr(image, "pm_buffer", None)
+        if buffer is not None:
+            medium = Medium(buffer=buffer)
+            adopted = getattr(image, "on_adopted", None)
+            if adopted is not None:
+                adopted(medium)
+            self.medium = medium
+        else:
+            self.medium = Medium(len(image))
+            self.medium.restore(image)
+        for base in poisoned_lines:
+            self.medium.poison_line(base)
+        # A fresh Cache (not drop_all) so eviction counters and policy
+        # state match a fresh boot exactly.
+        self.cache = Cache(self.cache.capacity, self.cache.policy)
+        self._pending_flushes.clear()
+        self._pending_nt.clear()
+        self._volatile.clear()
+        self._hooks.clear()
+        self._seq = 0
+        self.crashed = False
+        self.arm_watchdog()  # disarm + zero the step counter
+        return self
+
     # ------------------------------------------------------------------ #
     # hook plumbing
     # ------------------------------------------------------------------ #

@@ -1,0 +1,228 @@
+"""The recovery engine facade the harness consumes.
+
+:class:`RecoveryEngine` owns the campaign-wide pieces — one
+:class:`~repro.recovery.digest.ImageDigester`, one (optionally
+persistent) :class:`~repro.recovery.cache.VerdictCache`, the
+persisted-write index used for pre-dispatch grouping, and the
+aggregated :class:`RecoveryEngineStats`.  Each worker (or the serial
+loop) opens a :class:`RecoverySession`, which adds a private
+:class:`~repro.recovery.pool.MachineTemplatePool` and private hit/miss
+counters so no cross-thread contention happens outside the cache's own
+lock; ``collect_stats`` folds the sessions back into the engine.
+
+The engine is config-gated at two independent levers
+(:class:`RecoveryEngineConfig`): the verdict cache (``recovery_cache``)
+and the machine pool (``machine_pool``).  With both off, the harness
+takes its legacy path byte-for-byte.
+"""
+
+import dataclasses
+import threading
+
+from repro.obs.spans import NULL_TELEMETRY
+from repro.recovery.cache import VerdictCache
+from repro.recovery.digest import ImageDigester
+from repro.recovery.pool import MachineTemplatePool
+from repro.recovery.scheduler import (
+    persisted_write_extent,
+    persisted_write_seqs,
+    plan_groups,
+)
+
+#: Suffix appended to the checkpoint path for the default cache file.
+CACHE_SUFFIX = ".vcache"
+
+
+@dataclasses.dataclass
+class RecoveryEngineConfig:
+    """Recovery-engine knobs, resolved from the CLI/pipeline layer.
+
+    ``cache`` is the raw ``--recovery-cache`` value (``on`` / ``off`` /
+    an explicit path); ``cache_path`` is the resolved persistence path
+    (``None`` means in-memory only).  ``scope`` is the recovery scope
+    id (:func:`~repro.recovery.digest.recovery_scope`) binding target
+    and oracle budgets into every digest.
+    """
+
+    cache: str = "on"
+    machine_pool: int = 1
+    scope: str = ""
+    cache_path: object = None
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.cache != "off"
+
+    @property
+    def enabled(self) -> bool:
+        return self.cache_enabled or self.machine_pool > 0
+
+    @classmethod
+    def resolve(cls, recovery_cache, machine_pool, scope, checkpoint_path):
+        """Map raw config values onto an engine config.
+
+        ``--recovery-cache on`` persists next to the checkpoint when
+        checkpointing is active (so ``--resume`` skips re-verification)
+        and stays in-memory otherwise; any value other than ``on`` /
+        ``off`` is an explicit cache-file path.
+        """
+        cache = str(recovery_cache)
+        cache_path = None
+        if cache == "on":
+            if checkpoint_path is not None:
+                cache_path = str(checkpoint_path) + CACHE_SUFFIX
+        elif cache != "off":
+            cache_path = cache
+            cache = "on"
+        return cls(
+            cache=cache,
+            machine_pool=max(0, int(machine_pool)),
+            scope=scope,
+            cache_path=cache_path,
+        )
+
+
+@dataclasses.dataclass
+class RecoveryEngineStats:
+    """Counters the engine publishes (``recovery_engine_*``)."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stored: int = 0
+    cache_loaded: int = 0
+    cache_bytes_written: int = 0
+    dedup_groups: int = 0
+    dedup_followers: int = 0
+    pool_boots: int = 0
+    pool_reuses: int = 0
+
+    def merge(self, other: "RecoveryEngineStats"):
+        for field in dataclasses.fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def publish(self, registry):
+        for name, value in sorted(self.as_dict().items()):
+            registry.counter(f"recovery_engine_{name}").inc(value)
+
+
+class RecoveryEngine:
+    """Campaign-wide recovery dedup/caching/pooling coordinator."""
+
+    def __init__(
+        self, config, trace=None, write_seqs=None, telemetry=NULL_TELEMETRY
+    ):
+        self.config = config
+        self.telemetry = telemetry
+        self.stats = RecoveryEngineStats()
+        # Bound digesting to the campaign's persisted-write extent: all
+        # crash images agree outside it, so hashing pristine pool tail
+        # would cost full-pool time per injection for zero information.
+        extent = persisted_write_extent(trace) if trace is not None else None
+        self.digester = ImageDigester(config.scope, extent=extent)
+        self.cache = None
+        if config.cache_enabled:
+            self.cache = VerdictCache(config.scope, path=config.cache_path)
+            self.stats.cache_loaded = self.cache.loaded
+        if write_seqs is None:
+            write_seqs = (
+                persisted_write_seqs(trace) if trace is not None else []
+            )
+        self.write_seqs = write_seqs
+        self._lock = threading.Lock()
+        self._sessions = []
+
+    # -- scheduling ---------------------------------------------------
+
+    def plan_groups(self, tasks):
+        """Image-equivalence groups for ``tasks`` (counts dedup)."""
+        groups = plan_groups(tasks, self.write_seqs)
+        for group in groups:
+            if group.followers:
+                self.stats.dedup_groups += 1
+        return groups
+
+    # -- sessions -----------------------------------------------------
+
+    def session(self) -> "RecoverySession":
+        """A per-worker session (private pool + private counters)."""
+        created = RecoverySession(self)
+        with self._lock:
+            self._sessions.append(created)
+        return created
+
+    # -- lifecycle ----------------------------------------------------
+
+    def collect_stats(self) -> RecoveryEngineStats:
+        """Fold finished sessions into the engine-wide stats."""
+        with self._lock:
+            sessions, self._sessions = self._sessions, []
+        for session in sessions:
+            self.stats.merge(session.stats)
+            if session.pool is not None:
+                self.stats.pool_boots += session.pool.boots
+                self.stats.pool_reuses += session.pool.reuses
+        if self.cache is not None:
+            self.stats.cache_stored = len(self.cache) - self.stats.cache_loaded
+            self.stats.cache_bytes_written = self.cache.bytes_written
+        return self.stats
+
+    def close(self) -> RecoveryEngineStats:
+        stats = self.collect_stats()
+        if self.cache is not None:
+            self.cache.close()
+        return stats
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class RecoverySession:
+    """One worker's view of the engine.
+
+    The digester and cache are shared (the cache is thread-safe); the
+    machine pool and counters are private, so concurrent workers never
+    contend outside the cache's own lock.
+    """
+
+    def __init__(self, engine: RecoveryEngine):
+        self.engine = engine
+        self.config = engine.config
+        self.stats = RecoveryEngineStats()
+        self.pool = (
+            MachineTemplatePool(engine.config.machine_pool)
+            if engine.config.machine_pool > 0
+            else None
+        )
+
+    @property
+    def caching(self) -> bool:
+        return self.engine.cache is not None
+
+    def digest(self, image, poisoned_lines=(), variant=None):
+        if variant is None:
+            return self.engine.digester.digest(image, poisoned_lines)
+        return self.engine.digester.digest(
+            image, poisoned_lines, variant=variant
+        )
+
+    def lookup(self, digest):
+        """Cached outcome record for ``digest`` (counts hit/miss)."""
+        record = self.engine.cache.lookup(digest)
+        if record is None:
+            self.stats.cache_misses += 1
+        else:
+            self.stats.cache_hits += 1
+        return record
+
+    def store(self, digest, outcome):
+        return self.engine.cache.store(digest, outcome)

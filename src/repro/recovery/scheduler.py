@@ -1,0 +1,175 @@
+"""Dedup-aware dispatch: group failure points by image equivalence.
+
+Two prefix failure points with the same *persisted-write count* produce
+byte-identical crash images by construction — a prefix image is exactly
+"the initial image plus every persisted PM write with ``seq`` below the
+failure seq", so the count of such writes determines the bytes (PR 3's
+incremental engine and the replay engine agree on this; it is their
+differential contract).  That makes grouping exact and **free**: no
+image has to be materialised to know two tasks collapse.
+
+:func:`plan_groups` exploits this.  Each :class:`TaskGroup` has a
+*leader* (verified for real) and *followers* (replayed from the
+leader's outcome via :func:`replay_result`, rebinding the per-task
+stack key and finding).  Adversarial variants are singleton groups —
+their sampled bytes are only discovered at materialisation time, where
+the verdict cache (not the scheduler) catches collisions.
+
+:class:`OrderedJournalWriter` is the other half of the differential
+contract: results finish out of index order (followers complete the
+instant their leader does; parallel workers race), but the checkpoint
+journal must stay byte-identical with the engine off, i.e. strictly
+index-ordered.  The writer buffers and drains in order.
+"""
+
+import dataclasses
+from bisect import bisect_left
+
+from repro.pmem.faultmodel import VARIANT_PREFIX
+from repro.pmem.machine import CACHE_LINE_SIZE, VOLATILE_BASE
+
+
+def persisted_write_seqs(trace):
+    """Sorted seqs of events that persist bytes to PM.
+
+    Mirrors the PM-write filter of the incremental engine's delta
+    journal: data-carrying writes below the volatile window.
+    """
+    return [
+        event.seq
+        for event in trace
+        if event.is_write
+        and event.data is not None
+        and event.address is not None
+        and event.address < VOLATILE_BASE
+    ]
+
+
+def persisted_write_extent(trace):
+    """The ``(start, stop)`` byte range the trace's persisted writes
+    cover, or ``None`` when nothing persists.
+
+    Every crash image of the campaign — prefix, torn, reorder, media —
+    differs from the pristine pool only inside this range, so the
+    digester can bound its hashing to it.  The range is aligned out to
+    cache-line boundaries because adversarial mutations (torn/reorder
+    cuts, media bit flips) operate on whole *written lines*: a flip can
+    land anywhere in a line whose write covered only its first bytes.
+    """
+    start = None
+    stop = None
+    for event in trace:
+        if (
+            event.is_write
+            and event.data is not None
+            and event.address is not None
+            and event.address < VOLATILE_BASE
+        ):
+            end = event.address + len(event.data)
+            if start is None or event.address < start:
+                start = event.address
+            if stop is None or end > stop:
+                stop = end
+    if start is None:
+        return None
+    start -= start % CACHE_LINE_SIZE
+    stop += -stop % CACHE_LINE_SIZE
+    return (start, stop)
+
+
+@dataclasses.dataclass
+class TaskGroup:
+    """One image-equivalence class of pending tasks."""
+
+    leader: object
+    followers: list = dataclasses.field(default_factory=list)
+
+    def __len__(self):
+        return 1 + len(self.followers)
+
+
+def plan_groups(tasks, write_seqs):
+    """Group ``tasks`` into image-equivalence classes.
+
+    Prefix tasks whose failure seq admits the same number of persisted
+    writes share one group (first seen becomes the leader); adversarial
+    variants are singletons.  Group order follows leader first-seen
+    order, so serial dispatch with the engine on visits images in the
+    same order as with it off.
+    """
+    groups = []
+    by_count = {}
+    for task in tasks:
+        if task.variant != VARIANT_PREFIX:
+            groups.append(TaskGroup(leader=task))
+            continue
+        count = bisect_left(write_seqs, task.seq)
+        group = by_count.get(count)
+        if group is None:
+            group = TaskGroup(leader=task)
+            by_count[count] = group
+            groups.append(group)
+        else:
+            group.followers.append(task)
+    return groups
+
+
+def replay_result(leader_result, task, finding_factory):
+    """A follower's result, replayed from its leader's.
+
+    The outcome is rebound to the follower's stack key and the finding
+    is re-derived through ``finding_factory`` (the harness's
+    ``make_finding``), so reports attribute the bug to *this* failure
+    point, exactly as an independent run would have.
+    """
+    outcome = dataclasses.replace(
+        leader_result.outcome, stack_key=task.stack
+    )
+    return dataclasses.replace(
+        leader_result,
+        task=task,
+        outcome=outcome,
+        finding=finding_factory(
+            task.stack, task.seq, outcome, variant=task.variant
+        ),
+        attempts=1,
+        restored=False,
+        materialise_seconds=0.0,
+        recovery_seconds=0.0,
+    )
+
+
+class OrderedJournalWriter:
+    """Re-serialise out-of-order completions into index order.
+
+    ``record`` is called exactly once per result, in ascending
+    ``task.index`` order over ``expected_indices``, no matter the
+    completion order.  This keeps checkpoint journals byte-identical
+    with the engine off (which completes tasks strictly in order).
+    """
+
+    def __init__(self, record, expected_indices):
+        self._record = record
+        self._pending = {}
+        self._order = sorted(expected_indices)
+        self._cursor = 0
+
+    def offer(self, result):
+        """Accept one completed result; drain whatever is now ready."""
+        self._pending[result.task.index] = result
+        while self._cursor < len(self._order):
+            index = self._order[self._cursor]
+            ready = self._pending.pop(index, None)
+            if ready is None:
+                break
+            self._record(ready)
+            self._cursor += 1
+
+    def flush_remaining(self):
+        """Defensively drain any buffered results (index order)."""
+        for index in sorted(self._pending):
+            self._record(self._pending.pop(index))
+
+    @property
+    def buffered(self):
+        return len(self._pending)

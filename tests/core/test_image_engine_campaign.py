@@ -169,14 +169,15 @@ class TestHotPathAccounting:
         assert r.image_bytes_copied >= 10 * i.image_bytes_copied
 
     def test_history_passes_are_constant_not_per_point(self):
-        """Incremental: one shared pass per factory (the planner plus
-        one per worker — 2 in a serial campaign), regardless of how many
+        """Incremental: one shared pass per *campaign* — the planner
+        builds it and every cursor (serial or per-worker) adopts a
+        fork of the already-built index — regardless of how many
         failure points and variants consume it.  Replay: at least one
         full persistence-state-machine replay per failure point."""
         model = FaultModelConfig(model="adversarial", samples=2, seed=11)
         incremental = run(model)
         replay = run(model, image_engine=ENGINE_IMAGE_REPLAY)
-        assert incremental.fault_injection.stats.history_passes == 2
+        assert incremental.fault_injection.stats.history_passes == 1
         points = (
             incremental.fault_injection.stats.unique_failure_points
         )

@@ -1,6 +1,10 @@
 """Recovery-oracle classification tests."""
 
-from repro.core.oracle import RecoveryStatus, run_recovery
+from repro.core.oracle import (
+    RecoveryStatus,
+    format_capped_trace,
+    run_recovery,
+)
 from repro.errors import RecoveryError
 from repro.pmem import PMachine
 
@@ -58,3 +62,47 @@ def test_recovery_runs_on_the_given_image():
     image[100] = 0x7F
     run_recovery(Probe, bytes(image))
     assert captured["byte"] == b"\x7f"
+
+
+# --------------------------------------------------------------------- #
+# format_capped_trace edge cases (hardened, not incidental)
+# --------------------------------------------------------------------- #
+
+
+def _boom():
+    try:
+        raise ValueError("x" * 200)
+    except ValueError as err:
+        return err
+
+
+def test_capped_trace_zero_char_limit_is_marker_only():
+    text = format_capped_trace(_boom(), char_limit=0)
+    assert text == "... [trace truncated]"
+
+
+def test_capped_trace_negative_limits_clamped():
+    # Negative limits behave like 0 instead of slicing from the end.
+    text = format_capped_trace(_boom(), frame_limit=-3, char_limit=-10)
+    assert text == "... [trace truncated]"
+
+
+def test_capped_trace_shorter_than_cap_unchanged():
+    full = format_capped_trace(_boom(), char_limit=1 << 20)
+    assert "truncated" not in full
+    # Text exactly at the cap is also returned unchanged: the marker
+    # only appears when characters were actually dropped.
+    exact = format_capped_trace(_boom(), char_limit=len(full))
+    assert exact == full
+
+
+def test_capped_trace_truncates_and_marks():
+    text = format_capped_trace(_boom(), char_limit=50)
+    assert text.startswith(format_capped_trace(_boom(), char_limit=1 << 20)[:50])
+    assert text.endswith("... [trace truncated]")
+    assert len(text) <= 50 + len("\n... [trace truncated]")
+
+
+def test_capped_trace_zero_frame_limit_still_renders_exception():
+    text = format_capped_trace(_boom(), frame_limit=0)
+    assert "ValueError" in text

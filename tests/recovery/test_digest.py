@@ -1,0 +1,178 @@
+"""Digest-aliasing properties: what may share a verdict and what must not.
+
+The digest is the verdict-cache key, so these are correctness
+properties, not conveniences: any aliasing bug here silently replays
+the wrong recovery verdict.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.recovery.digest import ImageDigester, recovery_scope
+
+images = st.binary(min_size=1, max_size=512)
+poison_sets = st.frozensets(st.integers(0, 63).map(lambda n: n * 64),
+                            max_size=4)
+
+
+class _Pooled:
+    """Stand-in for a pooled MaterialisedImage: exposes ``pm_buffer``."""
+
+    def __init__(self, data):
+        self.pm_buffer = bytearray(data)
+
+
+# --------------------------------------------------------------------- #
+# what must alias
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=images, poisons=poison_sets)
+def test_same_bytes_same_family_same_poisons_alias(data, poisons):
+    digester = ImageDigester("scope-a")
+    assert digester.digest(data, poisons) == digester.digest(
+        bytes(data), poisons
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=images)
+def test_samples_within_a_family_alias(data):
+    """Two torn samples with identical bytes share one verdict: the
+    *family*, not the sample id, is bound into the preimage."""
+    digester = ImageDigester("scope-a")
+    assert digester.digest(data, variant="torn:1") == digester.digest(
+        data, variant="torn:7"
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=images, poisons=poison_sets)
+def test_pooled_buffer_aliases_raw_bytes(data, poisons):
+    """A pooled image (``pm_buffer``) digests identically to its bytes —
+    the zero-copy path cannot fork the key space."""
+    digester = ImageDigester("scope-a")
+    assert digester.digest(_Pooled(data), poisons) == digester.digest(
+        data, poisons
+    )
+
+
+def test_poison_order_is_canonicalised():
+    digester = ImageDigester("scope-a")
+    assert digester.digest(b"x", (192, 0, 64)) == digester.digest(
+        b"x", (0, 64, 192)
+    )
+
+
+# --------------------------------------------------------------------- #
+# what must never alias
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=images)
+def test_families_never_alias_even_on_byte_collision(data):
+    """A torn image may never adopt a prefix image's verdict, even when
+    the sampled bytes happen to coincide."""
+    digester = ImageDigester("scope-a")
+    seen = {
+        digester.digest(data, variant=variant)
+        for variant in ("prefix", "torn:0", "reorder:0", "media:0")
+    }
+    assert len(seen) == 4
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=images, poisons=poison_sets.filter(bool))
+def test_poison_set_is_part_of_the_key(data, poisons):
+    """Same bytes, different post-crash media state: different verdict."""
+    digester = ImageDigester("scope-a")
+    assert digester.digest(data, poisons) != digester.digest(data, ())
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=images)
+def test_scope_is_part_of_the_key(data):
+    """A verdict recorded under one oracle budget must not be replayed
+    under another: the scope splits the key space."""
+    assert ImageDigester("scope-a").digest(data) != ImageDigester(
+        "scope-b"
+    ).digest(data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=images, flip=st.integers(0, 511))
+def test_byte_changes_change_the_digest(data, flip):
+    digester = ImageDigester("scope-a")
+    mutated = bytearray(data)
+    index = flip % len(mutated)
+    mutated[index] ^= 0x01
+    assert digester.digest(data) != digester.digest(bytes(mutated))
+
+
+# --------------------------------------------------------------------- #
+# extent-bounded digesting
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=images)
+def test_extent_ignores_bytes_outside_it_by_design(data):
+    """The extent is the range the campaign's persisted writes cover:
+    all images agree outside it, so the digester deliberately does not
+    hash the pristine tail (that is the whole optimisation)."""
+    digester = ImageDigester("scope-a", extent=(0, len(data)))
+    padded = bytes(data) + b"\x00" * 256
+    assert digester.digest(data) == digester.digest(padded)
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=images)
+def test_extent_is_part_of_the_key(data):
+    """Differently-shaped campaigns (different write extents) never
+    alias, even over identical hashed slices."""
+    whole = (0, len(data))
+    a = ImageDigester("scope-a", extent=whole)
+    b = ImageDigester("scope-a", extent=(0, len(data) + 64))
+    full = ImageDigester("scope-a")  # extent=None: hash everything
+    assert len({
+        a.digest(data),
+        b.digest(bytes(data) + bytes(64)),
+        full.digest(data),
+    }) == 3
+
+
+def test_extent_changes_inside_it_still_split_the_key():
+    digester = ImageDigester("scope-a", extent=(64, 128))
+    image_a = bytearray(256)
+    image_b = bytearray(256)
+    image_b[100] = 0xFF
+    assert digester.digest(image_a) != digester.digest(image_b)
+
+
+# --------------------------------------------------------------------- #
+# recovery_scope
+# --------------------------------------------------------------------- #
+
+
+def test_scope_ignores_payload_construction_order():
+    a = recovery_scope({"target": "btree", "timeout_seconds": 5.0})
+    b = recovery_scope({"timeout_seconds": 5.0, "target": "btree"})
+    assert a == b
+
+
+def test_scope_splits_on_oracle_budgets():
+    base = {"target": "btree", "timeout_seconds": 5.0, "step_budget": 100}
+    assert recovery_scope(base) != recovery_scope(
+        {**base, "step_budget": 200}
+    )
+    assert recovery_scope(base) != recovery_scope(
+        {**base, "target": "rbtree"}
+    )
+
+
+def test_scope_is_short_and_stable():
+    scope = recovery_scope({"target": "t"})
+    assert len(scope) == 16
+    assert scope == recovery_scope({"target": "t"})

@@ -1,0 +1,139 @@
+"""Machine-template pool: reset ≡ fresh boot, property-tested.
+
+The pool's whole contract is one sentence: a machine serving its Nth
+recovery run after ``reset_to_image`` is indistinguishable from a
+machine freshly constructed by ``PMachine.from_image``.  The property
+test drives a *polluting* op script on the pooled machine first, resets
+it onto a second image, then runs an identical probe script on the
+reset machine and on a fresh boot and compares every observable:
+persisted bytes, visible (cache-inclusive) loads, dirty/pending
+counters, and the step count.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MediaError
+from repro.pmem import CACHE_LINE_SIZE, PMachine
+from repro.recovery.pool import MachineTemplatePool
+
+PM_SIZE = 8192
+SLOTS = 30
+
+op_strategy = st.tuples(
+    st.sampled_from(["store", "nt", "clwb", "clflush", "sfence", "mfence",
+                     "rmw"]),
+    st.integers(0, SLOTS),  # slot
+    st.integers(1, 255),    # value byte
+)
+
+
+def drive(machine, script):
+    for op, slot, value in script:
+        addr = 256 + slot * CACHE_LINE_SIZE
+        if op == "store":
+            machine.store(addr, bytes([value]))
+        elif op == "nt":
+            machine.ntstore(addr, bytes([value]))
+        elif op == "rmw":
+            machine.rmw_u64(addr, lambda _old: value)
+        elif op == "clwb":
+            machine.clwb(addr)
+        elif op == "clflush":
+            machine.clflush(addr)
+        elif op == "sfence":
+            machine.sfence()
+        else:
+            machine.mfence()
+
+
+def observe(machine):
+    """Every externally visible piece of machine state."""
+    loads = [
+        machine.load(256 + slot * CACHE_LINE_SIZE, 8)
+        for slot in range(SLOTS + 1)
+    ]
+    return {
+        "crash_image": machine.crash_image(),
+        "loads": loads,
+        "dirty": machine.dirty_line_count(),
+        "pending_flush": machine.pending_flush_count(),
+        "pending_nt": machine.pending_nt_count(),
+        "steps": machine.steps,
+        "crashed": machine.crashed,
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pollute=st.lists(op_strategy, max_size=40),
+    probe=st.lists(op_strategy, max_size=40),
+    image_seed=st.integers(0, 10_000),
+)
+def test_reset_machine_is_indistinguishable_from_fresh_boot(
+    pollute, probe, image_seed
+):
+    import random
+
+    image = bytes(random.Random(image_seed).randrange(256)
+                  for _ in range(PM_SIZE))
+
+    pool = MachineTemplatePool(size=1)
+    dirty = pool.acquire(bytes(PM_SIZE))
+    drive(dirty, pollute)  # arbitrary residue: cache, WPQ, NT buffers
+    assert pool.release(dirty)
+
+    recycled = pool.acquire(image)
+    assert recycled is dirty  # actually reused, not a fresh boot
+    assert pool.reuses == 1
+
+    fresh = PMachine.from_image(image)
+    drive(recycled, probe)
+    drive(fresh, probe)
+    assert observe(recycled) == observe(fresh)
+
+
+def test_reset_clears_poisoned_lines():
+    pool = MachineTemplatePool(size=1)
+    poisoned = pool.acquire(bytes(PM_SIZE), poisoned_lines=(256,))
+    with pytest.raises(MediaError):
+        poisoned.load(256, 8)
+    pool.release(poisoned)
+    clean = pool.acquire(bytes(PM_SIZE))
+    assert clean is poisoned
+    assert clean.load(256, 8) == bytes(8)  # no leaked media errors
+
+
+def test_reset_applies_new_poison_set():
+    pool = MachineTemplatePool(size=1)
+    pool.release(pool.acquire(bytes(PM_SIZE)))
+    machine = pool.acquire(bytes(PM_SIZE), poisoned_lines=(512,))
+    with pytest.raises(MediaError):
+        machine.load(512, 8)
+
+
+def test_counters_and_capacity():
+    pool = MachineTemplatePool(size=2)
+    a = pool.acquire(bytes(PM_SIZE))
+    b = pool.acquire(bytes(PM_SIZE))
+    c = pool.acquire(bytes(PM_SIZE))
+    assert pool.boots == 3 and pool.reuses == 0
+    assert pool.release(a) and pool.release(b)
+    assert not pool.release(c)  # full: dropped
+    assert len(pool) == 2
+    pool.acquire(bytes(PM_SIZE))
+    assert pool.reuses == 1
+
+
+def test_disabled_pool_always_boots():
+    pool = MachineTemplatePool(size=0)
+    machine = pool.acquire(bytes(PM_SIZE))
+    assert not pool.release(machine)
+    pool.acquire(bytes(PM_SIZE))
+    assert pool.boots == 2 and pool.reuses == 0 and len(pool) == 0
+
+
+def test_release_none_is_a_noop():
+    pool = MachineTemplatePool(size=1)
+    assert pool.release(None) is False

@@ -1,0 +1,204 @@
+"""Dedup scheduler unit tests: grouping, replay, ordered journalling."""
+
+import dataclasses
+
+from repro.core.harness import InjectionResult, InjectionTask
+from repro.core.oracle import RecoveryOutcome, RecoveryStatus
+from repro.pmem.machine import VOLATILE_BASE
+from repro.recovery.scheduler import (
+    OrderedJournalWriter,
+    TaskGroup,
+    persisted_write_extent,
+    persisted_write_seqs,
+    plan_groups,
+    replay_result,
+)
+
+
+@dataclasses.dataclass
+class FakeEvent:
+    seq: int
+    is_write: bool = True
+    data: object = b"\x01"
+    address: object = 0
+
+
+def task(index, seq, variant="prefix"):
+    return InjectionTask(
+        index=index, stack=(f"fn{index}",), seq=seq, variant=variant
+    )
+
+
+# --------------------------------------------------------------------- #
+# persisted_write_seqs
+# --------------------------------------------------------------------- #
+
+
+def test_write_filter_mirrors_the_delta_journal():
+    trace = [
+        FakeEvent(seq=1),                                # counted
+        FakeEvent(seq=2, is_write=False),                # load
+        FakeEvent(seq=3, data=None),                     # fence/flush
+        FakeEvent(seq=4, address=None),                  # non-memory
+        FakeEvent(seq=5, address=VOLATILE_BASE),         # volatile window
+        FakeEvent(seq=6, address=VOLATILE_BASE - 64),    # counted
+    ]
+    assert persisted_write_seqs(trace) == [1, 6]
+
+
+def test_write_extent_is_line_aligned_and_covers_all_writes():
+    trace = [
+        FakeEvent(seq=1, address=100, data=b"\x01" * 8),
+        FakeEvent(seq=2, address=900, data=b"\x01" * 10),
+        FakeEvent(seq=3, address=5000, is_write=False),   # load: ignored
+        FakeEvent(seq=4, address=VOLATILE_BASE + 64),     # volatile
+    ]
+    # Writes cover [100, 910); aligned out to cache lines because
+    # adversarial mutations (torn cuts, media bit flips) touch whole
+    # written lines.
+    assert persisted_write_extent(trace) == (64, 960)
+
+
+def test_write_extent_none_when_nothing_persists():
+    assert persisted_write_extent([]) is None
+    assert persisted_write_extent(
+        [FakeEvent(seq=1, is_write=False), FakeEvent(seq=2, data=None)]
+    ) is None
+
+
+# --------------------------------------------------------------------- #
+# plan_groups
+# --------------------------------------------------------------------- #
+
+
+def test_equal_write_counts_collapse_to_one_group():
+    # Persisted writes at seqs 10, 20, 30.  Failure seqs 12 and 15 both
+    # admit exactly one write -> byte-identical prefix images.
+    tasks = [task(0, 12), task(1, 15), task(2, 25)]
+    groups = plan_groups(tasks, [10, 20, 30])
+    assert [g.leader.index for g in groups] == [0, 2]
+    assert [f.index for f in groups[0].followers] == [1]
+    assert len(groups[0]) == 2 and len(groups[1]) == 1
+
+
+def test_failure_at_a_write_seq_excludes_that_write():
+    """bisect_left: crashing *at* a write's seq means it has not
+    persisted yet, so seq==10 groups with seq==5, not with seq==11."""
+    groups = plan_groups([task(0, 5), task(1, 10), task(2, 11)], [10])
+    assert [f.index for f in groups[0].followers] == [1]
+    assert groups[1].leader.index == 2
+
+
+def test_adversarial_variants_are_singletons():
+    """Sampled bytes are only known at materialisation time; collisions
+    are the verdict cache's job, not the scheduler's."""
+    tasks = [task(0, 12, "torn:0"), task(1, 12, "torn:0"),
+             task(2, 12, "media:1")]
+    groups = plan_groups(tasks, [10])
+    assert all(not g.followers for g in groups)
+    assert len(groups) == 3
+
+
+def test_group_order_follows_leader_first_seen():
+    tasks = [task(0, 25), task(1, 5), task(2, 26), task(3, 6)]
+    groups = plan_groups(tasks, [10, 20])
+    assert [g.leader.index for g in groups] == [0, 1]
+    assert [f.index for f in groups[0].followers] == [2]
+    assert [f.index for f in groups[1].followers] == [3]
+
+
+def test_empty_inputs():
+    assert plan_groups([], []) == []
+    single = plan_groups([task(0, 1)], [])
+    assert single == [TaskGroup(leader=task(0, 1))]
+
+
+# --------------------------------------------------------------------- #
+# replay_result
+# --------------------------------------------------------------------- #
+
+
+def test_replay_rebinds_stack_and_rederives_finding():
+    leader_task = task(0, 12)
+    follower = task(5, 15)
+    outcome = RecoveryOutcome(
+        status=RecoveryStatus.CRASHED, error="boom", trace="tb",
+        stack_key=leader_task.stack,
+    )
+    leader_result = InjectionResult(
+        task=leader_task, outcome=outcome, finding="leader-finding",
+        attempts=3, materialise_seconds=0.5, recovery_seconds=0.7,
+    )
+    calls = {}
+
+    def make_finding(stack, seq, got_outcome, variant):
+        calls.update(stack=stack, seq=seq, outcome=got_outcome,
+                     variant=variant)
+        return "follower-finding"
+
+    replayed = replay_result(leader_result, follower, make_finding)
+    assert replayed.task is follower
+    assert replayed.outcome.stack_key == follower.stack
+    assert replayed.outcome.status is RecoveryStatus.CRASHED
+    assert replayed.finding == "follower-finding"
+    assert calls["stack"] == follower.stack
+    assert calls["seq"] == follower.seq
+    assert calls["outcome"] is replayed.outcome
+    # Replays are free and first-try: no attempts, no wall-clock.
+    assert replayed.attempts == 1
+    assert replayed.restored is False
+    assert replayed.materialise_seconds == 0.0
+    assert replayed.recovery_seconds == 0.0
+    # The leader's own result is untouched.
+    assert leader_result.outcome.stack_key == leader_task.stack
+    assert leader_result.attempts == 3
+
+
+# --------------------------------------------------------------------- #
+# OrderedJournalWriter
+# --------------------------------------------------------------------- #
+
+
+def _result(index):
+    return InjectionResult(task=task(index, index))
+
+
+def test_out_of_order_completions_drain_in_index_order():
+    recorded = []
+    writer = OrderedJournalWriter(
+        lambda r: recorded.append(r.task.index), [0, 1, 2, 3]
+    )
+    writer.offer(_result(2))
+    writer.offer(_result(0))
+    assert recorded == [0]  # 1 still missing: 2 stays buffered
+    assert writer.buffered == 1
+    writer.offer(_result(1))
+    assert recorded == [0, 1, 2]
+    writer.offer(_result(3))
+    assert recorded == [0, 1, 2, 3]
+    assert writer.buffered == 0
+
+
+def test_sparse_and_unsorted_expected_indices():
+    recorded = []
+    writer = OrderedJournalWriter(
+        lambda r: recorded.append(r.task.index), [7, 2, 10]
+    )
+    writer.offer(_result(10))
+    writer.offer(_result(7))
+    assert recorded == []
+    writer.offer(_result(2))
+    assert recorded == [2, 7, 10]
+
+
+def test_flush_remaining_drains_stragglers_in_order():
+    """Defensive drain (e.g. a quarantined leader whose followers were
+    re-enqueued): whatever is buffered still lands index-ordered."""
+    recorded = []
+    writer = OrderedJournalWriter(
+        lambda r: recorded.append(r.task.index), [0, 1, 2]
+    )
+    writer.offer(_result(2))
+    writer.offer(_result(1))
+    writer.flush_remaining()
+    assert recorded == [1, 2]

@@ -160,6 +160,76 @@ def test_obs_report_missing_dir_is_actionable(tmp_path, capsys):
     assert "--obs" in captured.err
 
 
+def test_obs_report_empty_dir_is_one_line_error(tmp_path, capsys):
+    """Regression: an existing-but-empty run dir exits 2 with a single
+    actionable line on stderr instead of a traceback."""
+    empty = tmp_path / "empty-run"
+    empty.mkdir()
+    code = main(["obs", "report", str(empty)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--obs" in captured.err
+    assert "Traceback" not in captured.err
+    assert len(captured.err.strip().splitlines()) == 1
+
+
+def test_obs_report_corrupt_stream_is_one_line_error(tmp_path, capsys):
+    """Mid-stream corruption surfaces as exit 2 + stderr, no traceback."""
+    run_dir = tmp_path / "run"
+    run_dir.mkdir()
+    stream = run_dir / "telemetry.jsonl"
+    stream.write_text(
+        '{"kind":"span","span":"campaign/injection/recovery","dur":0.1}\n'
+        "{corrupt mid-stream line\n"
+        '{"kind":"span","span":"campaign/injection/recovery","dur":0.2}\n',
+        encoding="utf-8",
+    )
+    code = main(["obs", "report", str(run_dir)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.strip()
+    assert "Traceback" not in captured.err
+
+
+def test_analyze_recovery_cache_summary_line(capsys):
+    """Defaults-on recovery engine surfaces hit/miss in the summary."""
+    code = main([
+        "analyze", "btree", "--ops", "40", "--spt", "--bugs", "none",
+        "--max-injections", "10",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "recovery cache:" in out
+
+
+def test_analyze_recovery_cache_off_matches_on(capsys):
+    """Differential: report identical with the recovery engine off."""
+    base = ["analyze", "btree", "--ops", "40", "--spt", "--bugs", "none",
+            "--max-injections", "10"]
+    assert main(base) == 0
+    on = capsys.readouterr().out
+    assert main(
+        base + ["--recovery-cache", "off", "--machine-pool", "0"]
+    ) == 0
+    off = capsys.readouterr().out
+    # Rendered report (everything before the summary) is byte-identical.
+    assert on.split("\n\n[")[0] == off.split("\n\n[")[0]
+    assert "recovery cache:" not in off
+
+
+def test_obs_report_has_cache_hit_column(tmp_path, capsys):
+    run_dir = str(tmp_path / "run")
+    assert main([
+        "analyze", "btree", "--ops", "60", "--spt", "--bugs", "none",
+        "--obs", run_dir,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["obs", "report", run_dir]) == 0
+    out = capsys.readouterr().out
+    assert "hits" in out
+    assert "recovery_cache" in out
+
+
 def test_quick_run_returns_text_without_printing(capsys):
     from repro import quick_run
     from repro.apps.btree import BTree
