@@ -23,6 +23,12 @@ import sys
 from repro.apps import APPLICATIONS
 from repro.apps.bugs import bugs_for_app, default_bugs_for
 from repro.core import Mumak, MumakConfig
+from repro.fabric import (
+    ChaosConfig,
+    ChaosSpecError,
+    DrainController,
+    INTERRUPT_EXIT_CODE,
+)
 from repro.pmem.faultmodel import MODELS, FaultModelConfig
 from repro.pmem.incremental import ENGINE_IMAGE_INCREMENTAL, IMAGE_ENGINES
 from repro.workloads import generate_workload
@@ -101,6 +107,27 @@ def _add_analyze(sub) -> None:
                              "--checkpoint (fingerprint-checked; the "
                              "resumed report is byte-identical to an "
                              "uninterrupted run)")
+    # Multiprocess campaign fabric (repro.fabric).
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="partition the failure-point space across "
+                             "N worker processes supervised for "
+                             "death/respawn (default 1 = in-process; "
+                             "findings, reports, and checkpoints are "
+                             "byte-identical to a serial run)")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="chaos mode: SIGKILL live shard workers at "
+                             "seeded random to exercise worker-death "
+                             "recovery; SPEC is "
+                             "kill-worker=P[,seed=S][,max-kills=K] "
+                             "(output stays byte-identical to a serial "
+                             "run)")
+    parser.add_argument("--stall-window", type=float, default=0.0,
+                        metavar="SECONDS", dest="stall_window",
+                        help="report a worker/shard as stalled (one "
+                             "worker_stalled event + metric, and a "
+                             "stderr line with --obs-heartbeat) after "
+                             "SECONDS without progress (default 0 = "
+                             "off)")
     # Recovery engine (repro.recovery).
     parser.add_argument("--recovery-cache", default="on",
                         metavar="ON|OFF|PATH", dest="recovery_cache",
@@ -170,6 +197,19 @@ def _cmd_analyze(args) -> int:
     if args.resume and not args.checkpoint:
         emit("--resume requires --checkpoint PATH", stream=sys.stderr)
         return 2
+    if args.shards < 1:
+        emit("--shards must be >= 1", stream=sys.stderr)
+        return 2
+    if args.chaos is not None:
+        try:
+            ChaosConfig.parse(args.chaos)
+        except ChaosSpecError as err:
+            emit(str(err), stream=sys.stderr)
+            return 2
+    if (args.shards > 1 or args.chaos) and args.engine != "trace":
+        emit("--shards/--chaos require --engine trace",
+             stream=sys.stderr)
+        return 2
 
     def factory():
         return cls(**options)
@@ -185,6 +225,12 @@ def _cmd_analyze(args) -> int:
         samples=args.adversarial_samples,
         seed=args.fault_seed,
     )
+    # Two-stage signal handling: the first SIGINT/SIGTERM requests a
+    # graceful drain (checkpoint + verdict cache flushed, resumable via
+    # --resume), a second one force-exits 130.
+    drain = DrainController(
+        notice=lambda line: emit(line, stream=sys.stderr)
+    )
     config = MumakConfig(
         include_warnings=not args.no_warnings,
         engine=args.engine,
@@ -197,6 +243,10 @@ def _cmd_analyze(args) -> int:
         jobs=args.jobs,
         checkpoint_path=args.checkpoint,
         checkpoint_interval=args.checkpoint_interval,
+        shards=args.shards,
+        chaos=args.chaos,
+        stop_event=drain.stop_event,
+        stall_window_seconds=args.stall_window,
         fault_model=fault_model,
         image_engine=args.image_engine,
         recovery_cache=recovery_cache,
@@ -206,7 +256,10 @@ def _cmd_analyze(args) -> int:
         obs_sink=_heartbeat_sink if args.obs_heartbeat > 0 else None,
     )
     resume_from = args.checkpoint if args.resume else None
-    result = Mumak(config).analyze(factory, workload, resume_from=resume_from)
+    with drain:
+        result = Mumak(config).analyze(
+            factory, workload, resume_from=resume_from
+        )
     emit(result.report.render(include_warnings=not args.no_warnings))
     summary = [f"[{args.target}] trace: {result.trace_length} events"]
     if result.fault_injection is not None:
@@ -228,6 +281,17 @@ def _cmd_analyze(args) -> int:
             )
         if stats.quarantined:
             summary.append(f"quarantined: {stats.quarantined}")
+        if stats.shards:
+            shard_bits = f"shards: {stats.shards}"
+            if stats.shard_deaths or stats.chaos_kills:
+                shard_bits += (
+                    f" (deaths {stats.shard_deaths}, "
+                    f"respawns {stats.shard_respawns}"
+                )
+                if stats.chaos_kills:
+                    shard_bits += f", chaos kills {stats.chaos_kills}"
+                shard_bits += ")"
+            summary.append(shard_bits)
         summary.append(
             f"image engine: {stats.image_engine} "
             f"(materialise {stats.materialise_seconds:.2f}s, "
@@ -255,6 +319,20 @@ def _cmd_analyze(args) -> int:
             f"(render with: mumak obs report {args.obs_dir})",
             stream=sys.stderr,
         )
+    fi = result.fault_injection
+    if fi is not None and fi.drained:
+        resume_hint = (
+            f" — resume with: mumak analyze {args.target} "
+            f"--checkpoint {args.checkpoint} --resume"
+            if args.checkpoint
+            else " (no --checkpoint: partial results were discarded)"
+        )
+        emit(
+            f"[mumak] campaign drained after {stats.injections} "
+            f"injection(s){resume_hint}",
+            stream=sys.stderr,
+        )
+        return INTERRUPT_EXIT_CODE
     return 1 if result.report.bugs else 0
 
 

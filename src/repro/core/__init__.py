@@ -21,8 +21,11 @@ from repro.core.harness import (
     CampaignJournal,
     HarnessConfig,
     QuarantineRecord,
+    TornJournalWarning,
     load_checkpoint,
+    read_journal,
     run_campaign,
+    scan_journal,
 )
 from repro.core.oracle import RecoveryOutcome, RecoveryStatus, run_recovery
 from repro.core.pipeline import Mumak, MumakConfig, MumakResult
@@ -46,8 +49,11 @@ __all__ = [
     "CampaignJournal",
     "HarnessConfig",
     "QuarantineRecord",
+    "TornJournalWarning",
     "load_checkpoint",
+    "read_journal",
     "run_campaign",
+    "scan_journal",
     "CORRECTNESS_KINDS",
     "ENGINE_REPLAY",
     "ENGINE_TRACE",

@@ -34,8 +34,11 @@ output is identical to a serial run.
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.fpt import FailurePointTree
 from repro.core.harness import (
@@ -101,6 +104,15 @@ class FaultInjectionStats:
     worker_deaths: int = 0
     #: Injections restored from a checkpoint instead of re-executed.
     resumed: int = 0
+    # Multiprocess fabric accounting (repro.fabric).
+    #: Shard worker processes the campaign was partitioned across
+    #: (0 = in-process execution).
+    shards: int = 0
+    #: Shard processes that died with work remaining (and were requeued).
+    shard_deaths: int = 0
+    shard_respawns: int = 0
+    #: Workers the built-in chaos monkey SIGKILLed.
+    chaos_kills: int = 0
     # Image-engine / hot-path accounting (repro.pmem.incremental).
     #: Which crash-image engine materialised the campaign's images.
     image_engine: str = ""
@@ -169,6 +181,10 @@ class FaultInjectionStats:
             "retries": self.retries,
             "worker_deaths": self.worker_deaths,
             "resumed": self.resumed,
+            "shards": self.shards,
+            "shard_deaths": self.shard_deaths,
+            "shard_respawns": self.shard_respawns,
+            "chaos_kills": self.chaos_kills,
             "recovery_cache_hits": self.recovery_cache_hits,
             "recovery_cache_misses": self.recovery_cache_misses,
             "recovery_cache_stored": self.recovery_cache_stored,
@@ -203,6 +219,10 @@ class FaultInjectionResult:
     #: Prefix-vs-adversarial summary (populated when the fault model
     #: materialises any non-prefix variant).
     comparison: Optional[ModelComparison] = None
+    #: True when the campaign stopped early on a graceful drain request
+    #: (SIGTERM/SIGINT): every completed injection was journaled and the
+    #: remainder resumes via the checkpoint.
+    drained: bool = False
 
 
 class FaultInjector:
@@ -221,6 +241,8 @@ class FaultInjector:
         heartbeat_interval: float = 0.0,
         heartbeat_sink=None,
         recovery=None,
+        stop: Optional[threading.Event] = None,
+        stall_window: float = 0.0,
     ):
         if engine not in (ENGINE_TRACE, ENGINE_REPLAY):
             raise ValueError(f"unknown injection engine {engine!r}")
@@ -248,6 +270,14 @@ class FaultInjector:
         #: dedup scheduling.  ``None`` (or a disabled config) keeps the
         #: legacy per-point recovery path byte-for-byte.
         self.recovery = recovery
+        #: Graceful-drain request (a :class:`threading.Event`, typically
+        #: owned by a :class:`repro.fabric.DrainController`).  When set,
+        #: the campaign stops at the next task boundary, flushes its
+        #: checkpoint, and reports ``drained=True``.
+        self.stop = stop
+        #: Per-worker stall window for the heartbeat monitor (seconds;
+        #: 0 = off).
+        self.stall_window = stall_window
 
     def _recovery_engine(self, trace=None):
         """A campaign-scoped RecoveryEngine, or None when disabled."""
@@ -349,30 +379,28 @@ class FaultInjector:
     # step 2+3, trace engine (through the hardened campaign runner)
     # ------------------------------------------------------------------ #
 
-    def _inject_from_trace(
-        self,
-        app_factory,
-        tree,
-        trace,
-        initial_image,
-        stats,
-        journal=None,
-        resume_state=None,
-    ) -> FaultInjectionResult:
-        adversarial = self.fault_model.is_adversarial
-        source = (
-            AdversarialImageSource(
+    def _make_source(self, trace, initial_image):
+        """The campaign's crash-image source for the configured model."""
+        if self.fault_model.is_adversarial:
+            return AdversarialImageSource(
                 initial_image, trace, self.fault_model,
                 image_engine=self.image_engine,
             )
-            if adversarial
-            else PrefixImageSource(
-                initial_image, trace, image_engine=self.image_engine
-            )
+        return PrefixImageSource(
+            initial_image, trace, image_engine=self.image_engine
         )
-        # Planning shares the source's factory so the adversarial
-        # families consume the same memoized history pass the cursors use.
-        planner = source.factory if adversarial else None
+
+    def _plan_tasks(self, tree, source) -> List[InjectionTask]:
+        """The deterministic injection plan: one prefix task per failure
+        point (first, so finding dedup attributes dual-reachable bugs to
+        the graceful crash), adversarial variants riding after.
+
+        Planning shares the source's factory so the adversarial families
+        consume the same memoized history pass the cursors use.
+        """
+        planner = (
+            source.factory if self.fault_model.is_adversarial else None
+        )
         tasks: List[InjectionTask] = []
 
         def room() -> bool:
@@ -387,10 +415,6 @@ class FaultInjector:
                 if not room():
                     break
                 node.visited = True
-                # The graceful prefix crash is always injected first at
-                # every failure point, so finding dedup attributes a bug
-                # reachable both ways to the prefix; adversarial variants
-                # ride after.
                 tasks.append(
                     InjectionTask(
                         index=len(tasks), stack=stack, seq=node.first_seq
@@ -408,6 +432,20 @@ class FaultInjector:
                                 variant=variant,
                             )
                         )
+        return tasks
+
+    def _inject_from_trace(
+        self,
+        app_factory,
+        tree,
+        trace,
+        initial_image,
+        stats,
+        journal=None,
+        resume_state=None,
+    ) -> FaultInjectionResult:
+        source = self._make_source(trace, initial_image)
+        tasks = self._plan_tasks(tree, source)
         recovery_engine = self._recovery_engine(trace=trace)
         campaign = run_campaign(
             tasks,
@@ -419,6 +457,7 @@ class FaultInjector:
             telemetry=self.telemetry,
             heartbeat=self._heartbeat(len(tasks)),
             recovery=recovery_engine,
+            stop=self.stop,
         )
         self._close_recovery(recovery_engine, stats)
         collected = source.collect_stats()
@@ -437,8 +476,241 @@ class FaultInjector:
             interval_seconds=self.heartbeat_interval,
             telemetry=self.telemetry,
             sink=self.heartbeat_sink,
+            stall_window_seconds=self.stall_window,
         )
         return monitor if monitor.active else None
+
+    # ------------------------------------------------------------------ #
+    # step 2+3, trace engine across shard processes (repro.fabric)
+    # ------------------------------------------------------------------ #
+
+    def inject_sharded(
+        self,
+        app_factory,
+        workload,
+        tree,
+        trace,
+        initial_image,
+        fabric,
+        checkpoint_path: str,
+        fingerprint: str,
+        seed: int = 0,
+        candidates: int = 0,
+        resume_state: Optional[Dict[int, InjectionResult]] = None,
+        base_records: Optional[Dict[int, dict]] = None,
+    ) -> FaultInjectionResult:
+        """Run the trace-engine campaign across shard *processes*.
+
+        ``fabric`` is a :class:`repro.fabric.FabricConfig`; the failure
+        points are partitioned deterministically across its shards, each
+        shard journals its slice to ``<checkpoint_path>.shardK`` (with a
+        per-shard verdict cache), and the supervisor merges everything
+        back into ``checkpoint_path`` — byte-identical to the journal a
+        serial run writes, whatever workers die along the way.
+
+        ``resume_state``/``base_records`` carry an earlier run's
+        completed injections (results for filtering, raw journal records
+        for the merge).  Per-injection wall-clock split is not tracked
+        (timings are process-local and deliberately unserialised); all
+        other accounting — including per-shard image and recovery-engine
+        stats — is relayed back best-effort.
+        """
+        # Lazy: repro.fabric depends on this package's harness module.
+        from repro.fabric import (
+            ShardSupervisor,
+            cleanup_shard_artifacts,
+            find_shard_journals,
+            merge_vcaches,
+        )
+        from repro.recovery import RecoveryEngine
+        from repro.recovery.cache import VerdictCacheError
+        from repro.recovery.engine import CACHE_SUFFIX, RecoveryEngineStats
+
+        if self.engine != ENGINE_TRACE:
+            raise ValueError(
+                "sharded campaigns require the trace engine; the replay "
+                "engine discovers failure points by re-execution and is "
+                "inherently serial"
+            )
+        stats = FaultInjectionStats(
+            candidates=candidates,
+            unique_failure_points=tree.failure_point_count,
+            trace_length=len(trace),
+            executions=1,
+            shards=fabric.shards,
+        )
+        source = self._make_source(trace, initial_image)
+        tasks = self._plan_tasks(tree, source)
+        resume_state = resume_state or {}
+        base_records = dict(base_records or {})
+        todo: List[InjectionTask] = []
+        restored_indices: Set[int] = set()
+        for task in tasks:
+            restored = resume_state.get(task.index)
+            if (
+                restored is not None
+                and restored.task.stack == task.stack
+                and restored.task.variant == task.variant
+            ):
+                restored_indices.add(task.index)
+            else:
+                todo.append(task)
+                # A stale record for a task that must re-run would
+                # shadow the fresh result at merge time (first-writer
+                # wins); drop it so the shard's record is the only one.
+                base_records.pop(task.index, None)
+
+        harness = self.harness
+        recovery_cfg = (
+            self.recovery
+            if self.recovery is not None and self.recovery.enabled
+            else None
+        )
+        main_cache_path = (
+            recovery_cfg.cache_path if recovery_cfg is not None else None
+        )
+
+        def worker_body(shard_id, shard_tasks, journal_path, beacon, stop):
+            """Runs inside the forked shard: the ordinary in-process
+            executor over this shard's slice, journaled per record."""
+            journal = CampaignJournal(
+                journal_path, fingerprint, seed=seed, interval=1
+            )
+            # The source's counters are cumulative and the fork copied
+            # the parent's planning-time numbers; relay only what THIS
+            # shard adds, or the parent would count planning per shard.
+            image_baseline = dataclasses.asdict(source.collect_stats())
+            engine = None
+            engine_stats = None
+            if recovery_cfg is not None:
+                shard_cfg = dataclasses.replace(
+                    recovery_cfg,
+                    cache_path=(
+                        journal_path + CACHE_SUFFIX
+                        if recovery_cfg.cache_enabled
+                        else None
+                    ),
+                )
+                try:
+                    engine = RecoveryEngine(shard_cfg, trace=trace)
+                except VerdictCacheError:
+                    # A SIGKILL (chaos or operator) can tear the shard
+                    # cache's header line.  The cache is an accelerator,
+                    # never ground truth — rebuild it from scratch.
+                    if shard_cfg.cache_path is not None:
+                        try:
+                            os.remove(shard_cfg.cache_path)
+                        except FileNotFoundError:
+                            pass
+                    engine = RecoveryEngine(shard_cfg, trace=trace)
+                if engine.cache is not None and main_cache_path is not None:
+                    # Zero re-verification on resume: every verdict the
+                    # drained/crashed campaign persisted replays from
+                    # memory.
+                    engine.cache.adopt(main_cache_path)
+                    engine.stats.cache_loaded = engine.cache.loaded
+            try:
+                run_campaign(
+                    shard_tasks,
+                    source,
+                    app_factory,
+                    config=harness,
+                    journal=journal,
+                    heartbeat=beacon,
+                    recovery=engine,
+                    stop=stop,
+                )
+            finally:
+                if engine is not None:
+                    engine_stats = engine.close()
+                journal.close()
+            image_total = dataclasses.asdict(source.collect_stats())
+            beacon.stats(
+                {
+                    "image": {
+                        key: image_total[key] - image_baseline[key]
+                        for key in image_total
+                    },
+                    "recovery": (
+                        engine_stats.as_dict()
+                        if engine_stats is not None
+                        else None
+                    ),
+                }
+            )
+
+        def absorb_shard_stats(shard_id, payload):
+            image = payload.get("image")
+            if image:
+                stats.absorb_image_stats(ImageEngineStats(**image))
+            recovered = payload.get("recovery")
+            if recovered:
+                engine_stats = RecoveryEngineStats(**recovered)
+                stats.absorb_recovery_stats(engine_stats)
+                if self.telemetry.enabled:
+                    engine_stats.publish(self.telemetry.registry)
+
+        supervisor = ShardSupervisor(
+            todo,
+            worker_body,
+            checkpoint_path,
+            fingerprint,
+            seed,
+            config=fabric,
+            base_records=base_records,
+            restored_indices=restored_indices,
+            telemetry=self.telemetry,
+            heartbeat=self._heartbeat(len(todo)),
+            stop=self.stop,
+            on_stats=absorb_shard_stats,
+            warn=self.heartbeat_sink,
+        )
+        fabric_result = supervisor.run()
+        stats.shard_deaths = fabric_result.stats.deaths
+        stats.shard_respawns = fabric_result.stats.respawns
+        stats.chaos_kills = fabric_result.stats.chaos_kills
+
+        # Fold the shard verdict caches into the campaign-wide cache,
+        # then retire every shard artifact (the merged journal + cache
+        # are now the single source of truth, drained or complete).
+        if main_cache_path is not None:
+            merge_vcaches(
+                main_cache_path,
+                recovery_cfg.scope,
+                [
+                    path + CACHE_SUFFIX
+                    for path in find_shard_journals(checkpoint_path)
+                ],
+            )
+        cleanup_shard_artifacts(checkpoint_path)
+
+        # Planning-time image accounting happened in this process; the
+        # per-shard execution accounting arrived via the stats relay.
+        planning_stats = source.collect_stats()
+        stats.absorb_image_stats(planning_stats)
+        if self.telemetry.enabled:
+            planning_stats.publish(
+                self.telemetry.registry, engine=self.image_engine
+            )
+
+        planned = {task.index: task for task in tasks}
+        results = []
+        for result in fabric_result.results:
+            task = planned.get(result.task.index)
+            if (
+                task is None
+                or task.stack != result.task.stack
+                or task.variant != result.task.variant
+            ):
+                # Journal records beyond this campaign's plan (kept in
+                # the merged journal, exactly as a serial append-mode
+                # journal keeps them) are not campaign results.
+                continue
+            results.append(result)
+        campaign = CampaignResult(
+            results=results, drained=fabric_result.drained
+        )
+        return self._collect(campaign, stats, tree)
 
     # ------------------------------------------------------------------ #
     # step 2+3, replay engine
@@ -467,6 +739,9 @@ class FaultInjector:
 
         while tree.unvisited_count > 0:
             if not room():
+                break
+            if self.stop is not None and self.stop.is_set():
+                campaign.drained = True
                 break
             injector = _ReplayInjector(
                 tree, self.granularity, self.require_store_since_last
@@ -584,6 +859,7 @@ class FaultInjector:
             outcomes,
             quarantined=campaign.quarantined,
             comparison=comparison,
+            drained=campaign.drained,
         )
 
     def _compare(

@@ -41,6 +41,7 @@ import os
 import queue
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -77,6 +78,15 @@ TRANSIENT_ERRORS = (MemoryError, OSError)
 
 #: Checkpoint journal format version.
 JOURNAL_VERSION = 1
+
+
+class TornJournalWarning(UserWarning):
+    """A checkpoint journal ended in a torn (half-written) line.
+
+    The torn tail is skipped on read and truncated before append — an
+    interrupted or killed campaign loses at most the injections after
+    its last flush, never the whole journal.
+    """
 
 
 # --------------------------------------------------------------------- #
@@ -269,6 +279,10 @@ class CampaignResult:
     #: Worker deaths observed (parallel executor bookkeeping).
     worker_deaths: int = 0
     retries: int = 0
+    #: True when the campaign stopped early on a drain request (graceful
+    #: SIGTERM/SIGINT): every completed result was journaled and the
+    #: remainder is resumable via the checkpoint.
+    drained: bool = False
 
     @property
     def outcomes(self) -> List[Tuple[Tuple[str, ...], RecoveryOutcome]]:
@@ -958,7 +972,24 @@ class CampaignJournal:
         self.bytes_written = 0
         existing_header = None
         if os.path.exists(path) and os.path.getsize(path) > 0:
-            existing_header, _ = read_journal(path)
+            existing_header, _, clean_bytes, torn = scan_journal(path)
+            if torn:
+                # A killed writer left a half-written trailing line.
+                # Appending after it would concatenate the next record
+                # onto the fragment, corrupting the journal mid-file —
+                # truncate back to the clean prefix instead (the torn
+                # injection simply re-runs).
+                warnings.warn(
+                    f"checkpoint {path!r} ends in a torn line; "
+                    f"truncating to its last {clean_bytes} clean bytes "
+                    "before appending",
+                    TornJournalWarning,
+                    stacklevel=2,
+                )
+                with open(path, "r+b") as repair:
+                    repair.truncate(clean_bytes)
+                    repair.flush()
+                    os.fsync(repair.fileno())
         if existing_header is not None:
             if existing_header.get("fingerprint") != fingerprint:
                 raise CheckpointError(
@@ -1010,30 +1041,75 @@ class CampaignJournal:
         self.close()
 
 
-def read_journal(path: str):
-    """Read a checkpoint journal; tolerates a torn trailing line.
+def scan_journal(path: str):
+    """Parse a checkpoint journal, tracking the clean byte prefix.
 
-    Returns ``(header, records)``; header is None for an empty file.
+    Returns ``(header, records, clean_bytes, torn)``: ``clean_bytes`` is
+    the length of the longest prefix of the file made of complete,
+    parseable lines, and ``torn`` is True when a half-written trailing
+    line (crash or kill mid-write) follows it.  The torn tail is
+    *skipped*, never fatal — corruption anywhere before the last line
+    still raises :class:`~repro.errors.CheckpointError`.
     """
     header = None
     records: List[dict] = []
-    with open(path, "r", encoding="utf-8") as fh:
-        lines = fh.read().splitlines()
+    clean_bytes = 0
+    torn = False
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    lines = raw.split(b"\n")
+    # A trailing newline yields one empty final chunk; drop it (it is
+    # part of the clean prefix).
+    offset = 0
     for lineno, line in enumerate(lines):
+        end = offset + len(line) + 1  # +1 for the newline
+        last = lineno == len(lines) - 1
         if not line.strip():
+            offset = end
+            if not last:
+                clean_bytes = min(end, len(raw))
             continue
         try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            if lineno == len(lines) - 1:
+            record = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            if last:
+                torn = True
                 break  # torn write from an interrupted campaign
             raise CheckpointError(
                 f"corrupt checkpoint {path!r} at line {lineno + 1}"
             )
+        if last and not raw.endswith(b"\n"):
+            # Parseable but missing its newline: the write may still be
+            # in flight — treat as torn so appends do not concatenate.
+            torn = True
+            break
+        clean_bytes = min(end, len(raw))
+        offset = end
         if record.get("type") == "header":
             header = record
         else:
             records.append(record)
+    return header, records, clean_bytes, torn
+
+
+def read_journal(path: str, warn=None):
+    """Read a checkpoint journal; tolerates a torn trailing line.
+
+    Returns ``(header, records)``; header is None for an empty file.
+    ``warn`` (a callable taking one message string, default
+    :func:`warnings.warn` with :class:`TornJournalWarning`) is invoked
+    when a torn trailing line was skipped.
+    """
+    header, records, _, torn = scan_journal(path)
+    if torn:
+        message = (
+            f"checkpoint {path!r} ends in a torn (half-written) line; "
+            "skipping it — the interrupted injection will re-run"
+        )
+        if warn is not None:
+            warn(message)
+        else:
+            warnings.warn(message, TornJournalWarning, stacklevel=2)
     return header, records
 
 
@@ -1099,6 +1175,7 @@ def run_campaign(
     telemetry=NULL_TELEMETRY,
     heartbeat=None,
     recovery=None,
+    stop: Optional[threading.Event] = None,
     _worker_fault: Optional[Callable[[int, InjectionTask], None]] = None,
 ) -> CampaignResult:
     """Run an injection campaign to completion, whatever the targets do.
@@ -1110,6 +1187,12 @@ def run_campaign(
     and progress; both default to inert.  ``_worker_fault`` is a test
     hook invoked at task pickup inside the parallel workers (raising
     simulates worker death).
+
+    ``stop`` (a :class:`threading.Event`, optional) requests a graceful
+    drain: the campaign stops picking up new work at the next task (or
+    group) boundary, flushes the journal, and returns a partial
+    :class:`CampaignResult` with ``drained=True`` — resuming from the
+    checkpoint completes it with byte-identical journal records.
 
     ``recovery`` (a :class:`~repro.recovery.RecoveryEngine`, optional)
     turns on deduplicated dispatch: pending tasks are grouped by
@@ -1170,10 +1253,16 @@ def run_campaign(
         )
         return result
 
+    def draining() -> bool:
+        return stop is not None and stop.is_set()
+
     if config.jobs <= 1 or len(todo) <= 1:
         cursor = image_source.cursor()
         if recovery is None:
             for task in todo:
+                if draining():
+                    campaign.drained = True
+                    break
                 result = execute_injection(
                     task, cursor, app_factory, config, sleep=sleep,
                     telemetry=telemetry,
@@ -1182,6 +1271,9 @@ def run_campaign(
         else:
             session = recovery.session()
             for group in recovery.plan_groups(todo):
+                if draining():
+                    campaign.drained = True
+                    break
                 leader_result = execute_injection(
                     group.leader, cursor, app_factory, config,
                     sleep=sleep, telemetry=telemetry, recovery=session,
@@ -1213,6 +1305,7 @@ def run_campaign(
             telemetry,
             heartbeat,
             recovery,
+            stop,
             _worker_fault,
         )
 
@@ -1238,6 +1331,7 @@ def _run_parallel(
     telemetry,
     heartbeat,
     recovery,
+    stop: Optional[threading.Event],
     worker_fault: Optional[Callable[[int, InjectionTask], None]],
 ) -> None:
     # With the recovery engine on, only group *leaders* enter the queue;
@@ -1299,7 +1393,20 @@ def _run_parallel(
     completed = 0
     try:
         while completed < len(todo):
-            kind, worker_id, task, payload = events.get()
+            if stop is not None and stop.is_set():
+                # Graceful drain: stop handing out work; in-flight
+                # injections finish in their workers but are not waited
+                # for — their tasks simply re-run after resume.
+                campaign.drained = True
+                break
+            try:
+                kind, worker_id, task, payload = events.get(timeout=0.05)
+            except queue.Empty:
+                if heartbeat is not None:
+                    heartbeat.check_stalls()
+                continue
+            if heartbeat is not None:
+                heartbeat.note_worker(worker_id)
             if kind == "death":
                 campaign.worker_deaths += 1
                 telemetry.counter("worker_deaths")

@@ -84,6 +84,24 @@ class MumakConfig:
     checkpoint_path: Optional[str] = None
     #: Journal flush/fsync cadence, in injections.
     checkpoint_interval: int = 25
+    # ---- multiprocess campaign fabric (repro.fabric) ---- #
+    #: Worker *processes* the failure-point space is partitioned across
+    #: (1 = in-process execution; >1 routes the trace-engine campaign
+    #: through the shard supervisor).  Output is byte-identical to a
+    #: serial run whatever workers die along the way.
+    shards: int = 1
+    #: Chaos-mode spec (``kill-worker=P[,seed=S][,max-kills=K]``) —
+    #: SIGKILLs live shards at seeded random to exercise worker-death
+    #: recovery.  Implies the fabric path even with ``shards == 1``.
+    chaos: Optional[str] = None
+    #: Graceful-drain request: a :class:`threading.Event` (typically a
+    #: :class:`repro.fabric.DrainController`'s) checked at every task
+    #: boundary.  When set, the campaign flushes its checkpoint and
+    #: returns partial results with ``drained=True``.
+    stop_event: Optional[object] = None
+    #: Per-worker (or per-shard) silence window, in seconds, before a
+    #: ``worker_stalled`` event is emitted (0 = off).
+    stall_window_seconds: float = 0.0
     # ---- adversarial fault model (repro.pmem.faultmodel) ---- #
     #: Crash-image materialisation model; the default is the paper's
     #: graceful program-order-prefix crash.
@@ -142,13 +160,15 @@ class MumakConfig:
         """Campaign identity used to guard checkpoint resumption.
 
         Deliberately excludes ``jobs``, checkpoint knobs,
-        ``image_engine``, and the recovery-engine knobs
-        (``recovery_cache`` / ``machine_pool``): parallel and serial
-        campaigns are equivalent by construction, where the journal
-        lives does not change what it records, and both the incremental
-        image engine and the recovery engine are differential-tested
-        byte-identical to their references — a campaign checkpointed
-        under one setting may resume under another.
+        ``image_engine``, the recovery-engine knobs
+        (``recovery_cache`` / ``machine_pool``), and the fabric knobs
+        (``shards`` / ``chaos`` / ``stop_event``): parallel, serial,
+        sharded, and chaos-killed campaigns are equivalent by
+        construction, where the journal lives does not change what it
+        records, and both the incremental image engine and the recovery
+        engine are differential-tested byte-identical to their
+        references — a campaign checkpointed under one setting may
+        resume under another.
         """
         return campaign_fingerprint(
             {
@@ -266,38 +286,58 @@ class Mumak:
                 heartbeat_interval=config.obs_heartbeat_seconds,
                 heartbeat_sink=config.obs_sink,
                 recovery=recovery_config,
+                stop=config.stop_event,
+                stall_window=config.stall_window_seconds,
             )
             fingerprint = config.fingerprint(target_name)
-            resume_state = None
-            if resume_from is not None:
-                resume_state = load_checkpoint(resume_from, fingerprint)
-            journal = None
-            if config.checkpoint_path is not None:
-                journal = CampaignJournal(
-                    config.checkpoint_path,
-                    fingerprint,
-                    seed=config.seed,
-                    interval=config.checkpoint_interval,
-                )
-            try:
+            use_fabric = config.shards > 1 or bool(config.chaos)
+            if use_fabric:
                 with timer.phase("fault_injection"), telemetry.span(
                     "campaign/injection"
                 ):
-                    fi_result = injector.inject(
+                    fi_result = self._analyze_sharded(
+                        injector,
                         app_factory,
                         workload,
                         tree,
-                        tracer.events,
-                        artifacts.initial_image,
-                        seed=config.seed,
-                        candidates=observer.candidates_seen,
-                        journal=journal,
-                        resume_state=resume_state,
+                        tracer,
+                        artifacts,
+                        observer,
+                        fingerprint,
+                        usage,
+                        resume_from,
                     )
-            finally:
-                if journal is not None:
-                    journal.close()
-                    usage.checkpoint_bytes = journal.bytes_written
+            else:
+                resume_state = None
+                if resume_from is not None:
+                    resume_state = load_checkpoint(resume_from, fingerprint)
+                journal = None
+                if config.checkpoint_path is not None:
+                    journal = CampaignJournal(
+                        config.checkpoint_path,
+                        fingerprint,
+                        seed=config.seed,
+                        interval=config.checkpoint_interval,
+                    )
+                try:
+                    with timer.phase("fault_injection"), telemetry.span(
+                        "campaign/injection"
+                    ):
+                        fi_result = injector.inject(
+                            app_factory,
+                            workload,
+                            tree,
+                            tracer.events,
+                            artifacts.initial_image,
+                            seed=config.seed,
+                            candidates=observer.candidates_seen,
+                            journal=journal,
+                            resume_state=resume_state,
+                        )
+                finally:
+                    if journal is not None:
+                        journal.close()
+                        usage.checkpoint_bytes = journal.bytes_written
             # Surface the hot-path breakdown: how much of the injection
             # phase went to image materialisation vs oracle recovery.
             usage.note_detail(
@@ -355,3 +395,101 @@ class Mumak:
             trace_length=len(tracer.events),
             telemetry=telemetry if telemetry.enabled else None,
         )
+
+    def _analyze_sharded(
+        self,
+        injector: FaultInjector,
+        app_factory,
+        workload,
+        tree,
+        tracer,
+        artifacts,
+        observer,
+        fingerprint: str,
+        usage,
+        resume_from: Optional[str],
+    ) -> FaultInjectionResult:
+        """Route the injection phase through the multiprocess fabric.
+
+        The fabric always journals (shard journals are its ground truth
+        for death requeue), so a campaign without ``--checkpoint`` runs
+        against a temporary journal that is discarded with the run.
+        """
+        import os
+        import tempfile
+
+        from repro.core.harness import read_journal, result_from_record
+        from repro.errors import CheckpointError
+        from repro.fabric import (
+            ChaosConfig,
+            FabricConfig,
+            cleanup_shard_artifacts,
+            collect_shard_records,
+        )
+
+        config = self.config
+        if config.engine != ENGINE_TRACE:
+            raise ValueError(
+                "--shards/--chaos require the trace engine; the replay "
+                "engine discovers failure points by re-execution and is "
+                "inherently serial"
+            )
+        fabric_config = FabricConfig(
+            shards=config.shards,
+            chaos=(
+                ChaosConfig.parse(config.chaos) if config.chaos else None
+            ),
+        )
+        with tempfile.TemporaryDirectory(prefix="mumak-fabric-") as tmp:
+            if config.checkpoint_path is not None:
+                checkpoint = config.checkpoint_path
+            else:
+                checkpoint = os.path.join(tmp, "campaign.journal")
+            resume_state = {}
+            base_records = {}
+            if resume_from is None:
+                # Stray shard artifacts belong to an abandoned run the
+                # user chose not to resume; a fresh campaign must not
+                # fold them in (they may even carry a stale fingerprint).
+                cleanup_shard_artifacts(checkpoint)
+            else:
+                # Crash recovery: records may live in the main journal
+                # (merged before the crash), in stray shard journals
+                # (crash between shard flush and merge), or both.
+                strays = collect_shard_records(checkpoint, fingerprint)
+                if os.path.exists(resume_from):
+                    resume_state = load_checkpoint(resume_from, fingerprint)
+                    _, raw = read_journal(resume_from)
+                    base_records = {
+                        record["i"]: record
+                        for record in raw
+                        if record.get("type") == "injection"
+                    }
+                elif not strays:
+                    raise CheckpointError(
+                        f"checkpoint {resume_from!r} does not exist"
+                    )
+                for index, record in strays.items():
+                    base_records.setdefault(index, record)
+                    resume_state.setdefault(
+                        index, result_from_record(record)
+                    )
+            fi_result = injector.inject_sharded(
+                app_factory,
+                workload,
+                tree,
+                tracer.events,
+                artifacts.initial_image,
+                fabric_config,
+                checkpoint,
+                fingerprint,
+                seed=config.seed,
+                candidates=observer.candidates_seen,
+                resume_state=resume_state,
+                base_records=base_records,
+            )
+            if config.checkpoint_path is not None and os.path.exists(
+                checkpoint
+            ):
+                usage.checkpoint_bytes = os.path.getsize(checkpoint)
+        return fi_result

@@ -124,6 +124,11 @@ class CheckpointError(HarnessError):
     campaign configuration it is being resumed into."""
 
 
+class FabricError(HarnessError):
+    """The multiprocess shard supervisor failed (not the target): a shard
+    exceeded its respawn budget, or its journal cannot be trusted."""
+
+
 class ToolError(ReproError):
     """A bug-detection tool failed in a way unrelated to the target."""
 

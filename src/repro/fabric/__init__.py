@@ -1,0 +1,59 @@
+"""Fault-tolerant multiprocess campaign fabric.
+
+Public surface:
+
+* :class:`~repro.fabric.supervisor.ShardSupervisor` /
+  :class:`~repro.fabric.supervisor.FabricConfig` — the shard
+  supervisor: deterministic partitioning, worker-death requeue,
+  graceful drain, chaos, and the crash-consistent merge.
+* :class:`~repro.fabric.signals.DrainController` — two-stage
+  SIGINT/SIGTERM handling for ``mumak analyze``.
+* :class:`~repro.fabric.chaos.ChaosConfig` — the ``--chaos`` spec.
+* :mod:`~repro.fabric.merge` — shard journal/vcache folding.
+"""
+
+from repro.fabric.chaos import ChaosConfig, ChaosMonkey, ChaosSpecError
+from repro.fabric.merge import (
+    cleanup_shard_artifacts,
+    collect_shard_records,
+    find_shard_journals,
+    merge_journals,
+    merge_vcaches,
+    results_from_records,
+    shard_journal_path,
+)
+from repro.fabric.signals import (
+    DRAIN_SIGNALS,
+    INTERRUPT_EXIT_CODE,
+    DrainController,
+    shard_worker_signals,
+)
+from repro.fabric.supervisor import (
+    FabricConfig,
+    FabricResult,
+    FabricStats,
+    ShardBeacon,
+    ShardSupervisor,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosMonkey",
+    "ChaosSpecError",
+    "DRAIN_SIGNALS",
+    "DrainController",
+    "FabricConfig",
+    "FabricResult",
+    "FabricStats",
+    "INTERRUPT_EXIT_CODE",
+    "ShardBeacon",
+    "ShardSupervisor",
+    "cleanup_shard_artifacts",
+    "collect_shard_records",
+    "find_shard_journals",
+    "merge_journals",
+    "merge_vcaches",
+    "results_from_records",
+    "shard_journal_path",
+    "shard_worker_signals",
+]

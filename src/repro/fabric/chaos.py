@@ -1,0 +1,111 @@
+"""Built-in chaos mode: randomly kill shard workers mid-campaign.
+
+Chaos is the fabric's proof obligation, not a toy: the acceptance test
+for the shard supervisor is that a campaign whose workers are being
+``SIGKILL``-ed at random still produces findings, report renders, and a
+merged checkpoint journal byte-identical to the serial run.  The chaos
+monkey injects exactly the failure the supervisor claims to tolerate.
+
+The spec grammar (CLI ``--chaos``)::
+
+    kill-worker=P[,seed=S][,max-kills=K]
+
+``P`` is the per-progress-event kill probability (each heartbeat a live
+shard sends gives the monkey one biased coin flip), ``S`` seeds the
+monkey's private RNG (default 0), and ``K`` caps total kills (default
+``2 * shards``, set by the supervisor when the spec leaves it unset) so
+chaos cannot starve the campaign forever.
+
+Determinism note: the *kill schedule* depends on event arrival order,
+which is racy by nature — what is deterministic (and asserted) is that
+the campaign's **output** does not depend on the schedule at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Optional
+
+
+class ChaosSpecError(ValueError):
+    """An unparsable ``--chaos`` specification."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed chaos-mode parameters."""
+
+    kill_worker: float = 0.0
+    seed: int = 0
+    max_kills: Optional[int] = None
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosConfig":
+        """Parse a ``kill-worker=P[,seed=S][,max-kills=K]`` spec."""
+        known = {"kill-worker": None, "seed": "0", "max-kills": None}
+        for part in str(spec).split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in known:
+                raise ChaosSpecError(
+                    f"unknown chaos parameter {part!r}; expected "
+                    "kill-worker=P[,seed=S][,max-kills=K]"
+                )
+            known[key] = value.strip()
+        if known["kill-worker"] is None:
+            raise ChaosSpecError(
+                f"chaos spec {spec!r} is missing kill-worker=P"
+            )
+        try:
+            probability = float(known["kill-worker"])
+            seed = int(known["seed"])
+            max_kills = (
+                None if known["max-kills"] is None
+                else int(known["max-kills"])
+            )
+        except ValueError as err:
+            raise ChaosSpecError(f"bad chaos spec {spec!r}: {err}")
+        if not 0.0 <= probability <= 1.0:
+            raise ChaosSpecError(
+                f"kill-worker probability must be in [0, 1], "
+                f"got {probability}"
+            )
+        if max_kills is not None and max_kills < 0:
+            raise ChaosSpecError("max-kills must be >= 0")
+        return cls(
+            kill_worker=probability, seed=seed, max_kills=max_kills
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.kill_worker > 0
+
+
+class ChaosMonkey:
+    """The seeded coin-flipper the supervisor consults per progress event.
+
+    ``max_kills`` bounds total mayhem so a high probability cannot kill
+    every respawn forever; past the cap the monkey retires.
+    """
+
+    def __init__(self, config: ChaosConfig, max_kills: int):
+        self.config = config
+        self.max_kills = max_kills
+        self.kills = 0
+        self._rng = random.Random(config.seed)
+
+    def should_kill(self) -> bool:
+        """One biased coin flip; counts the kill when it lands."""
+        if not self.config.enabled or self.kills >= self.max_kills:
+            return False
+        if self._rng.random() < self.config.kill_worker:
+            self.kills += 1
+            return True
+        return False
+
+
+__all__ = ["ChaosConfig", "ChaosMonkey", "ChaosSpecError"]

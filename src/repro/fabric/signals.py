@@ -1,0 +1,146 @@
+"""Two-stage SIGINT/SIGTERM handling for campaign runs.
+
+Before this module, nothing in ``src/`` touched :mod:`signal`: Ctrl-C
+killed a campaign wherever it happened to be, losing everything since
+the last checkpoint flush and potentially leaving a torn journal line.
+The :class:`DrainController` gives ``mumak analyze`` (and the shard
+supervisor) the standard two-stage contract:
+
+* **first** SIGINT/SIGTERM — request a *graceful drain*: a one-line
+  stderr notice, then the campaign stops picking up new work at the
+  next task boundary, flushes its checkpoint journal and verdict cache,
+  and exits resumable (``--resume`` continues exactly where the signal
+  landed);
+* **second** signal — the user means it: force-exit with code 130
+  immediately (the conventional ``128 + SIGINT`` status).
+
+The controller is a context manager that installs handlers on entry and
+restores the previous ones on exit, so library use of the pipeline
+(tests, notebooks) is never affected unless the CLI opts in.  The drain
+request is exposed as a :class:`threading.Event` — the same object the
+harness's ``run_campaign(stop=...)`` and the fabric supervisor poll.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+from typing import Callable, Iterable, List, Optional
+
+#: Conventional exit status for an interrupted run (128 + SIGINT).
+INTERRUPT_EXIT_CODE = 130
+
+#: Signals the controller manages.
+DRAIN_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+def _default_notice(line: str) -> None:
+    # Raw write: print() is not async-signal-safe enough for comfort
+    # (reentrant buffered writes can deadlock); os.write is.
+    os.write(2, (line + "\n").encode("utf-8", "replace"))
+
+
+class DrainController:
+    """Installable two-stage signal handler driving a drain event.
+
+    ``notice`` receives the one-line stderr messages (injectable for
+    tests).  ``signals`` defaults to SIGINT+SIGTERM.  The second signal
+    calls ``force_exit`` (default :func:`os._exit` with status 130 —
+    a force-exit must not run interpreter teardown that could block on
+    the very locks the campaign holds).
+    """
+
+    def __init__(
+        self,
+        notice: Callable[[str], None] = _default_notice,
+        signals: Iterable[int] = DRAIN_SIGNALS,
+        force_exit: Optional[Callable[[int], None]] = None,
+    ):
+        self.stop_event = threading.Event()
+        self.notice = notice
+        self.signals = tuple(signals)
+        self.force_exit = force_exit if force_exit is not None else os._exit
+        self.signals_seen = 0
+        self._previous: List = []
+        self._installed = False
+
+    # -- handler ------------------------------------------------------- #
+
+    def _handle(self, signum, frame) -> None:
+        self.signals_seen += 1
+        name = signal.Signals(signum).name
+        if self.signals_seen == 1:
+            self.notice(
+                f"[mumak] {name}: draining — flushing checkpoint and "
+                "verdict cache; resume with --resume (send again to "
+                "force-exit)"
+            )
+            self.stop_event.set()
+            return
+        self.notice(f"[mumak] {name}: force exit ({INTERRUPT_EXIT_CODE})")
+        self.force_exit(INTERRUPT_EXIT_CODE)
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def install(self) -> "DrainController":
+        """Install handlers (main thread only, like :mod:`signal`)."""
+        if self._installed:
+            return self
+        if threading.current_thread() is not threading.main_thread():
+            # Python only delivers signals to the main thread; off it,
+            # installation is impossible — degrade to an inert event.
+            return self
+        self._previous = [
+            (signum, signal.getsignal(signum)) for signum in self.signals
+        ]
+        for signum in self.signals:
+            signal.signal(signum, self._handle)
+        self._installed = True
+        return self
+
+    def restore(self) -> None:
+        if not self._installed:
+            return
+        for signum, previous in self._previous:
+            try:
+                signal.signal(signum, previous)
+            except (TypeError, ValueError):  # pragma: no cover
+                signal.signal(signum, signal.SIG_DFL)
+        self._previous = []
+        self._installed = False
+
+    @property
+    def drain_requested(self) -> bool:
+        return self.stop_event.is_set()
+
+    def __enter__(self) -> "DrainController":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.restore()
+
+
+def shard_worker_signals(stop_event: threading.Event) -> None:
+    """Signal disposition for a forked shard worker.
+
+    SIGTERM (the supervisor's drain broadcast) sets the worker's stop
+    event so its in-process campaign drains and flushes; SIGINT is
+    ignored — the terminal delivers Ctrl-C to the whole process group,
+    and drain coordination belongs to the supervisor alone.
+    """
+
+    def _drain(signum, frame):
+        stop_event.set()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+__all__ = [
+    "DRAIN_SIGNALS",
+    "INTERRUPT_EXIT_CODE",
+    "DrainController",
+    "shard_worker_signals",
+]

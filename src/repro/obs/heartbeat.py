@@ -39,6 +39,7 @@ class HeartbeatMonitor:
         telemetry=NULL_TELEMETRY,
         sink: Optional[Callable[[str], None]] = None,
         clock: Callable[[], float] = time.monotonic,
+        stall_window_seconds: float = 0.0,
     ):
         self.total = total
         self.interval = interval_seconds
@@ -52,10 +53,17 @@ class HeartbeatMonitor:
         self.quarantined = 0
         self.hung = 0
         self.heartbeats = 0
+        #: Per-worker stall detection: a worker with no progress inside
+        #: ``stall_window_seconds`` (0 = off) emits one ``worker_stalled``
+        #: event + metric instead of silently hanging the campaign.
+        self.stall_window = stall_window_seconds
+        self.stalls = 0
+        self._worker_seen: dict = {}
+        self._stalled: set = set()
 
     @property
     def active(self) -> bool:
-        return self.interval > 0 and (
+        return (self.interval > 0 or self.stall_window > 0) and (
             self.telemetry.enabled or self.sink is not None
         )
 
@@ -74,12 +82,56 @@ class HeartbeatMonitor:
         if not self.active:
             return
         now = self._clock()
-        if now - self._last_emit >= self.interval:
+        if self.interval > 0 and now - self._last_emit >= self.interval:
             self._emit(now, final=False)
 
+    def note_worker(self, worker_id) -> None:
+        """Record progress from one worker (clears its stall, if any)."""
+        if self.stall_window <= 0:
+            return
+        self._worker_seen[worker_id] = self._clock()
+        if worker_id in self._stalled:
+            self._stalled.discard(worker_id)
+            self.telemetry.event(
+                "campaign/worker_resumed", worker_id=worker_id
+            )
+
+    def check_stalls(self, now: Optional[float] = None) -> list:
+        """Emit ``worker_stalled`` for workers past the stall window.
+
+        Returns the worker ids that *newly* stalled on this check (each
+        stall episode is reported once; progress re-arms it).  Called
+        from the supervisor's idle loop — the monitor itself never
+        spawns timers.
+        """
+        if self.stall_window <= 0:
+            return []
+        now = self._clock() if now is None else now
+        newly = []
+        for worker_id, seen in self._worker_seen.items():
+            if worker_id in self._stalled:
+                continue
+            stalled_for = now - seen
+            if stalled_for >= self.stall_window:
+                self._stalled.add(worker_id)
+                self.stalls += 1
+                newly.append(worker_id)
+                self.telemetry.event(
+                    "campaign/worker_stalled",
+                    worker_id=worker_id,
+                    stalled_seconds=round(stalled_for, 3),
+                )
+                self.telemetry.counter("worker_stalls")
+                if self.sink is not None:
+                    self.sink(
+                        f"[stall] worker {worker_id}: no progress for "
+                        f"{stalled_for:.1f}s (window {self.stall_window:g}s)"
+                    )
+        return newly
+
     def finish(self) -> None:
-        """Emit the closing heartbeat (always, when active)."""
-        if self.active and self.completed:
+        """Emit the closing heartbeat (always, when rendering)."""
+        if self.active and self.completed and self.interval > 0:
             self._emit(self._clock(), final=True)
 
     # -- emission ------------------------------------------------------- #
@@ -100,6 +152,7 @@ class HeartbeatMonitor:
             "elapsed_seconds": round(elapsed, 3),
             "rate_per_second": round(rate, 3),
             "eta_seconds": None if eta is None else round(eta, 3),
+            "stalled": len(self._stalled),
         }
 
     def render(self, snap: Optional[dict] = None) -> str:
@@ -116,6 +169,8 @@ class HeartbeatMonitor:
             parts.append(f"hung {snap['hung']}")
         if snap["restored"]:
             parts.append(f"restored {snap['restored']}")
+        if snap.get("stalled"):
+            parts.append(f"stalled {snap['stalled']}")
         return " | ".join(parts)
 
     def _emit(self, now: float, final: bool) -> None:

@@ -182,6 +182,54 @@ class VerdictCache:
                 self.bytes_written += len(line)
         return True
 
+    def store_record(self, digest: str, record: dict) -> bool:
+        """Memoise an already-serialised verdict record (cache merges).
+
+        Same refusal rules as :meth:`store`: infrastructure errors and
+        already-known digests are skipped.  Returns whether the verdict
+        was newly recorded.
+        """
+        if record.get("status") == "INFRA_ERROR":
+            return False
+        with self._lock:
+            if digest in self._verdicts:
+                return False
+            self._verdicts[digest] = record
+            if self._stream is not None:
+                line = self._dump({"d": digest, "o": record})
+                self._stream.write(line)
+                self._stream.flush()
+                self.bytes_written += len(line)
+        return True
+
+    def records(self) -> dict:
+        """A snapshot of every ``digest -> record`` pair (for merges)."""
+        with self._lock:
+            return dict(self._verdicts)
+
+    def adopt(self, path) -> int:
+        """Pre-load verdicts from another cache file, in memory only.
+
+        The donor file must carry this cache's scope (refused
+        otherwise, exactly like :meth:`_load`); adopted verdicts are
+        *not* re-written to this cache's own stream — shard workers
+        adopt the campaign-wide cache cheaply, and the supervisor's
+        merge deduplicates by digest anyway.  A missing donor is a
+        no-op.  Returns the number of newly adopted verdicts.
+        """
+        if path is None or not os.path.exists(path):
+            return 0
+        donor = VerdictCache(self.scope)
+        donor._load(path)
+        adopted = 0
+        with self._lock:
+            for digest, record in donor._verdicts.items():
+                if digest not in self._verdicts:
+                    self._verdicts[digest] = record
+                    adopted += 1
+                    self.loaded += 1
+        return adopted
+
     def __len__(self):
         with self._lock:
             return len(self._verdicts)

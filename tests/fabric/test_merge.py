@@ -1,0 +1,183 @@
+"""Shard-artifact merge units: journal folding, vcache folding, cleanup."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.harness import JOURNAL_VERSION, read_journal
+from repro.errors import CheckpointError
+from repro.fabric import (
+    cleanup_shard_artifacts,
+    collect_shard_records,
+    find_shard_journals,
+    merge_journals,
+    merge_vcaches,
+    results_from_records,
+    shard_journal_path,
+)
+from repro.recovery.cache import VerdictCache
+
+
+def _record(index, attempts=1):
+    return {
+        "type": "injection",
+        "i": index,
+        "stack": [index],
+        "seq": index,
+        "variant": "prefix",
+        "attempts": attempts,
+        "outcome": None,
+        "finding": None,
+        "quarantine": None,
+    }
+
+
+def _write_shard(path, fingerprint, indices, seed=0, torn=False):
+    with open(path, "w", encoding="utf-8") as fh:
+        header = {
+            "type": "header",
+            "version": JOURNAL_VERSION,
+            "fingerprint": fingerprint,
+            "seed": seed,
+        }
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for index in indices:
+            fh.write(json.dumps(_record(index), sort_keys=True) + "\n")
+        if torn:
+            fh.write('{"type": "injection", "i": 999, "tor')
+
+
+class TestDiscovery:
+    def test_shard_journal_path_shape(self):
+        assert shard_journal_path("/x/ck.jsonl", 3) == "/x/ck.jsonl.shard3"
+
+    def test_finds_only_shard_journals(self, tmp_path):
+        ckpt = str(tmp_path / "camp.jsonl")
+        for name in (
+            "camp.jsonl",           # the campaign journal itself
+            "camp.jsonl.shard0",
+            "camp.jsonl.shard12",
+            "camp.jsonl.shard0.vcache",   # cache, not a journal
+            "camp.jsonl.vcache",
+            "camp.jsonl.shardy",    # no digits
+            "camp.jsonl.merge.tmp",
+            "other.jsonl.shard0",   # different campaign
+        ):
+            (tmp_path / name).write_text("")
+        assert find_shard_journals(ckpt) == [
+            str(tmp_path / "camp.jsonl.shard0"),
+            str(tmp_path / "camp.jsonl.shard12"),
+        ]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert find_shard_journals(str(tmp_path / "no/dir/ck")) == []
+
+
+class TestMergeJournals:
+    def test_merge_is_sorted_and_byte_shaped_like_serial(self, tmp_path):
+        ckpt = str(tmp_path / "camp.jsonl")
+        _write_shard(shard_journal_path(ckpt, 0), "fp", [0, 2, 4])
+        _write_shard(shard_journal_path(ckpt, 1), "fp", [1, 3])
+        merged = merge_journals(ckpt, "fp", seed=9)
+        assert sorted(merged) == [0, 1, 2, 3, 4]
+        lines = open(ckpt, "r", encoding="utf-8").read().splitlines()
+        header = json.loads(lines[0])
+        assert header == {
+            "type": "header",
+            "version": JOURNAL_VERSION,
+            "fingerprint": "fp",
+            "seed": 9,
+        }
+        # Compact separators, sorted keys — CampaignJournal's own dump.
+        assert ", " not in lines[0] and '":' in lines[0]
+        assert [json.loads(line)["i"] for line in lines[1:]] == [
+            0, 1, 2, 3, 4
+        ]
+
+    def test_first_wins_on_duplicate_indices(self, tmp_path):
+        ckpt = str(tmp_path / "camp.jsonl")
+        base = {1: _record(1, attempts=7)}
+        _write_shard(shard_journal_path(ckpt, 0), "fp", [1, 2])
+        merged = merge_journals(ckpt, "fp", seed=0, base_records=base)
+        assert merged[1]["attempts"] == 7  # base beat the shard copy
+
+    def test_fingerprint_mismatch_is_fatal(self, tmp_path):
+        ckpt = str(tmp_path / "camp.jsonl")
+        _write_shard(shard_journal_path(ckpt, 0), "other-fp", [0])
+        with pytest.raises(CheckpointError, match="stale .shard"):
+            merge_journals(ckpt, "fp", seed=0)
+
+    def test_torn_shard_tail_is_tolerated(self, tmp_path):
+        ckpt = str(tmp_path / "camp.jsonl")
+        _write_shard(shard_journal_path(ckpt, 0), "fp", [0, 1], torn=True)
+        warnings = []
+        merged = merge_journals(ckpt, "fp", seed=0, warn=warnings.append)
+        assert sorted(merged) == [0, 1]
+        assert warnings  # the torn line was reported, not swallowed
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        ckpt = str(tmp_path / "camp.jsonl")
+        _write_shard(shard_journal_path(ckpt, 0), "fp", [0])
+        merge_journals(ckpt, "fp", seed=0)
+        assert not os.path.exists(ckpt + ".merge.tmp")
+
+    def test_merged_journal_reloads_via_read_journal(self, tmp_path):
+        ckpt = str(tmp_path / "camp.jsonl")
+        _write_shard(shard_journal_path(ckpt, 0), "fp", [0, 1])
+        merge_journals(ckpt, "fp", seed=3)
+        header, records = read_journal(ckpt)
+        assert header["fingerprint"] == "fp" and header["seed"] == 3
+        assert [r["i"] for r in records] == [0, 1]
+
+
+class TestCollectAndCleanup:
+    def test_collect_strays(self, tmp_path):
+        ckpt = str(tmp_path / "camp.jsonl")
+        _write_shard(shard_journal_path(ckpt, 0), "fp", [0, 2])
+        _write_shard(shard_journal_path(ckpt, 1), "fp", [1])
+        strays = collect_shard_records(ckpt, "fp")
+        assert sorted(strays) == [0, 1, 2]
+
+    def test_cleanup_removes_journals_and_caches(self, tmp_path):
+        ckpt = str(tmp_path / "camp.jsonl")
+        _write_shard(shard_journal_path(ckpt, 0), "fp", [0])
+        (tmp_path / "camp.jsonl.shard0.vcache").write_text("")
+        removed = cleanup_shard_artifacts(ckpt)
+        assert removed == 2
+        assert find_shard_journals(ckpt) == []
+        assert not os.path.exists(ckpt + ".shard0.vcache")
+
+
+class TestResultsFromRecords:
+    def test_restored_flags_follow_resume_state(self):
+        records = {i: _record(i) for i in (0, 1, 2)}
+        results = results_from_records(records, restored_indices={1})
+        assert [r.task.index for r in results] == [0, 1, 2]
+        assert [r.restored for r in results] == [False, True, False]
+
+
+class TestMergeVcaches:
+    def test_fold_deduplicates_by_digest(self, tmp_path):
+        scope = "scope-1"
+        donors = []
+        for shard, digests in enumerate((("aa", "bb"), ("bb", "cc"))):
+            path = str(tmp_path / f"ck.shard{shard}.vcache")
+            with VerdictCache(scope, path=path) as donor:
+                for digest in digests:
+                    donor.store_record(
+                        digest, {"digest": digest, "status": "OK"}
+                    )
+            donors.append(path)
+        target = str(tmp_path / "ck.vcache")
+        merged = merge_vcaches(target, scope, donors)
+        assert merged == 3  # aa, bb, cc — the duplicate bb folded once
+        with VerdictCache(scope, path=target) as cache:
+            assert sorted(cache.records()) == ["aa", "bb", "cc"]
+
+    def test_missing_donor_paths_are_skipped(self, tmp_path):
+        target = str(tmp_path / "ck.vcache")
+        merged = merge_vcaches(
+            target, "scope", [str(tmp_path / "absent.vcache")]
+        )
+        assert merged == 0

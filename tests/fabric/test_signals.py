@@ -1,0 +1,84 @@
+"""DrainController two-stage signal handling (injected notice/exit)."""
+
+import os
+import signal
+import threading
+
+from repro.fabric import (
+    DRAIN_SIGNALS,
+    DrainController,
+    INTERRUPT_EXIT_CODE,
+)
+
+
+def _controller():
+    notices = []
+    exits = []
+    controller = DrainController(
+        notice=notices.append, force_exit=exits.append
+    )
+    return controller, notices, exits
+
+
+class TestTwoStage:
+    def test_first_signal_drains(self):
+        controller, notices, exits = _controller()
+        controller._handle(signal.SIGINT, None)
+        assert controller.drain_requested
+        assert controller.stop_event.is_set()
+        assert exits == []
+        assert len(notices) == 1
+        assert "draining" in notices[0] and "--resume" in notices[0]
+
+    def test_second_signal_force_exits_130(self):
+        controller, notices, exits = _controller()
+        controller._handle(signal.SIGTERM, None)
+        controller._handle(signal.SIGTERM, None)
+        assert exits == [INTERRUPT_EXIT_CODE]
+        assert "force exit" in notices[1]
+        assert INTERRUPT_EXIT_CODE == 130
+
+    def test_signal_name_appears_in_notice(self):
+        controller, notices, _ = _controller()
+        controller._handle(signal.SIGTERM, None)
+        assert "SIGTERM" in notices[0]
+
+
+class TestInstallRestore:
+    def test_handlers_installed_and_restored(self):
+        previous = {s: signal.getsignal(s) for s in DRAIN_SIGNALS}
+        controller, _, _ = _controller()
+        with controller:
+            for signum in DRAIN_SIGNALS:
+                assert signal.getsignal(signum) == controller._handle
+        for signum in DRAIN_SIGNALS:
+            assert signal.getsignal(signum) == previous[signum]
+
+    def test_real_signal_delivery_sets_event(self):
+        controller, notices, exits = _controller()
+        with controller:
+            os.kill(os.getpid(), signal.SIGTERM)
+            # Synchronous in CPython: the handler ran before kill returned
+            # to us at the next bytecode boundary.
+            assert controller.stop_event.wait(5.0)
+        assert exits == []
+        assert len(notices) == 1
+
+    def test_install_off_main_thread_degrades_to_inert_event(self):
+        controller, _, _ = _controller()
+        installed = []
+        thread = threading.Thread(
+            target=lambda: installed.append(controller.install())
+        )
+        thread.start()
+        thread.join()
+        assert installed == [controller]
+        assert not controller._installed  # no handlers were touched
+        controller.restore()  # and restore is a no-op, not an error
+
+    def test_install_is_idempotent(self):
+        controller, _, _ = _controller()
+        with controller:
+            before = controller._previous
+            controller.install()
+            assert controller._previous is before

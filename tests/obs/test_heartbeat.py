@@ -124,3 +124,74 @@ class TestAccounting:
         assert snap["hung"] == 1
         rendered = monitor.render(snap)
         assert "quarantined 1" in rendered and "hung 1" in rendered
+
+
+class TestStallDetection:
+    def _monitor(self, clock, tel=None, sink=None, window=5.0):
+        return HeartbeatMonitor(
+            total=10,
+            telemetry=tel if tel is not None else Telemetry(clock=clock),
+            sink=sink,
+            clock=clock,
+            stall_window_seconds=window,
+        )
+
+    def test_inert_without_window(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(
+            total=10, telemetry=Telemetry(clock=clock), clock=clock
+        )
+        monitor.note_worker(0)
+        clock.tick(1e6)
+        assert monitor.check_stalls() == []
+        assert monitor.stalls == 0
+
+    def test_stall_emits_event_metric_and_sink_line(self):
+        clock = FakeClock()
+        tel = Telemetry(clock=clock)
+        lines = []
+        monitor = self._monitor(clock, tel=tel, sink=lines.append)
+        monitor.note_worker("shard-0")
+        monitor.note_worker("shard-1")
+        clock.tick(3.0)
+        monitor.note_worker("shard-1")  # shard-1 made progress
+        clock.tick(3.0)                 # shard-0 silent for 6s > 5s window
+        assert monitor.check_stalls() == ["shard-0"]
+        assert monitor.stalls == 1
+        assert len(lines) == 1
+        assert "shard-0" in lines[0] and "no progress" in lines[0]
+        events = [e for e in tel.finalize() if e["kind"] == "point"]
+        assert events[0]["span"].endswith("worker_stalled")
+        assert events[0]["attrs"]["worker_id"] == "shard-0"
+        assert tel.registry.total("worker_stalls") == 1
+
+    def test_stall_reported_once_per_episode(self):
+        clock = FakeClock()
+        monitor = self._monitor(clock)
+        monitor.note_worker(0)
+        clock.tick(6.0)
+        assert monitor.check_stalls() == [0]
+        clock.tick(6.0)
+        assert monitor.check_stalls() == []  # still the same episode
+        assert monitor.stalls == 1
+
+    def test_progress_rearms_stall_and_emits_resume(self):
+        clock = FakeClock()
+        tel = Telemetry(clock=clock)
+        monitor = self._monitor(clock, tel=tel)
+        monitor.note_worker(0)
+        clock.tick(6.0)
+        assert monitor.check_stalls() == [0]
+        monitor.note_worker(0)          # resumed
+        clock.tick(6.0)
+        assert monitor.check_stalls() == [0]  # stalled again: new episode
+        assert monitor.stalls == 2
+        kinds = [e["span"] for e in tel.finalize() if e["kind"] == "point"]
+        assert kinds.count("campaign/worker_resumed") == 1
+        assert kinds.count("campaign/worker_stalled") == 2
+
+    def test_window_activates_monitor_without_interval(self):
+        monitor = HeartbeatMonitor(
+            total=10, sink=lambda s: None, stall_window_seconds=1.0
+        )
+        assert monitor.active
