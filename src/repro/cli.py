@@ -28,6 +28,7 @@ from repro.fabric import (
     ChaosSpecError,
     DrainController,
     INTERRUPT_EXIT_CODE,
+    TransportChaosConfig,
 )
 from repro.pmem.faultmodel import MODELS, FaultModelConfig
 from repro.pmem.incremental import ENGINE_IMAGE_INCREMENTAL, IMAGE_ENGINES
@@ -121,6 +122,37 @@ def _add_analyze(sub) -> None:
                              "kill-worker=P[,seed=S][,max-kills=K] "
                              "(output stays byte-identical to a serial "
                              "run)")
+    # Cross-host fleet fabric (repro.fabric.fleet).
+    parser.add_argument("--fleet", default=None, metavar="DIR",
+                        help="run the campaign across worker hosts via "
+                             "the shared transport directory DIR: this "
+                             "process supervises (publishes the campaign "
+                             "manifest, folds deliveries, merges), "
+                             "'mumak fleet worker DIR' processes claim "
+                             "and execute failure-point slices; with no "
+                             "live workers the campaign finishes locally."
+                             " Output is byte-identical to a serial run")
+    parser.add_argument("--fleet-slices", type=int, default=4,
+                        metavar="N", dest="fleet_slices",
+                        help="failure-point slices the fleet campaign "
+                             "is partitioned into (default 4)")
+    parser.add_argument("--fleet-ttl", type=float, default=30.0,
+                        metavar="SECONDS", dest="fleet_ttl",
+                        help="lease TTL before an unrenewed slice is "
+                             "reclaimed by another worker (default 30)")
+    parser.add_argument("--fleet-patience", type=float, default=10.0,
+                        metavar="SECONDS", dest="fleet_patience",
+                        help="window without any worker activity before "
+                             "the supervisor finishes remaining slices "
+                             "locally (default 10)")
+    parser.add_argument("--transport-chaos", default=None, metavar="SPEC",
+                        dest="transport_chaos",
+                        help="seeded transport faults on worker uploads: "
+                             "SPEC is drop=P,dup=P,torn=P,delay=MS,"
+                             "seed=S (lost, duplicated, truncated "
+                             "deliveries + delayed heartbeats; the "
+                             "merged journal stays byte-identical to a "
+                             "serial run). Requires --fleet")
     parser.add_argument("--stall-window", type=float, default=0.0,
                         metavar="SECONDS", dest="stall_window",
                         help="report a worker/shard as stalled (one "
@@ -184,6 +216,32 @@ def _add_analyze(sub) -> None:
                              "(default 0 = off)")
 
 
+def _resume_flags(args) -> str:
+    """The complete command that resumes this exact campaign.
+
+    Not just ``--resume``: a drained 8-shard (or fleet) campaign resumed
+    without its ``--shards``/``--fleet``/``--chaos`` flags would
+    silently finish under a different execution shape, so the hint
+    carries everything needed to paste verbatim.
+    """
+    parts = [
+        f"mumak analyze {args.target}",
+        f"--checkpoint {args.checkpoint}",
+        "--resume",
+    ]
+    if getattr(args, "fleet", None):
+        parts.append(f"--fleet {args.fleet}")
+        if args.fleet_slices != 4:
+            parts.append(f"--fleet-slices {args.fleet_slices}")
+    if args.shards > 1:
+        parts.append(f"--shards {args.shards}")
+    if args.chaos:
+        parts.append(f"--chaos {args.chaos}")
+    if getattr(args, "transport_chaos", None):
+        parts.append(f"--transport-chaos {args.transport_chaos}")
+    return " ".join(parts)
+
+
 def _cmd_analyze(args) -> int:
     cls = APPLICATIONS[args.target]
     options = {}
@@ -210,6 +268,28 @@ def _cmd_analyze(args) -> int:
         emit("--shards/--chaos require --engine trace",
              stream=sys.stderr)
         return 2
+    if args.transport_chaos is not None:
+        if not args.fleet:
+            emit("--transport-chaos requires --fleet DIR",
+                 stream=sys.stderr)
+            return 2
+        try:
+            TransportChaosConfig.parse(args.transport_chaos)
+        except ChaosSpecError as err:
+            emit(str(err), stream=sys.stderr)
+            return 2
+    if args.fleet:
+        if args.fleet_slices < 1:
+            emit("--fleet-slices must be >= 1", stream=sys.stderr)
+            return 2
+        if args.shards > 1 or args.chaos:
+            emit("--fleet is incompatible with --shards/--chaos "
+                 "(one fabric at a time: lease slices already "
+                 "partition the campaign)", stream=sys.stderr)
+            return 2
+        if args.engine != "trace":
+            emit("--fleet requires --engine trace", stream=sys.stderr)
+            return 2
 
     def factory():
         return cls(**options)
@@ -227,10 +307,28 @@ def _cmd_analyze(args) -> int:
     )
     # Two-stage signal handling: the first SIGINT/SIGTERM requests a
     # graceful drain (checkpoint + verdict cache flushed, resumable via
-    # --resume), a second one force-exits 130.
+    # --resume), a second one force-exits 130.  The drain notice carries
+    # the *complete* resume command (shards/fleet/chaos flags included)
+    # so the operator can paste it verbatim.
     drain = DrainController(
-        notice=lambda line: emit(line, stream=sys.stderr)
+        notice=lambda line: emit(line, stream=sys.stderr),
+        resume_hint=(
+            _resume_flags(args) if args.checkpoint else "--resume"
+        ),
     )
+    campaign_spec = None
+    if args.fleet:
+        spec_options = {}
+        if args.spt:
+            spec_options["spt"] = True
+        if "bugs" in options:
+            spec_options["bugs"] = sorted(options["bugs"])
+        campaign_spec = {
+            "target": args.target,
+            "options": spec_options,
+            "ops": args.ops,
+            "workload_seed": args.seed,
+        }
     config = MumakConfig(
         include_warnings=not args.no_warnings,
         engine=args.engine,
@@ -245,6 +343,12 @@ def _cmd_analyze(args) -> int:
         checkpoint_interval=args.checkpoint_interval,
         shards=args.shards,
         chaos=args.chaos,
+        fleet_dir=args.fleet,
+        fleet_slices=args.fleet_slices,
+        fleet_ttl_seconds=args.fleet_ttl,
+        fleet_patience_seconds=args.fleet_patience,
+        transport_chaos=args.transport_chaos,
+        campaign_spec=campaign_spec,
         stop_event=drain.stop_event,
         stall_window_seconds=args.stall_window,
         fault_model=fault_model,
@@ -281,6 +385,30 @@ def _cmd_analyze(args) -> int:
             )
         if stats.quarantined:
             summary.append(f"quarantined: {stats.quarantined}")
+        if stats.fleet_slices:
+            fleet_bits = (
+                f"fleet: {stats.fleet_slices} slice(s), "
+                f"{stats.fleet_workers} worker(s), "
+                f"{stats.fleet_deliveries} delivery(ies)"
+            )
+            extras = []
+            if stats.fleet_releases:
+                extras.append(f"re-leases {stats.fleet_releases}")
+            if stats.fleet_duplicate_tasks:
+                extras.append(
+                    f"duplicates {stats.fleet_duplicate_tasks}"
+                )
+            if stats.fleet_transport_retries:
+                extras.append(
+                    f"transport retries {stats.fleet_transport_retries}"
+                )
+            if stats.fleet_local_fallback_tasks:
+                extras.append(
+                    f"local fallback {stats.fleet_local_fallback_tasks}"
+                )
+            if extras:
+                fleet_bits += " (" + ", ".join(extras) + ")"
+            summary.append(fleet_bits)
         if stats.shards:
             shard_bits = f"shards: {stats.shards}"
             if stats.shard_deaths or stats.chaos_kills:
@@ -322,8 +450,7 @@ def _cmd_analyze(args) -> int:
     fi = result.fault_injection
     if fi is not None and fi.drained:
         resume_hint = (
-            f" — resume with: mumak analyze {args.target} "
-            f"--checkpoint {args.checkpoint} --resume"
+            f" — resume with: {_resume_flags(args)}"
             if args.checkpoint
             else " (no --checkpoint: partial results were discarded)"
         )
@@ -364,6 +491,32 @@ def _cmd_tools(_args) -> int:
     emit(render_table1())
     emit()
     emit(render_table3())
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    from repro.errors import FleetError, TransportError
+    from repro.fabric.fleet import run_fleet_worker
+
+    try:
+        summary = run_fleet_worker(
+            args.dir,
+            worker_id=args.worker_id,
+            poll_seconds=args.poll,
+            idle_timeout=args.idle_timeout,
+            manifest_timeout=args.manifest_timeout,
+            notice=lambda line: emit(line, stream=sys.stderr),
+        )
+    except (FleetError, TransportError) as err:
+        # A foreign/tampered manifest, a vanished transport root, or no
+        # supervisor at all: refusal, not a traceback.
+        emit(str(err), stream=sys.stderr)
+        return 2
+    emit(
+        f"[fleet] worker {summary.worker_id}: {summary.claims} lease(s), "
+        f"{summary.tasks_run} task(s), {summary.adopted_verdicts} "
+        f"verdict(s) adopted — {summary.reason}"
+    )
     return 0
 
 
@@ -445,6 +598,36 @@ def build_parser() -> argparse.ArgumentParser:
                  "adversarial", "tables"],
     )
     exp.add_argument("--scale", choices=["quick", "bench"], default="quick")
+    fleet = sub.add_parser(
+        "fleet", help="cross-host fleet campaign utilities"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    worker = fleet_sub.add_parser(
+        "worker",
+        help="serve a fleet campaign as a worker host: wait for the "
+             "manifest in the shared transport directory, claim "
+             "failure-point slices under TTL'd leases, execute them, "
+             "and ship journals + verdict caches back (run one per "
+             "host; the supervisor is 'mumak analyze ... --fleet DIR')",
+    )
+    worker.add_argument(
+        "dir",
+        help="shared transport directory (the supervisor's --fleet DIR)",
+    )
+    worker.add_argument("--id", default=None, dest="worker_id",
+                        metavar="NAME",
+                        help="worker identity (default: w<pid>)")
+    worker.add_argument("--poll", type=float, default=0.2,
+                        metavar="SECONDS",
+                        help="transport poll cadence (default 0.2)")
+    worker.add_argument("--idle-timeout", type=float, default=60.0,
+                        metavar="SECONDS", dest="idle_timeout",
+                        help="exit after SECONDS with nothing claimable "
+                             "(default 60)")
+    worker.add_argument("--manifest-timeout", type=float, default=60.0,
+                        metavar="SECONDS", dest="manifest_timeout",
+                        help="give up if no campaign manifest appears "
+                             "within SECONDS (default 60)")
     obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     obs_report = obs_sub.add_parser(
@@ -468,6 +651,7 @@ def main(argv=None) -> int:
         "bugs": _cmd_bugs,
         "tools": _cmd_tools,
         "experiment": _cmd_experiment,
+        "fleet": _cmd_fleet,
         "obs": _cmd_obs,
     }
     return handlers[args.command](args)

@@ -113,6 +113,26 @@ class FaultInjectionStats:
     shard_respawns: int = 0
     #: Workers the built-in chaos monkey SIGKILLed.
     chaos_kills: int = 0
+    # Cross-host fleet accounting (repro.fabric.fleet).
+    #: Failure-point slices the fleet campaign was partitioned into
+    #: (0 = not a fleet campaign).
+    fleet_slices: int = 0
+    #: Distinct worker hosts observed over the transport.
+    fleet_workers: int = 0
+    #: Slice-journal deliveries folded from the transport.
+    fleet_deliveries: int = 0
+    #: Deliveries truncated in flight (clean prefix folded or refused).
+    fleet_torn_deliveries: int = 0
+    #: Expired leases reclaimed at the next fencing token.
+    fleet_releases: int = 0
+    #: Injection records delivered more than once (lease races,
+    #: duplicated uploads) and discarded by the idempotent merge.
+    fleet_duplicate_tasks: int = 0
+    #: Transport operations retried before succeeding or degrading.
+    fleet_transport_retries: int = 0
+    #: Tasks finished by the supervisor's local fallback after the
+    #: fleet went quiet.
+    fleet_local_fallback_tasks: int = 0
     # Image-engine / hot-path accounting (repro.pmem.incremental).
     #: Which crash-image engine materialised the campaign's images.
     image_engine: str = ""
@@ -185,6 +205,14 @@ class FaultInjectionStats:
             "shard_deaths": self.shard_deaths,
             "shard_respawns": self.shard_respawns,
             "chaos_kills": self.chaos_kills,
+            "fleet_slices": self.fleet_slices,
+            "fleet_workers": self.fleet_workers,
+            "fleet_deliveries": self.fleet_deliveries,
+            "fleet_torn_deliveries": self.fleet_torn_deliveries,
+            "fleet_releases": self.fleet_releases,
+            "fleet_duplicate_tasks": self.fleet_duplicate_tasks,
+            "fleet_transport_retries": self.fleet_transport_retries,
+            "fleet_local_fallback_tasks": self.fleet_local_fallback_tasks,
             "recovery_cache_hits": self.recovery_cache_hits,
             "recovery_cache_misses": self.recovery_cache_misses,
             "recovery_cache_stored": self.recovery_cache_stored,
@@ -196,6 +224,16 @@ class FaultInjectionStats:
         }
         for name, value in sorted(counts.items()):
             registry.counter(f"campaign_{name}").inc(value)
+        if self.fleet_slices > 0:
+            # Fleet headline counters are additionally exported bare so
+            # `mumak obs report` surfaces them without knowing the
+            # campaign_* prefix scheme.
+            for bare in (
+                "fleet_releases",
+                "fleet_duplicate_tasks",
+                "fleet_transport_retries",
+            ):
+                registry.counter(bare).inc(getattr(self, bare))
         for phase, seconds in (
             ("materialise", self.materialise_seconds),
             ("recovery", self.recovery_seconds),
@@ -709,6 +747,219 @@ class FaultInjector:
             results.append(result)
         campaign = CampaignResult(
             results=results, drained=fabric_result.drained
+        )
+        return self._collect(campaign, stats, tree)
+
+    def inject_fleet(
+        self,
+        app_factory,
+        workload,
+        tree,
+        trace,
+        initial_image,
+        fleet,
+        checkpoint_path: str,
+        fingerprint: str,
+        fingerprint_payload: dict,
+        spec: dict,
+        seed: int = 0,
+        candidates: int = 0,
+        resume_state: Optional[Dict[int, InjectionResult]] = None,
+        base_records: Optional[Dict[int, dict]] = None,
+    ) -> FaultInjectionResult:
+        """Run the trace-engine campaign across worker *hosts*.
+
+        ``fleet`` is a :class:`repro.fabric.fleet.FleetConfig`; the
+        failure points are partitioned into lease-able slices published
+        over the fleet transport, remote workers (``mumak fleet worker``)
+        execute and ship them back, and the supervisor folds deliveries
+        idempotently into ``checkpoint_path`` — byte-identical to the
+        serial journal whatever the transport drops, duplicates, or
+        tears.  With no live workers the campaign degrades to local
+        execution after the fleet's patience window.
+
+        ``spec`` is the campaign-reconstruction recipe published in the
+        manifest (see :func:`repro.fabric.fleet.build_manifest`);
+        ``fingerprint_payload`` is the dict ``fingerprint`` was hashed
+        from, shipped so workers can refuse a tampered manifest.
+        """
+        # Lazy: repro.fabric depends on this package's harness module.
+        from repro.fabric import cleanup_shard_artifacts, merge_vcaches
+        from repro.fabric.fleet import FleetSupervisor
+        from repro.recovery import RecoveryEngine
+        from repro.recovery.cache import VerdictCacheError
+        from repro.recovery.engine import CACHE_SUFFIX
+
+        if self.engine != ENGINE_TRACE:
+            raise ValueError(
+                "fleet campaigns require the trace engine; the replay "
+                "engine discovers failure points by re-execution and is "
+                "inherently serial"
+            )
+        stats = FaultInjectionStats(
+            candidates=candidates,
+            unique_failure_points=tree.failure_point_count,
+            trace_length=len(trace),
+            executions=1,
+            fleet_slices=fleet.slices,
+        )
+        source = self._make_source(trace, initial_image)
+        tasks = self._plan_tasks(tree, source)
+        resume_state = resume_state or {}
+        base_records = dict(base_records or {})
+        todo: List[InjectionTask] = []
+        restored_indices: Set[int] = set()
+        for task in tasks:
+            restored = resume_state.get(task.index)
+            if (
+                restored is not None
+                and restored.task.stack == task.stack
+                and restored.task.variant == task.variant
+            ):
+                restored_indices.add(task.index)
+            else:
+                todo.append(task)
+                # Same staleness rule as the shard merge: a record for a
+                # task that must re-run would shadow the fresh result.
+                base_records.pop(task.index, None)
+
+        harness = self.harness
+        recovery_cfg = (
+            self.recovery
+            if self.recovery is not None and self.recovery.enabled
+            else None
+        )
+        main_cache_path = (
+            recovery_cfg.cache_path if recovery_cfg is not None else None
+        )
+
+        def local_runner(slice_id, slice_tasks, journal_path, stop):
+            """The degradation path: one fleet slice, in this process,
+            journaled exactly like an in-host shard so the ordinary
+            merge machinery picks it up."""
+            journal = CampaignJournal(
+                journal_path, fingerprint, seed=seed, interval=1
+            )
+            engine = None
+            if recovery_cfg is not None:
+                local_cfg = dataclasses.replace(
+                    recovery_cfg,
+                    cache_path=(
+                        journal_path + CACHE_SUFFIX
+                        if recovery_cfg.cache_enabled
+                        else None
+                    ),
+                )
+                try:
+                    engine = RecoveryEngine(local_cfg, trace=trace)
+                except VerdictCacheError:
+                    if local_cfg.cache_path is not None:
+                        try:
+                            os.remove(local_cfg.cache_path)
+                        except FileNotFoundError:
+                            pass
+                    engine = RecoveryEngine(local_cfg, trace=trace)
+                if engine.cache is not None:
+                    if main_cache_path is not None:
+                        engine.cache.adopt(main_cache_path)
+                    # Verdicts that made it back over the transport are
+                    # just as good locally — zero re-verification for
+                    # work a dead fleet already did.
+                    for spool in supervisor.vcache_paths:
+                        try:
+                            with open(spool, "rb") as fh:
+                                engine.cache.adopt_bytes(fh.read())
+                        except OSError:
+                            continue
+                    engine.stats.cache_loaded = engine.cache.loaded
+            try:
+                run_campaign(
+                    slice_tasks,
+                    source,
+                    app_factory,
+                    config=harness,
+                    journal=journal,
+                    telemetry=self.telemetry,
+                    recovery=engine,
+                    stop=stop,
+                )
+            finally:
+                if engine is not None:
+                    stats.absorb_recovery_stats(engine.close())
+                journal.close()
+
+        supervisor = FleetSupervisor(
+            todo,
+            checkpoint_path,
+            fingerprint,
+            fingerprint_payload,
+            seed,
+            config=fleet,
+            spec=spec,
+            local_runner=local_runner,
+            base_records=base_records,
+            restored_indices=restored_indices,
+            telemetry=self.telemetry,
+            heartbeat=self._heartbeat(len(todo)),
+            stop=self.stop,
+            warn=self.heartbeat_sink,
+        )
+        fleet_result = supervisor.run()
+        folded = fleet_result.stats
+        stats.fleet_workers = folded.workers
+        stats.fleet_deliveries = folded.deliveries
+        stats.fleet_torn_deliveries = folded.torn_deliveries
+        stats.fleet_releases = folded.releases
+        stats.fleet_duplicate_tasks = folded.duplicate_tasks
+        stats.fleet_transport_retries = folded.transport_retries
+        stats.fleet_local_fallback_tasks = folded.local_fallback_tasks
+
+        # Fold every delivered (and local-fallback) verdict cache into
+        # the campaign-wide cache: duplicated deliveries replay from it
+        # on resume instead of re-verifying.  A donor torn in flight is
+        # an accelerator lost, never an error.
+        if main_cache_path is not None:
+            from repro.fabric import find_shard_journals
+
+            donors = [
+                path + CACHE_SUFFIX
+                for path in find_shard_journals(checkpoint_path)
+            ]
+            donors.extend(fleet_result.vcache_paths)
+            for donor in donors:
+                try:
+                    merge_vcaches(main_cache_path, recovery_cfg.scope, [donor])
+                except VerdictCacheError:
+                    continue
+        for spool in fleet_result.vcache_paths:
+            try:
+                os.remove(spool)
+            except FileNotFoundError:
+                pass
+        cleanup_shard_artifacts(checkpoint_path)
+
+        # All image accounting (planning + any local fallback) happened
+        # in this process; remote execution accounts on the remote host.
+        planning_stats = source.collect_stats()
+        stats.absorb_image_stats(planning_stats)
+        if self.telemetry.enabled:
+            planning_stats.publish(
+                self.telemetry.registry, engine=self.image_engine
+            )
+
+        planned = {task.index: task for task in tasks}
+        results = []
+        for result in fleet_result.results:
+            task = planned.get(result.task.index)
+            if (
+                task is None
+                or task.stack != result.task.stack
+                or task.variant != result.task.variant
+            ):
+                continue
+            results.append(result)
+        campaign = CampaignResult(
+            results=results, drained=fleet_result.drained
         )
         return self._collect(campaign, stats, tree)
 

@@ -89,6 +89,36 @@ class TornJournalWarning(UserWarning):
     """
 
 
+#: Torn-tail sightings per journal path this process, for warning dedup:
+#: a resume flow legitimately reads the same torn journal several times
+#: (load_checkpoint, the merge's base-record read, the append repair),
+#: and one tear is one event, not three warnings.
+_TORN_SEEN: Dict[str, int] = {}
+_TORN_SEEN_LOCK = threading.Lock()
+
+
+def _note_torn(path: str) -> bool:
+    """Record a torn-tail sighting; True when it deserves a warning
+    (first sighting of this path in this process)."""
+    key = os.path.abspath(path)
+    with _TORN_SEEN_LOCK:
+        _TORN_SEEN[key] = _TORN_SEEN.get(key, 0) + 1
+        return _TORN_SEEN[key] == 1
+
+
+def torn_warning_count(path: str) -> int:
+    """How many torn-tail sightings ``path`` has accumulated (the
+    first warned, the rest were deduplicated)."""
+    with _TORN_SEEN_LOCK:
+        return _TORN_SEEN.get(os.path.abspath(path), 0)
+
+
+def reset_torn_warnings() -> None:
+    """Forget all torn-tail sightings (tests; a fresh campaign run)."""
+    with _TORN_SEEN_LOCK:
+        _TORN_SEEN.clear()
+
+
 # --------------------------------------------------------------------- #
 # configuration
 # --------------------------------------------------------------------- #
@@ -978,14 +1008,16 @@ class CampaignJournal:
                 # Appending after it would concatenate the next record
                 # onto the fragment, corrupting the journal mid-file —
                 # truncate back to the clean prefix instead (the torn
-                # injection simply re-runs).
-                warnings.warn(
-                    f"checkpoint {path!r} ends in a torn line; "
-                    f"truncating to its last {clean_bytes} clean bytes "
-                    "before appending",
-                    TornJournalWarning,
-                    stacklevel=2,
-                )
+                # injection simply re-runs).  Deduplicated with the
+                # read-side warning: one tear, one warning per process.
+                if _note_torn(path):
+                    warnings.warn(
+                        f"checkpoint {path!r} ends in a torn line; "
+                        f"truncating to its last {clean_bytes} clean "
+                        "bytes before appending",
+                        TornJournalWarning,
+                        stacklevel=2,
+                    )
                 with open(path, "r+b") as repair:
                     repair.truncate(clean_bytes)
                     repair.flush()
@@ -1098,13 +1130,17 @@ def read_journal(path: str, warn=None):
     Returns ``(header, records)``; header is None for an empty file.
     ``warn`` (a callable taking one message string, default
     :func:`warnings.warn` with :class:`TornJournalWarning`) is invoked
-    when a torn trailing line was skipped.
+    when a torn trailing line was skipped — once per file per process
+    (a resume flow reads the same journal several times; one tear is
+    one event, see :func:`torn_warning_count`), repeats are counted
+    silently.
     """
     header, records, _, torn = scan_journal(path)
-    if torn:
+    if torn and _note_torn(path):
         message = (
             f"checkpoint {path!r} ends in a torn (half-written) line; "
-            "skipping it — the interrupted injection will re-run"
+            "skipping it — the interrupted injection will re-run "
+            "(further torn-tail warnings for this file are deduplicated)"
         )
         if warn is not None:
             warn(message)

@@ -99,6 +99,28 @@ class MumakConfig:
     #: boundary.  When set, the campaign flushes its checkpoint and
     #: returns partial results with ``drained=True``.
     stop_event: Optional[object] = None
+    # ---- cross-host fleet fabric (repro.fabric.fleet) ---- #
+    #: Shared transport directory for a cross-host fleet campaign
+    #: (None = no fleet).  The supervisor publishes the campaign
+    #: manifest there; ``mumak fleet worker DIR`` processes claim and
+    #: execute failure-point slices over it.  Output stays
+    #: byte-identical to a serial run whatever the transport drops,
+    #: duplicates, or tears.
+    fleet_dir: Optional[str] = None
+    #: Failure-point slices the fleet campaign is partitioned into.
+    fleet_slices: int = 4
+    #: Lease TTL before an unrenewed slice is reclaimed, in seconds.
+    fleet_ttl_seconds: float = 30.0
+    #: Window without any worker activity before the supervisor
+    #: finishes remaining slices locally, in seconds.
+    fleet_patience_seconds: float = 10.0
+    #: Transport-chaos spec (``drop=P,dup=P,torn=P,delay=MS,seed=S``)
+    #: applied to worker uploads (None = reliable transport).
+    transport_chaos: Optional[str] = None
+    #: Campaign-reconstruction recipe published in the fleet manifest
+    #: (target name, app options, workload parameters).  Built by the
+    #: CLI; required when ``fleet_dir`` is set.
+    campaign_spec: Optional[dict] = None
     #: Per-worker (or per-shard) silence window, in seconds, before a
     #: ``worker_stalled`` event is emitted (0 = off).
     stall_window_seconds: float = 0.0
@@ -156,37 +178,45 @@ class MumakConfig:
             jobs=self.jobs,
         )
 
+    def fingerprint_payload(self, target_name: str) -> dict:
+        """The dict the campaign fingerprint is hashed from.
+
+        Published verbatim in the fleet manifest so worker hosts can
+        recompute the fingerprint and refuse a tampered manifest; every
+        value must therefore survive a JSON round-trip unchanged.
+        """
+        return {
+            "target": target_name,
+            "granularity": self.granularity,
+            "require_store_since_last": self.require_store_since_last,
+            "engine": self.engine,
+            "eadr": self.eadr,
+            "max_injections": self.max_injections,
+            "seed": self.seed,
+            "timeout_seconds": self.timeout_seconds,
+            "step_budget": self.step_budget,
+            # Variant plans and images depend on the fault model, so a
+            # prefix checkpoint must not resume a torn campaign (and
+            # vice versa).
+            "fault_model": self.fault_model.payload(),
+        }
+
     def fingerprint(self, target_name: str) -> str:
         """Campaign identity used to guard checkpoint resumption.
 
         Deliberately excludes ``jobs``, checkpoint knobs,
         ``image_engine``, the recovery-engine knobs
-        (``recovery_cache`` / ``machine_pool``), and the fabric knobs
-        (``shards`` / ``chaos`` / ``stop_event``): parallel, serial,
-        sharded, and chaos-killed campaigns are equivalent by
-        construction, where the journal lives does not change what it
-        records, and both the incremental image engine and the recovery
-        engine are differential-tested byte-identical to their
-        references — a campaign checkpointed under one setting may
-        resume under another.
+        (``recovery_cache`` / ``machine_pool``), and the fabric/fleet
+        knobs (``shards`` / ``chaos`` / ``stop_event`` / ``fleet_*`` /
+        ``transport_chaos``): parallel, serial, sharded, fleet, and
+        chaos-killed campaigns are equivalent by construction, where
+        the journal lives does not change what it records, and both the
+        incremental image engine and the recovery engine are
+        differential-tested byte-identical to their references — a
+        campaign checkpointed under one setting may resume under
+        another.
         """
-        return campaign_fingerprint(
-            {
-                "target": target_name,
-                "granularity": self.granularity,
-                "require_store_since_last": self.require_store_since_last,
-                "engine": self.engine,
-                "eadr": self.eadr,
-                "max_injections": self.max_injections,
-                "seed": self.seed,
-                "timeout_seconds": self.timeout_seconds,
-                "step_budget": self.step_budget,
-                # Variant plans and images depend on the fault model, so a
-                # prefix checkpoint must not resume a torn campaign (and
-                # vice versa).
-                "fault_model": self.fault_model.payload(),
-            }
-        )
+        return campaign_fingerprint(self.fingerprint_payload(target_name))
 
 
 @dataclass
@@ -290,8 +320,27 @@ class Mumak:
                 stall_window=config.stall_window_seconds,
             )
             fingerprint = config.fingerprint(target_name)
+            use_fleet = config.fleet_dir is not None
             use_fabric = config.shards > 1 or bool(config.chaos)
-            if use_fabric:
+            if use_fleet:
+                with timer.phase("fault_injection"), telemetry.span(
+                    "campaign/injection"
+                ):
+                    fi_result = self._analyze_fleet(
+                        injector,
+                        app_factory,
+                        workload,
+                        tree,
+                        tracer,
+                        artifacts,
+                        observer,
+                        fingerprint,
+                        config.fingerprint_payload(target_name),
+                        recovery_config,
+                        usage,
+                        resume_from,
+                    )
+            elif use_fabric:
                 with timer.phase("fault_injection"), telemetry.span(
                     "campaign/injection"
                 ):
@@ -395,6 +444,129 @@ class Mumak:
             trace_length=len(tracer.events),
             telemetry=telemetry if telemetry.enabled else None,
         )
+
+    def _analyze_fleet(
+        self,
+        injector: FaultInjector,
+        app_factory,
+        workload,
+        tree,
+        tracer,
+        artifacts,
+        observer,
+        fingerprint: str,
+        fingerprint_payload: dict,
+        recovery_config,
+        usage,
+        resume_from: Optional[str],
+    ) -> FaultInjectionResult:
+        """Route the injection phase through the cross-host fleet.
+
+        Same checkpoint discipline as the in-host fabric: the fleet
+        always journals (the merged journal is its ground truth), so a
+        campaign without ``--checkpoint`` runs against a temporary
+        journal discarded with the run.
+        """
+        import dataclasses as _dataclasses
+        import os
+        import tempfile
+
+        from repro.core.harness import read_journal, result_from_record
+        from repro.errors import CheckpointError
+        from repro.fabric import cleanup_shard_artifacts, collect_shard_records
+        from repro.fabric.chaos import TransportChaosConfig
+        from repro.fabric.fleet import FleetConfig
+
+        config = self.config
+        if config.engine != ENGINE_TRACE:
+            raise ValueError(
+                "--fleet requires the trace engine; the replay engine "
+                "discovers failure points by re-execution and is "
+                "inherently serial"
+            )
+        if not config.campaign_spec or "target" not in config.campaign_spec:
+            raise ValueError(
+                "fleet campaigns need a campaign spec naming the target "
+                "and workload (the CLI builds one; library callers pass "
+                "MumakConfig.campaign_spec)"
+            )
+        spec = dict(config.campaign_spec)
+        spec.update(
+            {
+                "seed": config.seed,
+                "granularity": config.granularity,
+                "require_store_since_last": config.require_store_since_last,
+                "max_injections": config.max_injections,
+                "timeout_seconds": config.timeout_seconds,
+                "step_budget": config.step_budget,
+                "max_retries": config.max_retries,
+                "fault_model": _dataclasses.asdict(config.fault_model),
+                "image_engine": config.image_engine,
+                "recovery_cache_enabled": recovery_config.cache_enabled,
+                "machine_pool": config.machine_pool,
+                "scope": recovery_config.scope,
+            }
+        )
+        fleet_config = FleetConfig(
+            root=config.fleet_dir,
+            slices=config.fleet_slices,
+            ttl_seconds=config.fleet_ttl_seconds,
+            patience_seconds=config.fleet_patience_seconds,
+            chaos=(
+                TransportChaosConfig.parse(config.transport_chaos)
+                if config.transport_chaos
+                else None
+            ),
+        )
+        with tempfile.TemporaryDirectory(prefix="mumak-fleet-") as tmp:
+            if config.checkpoint_path is not None:
+                checkpoint = config.checkpoint_path
+            else:
+                checkpoint = os.path.join(tmp, "campaign.journal")
+            resume_state = {}
+            base_records = {}
+            if resume_from is None:
+                cleanup_shard_artifacts(checkpoint)
+            else:
+                strays = collect_shard_records(checkpoint, fingerprint)
+                if os.path.exists(resume_from):
+                    resume_state = load_checkpoint(resume_from, fingerprint)
+                    _, raw = read_journal(resume_from)
+                    base_records = {
+                        record["i"]: record
+                        for record in raw
+                        if record.get("type") == "injection"
+                    }
+                elif not strays:
+                    raise CheckpointError(
+                        f"checkpoint {resume_from!r} does not exist"
+                    )
+                for index, record in strays.items():
+                    base_records.setdefault(index, record)
+                    resume_state.setdefault(
+                        index, result_from_record(record)
+                    )
+            fi_result = injector.inject_fleet(
+                app_factory,
+                workload,
+                tree,
+                tracer.events,
+                artifacts.initial_image,
+                fleet_config,
+                checkpoint,
+                fingerprint,
+                fingerprint_payload,
+                spec,
+                seed=config.seed,
+                candidates=observer.candidates_seen,
+                resume_state=resume_state,
+                base_records=base_records,
+            )
+            if config.checkpoint_path is not None and os.path.exists(
+                checkpoint
+            ):
+                usage.checkpoint_bytes = os.path.getsize(checkpoint)
+        return fi_result
 
     def _analyze_sharded(
         self,

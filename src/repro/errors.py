@@ -129,6 +129,24 @@ class FabricError(HarnessError):
     exceeded its respawn budget, or its journal cannot be trusted."""
 
 
+class TransportError(HarnessError):
+    """A fleet transport operation failed (I/O error, bad object name).
+
+    Transport trouble is *infrastructure* trouble: it never invalidates
+    campaign state.  Callers retry with a deterministic backoff and,
+    past their retry budget, degrade to local execution rather than
+    corrupting or aborting the campaign."""
+
+
+class TransportMissing(TransportError):
+    """The requested transport object does not exist (yet)."""
+
+
+class FleetError(FabricError):
+    """The cross-host fleet supervisor failed in a way local fallback
+    cannot absorb (e.g. a foreign-fingerprint campaign manifest)."""
+
+
 class ToolError(ReproError):
     """A bug-detection tool failed in a way unrelated to the target."""
 

@@ -1,4 +1,4 @@
-"""Fault-tolerant multiprocess campaign fabric.
+"""Fault-tolerant multiprocess + cross-host campaign fabric.
 
 Public surface:
 
@@ -6,13 +6,40 @@ Public surface:
   :class:`~repro.fabric.supervisor.FabricConfig` — the shard
   supervisor: deterministic partitioning, worker-death requeue,
   graceful drain, chaos, and the crash-consistent merge.
+* :class:`~repro.fabric.fleet.FleetSupervisor` /
+  :class:`~repro.fabric.fleet.FleetConfig` /
+  :func:`~repro.fabric.fleet.run_fleet_worker` — the cross-host fleet:
+  lease-based slice distribution over a shared transport,
+  partition-tolerant idempotent merge, graceful local degradation.
+* :class:`~repro.fabric.transport.Transport` /
+  :class:`~repro.fabric.transport.DirTransport` /
+  :class:`~repro.fabric.transport.ChaosTransport` — the atomic
+  put/get/list substrate and its seeded fault injector.
+* :class:`~repro.fabric.lease.LeaseQueue` — TTL'd leases with fencing
+  tokens, arbitrated by the transport's atomic create.
 * :class:`~repro.fabric.signals.DrainController` — two-stage
   SIGINT/SIGTERM handling for ``mumak analyze``.
-* :class:`~repro.fabric.chaos.ChaosConfig` — the ``--chaos`` spec.
+* :class:`~repro.fabric.chaos.ChaosConfig` /
+  :class:`~repro.fabric.chaos.TransportChaosConfig` — the ``--chaos``
+  and ``--transport-chaos`` specs.
 * :mod:`~repro.fabric.merge` — shard journal/vcache folding.
 """
 
-from repro.fabric.chaos import ChaosConfig, ChaosMonkey, ChaosSpecError
+from repro.fabric.chaos import (
+    ChaosConfig,
+    ChaosMonkey,
+    ChaosSpecError,
+    TransportChaosConfig,
+)
+from repro.fabric.fleet import (
+    FleetConfig,
+    FleetResult,
+    FleetStats,
+    FleetSupervisor,
+    fold_journal_bytes,
+    run_fleet_worker,
+)
+from repro.fabric.lease import Lease, LeaseQueue, parse_claim_name
 from repro.fabric.merge import (
     cleanup_shard_artifacts,
     collect_shard_records,
@@ -35,25 +62,47 @@ from repro.fabric.supervisor import (
     ShardBeacon,
     ShardSupervisor,
 )
+from repro.fabric.transport import (
+    ChaosTransport,
+    DirTransport,
+    Transport,
+    reliable,
+    validate_name,
+)
 
 __all__ = [
     "ChaosConfig",
     "ChaosMonkey",
     "ChaosSpecError",
+    "ChaosTransport",
     "DRAIN_SIGNALS",
+    "DirTransport",
     "DrainController",
     "FabricConfig",
     "FabricResult",
     "FabricStats",
+    "FleetConfig",
+    "FleetResult",
+    "FleetStats",
+    "FleetSupervisor",
     "INTERRUPT_EXIT_CODE",
+    "Lease",
+    "LeaseQueue",
     "ShardBeacon",
     "ShardSupervisor",
+    "Transport",
+    "TransportChaosConfig",
     "cleanup_shard_artifacts",
     "collect_shard_records",
     "find_shard_journals",
+    "fold_journal_bytes",
     "merge_journals",
     "merge_vcaches",
+    "parse_claim_name",
+    "reliable",
     "results_from_records",
+    "run_fleet_worker",
     "shard_journal_path",
     "shard_worker_signals",
+    "validate_name",
 ]

@@ -85,6 +85,85 @@ class ChaosConfig:
         return self.kill_worker > 0
 
 
+@dataclasses.dataclass(frozen=True)
+class TransportChaosConfig:
+    """Parsed ``--transport-chaos`` parameters.
+
+    The spec grammar (all parts optional, at least one required)::
+
+        drop=P,dup=P,torn=P,delay=MS,seed=S
+
+    ``drop``/``dup``/``torn`` are per-upload probabilities of losing,
+    double-delivering, and truncating a campaign-data upload; ``delay``
+    adds a fixed latency (milliseconds) to every heartbeat upload; ``S``
+    seeds the fault schedule (combined with the worker id, so each
+    worker tears differently but reproducibly).
+    """
+
+    drop: float = 0.0
+    dup: float = 0.0
+    torn: float = 0.0
+    delay_ms: float = 0.0
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "TransportChaosConfig":
+        known = {"drop": "0", "dup": "0", "torn": "0", "delay": "0",
+                 "seed": "0"}
+        seen_any = False
+        for part in str(spec).split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in known:
+                raise ChaosSpecError(
+                    f"unknown transport-chaos parameter {part!r}; "
+                    "expected drop=P,dup=P,torn=P,delay=MS,seed=S"
+                )
+            known[key] = value.strip()
+            seen_any = True
+        if not seen_any:
+            raise ChaosSpecError(
+                f"empty transport-chaos spec {spec!r}; expected "
+                "drop=P,dup=P,torn=P,delay=MS,seed=S"
+            )
+        try:
+            drop = float(known["drop"])
+            dup = float(known["dup"])
+            torn = float(known["torn"])
+            delay_ms = float(known["delay"])
+            seed = int(known["seed"])
+        except ValueError as err:
+            raise ChaosSpecError(f"bad transport-chaos spec {spec!r}: {err}")
+        for name, probability in (("drop", drop), ("dup", dup),
+                                  ("torn", torn)):
+            if not 0.0 <= probability <= 1.0:
+                raise ChaosSpecError(
+                    f"transport-chaos {name} probability must be in "
+                    f"[0, 1], got {probability}"
+                )
+        if delay_ms < 0:
+            raise ChaosSpecError("transport-chaos delay must be >= 0")
+        return cls(drop=drop, dup=dup, torn=torn, delay_ms=delay_ms,
+                   seed=seed)
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.drop > 0 or self.dup > 0 or self.torn > 0
+            or self.delay_ms > 0
+        )
+
+    def spec(self) -> str:
+        """Re-render as a spec string (published in the fleet manifest)."""
+        return (
+            f"drop={self.drop},dup={self.dup},torn={self.torn},"
+            f"delay={self.delay_ms},seed={self.seed}"
+        )
+
+
 class ChaosMonkey:
     """The seeded coin-flipper the supervisor consults per progress event.
 
@@ -108,4 +187,9 @@ class ChaosMonkey:
         return False
 
 
-__all__ = ["ChaosConfig", "ChaosMonkey", "ChaosSpecError"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosMonkey",
+    "ChaosSpecError",
+    "TransportChaosConfig",
+]

@@ -50,6 +50,12 @@ class DrainController:
     calls ``force_exit`` (default :func:`os._exit` with status 130 —
     a force-exit must not run interpreter teardown that could block on
     the very locks the campaign holds).
+
+    ``resume_hint`` is the *complete* flag tail that resumes this exact
+    campaign — not just ``--resume`` but also whatever ``--shards`` /
+    ``--fleet`` / ``--chaos`` shape the run had, so the operator can
+    paste the hint verbatim (a drained 8-shard campaign resumed without
+    ``--shards 8`` would silently finish serially).
     """
 
     def __init__(
@@ -57,11 +63,13 @@ class DrainController:
         notice: Callable[[str], None] = _default_notice,
         signals: Iterable[int] = DRAIN_SIGNALS,
         force_exit: Optional[Callable[[int], None]] = None,
+        resume_hint: str = "--resume",
     ):
         self.stop_event = threading.Event()
         self.notice = notice
         self.signals = tuple(signals)
         self.force_exit = force_exit if force_exit is not None else os._exit
+        self.resume_hint = resume_hint
         self.signals_seen = 0
         self._previous: List = []
         self._installed = False
@@ -74,8 +82,8 @@ class DrainController:
         if self.signals_seen == 1:
             self.notice(
                 f"[mumak] {name}: draining — flushing checkpoint and "
-                "verdict cache; resume with --resume (send again to "
-                "force-exit)"
+                f"verdict cache; resume with {self.resume_hint} (send "
+                "again to force-exit)"
             )
             self.stop_event.set()
             return

@@ -22,7 +22,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs.export import EVENTS_FILENAME
+from repro.obs.export import EVENTS_FILENAME, JSON_FILENAME
 
 #: Span-path suffix -> attribution phase.  Spans outside this map are
 #: reported under their last path component.
@@ -240,6 +240,37 @@ def render_phase_attribution(events: List[dict]) -> str:
     return "\n".join(sections)
 
 
+#: Fleet counters surfaced in the report when present in the run's
+#: ``metrics.json`` (exported bare by fleet campaigns): name -> label.
+FLEET_COUNTERS = (
+    ("fleet_releases", "lease re-claims (expired holders)"),
+    ("fleet_duplicate_tasks", "duplicate deliveries discarded by merge"),
+    ("fleet_transport_retries", "transport operations retried"),
+)
+
+
+def render_fleet_counters(metrics_path: str) -> str:
+    """The fleet-campaign counter section, or "" when the run was not a
+    fleet campaign (no ``fleet_*`` counters in ``metrics.json``)."""
+    try:
+        with open(metrics_path, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    except (OSError, ValueError):
+        return ""
+    values = {
+        m.get("name"): m.get("value")
+        for m in snapshot.get("metrics", [])
+        if isinstance(m, dict) and not m.get("labels")
+    }
+    if not any(name in values for name, _ in FLEET_COUNTERS):
+        return ""
+    lines = ["== fleet ==", f"{'counter':<26} {'value':>8}  note"]
+    for name, label in FLEET_COUNTERS:
+        if name in values:
+            lines.append(f"{name:<26} {values[name]:>8.0f}  {label}")
+    return "\n".join(lines)
+
+
 def report_run(run_dir_or_file: str) -> str:
     """End-to-end: resolve, load, render.  Raises FileNotFoundError with
     a actionable message when the stream is missing."""
@@ -249,10 +280,18 @@ def report_run(run_dir_or_file: str) -> str:
             f"no telemetry stream at {path!r}; run the campaign with "
             "--obs DIR to record one"
         )
-    return render_phase_attribution(load_events(path))
+    text = render_phase_attribution(load_events(path))
+    # Fleet campaigns export their headline counters bare; surface them
+    # when the sibling metrics.json carries any.
+    metrics_path = os.path.join(os.path.dirname(path), JSON_FILENAME)
+    fleet_section = render_fleet_counters(metrics_path)
+    if fleet_section:
+        text = text + "\n\n" + fleet_section
+    return text
 
 
 __all__ = [
+    "FLEET_COUNTERS",
     "HEADLINE_PHASES",
     "PHASE_OF_SPAN",
     "PhaseProfile",
@@ -260,6 +299,7 @@ __all__ = [
     "events_path",
     "load_events",
     "percentile",
+    "render_fleet_counters",
     "render_phase_attribution",
     "report_run",
 ]

@@ -230,6 +230,51 @@ class VerdictCache:
                     self.loaded += 1
         return adopted
 
+    def adopt_bytes(self, data: bytes) -> int:
+        """Pre-load verdicts from a cache *payload* delivered over a
+        fleet transport, in memory only.
+
+        Unlike :meth:`adopt`, this is deliberately lenient: a shipped
+        cache may have been truncated at any byte in flight (torn
+        upload), so the longest clean prefix is adopted and the rest is
+        dropped — never raised.  A payload whose header is unreadable
+        or carries a foreign scope adopts nothing (verdicts recorded
+        under different oracle budgets must not replay here).  Returns
+        the number of newly adopted verdicts.
+        """
+        try:
+            lines = data.decode("utf-8").splitlines()
+        except UnicodeDecodeError:
+            lines = data.decode("utf-8", "replace").splitlines()
+        if not lines:
+            return 0
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return 0
+        if (
+            not isinstance(header, dict)
+            or header.get("type") != _HEADER_TYPE
+            or header.get("version") != CACHE_VERSION
+            or header.get("scope") != self.scope
+        ):
+            return 0
+        adopted = 0
+        with self._lock:
+            for line in lines[1:]:
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                    digest, outcome = record["d"], record["o"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    break  # clean prefix ends here (torn in flight)
+                if digest not in self._verdicts:
+                    self._verdicts[digest] = outcome
+                    adopted += 1
+                    self.loaded += 1
+        return adopted
+
     def __len__(self):
         with self._lock:
             return len(self._verdicts)

@@ -1,0 +1,97 @@
+"""Torn-tail warning deduplication: one tear, one warning per file per
+process — however many times the resume flow re-reads the journal."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.core.harness import (
+    JOURNAL_VERSION,
+    CampaignJournal,
+    TornJournalWarning,
+    read_journal,
+    reset_torn_warnings,
+    scan_journal,
+    torn_warning_count,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_dedup_state():
+    reset_torn_warnings()
+    yield
+    reset_torn_warnings()
+
+
+def _torn_journal(tmp_path, name="ckpt.jsonl"):
+    path = str(tmp_path / name)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({
+            "type": "header", "version": JOURNAL_VERSION,
+            "fingerprint": "fp", "seed": 0,
+        }) + "\n")
+        fh.write(json.dumps({"type": "injection", "i": 0}) + "\n")
+        fh.write('{"type":"injection","i":1,"trunc')  # the torn tail
+    return path
+
+
+def test_second_read_is_silent_but_counted(tmp_path):
+    path = _torn_journal(tmp_path)
+    warned = []
+    read_journal(path, warn=warned.append)
+    read_journal(path, warn=warned.append)
+    read_journal(path, warn=warned.append)
+    assert len(warned) == 1  # first sighting warns, repeats dedup
+    assert "torn" in warned[0]
+    assert "deduplicated" in warned[0]
+    assert torn_warning_count(path) == 3  # …but every sighting counts
+
+
+def test_default_warn_raises_one_python_warning(tmp_path):
+    path = _torn_journal(tmp_path)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        read_journal(path)
+        read_journal(path)
+    torn = [w for w in caught if w.category is TornJournalWarning]
+    assert len(torn) == 1
+
+
+def test_distinct_files_warn_independently(tmp_path):
+    first = _torn_journal(tmp_path, "a.jsonl")
+    second = _torn_journal(tmp_path, "b.jsonl")
+    warned = []
+    read_journal(first, warn=warned.append)
+    read_journal(second, warn=warned.append)
+    assert len(warned) == 2
+    assert torn_warning_count(first) == 1
+    assert torn_warning_count(second) == 1
+
+
+def test_append_repair_shares_the_dedup(tmp_path):
+    """A resume that read the torn journal then reopens it for append
+    must not warn a second time for the same tear."""
+    path = _torn_journal(tmp_path)
+    warned = []
+    read_journal(path, warn=warned.append)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        journal = CampaignJournal(path, "fp", seed=0)
+        journal.close()
+    torn = [w for w in caught if w.category is TornJournalWarning]
+    assert len(warned) == 1 and torn == []
+    assert torn_warning_count(path) >= 2
+    # The repair truncated the tail: the file now reads clean.
+    _, _, _, still_torn = scan_journal(path)
+    assert still_torn is False
+
+
+def test_reset_forgets_sightings(tmp_path):
+    path = _torn_journal(tmp_path)
+    warned = []
+    read_journal(path, warn=warned.append)
+    reset_torn_warnings()
+    assert torn_warning_count(path) == 0
+    read_journal(path, warn=warned.append)
+    assert len(warned) == 2  # a fresh campaign warns afresh

@@ -1,0 +1,59 @@
+"""The fleet-counter section of ``mumak obs report``."""
+
+import json
+
+from repro.obs.report import FLEET_COUNTERS, render_fleet_counters
+
+
+def _metrics(tmp_path, metrics):
+    path = tmp_path / "metrics.json"
+    path.write_text(json.dumps({"metrics": metrics}), encoding="utf-8")
+    return str(path)
+
+
+def test_fleet_counters_render_as_a_table(tmp_path):
+    path = _metrics(tmp_path, [
+        {"name": "fleet_releases", "kind": "counter", "labels": {},
+         "value": 3.0},
+        {"name": "fleet_duplicate_tasks", "kind": "counter", "labels": {},
+         "value": 17.0},
+        {"name": "fleet_transport_retries", "kind": "counter",
+         "labels": {}, "value": 0.0},
+    ])
+    text = render_fleet_counters(path)
+    assert text.startswith("== fleet ==")
+    assert "fleet_releases" in text and "3" in text
+    assert "duplicate deliveries discarded" in text
+
+
+def test_non_fleet_metrics_render_nothing(tmp_path):
+    path = _metrics(tmp_path, [
+        {"name": "campaign_injections", "kind": "counter", "labels": {},
+         "value": 56.0},
+    ])
+    assert render_fleet_counters(path) == ""
+
+
+def test_labeled_fleet_metrics_are_ignored(tmp_path):
+    # Only the bare (unlabeled) exports are the headline counters.
+    path = _metrics(tmp_path, [
+        {"name": "fleet_releases", "kind": "counter",
+         "labels": {"worker": "w1"}, "value": 9.0},
+    ])
+    assert render_fleet_counters(path) == ""
+
+
+def test_missing_or_corrupt_metrics_file_is_silent(tmp_path):
+    assert render_fleet_counters(str(tmp_path / "absent.json")) == ""
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert render_fleet_counters(str(bad)) == ""
+
+
+def test_every_headline_counter_has_a_note():
+    names = [name for name, _ in FLEET_COUNTERS]
+    assert names == [
+        "fleet_releases", "fleet_duplicate_tasks",
+        "fleet_transport_retries",
+    ]
+    assert all(note for _, note in FLEET_COUNTERS)
