@@ -11,11 +11,14 @@ from repro.apps.fast_fair import FastFair
 from repro.apps.hashmap_atomic import HashmapAtomic
 from repro.apps.level_hashing import LevelHashing
 from repro.apps.montage_apps import MontageHashtable, MontageLfHashtable
+from repro.apps.msgqueue_tso import MsgQueueTSO
 from repro.apps.pmemkv import PmemkvCmap, PmemkvStree
 from repro.apps.rbtree import RBTree, RBTreeSPT
 from repro.apps.redis_pm import RedisPM
 from repro.apps.rocksdb_pm import RocksDBPM
+from repro.apps.threaded import ThreadedPMApplication
 from repro.apps.wort import Wort
+from repro.apps.worklog_alloc import WorklogAlloc
 
 #: Application classes by stable name.
 APPLICATIONS: Dict[str, Callable[..., PMApplication]] = {
@@ -35,8 +38,32 @@ APPLICATIONS: Dict[str, Callable[..., PMApplication]] = {
     "art": ARTree,
 }
 
+#: Multi-threaded targets, runnable only under ``--sched`` (or the
+#: program-order driver).  Kept out of :data:`APPLICATIONS` on purpose:
+#: they are not KV stores, so the single-threaded workload batteries and
+#: the coverage experiments do not apply to them.
+THREADED_APPLICATIONS: Dict[str, Callable[..., ThreadedPMApplication]] = {
+    "msgqueue_tso": MsgQueueTSO,
+    "worklog_alloc": WorklogAlloc,
+}
+
+
+def resolve_application(name: str) -> Callable[..., PMApplication]:
+    """Look up a target by name across both registries."""
+    if name in APPLICATIONS:
+        return APPLICATIONS[name]
+    if name in THREADED_APPLICATIONS:
+        return THREADED_APPLICATIONS[name]
+    raise KeyError(name)
+
+
 __all__ = [
     "APPLICATIONS",
+    "THREADED_APPLICATIONS",
+    "MsgQueueTSO",
+    "ThreadedPMApplication",
+    "WorklogAlloc",
+    "resolve_application",
     "ARTree",
     "BTree",
     "BTreeSPT",

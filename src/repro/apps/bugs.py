@@ -38,6 +38,11 @@ MISSED = "missed"
 #: media errors; see :mod:`repro.pmem.faultmodel`) — invisible to the
 #: paper's graceful program-order-prefix crash.
 ADVERSARIAL = "adversarial"
+#: Only exposed under a concurrency-aware campaign (``--sched``; see
+#: :mod:`repro.sched`) — the inconsistent crash state requires a
+#: cross-thread interleaving, so single-threaded program order (with or
+#: without adversarial variants) never materialises it.
+CONCURRENCY = "concurrency"
 
 
 @dataclass(frozen=True)
@@ -245,6 +250,30 @@ _SPECS += [
         "store leaves value and checksum mismatched "
         "(requires --fault-model torn/adversarial)",
         ADVERSARIAL, in_witcher_list=False, default_enabled=False,
+    ),
+]
+
+# --------------------------------------------------------------------- #
+# Concurrency ground truth (multi-threaded targets; --sched only).
+# Outside the coverage denominator: Witcher's list is single-threaded.
+# --------------------------------------------------------------------- #
+_SPECS += [
+    BugSpec(
+        "msgqueue_tso.c1_unfenced_publish", "msgqueue_tso", _O,
+        "producer signals message readiness without persisting the "
+        "payload first; under x86-TSO the payload store can still sit "
+        "in the producer's store buffer when the consumer persists the "
+        "delivery flag, so a crash exposes flag-without-payload "
+        "(requires --sched; invisible in program order)",
+        CONCURRENCY, in_witcher_list=False,
+    ),
+    BugSpec(
+        "worklog_alloc.c1_racy_pop", "worklog_alloc", _A,
+        "free-list pop is a non-atomic load/decrement instead of a CAS; "
+        "two threads can claim the same block and both persist "
+        "ownership log entries for it "
+        "(requires --sched; invisible in program order)",
+        CONCURRENCY, in_witcher_list=False,
     ),
 ]
 

@@ -1,0 +1,189 @@
+"""A persistent single-producer message queue with a publication race.
+
+The producer writes fixed-size message slots into PM and *publishes* each
+one through a volatile ready signal (the analog of an ``std::atomic`` flag
+in DRAM); a consumer thread polls the signal and, once it sees it, durably
+acknowledges the message by persisting a per-slot consumption flag.  The
+consistency contract is one-directional: **a persisted consumption flag
+implies a persisted message body** — recovery replays acknowledged slots
+and must find their payloads intact.
+
+Seeded bug ``msgqueue_tso.c1_unfenced_publish`` inverts the producer's
+publication order: the volatile signal is raised *before* the slot is
+flushed and fenced.  In program order (single-threaded, or any one-thread
+schedule) this is invisible — the slot's persist still precedes the
+consumer's acknowledgement.  Under an x86-TSO interleaving the volatile
+signal commits immediately while the slot's stores are still sitting in
+the producer's store buffer, so a consumer scheduled into that window can
+persist its acknowledgement while the payload is neither globally visible
+nor durable: a crash there recovers a flagged slot with a zero or torn
+body.  This is the classic unfenced-publication pattern (cf. PMDK's
+"valid flag" idiom) that only a concurrency-aware crash exploration sees.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.apps import faults
+from repro.apps.threaded import ThreadBody, ThreadedPMApplication
+from repro.pmem.machine import VOLATILE_BASE, PMachine
+from repro.workloads.generator import Operation
+
+_MAGIC = 0x4D51_5453_4F31  # "MQTSO1"
+_MAGIC_ADDR = 0
+_FLAGS_BASE = 512
+_SLOTS_BASE = 1024
+_SLOT_SIZE = 64
+_BODY_SIZE = 56  # + u64 checksum = one slot
+_MAX_MESSAGES = 4
+#: Volatile ready signals, one u64 per slot (DRAM, never part of images).
+_SIGNALS_BASE = VOLATILE_BASE + 0x1000
+#: Consumer poll budget; generous versus the producer's ~6 steps/message.
+_SPIN_CAP = 4000
+
+_BUG_PUBLISH = "msgqueue_tso.c1_unfenced_publish"
+
+
+def _body_bytes(index: int) -> bytes:
+    return bytes([0xA0 + index]) * _BODY_SIZE
+
+
+def _checksum(body: bytes) -> int:
+    return sum(body) & (2 ** 64 - 1)
+
+
+class MsgQueueTSO(ThreadedPMApplication):
+    """Producer/consumer persistent queue (see module docstring)."""
+
+    name = "msgqueue_tso"
+    layout = "mumak-msgqueue-tso"
+    codebase_kloc = 0.4
+    thread_count = 2
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("pool_size", 64 * 1024)
+        super().__init__(**kwargs)
+
+    # ------------------------------------------------------------------ #
+    # layout helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _flag_addr(index: int) -> int:
+        return _FLAGS_BASE + index * 8
+
+    @staticmethod
+    def _slot_addr(index: int) -> int:
+        return _SLOTS_BASE + index * _SLOT_SIZE
+
+    @staticmethod
+    def _signal_addr(index: int) -> int:
+        return _SIGNALS_BASE + index * 8
+
+    @staticmethod
+    def message_count(workload: Sequence[Operation]) -> int:
+        return max(1, min(_MAX_MESSAGES, len(workload) // 4))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        machine.store(_MAGIC_ADDR, _MAGIC.to_bytes(8, "little"))
+        machine.persist(_MAGIC_ADDR, 8)
+
+    def recover(self, machine: PMachine) -> None:
+        self.machine = machine
+        magic = int.from_bytes(machine.load(_MAGIC_ADDR, 8), "little")
+        if magic != _MAGIC:
+            # Crash during first-time setup: nothing was promised yet.
+            self.setup(machine)
+            return
+        for index in range(_MAX_MESSAGES):
+            flag = int.from_bytes(machine.load(self._flag_addr(index), 8),
+                                  "little")
+            if flag == 0:
+                continue
+            body = machine.load(self._slot_addr(index), _BODY_SIZE)
+            self.require(
+                any(body),
+                f"slot {index}: consumption flag persisted before payload",
+            )
+            stored = int.from_bytes(
+                machine.load(self._slot_addr(index) + _BODY_SIZE, 8),
+                "little",
+            )
+            self.require(
+                stored == _checksum(body),
+                f"slot {index}: acknowledged payload is torn",
+            )
+
+    # ------------------------------------------------------------------ #
+    # thread bodies
+    # ------------------------------------------------------------------ #
+
+    def thread_bodies(
+        self, workload: Sequence[Operation], threads: int
+    ) -> List[ThreadBody]:
+        messages = self.message_count(workload)
+        if threads == 1:
+            return [self._serial_body(messages)]
+        consumers = threads - 1
+        bodies: List[ThreadBody] = [self._producer_body(messages)]
+        for consumer in range(consumers):
+            owned = [i for i in range(messages) if i % consumers == consumer]
+            bodies.append(self._consumer_body(owned))
+        return bodies
+
+    def _produce(self, ctx, index: int) -> Iterator[None]:
+        slot = self._slot_addr(index)
+        body = _body_bytes(index)
+        yield from ctx.store(slot, body)
+        yield from ctx.store_u64(slot + _BODY_SIZE, _checksum(body))
+        if faults.branch(self, _BUG_PUBLISH):
+            # Publish first, persist later: the volatile signal commits
+            # immediately while the slot is still in this thread's TSO
+            # store buffer, unfenced and unflushed.
+            yield from ctx.store_u64(self._signal_addr(index), 1)
+            yield from ctx.persist(slot, _SLOT_SIZE)
+        else:
+            yield from ctx.persist(slot, _SLOT_SIZE)
+            yield from ctx.store_u64(self._signal_addr(index), 1)
+
+    def _consume(self, ctx, index: int) -> Iterator[None]:
+        for _ in range(_SPIN_CAP):
+            ready = yield from ctx.load_u64(self._signal_addr(index))
+            if ready:
+                break
+            yield from ctx.pause()
+        else:
+            return  # producer never published; leave the flag clear
+        yield from ctx.store_u64(self._flag_addr(index), 1)
+        yield from ctx.persist(self._flag_addr(index), 8)
+
+    def _producer_body(self, messages: int) -> ThreadBody:
+        def body(ctx) -> Iterator[None]:
+            for index in range(messages):
+                yield from self._produce(ctx, index)
+            return messages
+
+        return body
+
+    def _consumer_body(self, owned: Sequence[int]) -> ThreadBody:
+        def body(ctx) -> Iterator[None]:
+            for index in owned:
+                yield from self._consume(ctx, index)
+            return len(owned)
+
+        return body
+
+    def _serial_body(self, messages: int) -> ThreadBody:
+        def body(ctx) -> Iterator[None]:
+            for index in range(messages):
+                yield from self._produce(ctx, index)
+                yield from self._consume(ctx, index)
+            return messages
+
+        return body

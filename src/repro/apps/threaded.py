@@ -1,0 +1,78 @@
+"""Multi-threaded target-program base class.
+
+A :class:`ThreadedPMApplication` expresses its workload as *thread
+bodies*: generator functions taking a
+:class:`~repro.sched.scheduler.ThreadCtx` and issuing every machine
+operation through ``yield from`` (one scheduling point per operation).
+Under ``--sched`` the bodies run interleaved by the seeded x86-TSO
+scheduler; without it :meth:`run` drives each body to completion in
+thread-id order over pass-through (eager) views — plain single-threaded
+program order, exactly what the rest of the pipeline expects of any
+:class:`~repro.apps.base.PMApplication`.
+
+This module is excluded from captured backtraces (like
+:mod:`repro.apps.faults`): the program-order driver is harness plumbing,
+and excluding it makes direct-mode stacks identical to scheduled-mode
+stacks, where the scheduler's frames are filtered for the same reason.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Iterator, List, Sequence
+
+from repro.apps.base import PMApplication
+from repro.pmem.tso import TSOThreadView
+from repro.sched.scheduler import ThreadCtx
+from repro.workloads.generator import Operation
+
+#: A thread body: ``body(ctx)`` returns a generator over scheduling points.
+ThreadBody = Callable[[ThreadCtx], Iterator[None]]
+
+
+class ThreadedPMApplication(PMApplication):
+    """A PM application whose workload runs on several threads."""
+
+    #: Natural thread count when the program-order driver runs the app
+    #: (``--sched threads=N`` overrides it for scheduled campaigns).
+    thread_count: int = 2
+
+    @abc.abstractmethod
+    def thread_bodies(
+        self, workload: Sequence[Operation], threads: int
+    ) -> List[ThreadBody]:
+        """The per-thread generator functions for this workload.
+
+        Must return exactly ``threads`` bodies (``threads == 1`` returns
+        the serialised single-threaded equivalent) and be deterministic
+        for a given (workload, threads).
+        """
+
+    def apply(self, op: Operation) -> Any:
+        raise NotImplementedError(
+            f"{self.name} is a multi-threaded target; its workload is "
+            "expressed as thread bodies, not per-operation calls"
+        )
+
+    def run(self, workload: Sequence[Operation]) -> List[Any]:
+        """Program-order reference execution (scheduler off ≡ absent).
+
+        Runs the *serialised single-thread equivalent* of the workload
+        (``thread_bodies(workload, 1)``) over an eager (non-buffering)
+        view: every store commits at issue, as in the single-threaded
+        engine.  This is the differential anchor the test battery
+        compares one-thread schedules against — any ``threads=1``
+        schedule must produce a bit-identical event trace.
+        """
+        bodies = self.thread_bodies(workload, 1)
+        results: List[Any] = []
+        for tid, body in enumerate(bodies):
+            view = TSOThreadView(self.machine, thread_id=tid, buffering=False)
+            generator = body(ThreadCtx(view))
+            while True:
+                try:
+                    next(generator)
+                except StopIteration as stop:
+                    results.append(stop.value)
+                    break
+        return results

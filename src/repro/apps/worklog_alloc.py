@@ -1,0 +1,167 @@
+"""A persistent work log backed by a shared free-block stack.
+
+Each worker thread claims one block from a persistent free stack, writes
+its work record into the block, and durably logs the claim in its own log
+slot.  The consistency contract: **no block may be claimed by two logs**
+— the free-stack pop must be atomic — and every logged block holds a
+fully persisted record.
+
+Seeded bug ``worklog_alloc.c1_racy_pop`` replaces the CAS-based pop with
+a non-atomic read/compute/write of the stack top.  Single-threaded the
+difference is unobservable: each sequential pop sees the previous pop's
+effect.  Under an interleaving, two workers can read the same top (TSO
+widens the window further: a worker's top update lingers in its store
+buffer, invisible to the other thread) and claim the same block — a crash
+after both logs persist recovers two owners for one block.  This is racy
+allocator reuse: the cross-thread twin of the allocator-misuse bugs the
+single-threaded campaigns already cover.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.apps import faults
+from repro.apps.threaded import ThreadBody, ThreadedPMApplication
+from repro.pmem.machine import PMachine
+from repro.workloads.generator import Operation
+
+_MAGIC = 0x574C_414C_4C31  # "WLALL1"
+_MAGIC_ADDR = 0
+_TOP_ADDR = 8
+_FREE_BASE = 64
+_LOGS_BASE = 512
+_BLOCKS_BASE = 1024
+_BLOCK_SIZE = 64
+_N_BLOCKS = 8
+_MAX_WORKERS = 4
+
+_BUG_POP = "worklog_alloc.c1_racy_pop"
+
+
+def _record_bytes(worker: int) -> bytes:
+    return bytes([0x10 + worker]) * _BLOCK_SIZE
+
+
+class WorklogAlloc(ThreadedPMApplication):
+    """Free-stack allocator + per-thread durable logs (module docstring)."""
+
+    name = "worklog_alloc"
+    layout = "mumak-worklog-alloc"
+    codebase_kloc = 0.5
+    thread_count = 2
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("pool_size", 64 * 1024)
+        super().__init__(**kwargs)
+
+    # ------------------------------------------------------------------ #
+    # layout helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _free_addr(index: int) -> int:
+        return _FREE_BASE + index * 8
+
+    @staticmethod
+    def _log_addr(worker: int) -> int:
+        return _LOGS_BASE + worker * 8
+
+    @staticmethod
+    def _block_addr(block: int) -> int:
+        return _BLOCKS_BASE + block * _BLOCK_SIZE
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def setup(self, machine: PMachine) -> None:
+        self.machine = machine
+        for index in range(_N_BLOCKS):
+            machine.store(self._free_addr(index),
+                          index.to_bytes(8, "little"))
+        machine.persist(_FREE_BASE, _N_BLOCKS * 8)
+        machine.store(_TOP_ADDR, _N_BLOCKS.to_bytes(8, "little"))
+        machine.persist(_TOP_ADDR, 8)
+        machine.store(_MAGIC_ADDR, _MAGIC.to_bytes(8, "little"))
+        machine.persist(_MAGIC_ADDR, 8)
+
+    def recover(self, machine: PMachine) -> None:
+        self.machine = machine
+        magic = int.from_bytes(machine.load(_MAGIC_ADDR, 8), "little")
+        if magic != _MAGIC:
+            self.setup(machine)
+            return
+        claimed = {}
+        for worker in range(_MAX_WORKERS):
+            entry = int.from_bytes(machine.load(self._log_addr(worker), 8),
+                                   "little")
+            if entry == 0:
+                continue
+            block = entry - 1
+            self.require(
+                block < _N_BLOCKS,
+                f"log {worker}: claimed block {block} out of range",
+            )
+            if block in claimed:
+                self.require(
+                    False,
+                    f"block {block} allocated twice "
+                    f"(logs {claimed[block]} and {worker})",
+                )
+            claimed[block] = worker
+            record = machine.load(self._block_addr(block), _BLOCK_SIZE)
+            self.require(
+                any(record),
+                f"log {worker}: claim persisted before record",
+            )
+        # Deliberately no TOP-vs-logs cross check: the correct path
+        # persists the log after the pop, so mid-flight crash images
+        # legitimately disagree on the in-between states.
+
+    # ------------------------------------------------------------------ #
+    # thread bodies
+    # ------------------------------------------------------------------ #
+
+    def thread_bodies(
+        self, workload: Sequence[Operation], threads: int
+    ) -> List[ThreadBody]:
+        del workload  # the job is fixed: one claimed block per worker
+        return [self._worker_body(worker) for worker in range(threads)]
+
+    def _pop_block(self, ctx) -> Iterator[None]:
+        """Pop one block id off the free stack; None when empty."""
+        if faults.branch(self, _BUG_POP):
+            # Non-atomic pop: read top, window, read entry, write top.
+            # Two workers in the window read the same top and claim the
+            # same block; each one's top update hides in its TSO buffer.
+            top = yield from ctx.load_u64(_TOP_ADDR)
+            if top == 0:
+                return None
+            yield from ctx.pause()
+            block = yield from ctx.load_u64(self._free_addr(top - 1))
+            yield from ctx.pause()
+            yield from ctx.store_u64(_TOP_ADDR, top - 1)
+            return block
+        while True:
+            top = yield from ctx.load_u64(_TOP_ADDR)
+            if top == 0:
+                return None
+            block = yield from ctx.load_u64(self._free_addr(top - 1))
+            won = yield from ctx.cas_u64(_TOP_ADDR, top, top - 1)
+            if won:
+                return block
+
+    def _worker_body(self, worker: int) -> ThreadBody:
+        def body(ctx) -> Iterator[None]:
+            block: Optional[int] = yield from self._pop_block(ctx)
+            if block is None:
+                return None
+            addr = self._block_addr(block)
+            yield from ctx.store(addr, _record_bytes(worker))
+            yield from ctx.persist(addr, _BLOCK_SIZE)
+            yield from ctx.store_u64(self._log_addr(worker), block + 1)
+            yield from ctx.persist(self._log_addr(worker), 8)
+            return block
+
+        return body

@@ -20,7 +20,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.apps import APPLICATIONS
+from repro.apps import (
+    APPLICATIONS,
+    THREADED_APPLICATIONS,
+    resolve_application,
+)
 from repro.apps.bugs import bugs_for_app, default_bugs_for
 from repro.core import Mumak, MumakConfig
 from repro.fabric import (
@@ -32,7 +36,12 @@ from repro.fabric import (
 )
 from repro.pmem.faultmodel import MODELS, FaultModelConfig
 from repro.pmem.incremental import ENGINE_IMAGE_INCREMENTAL, IMAGE_ENGINES
+from repro.sched.config import SchedConfig
 from repro.workloads import generate_workload
+
+#: Every analysable target (single-threaded KV stores + multi-threaded
+#: schedule targets), for CLI argument choices.
+ALL_TARGETS = sorted({**APPLICATIONS, **THREADED_APPLICATIONS})
 
 
 def emit(text: str = "", stream=None) -> None:
@@ -52,7 +61,7 @@ def _heartbeat_sink(line: str) -> None:
 
 def _add_analyze(sub) -> None:
     parser = sub.add_parser("analyze", help="run Mumak on a target")
-    parser.add_argument("target", choices=sorted(APPLICATIONS))
+    parser.add_argument("target", choices=ALL_TARGETS)
     parser.add_argument("--ops", type=int, default=300,
                         help="workload size (default 300)")
     parser.add_argument("--seed", type=int, default=0)
@@ -80,6 +89,18 @@ def _add_analyze(sub) -> None:
     parser.add_argument("--no-fault-injection", action="store_true",
                         help="skip the fault-injection phase "
                              "(trace analysis only)")
+    # Concurrency-aware schedules (repro.sched).
+    parser.add_argument("--sched", default=None, metavar="SPEC",
+                        help="concurrency-aware campaign: run the "
+                             "target's thread bodies under K seeded "
+                             "x86-TSO schedule samples and draw crash "
+                             "points from every interleaving; SPEC is "
+                             "threads=N[,seed=S][,samples=K] (threads "
+                             "1-4). Requires a multi-threaded target "
+                             "(" + ", ".join(sorted(THREADED_APPLICATIONS))
+                             + ") and --engine trace; findings and "
+                             "checkpoints are byte-identical across "
+                             "--jobs/--shards for the same spec")
     parser.add_argument("--max-injections", type=int, default=None,
                         metavar="N",
                         help="cap the number of injected faults")
@@ -229,6 +250,8 @@ def _resume_flags(args) -> str:
         f"--checkpoint {args.checkpoint}",
         "--resume",
     ]
+    if getattr(args, "sched", None):
+        parts.append(f"--sched {args.sched}")
     if getattr(args, "fleet", None):
         parts.append(f"--fleet {args.fleet}")
         if args.fleet_slices != 4:
@@ -243,7 +266,7 @@ def _resume_flags(args) -> str:
 
 
 def _cmd_analyze(args) -> int:
-    cls = APPLICATIONS[args.target]
+    cls = resolve_application(args.target)
     options = {}
     if args.spt:
         options["spt"] = True
@@ -251,6 +274,31 @@ def _cmd_analyze(args) -> int:
         options["bugs"] = frozenset()
     elif args.bugs != "default":
         options["bugs"] = frozenset(args.bugs.split(","))
+
+    sched_config = None
+    if args.sched is not None:
+        try:
+            sched_config = SchedConfig.parse(args.sched)
+        except ValueError as err:
+            emit(str(err), stream=sys.stderr)
+            return 2
+        if args.target not in THREADED_APPLICATIONS:
+            emit(f"--sched requires a multi-threaded target "
+                 f"({', '.join(sorted(THREADED_APPLICATIONS))}); "
+                 f"{args.target!r} is single-threaded", stream=sys.stderr)
+            return 2
+        if args.engine != "trace":
+            emit("--sched requires --engine trace", stream=sys.stderr)
+            return 2
+        if args.fleet:
+            emit("--sched is incompatible with --fleet (schedule "
+                 "samples are process-local detection products)",
+                 stream=sys.stderr)
+            return 2
+    elif args.target in THREADED_APPLICATIONS:
+        emit(f"{args.target!r} is a multi-threaded target; pass "
+             f"--sched threads=N[,seed=S][,samples=K]", stream=sys.stderr)
+        return 2
 
     if args.resume and not args.checkpoint:
         emit("--resume requires --checkpoint PATH", stream=sys.stderr)
@@ -358,6 +406,7 @@ def _cmd_analyze(args) -> int:
         obs_dir=args.obs_dir,
         obs_heartbeat_seconds=args.obs_heartbeat,
         obs_sink=_heartbeat_sink if args.obs_heartbeat > 0 else None,
+        sched=sched_config,
     )
     resume_from = args.checkpoint if args.resume else None
     with drain:
@@ -370,6 +419,11 @@ def _cmd_analyze(args) -> int:
         stats = result.fault_injection.stats
         summary.append(f"failure points: {stats.unique_failure_points}")
         summary.append(f"injections: {stats.injections}")
+        if stats.schedules:
+            summary.append(
+                f"schedules: {stats.schedules} sample(s) x "
+                f"{stats.sched_threads} thread(s)"
+            )
         if stats.adversarial_injections:
             summary.append(
                 f"adversarial: {stats.adversarial_injections}"
@@ -464,10 +518,11 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_targets(_args) -> int:
-    for name in sorted(APPLICATIONS):
-        cls = APPLICATIONS[name]
+    for name in ALL_TARGETS:
+        cls = (APPLICATIONS.get(name) or THREADED_APPLICATIONS[name])
+        tag = "  [threaded: --sched]" if name in THREADED_APPLICATIONS else ""
         emit(f"{name:22s} {cls.codebase_kloc:6.1f} kloc  "
-             f"{len(default_bugs_for(name)):2d} seeded bugs")
+             f"{len(default_bugs_for(name)):2d} seeded bugs{tag}")
     return 0
 
 
@@ -589,7 +644,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_analyze(sub)
     sub.add_parser("targets", help="list analysable applications")
     bugs_parser = sub.add_parser("bugs", help="list a target's seeded bugs")
-    bugs_parser.add_argument("target", choices=sorted(APPLICATIONS) + ["pmdk"])
+    bugs_parser.add_argument("target", choices=ALL_TARGETS + ["pmdk"])
     sub.add_parser("tools", help="print Tables 1 and 3")
     exp = sub.add_parser("experiment", help="regenerate a paper artefact")
     exp.add_argument(

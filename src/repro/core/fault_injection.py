@@ -104,6 +104,12 @@ class FaultInjectionStats:
     worker_deaths: int = 0
     #: Injections restored from a checkpoint instead of re-executed.
     resumed: int = 0
+    # Concurrency-aware campaigns (repro.sched).
+    #: Schedule samples the campaign's crash points were drawn from
+    #: (0 = single-threaded campaign).
+    schedules: int = 0
+    #: Simulated threads per schedule sample.
+    sched_threads: int = 0
     # Multiprocess fabric accounting (repro.fabric).
     #: Shard worker processes the campaign was partitioned across
     #: (0 = in-process execution).
@@ -201,6 +207,8 @@ class FaultInjectionStats:
             "retries": self.retries,
             "worker_deaths": self.worker_deaths,
             "resumed": self.resumed,
+            "schedules": self.schedules,
+            "sched_threads": self.sched_threads,
             "shards": self.shards,
             "shard_deaths": self.shard_deaths,
             "shard_respawns": self.shard_respawns,
@@ -506,6 +514,143 @@ class FaultInjector:
             )
         return self._collect(campaign, stats, tree)
 
+    # ------------------------------------------------------------------ #
+    # step 2+3, trace engine over schedule samples (repro.sched)
+    # ------------------------------------------------------------------ #
+
+    def _plan_sched_tasks(self, runs, source) -> List[InjectionTask]:
+        """The deterministic plan of a scheduled campaign.
+
+        Samples contribute in schedule order with globally contiguous
+        task indices, so journal/fabric identity (``task.index``) works
+        unchanged; each task additionally carries its schedule id.  The
+        per-point layout inside a sample matches :meth:`_plan_tasks`
+        exactly (prefix first, adversarial variants riding after).
+        """
+        adversarial = self.fault_model.is_adversarial
+        tasks: List[InjectionTask] = []
+
+        def room() -> bool:
+            return self.max_injections is None or (
+                len(tasks) < self.max_injections
+            )
+
+        with self.telemetry.span(
+            "campaign/injection/planner", engine=self.image_engine
+        ):
+            for run in runs:
+                planner = (
+                    source.sources[run.sched].factory if adversarial else None
+                )
+                for stack, node in run.tree.failure_points():
+                    if not room():
+                        break
+                    node.visited = True
+                    tasks.append(
+                        InjectionTask(
+                            index=len(tasks),
+                            stack=stack,
+                            seq=node.first_seq,
+                            sched=run.sched,
+                        )
+                    )
+                    if planner is not None:
+                        for variant in planner.plan(node.first_seq):
+                            if not room():
+                                break
+                            tasks.append(
+                                InjectionTask(
+                                    index=len(tasks),
+                                    stack=stack,
+                                    seq=node.first_seq,
+                                    variant=variant,
+                                    sched=run.sched,
+                                )
+                            )
+        return tasks
+
+    def _sched_recovery_engine(self, runs):
+        """A RecoveryEngine spanning every schedule sample, or None.
+
+        The digest extent is the *union* of the samples' persisted-write
+        extents, so two crash images that agree on every byte any sample
+        ever persisted — equivalent interleavings, DPOR-style — collapse
+        to one verdict-cache digest within and across samples.
+        """
+        if self.recovery is None or not self.recovery.enabled:
+            return None
+        from repro.recovery import RecoveryEngine
+        from repro.sched.campaign import union_extent, write_seqs_by_sched
+
+        return RecoveryEngine(
+            self.recovery,
+            write_seqs=write_seqs_by_sched(runs),
+            extent=union_extent(runs),
+            telemetry=self.telemetry,
+        )
+
+    def inject_scheduled(
+        self,
+        app_factory,
+        runs,
+        threads: int = 0,
+        candidates: int = 0,
+        journal: Optional[CampaignJournal] = None,
+        resume_state: Optional[Dict[int, InjectionResult]] = None,
+    ) -> FaultInjectionResult:
+        """Injection over pre-detected schedule samples (pipeline entry).
+
+        ``runs`` is the :func:`repro.sched.campaign.detect_schedules`
+        output: per-sample traces, trees, and initial images.  Everything
+        downstream of planning reuses the single-threaded campaign
+        machinery verbatim — tasks dispatch to their sample's image
+        source by schedule id, and journals/checkpoints order records by
+        ``(sched, index)``.
+        """
+        from repro.sched.campaign import MultiScheduleSource
+
+        if self.engine != ENGINE_TRACE:
+            raise ValueError(
+                "scheduled campaigns require the trace engine; the replay "
+                "engine re-executes the target per failure point and has "
+                "no notion of a recorded interleaving"
+            )
+        stats = FaultInjectionStats(
+            candidates=candidates,
+            unique_failure_points=sum(
+                run.tree.failure_point_count for run in runs
+            ),
+            trace_length=sum(len(run.trace) for run in runs),
+            executions=len(runs),
+            schedules=len(runs),
+            sched_threads=threads,
+        )
+        source = MultiScheduleSource(
+            runs, fault_model=self.fault_model, image_engine=self.image_engine
+        )
+        tasks = self._plan_sched_tasks(runs, source)
+        recovery_engine = self._sched_recovery_engine(runs)
+        campaign = run_campaign(
+            tasks,
+            source,
+            app_factory,
+            config=self.harness,
+            journal=journal,
+            resume_state=resume_state,
+            telemetry=self.telemetry,
+            heartbeat=self._heartbeat(len(tasks)),
+            recovery=recovery_engine,
+            stop=self.stop,
+        )
+        self._close_recovery(recovery_engine, stats)
+        collected = source.collect_stats()
+        stats.absorb_image_stats(collected)
+        if self.telemetry.enabled:
+            collected.publish(
+                self.telemetry.registry, engine=self.image_engine
+            )
+        return self._collect(campaign, stats, runs[0].tree)
+
     def _heartbeat(self, total: int) -> Optional[HeartbeatMonitor]:
         """A live progress monitor, or None when inert (no telemetry and
         no sink, or a zero interval)."""
@@ -536,6 +681,7 @@ class FaultInjector:
         candidates: int = 0,
         resume_state: Optional[Dict[int, InjectionResult]] = None,
         base_records: Optional[Dict[int, dict]] = None,
+        runs=None,
     ) -> FaultInjectionResult:
         """Run the trace-engine campaign across shard *processes*.
 
@@ -552,6 +698,13 @@ class FaultInjector:
         (timings are process-local and deliberately unserialised); all
         other accounting — including per-shard image and recovery-engine
         stats — is relayed back best-effort.
+
+        ``runs`` switches the campaign to scheduled mode: the plan comes
+        from the per-sample trees (``tree``/``trace``/``initial_image``
+        are ignored and may be None) and each shard materialises images
+        from its tasks' own samples.  Shard partitioning, journaling,
+        and the merge are oblivious to schedules — global task indices
+        keep them working unchanged.
         """
         # Lazy: repro.fabric depends on this package's harness module.
         from repro.fabric import (
@@ -572,13 +725,29 @@ class FaultInjector:
             )
         stats = FaultInjectionStats(
             candidates=candidates,
-            unique_failure_points=tree.failure_point_count,
-            trace_length=len(trace),
             executions=1,
             shards=fabric.shards,
         )
-        source = self._make_source(trace, initial_image)
-        tasks = self._plan_tasks(tree, source)
+        if runs is not None:
+            from repro.sched.campaign import MultiScheduleSource
+
+            stats.unique_failure_points = sum(
+                run.tree.failure_point_count for run in runs
+            )
+            stats.trace_length = sum(len(run.trace) for run in runs)
+            stats.executions = len(runs)
+            stats.schedules = len(runs)
+            source = MultiScheduleSource(
+                runs,
+                fault_model=self.fault_model,
+                image_engine=self.image_engine,
+            )
+            tasks = self._plan_sched_tasks(runs, source)
+        else:
+            stats.unique_failure_points = tree.failure_point_count
+            stats.trace_length = len(trace)
+            source = self._make_source(trace, initial_image)
+            tasks = self._plan_tasks(tree, source)
         resume_state = resume_state or {}
         base_records = dict(base_records or {})
         todo: List[InjectionTask] = []
@@ -589,6 +758,7 @@ class FaultInjector:
                 restored is not None
                 and restored.task.stack == task.stack
                 and restored.task.variant == task.variant
+                and getattr(restored.task, "sched", -1) == task.sched
             ):
                 restored_indices.add(task.index)
             else:
@@ -607,6 +777,17 @@ class FaultInjector:
         main_cache_path = (
             recovery_cfg.cache_path if recovery_cfg is not None else None
         )
+        if runs is not None:
+            from repro.sched.campaign import union_extent, write_seqs_by_sched
+
+            # Every shard engine digests over the same union extent, so
+            # cross-sample aliases hash identically in every process.
+            engine_kwargs = dict(
+                write_seqs=write_seqs_by_sched(runs),
+                extent=union_extent(runs),
+            )
+        else:
+            engine_kwargs = dict(trace=trace)
 
         def worker_body(shard_id, shard_tasks, journal_path, beacon, stop):
             """Runs inside the forked shard: the ordinary in-process
@@ -630,7 +811,7 @@ class FaultInjector:
                     ),
                 )
                 try:
-                    engine = RecoveryEngine(shard_cfg, trace=trace)
+                    engine = RecoveryEngine(shard_cfg, **engine_kwargs)
                 except VerdictCacheError:
                     # A SIGKILL (chaos or operator) can tear the shard
                     # cache's header line.  The cache is an accelerator,
@@ -640,7 +821,7 @@ class FaultInjector:
                             os.remove(shard_cfg.cache_path)
                         except FileNotFoundError:
                             pass
-                    engine = RecoveryEngine(shard_cfg, trace=trace)
+                    engine = RecoveryEngine(shard_cfg, **engine_kwargs)
                 if engine.cache is not None and main_cache_path is not None:
                     # Zero re-verification on resume: every verdict the
                     # drained/crashed campaign persisted replays from
@@ -739,6 +920,7 @@ class FaultInjector:
                 task is None
                 or task.stack != result.task.stack
                 or task.variant != result.task.variant
+                or getattr(result.task, "sched", -1) != task.sched
             ):
                 # Journal records beyond this campaign's plan (kept in
                 # the merged journal, exactly as a serial append-mode
@@ -748,7 +930,9 @@ class FaultInjector:
         campaign = CampaignResult(
             results=results, drained=fabric_result.drained
         )
-        return self._collect(campaign, stats, tree)
+        return self._collect(
+            campaign, stats, runs[0].tree if runs is not None else tree
+        )
 
     def inject_fleet(
         self,

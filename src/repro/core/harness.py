@@ -56,7 +56,11 @@ from repro.core.taxonomy import BugKind
 from repro.errors import CheckpointError, WatchdogTimeout
 from repro.obs.spans import NULL_TELEMETRY
 from repro.recovery.cache import outcome_from_record
-from repro.recovery.scheduler import OrderedJournalWriter, replay_result
+from repro.recovery.scheduler import (
+    OrderedJournalWriter,
+    replay_result,
+    task_order_key,
+)
 from repro.pmem.faultmodel import (
     VARIANT_PREFIX,
     AdversarialImageFactory,
@@ -255,12 +259,18 @@ class InjectionTask:
     :mod:`repro.pmem.faultmodel`).  Variant identity is part of the
     checkpoint record, so resuming a campaign under a different fault
     model never silently reuses the wrong results.
+
+    ``sched`` is the schedule sample this failure point was observed
+    under (``-1`` for single-threaded program-order campaigns).  Like
+    the variant it is part of the checkpoint record and of all resume
+    identity checks, so a checkpoint can never mix schedules.
     """
 
     index: int
     stack: Tuple[str, ...]
     seq: int
     variant: str = VARIANT_PREFIX
+    sched: int = -1
 
 
 @dataclass
@@ -348,11 +358,13 @@ def make_finding(
     seq: Optional[int],
     outcome: RecoveryOutcome,
     variant: str = VARIANT_PREFIX,
+    sched: Optional[int] = None,
 ) -> Optional[Finding]:
     """The fault-injection finding for a bug outcome (None otherwise).
 
     ``variant`` attributes the finding to the fault-model variant whose
-    crash image exposed it.
+    crash image exposed it; ``sched`` to the schedule sample (None for
+    single-threaded campaigns).
     """
     if outcome is None or not outcome.status.is_bug:
         return None
@@ -385,7 +397,14 @@ def make_finding(
         recovery_error=outcome.error,
         recovery_trace=outcome.trace,
         variant=variant,
+        sched=sched,
     )
+
+
+def _sched_of(task: InjectionTask) -> Optional[int]:
+    """Finding-attribution form of a task's schedule id (None when off)."""
+    sched = getattr(task, "sched", -1)
+    return sched if sched >= 0 else None
 
 
 # --------------------------------------------------------------------- #
@@ -502,7 +521,7 @@ def execute_injection(
                         outcome=outcome,
                         finding=make_finding(
                             task.stack, task.seq, outcome,
-                            variant=task.variant,
+                            variant=task.variant, sched=_sched_of(task),
                         ),
                         attempts=attempts,
                         materialise_seconds=mat_seconds,
@@ -560,7 +579,8 @@ def execute_injection(
                 task,
                 outcome=outcome,
                 finding=make_finding(
-                    task.stack, task.seq, outcome, variant=task.variant
+                    task.stack, task.seq, outcome, variant=task.variant,
+                    sched=_sched_of(task),
                 ),
                 attempts=attempts,
                 materialise_seconds=mat_seconds,
@@ -600,7 +620,8 @@ def execute_injection(
             task,
             outcome=outcome,
             finding=make_finding(
-                task.stack, task.seq, outcome, variant=task.variant
+                task.stack, task.seq, outcome, variant=task.variant,
+                sched=_sched_of(task),
             ),
             attempts=attempts,
             materialise_seconds=mat_seconds,
@@ -875,7 +896,7 @@ def _outcome_from_dict(data: dict) -> RecoveryOutcome:
 
 
 def _finding_to_dict(finding: Finding) -> dict:
-    return {
+    data = {
         "kind": finding.kind.value,
         "phase": finding.phase,
         "message": finding.message,
@@ -887,6 +908,11 @@ def _finding_to_dict(finding: Finding) -> dict:
         "recovery_trace": finding.recovery_trace,
         "variant": finding.variant,
     }
+    # Emitted only for scheduled campaigns: single-threaded journals stay
+    # byte-identical to every release before the schedule axis existed.
+    if finding.sched is not None:
+        data["sched"] = finding.sched
+    return data
 
 
 def _finding_from_dict(data: dict) -> Finding:
@@ -901,6 +927,7 @@ def _finding_from_dict(data: dict) -> Finding:
         recovery_error=data.get("recovery_error"),
         recovery_trace=data.get("recovery_trace"),
         variant=data.get("variant", VARIANT_PREFIX),
+        sched=data.get("sched"),
     )
 
 
@@ -927,7 +954,7 @@ def _quarantine_from_dict(data: dict) -> QuarantineRecord:
 
 
 def result_to_record(result: InjectionResult) -> dict:
-    return {
+    record = {
         "type": "injection",
         "i": result.task.index,
         "stack": list(result.task.stack),
@@ -946,6 +973,11 @@ def result_to_record(result: InjectionResult) -> dict:
             else None
         ),
     }
+    # The schedule id joins the record only for scheduled campaigns, so
+    # legacy (single-threaded) journals remain byte-identical.
+    if result.task.sched >= 0:
+        record["sched"] = result.task.sched
+    return record
 
 
 def result_from_record(record: dict) -> InjectionResult:
@@ -954,6 +986,7 @@ def result_from_record(record: dict) -> InjectionResult:
         stack=tuple(record.get("stack") or ()),
         seq=record.get("seq"),
         variant=record.get("variant", VARIANT_PREFIX),
+        sched=record.get("sched", -1),
     )
     return InjectionResult(
         task=task,
@@ -1251,6 +1284,7 @@ def run_campaign(
             restored is not None
             and restored.task.stack == task.stack
             and restored.task.variant == task.variant
+            and restored.task.sched == task.sched
         ):
             campaign.results.append(restored)
             telemetry.counter("injections_restored")
@@ -1261,9 +1295,13 @@ def run_campaign(
 
     writer = None
     if recovery is not None and journal is not None:
+        # Ordered on (schedule id, index): schedule-variant tasks from
+        # different samples may share indices in hand-built plans, and
+        # out-of-order completions under ``jobs > 1`` must still land in
+        # the deterministic campaign order.
         writer = OrderedJournalWriter(
             lambda result: _record_checkpoint(journal, result, telemetry),
-            [task.index for task in todo],
+            [task_order_key(task) for task in todo],
         )
 
     def finish(result: InjectionResult, count_retries: bool = True) -> None:
@@ -1351,7 +1389,7 @@ def run_campaign(
         heartbeat.finish()
     if journal is not None:
         journal.flush()
-    campaign.results.sort(key=lambda r: r.task.index)
+    campaign.results.sort(key=lambda r: task_order_key(r.task))
     return campaign
 
 

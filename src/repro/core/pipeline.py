@@ -40,6 +40,7 @@ from repro.core.trace_analysis import (
     TraceAnalyzer,
     findings_with_sites,
     resolve_sites,
+    resolve_sites_scheduled,
 )
 from repro.instrument.runner import run_instrumented
 from repro.instrument.tracer import (
@@ -51,6 +52,7 @@ from repro.obs import NULL_TELEMETRY, Telemetry, write_run_dir
 from repro.pmem.faultmodel import FaultModelConfig
 from repro.pmem.incremental import ENGINE_IMAGE_INCREMENTAL
 from repro.recovery import RecoveryEngineConfig, recovery_scope
+from repro.sched.config import SchedConfig
 
 #: Mumak's CPU-load factor from the paper's Table 2 (1.20-1.44).
 MUMAK_CPU_LOAD = 1.3
@@ -124,6 +126,13 @@ class MumakConfig:
     #: Per-worker (or per-shard) silence window, in seconds, before a
     #: ``worker_stalled`` event is emitted (0 = off).
     stall_window_seconds: float = 0.0
+    # ---- concurrency-aware schedules (repro.sched) ---- #
+    #: Concurrency-aware campaign: run the target's thread bodies under
+    #: K seeded x86-TSO schedule samples and draw crash points from every
+    #: sample's interleaving (None = ordinary single-threaded campaign).
+    #: Requires the trace engine and a multi-threaded target
+    #: (:class:`repro.apps.threaded.ThreadedPMApplication`).
+    sched: Optional[SchedConfig] = None
     # ---- adversarial fault model (repro.pmem.faultmodel) ---- #
     #: Crash-image materialisation model; the default is the paper's
     #: graceful program-order-prefix crash.
@@ -199,6 +208,11 @@ class MumakConfig:
             # prefix checkpoint must not resume a torn campaign (and
             # vice versa).
             "fault_model": self.fault_model.payload(),
+            # Task indices and seqs are meaningless across schedule
+            # configs, so a checkpoint written under one schedule seed
+            # (or under a single-threaded campaign) is refused by any
+            # other.
+            "sched": self.sched.payload() if self.sched is not None else None,
         }
 
     def fingerprint(self, target_name: str) -> str:
@@ -262,26 +276,65 @@ class Mumak:
         report = AnalysisReport()
         telemetry = Telemetry() if config.obs_active else NULL_TELEMETRY
 
-        # Step 1: one instrumented execution -> trace + failure point tree.
-        tree = FailurePointTree()
-        tracer = MinimalTracer()
-        observer = FailurePointObserver(
-            lambda stack, event: tree.insert(stack, seq=event.seq),
-            granularity=config.granularity,
-            require_store_since_last=config.require_store_since_last,
-        )
-        with timer.phase("instrumented_run"):
-            with telemetry.span("campaign/instrumented_run"):
-                artifacts = run_instrumented(
-                    app_factory,
-                    workload,
-                    hooks=[tracer, observer],
-                    seed=config.seed,
+        # Step 1: instrumented execution(s) -> trace + failure point tree.
+        # A scheduled campaign runs detection once per schedule sample;
+        # sample 0's trace/tree stand in wherever the single-threaded
+        # pipeline expects "the" trace (trace analysis, the result).
+        runs = None
+        if config.sched is not None:
+            if config.engine != ENGINE_TRACE:
+                raise ValueError(
+                    "--sched requires the trace engine; the replay engine "
+                    "re-executes the target per failure point and has no "
+                    "notion of a recorded interleaving"
                 )
-        usage.pool_bytes = artifacts.machine.medium.size
-        usage.note_bytes(
-            estimate_trace_bytes(tracer.events) + 200 * tree.node_count()
-        )
+            from repro.sched.campaign import detect_schedules
+
+            with timer.phase("instrumented_run"):
+                with telemetry.span("campaign/instrumented_run"):
+                    runs, artifacts = detect_schedules(
+                        app_factory,
+                        workload,
+                        config.sched,
+                        seed=config.seed,
+                        granularity=config.granularity,
+                        require_store_since_last=(
+                            config.require_store_since_last
+                        ),
+                    )
+            tree = runs[0].tree
+            trace_events = runs[0].trace
+            candidates = sum(run.candidates for run in runs)
+            usage.pool_bytes = artifacts.machine.medium.size
+            usage.note_bytes(
+                sum(
+                    estimate_trace_bytes(run.trace)
+                    + 200 * run.tree.node_count()
+                    for run in runs
+                )
+            )
+        else:
+            tree = FailurePointTree()
+            tracer = MinimalTracer()
+            observer = FailurePointObserver(
+                lambda stack, event: tree.insert(stack, seq=event.seq),
+                granularity=config.granularity,
+                require_store_since_last=config.require_store_since_last,
+            )
+            with timer.phase("instrumented_run"):
+                with telemetry.span("campaign/instrumented_run"):
+                    artifacts = run_instrumented(
+                        app_factory,
+                        workload,
+                        hooks=[tracer, observer],
+                        seed=config.seed,
+                    )
+            trace_events = tracer.events
+            candidates = observer.candidates_seen
+            usage.pool_bytes = artifacts.machine.medium.size
+            usage.note_bytes(
+                estimate_trace_bytes(trace_events) + 200 * tree.node_count()
+            )
 
         # Step 2: fault injection against the recovery oracle, through
         # the hardened campaign runner (watchdog, containment, journal).
@@ -323,6 +376,12 @@ class Mumak:
             use_fleet = config.fleet_dir is not None
             use_fabric = config.shards > 1 or bool(config.chaos)
             if use_fleet:
+                if runs is not None:
+                    raise ValueError(
+                        "--sched is incompatible with --fleet: schedule "
+                        "samples are process-local detection products and "
+                        "are not published over the fleet transport"
+                    )
                 with timer.phase("fault_injection"), telemetry.span(
                     "campaign/injection"
                 ):
@@ -331,9 +390,9 @@ class Mumak:
                         app_factory,
                         workload,
                         tree,
-                        tracer,
+                        trace_events,
                         artifacts,
-                        observer,
+                        candidates,
                         fingerprint,
                         config.fingerprint_payload(target_name),
                         recovery_config,
@@ -349,12 +408,13 @@ class Mumak:
                         app_factory,
                         workload,
                         tree,
-                        tracer,
+                        trace_events,
                         artifacts,
-                        observer,
+                        candidates,
                         fingerprint,
                         usage,
                         resume_from,
+                        runs=runs,
                     )
             else:
                 resume_state = None
@@ -372,17 +432,27 @@ class Mumak:
                     with timer.phase("fault_injection"), telemetry.span(
                         "campaign/injection"
                     ):
-                        fi_result = injector.inject(
-                            app_factory,
-                            workload,
-                            tree,
-                            tracer.events,
-                            artifacts.initial_image,
-                            seed=config.seed,
-                            candidates=observer.candidates_seen,
-                            journal=journal,
-                            resume_state=resume_state,
-                        )
+                        if runs is not None:
+                            fi_result = injector.inject_scheduled(
+                                app_factory,
+                                runs,
+                                threads=config.sched.threads,
+                                candidates=candidates,
+                                journal=journal,
+                                resume_state=resume_state,
+                            )
+                        else:
+                            fi_result = injector.inject(
+                                app_factory,
+                                workload,
+                                tree,
+                                trace_events,
+                                artifacts.initial_image,
+                                seed=config.seed,
+                                candidates=candidates,
+                                journal=journal,
+                                resume_state=resume_state,
+                            )
                 finally:
                     if journal is not None:
                         journal.close()
@@ -416,13 +486,24 @@ class Mumak:
             )
             with timer.phase("trace_analysis"):
                 with telemetry.span("campaign/trace_analysis"):
-                    pending, trace_stats = analyzer.analyze(tracer.events)
-                    sites = resolve_sites(
-                        app_factory,
-                        workload,
-                        {p.seq for p in pending},
-                        seed=config.seed,
-                    )
+                    pending, trace_stats = analyzer.analyze(trace_events)
+                    if runs is not None:
+                        # Sample 0's trace was analysed; the debug-info
+                        # re-run must replay the very same interleaving.
+                        sites = resolve_sites_scheduled(
+                            app_factory,
+                            workload,
+                            config.sched,
+                            {p.seq for p in pending},
+                            seed=config.seed,
+                        )
+                    else:
+                        sites = resolve_sites(
+                            app_factory,
+                            workload,
+                            {p.seq for p in pending},
+                            seed=config.seed,
+                        )
                     report.extend(findings_with_sites(pending, sites))
 
         # Observation-only export: publish the resource accounting into
@@ -441,7 +522,7 @@ class Mumak:
             fault_injection=fi_result,
             trace_stats=trace_stats,
             tree=tree,
-            trace_length=len(tracer.events),
+            trace_length=len(trace_events),
             telemetry=telemetry if telemetry.enabled else None,
         )
 
@@ -451,9 +532,9 @@ class Mumak:
         app_factory,
         workload,
         tree,
-        tracer,
+        trace_events,
         artifacts,
-        observer,
+        candidates: int,
         fingerprint: str,
         fingerprint_payload: dict,
         recovery_config,
@@ -550,7 +631,7 @@ class Mumak:
                 app_factory,
                 workload,
                 tree,
-                tracer.events,
+                trace_events,
                 artifacts.initial_image,
                 fleet_config,
                 checkpoint,
@@ -558,7 +639,7 @@ class Mumak:
                 fingerprint_payload,
                 spec,
                 seed=config.seed,
-                candidates=observer.candidates_seen,
+                candidates=candidates,
                 resume_state=resume_state,
                 base_records=base_records,
             )
@@ -574,12 +655,13 @@ class Mumak:
         app_factory,
         workload,
         tree,
-        tracer,
+        trace_events,
         artifacts,
-        observer,
+        candidates: int,
         fingerprint: str,
         usage,
         resume_from: Optional[str],
+        runs=None,
     ) -> FaultInjectionResult:
         """Route the injection phase through the multiprocess fabric.
 
@@ -650,15 +732,16 @@ class Mumak:
                 app_factory,
                 workload,
                 tree,
-                tracer.events,
+                trace_events,
                 artifacts.initial_image,
                 fabric_config,
                 checkpoint,
                 fingerprint,
                 seed=config.seed,
-                candidates=observer.candidates_seen,
+                candidates=candidates,
                 resume_state=resume_state,
                 base_records=base_records,
+                runs=runs,
             )
             if config.checkpoint_path is not None and os.path.exists(
                 checkpoint

@@ -41,6 +41,9 @@ class Finding:
     #: "reorder:1", "media:0", ...).  ``None`` for trace-analysis findings
     #: and reports predating the fault-model layer.
     variant: Optional[str] = None
+    #: Schedule sample (``--sched``) whose interleaving exposed the
+    #: finding; ``None`` for single-threaded program-order campaigns.
+    sched: Optional[int] = None
 
     def dedup_key(self) -> Tuple:
         """Two findings with the same key are the same bug.
@@ -61,6 +64,8 @@ class Finding:
             lines.append(format_stack(self.stack))
         if self.variant and self.variant != "prefix":
             lines.append(f"  exposed by fault-model variant '{self.variant}'")
+        if self.sched is not None:
+            lines.append(f"  exposed under schedule sample {self.sched}")
         if self.recovery_error:
             lines.append(f"  recovery failed: {self.recovery_error}")
         if self.recovery_trace:

@@ -303,6 +303,37 @@ def resolve_sites(
     return resolver.sites
 
 
+def resolve_sites_scheduled(
+    app_factory: Callable[[], Any],
+    workload: Sequence,
+    sched,
+    seqs: Set[int],
+    seed: int = 0,
+) -> Dict[int, str]:
+    """Scheduled twin of :func:`resolve_sites`.
+
+    The flagged counters came from schedule sample 0's trace, so the
+    debug-info re-run replays that exact interleaving (same derived
+    scheduler seed); schedules are deterministic, so the counters map to
+    the same instructions.
+    """
+    if not seqs:
+        return {}
+    from repro.sched.campaign import derive_schedule_seed
+    from repro.sched.runner import run_scheduled
+
+    resolver = _SiteResolver(set(seqs))
+    run_scheduled(
+        app_factory,
+        workload,
+        sched,
+        derive_schedule_seed(sched.seed, 0),
+        hooks=[resolver],
+        seed=seed,
+    )
+    return resolver.sites
+
+
 def findings_with_sites(
     pending: Sequence[_PendingFinding], sites: Dict[int, str]
 ) -> List[Finding]:

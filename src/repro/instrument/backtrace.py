@@ -30,7 +30,9 @@ _EXCLUDED_FRAGMENTS = (
     f"{_SEP}repro{_SEP}core{_SEP}",
     f"{_SEP}repro{_SEP}baselines{_SEP}",
     f"{_SEP}repro{_SEP}experiments{_SEP}",
+    f"{_SEP}repro{_SEP}sched{_SEP}",
     f"{_SEP}repro{_SEP}apps{_SEP}faults.py",
+    f"{_SEP}repro{_SEP}apps{_SEP}threaded.py",
 )
 
 

@@ -1,0 +1,224 @@
+"""x86-TSO per-thread store buffers layered over a :class:`PMachine`.
+
+The scheduler in :mod:`repro.sched` runs each application thread through a
+:class:`TSOThreadView`, which models the x86-TSO memory subsystem (the
+"Lost in Interpretation" motivation: persistency under a weak memory model
+needs an executable model, not intuition):
+
+* Plain PM stores enter a per-thread FIFO *store buffer* instead of the
+  globally visible cache.  A buffered store is visible to its own thread's
+  loads (store-to-load forwarding) but invisible to every other thread —
+  and invisible to a crash, because the machine's trace only records
+  *committed* stores.
+* The buffer drains to the machine one entry at a time, in FIFO order.
+  *When* it drains is a scheduler choice (seeded), which is exactly the
+  interleaving axis the fault campaign explores.
+* ``SFENCE``/``MFENCE`` drain the issuing thread's buffer before the fence
+  executes; read-modify-write atomics (``LOCK``-prefixed on real hardware)
+  drain it too — RMW is a full fence under TSO.
+* ``CLFLUSH``/``CLFLUSHOPT``/``CLWB`` are ordered after older stores to
+  the *same cache line*; because the buffer drains in FIFO order, that
+  means committing the prefix of the buffer up to (and including) the
+  newest same-line entry before the flush reads the line.
+* Stores to the volatile region (``address >= VOLATILE_BASE``) commit
+  immediately: the TSO layer models the *persistence domain*, and treating
+  volatile synchronisation as sequentially consistent keeps the model
+  focused on the PM reorderings that can actually corrupt a crash image.
+
+With ``buffering=False`` the view is a transparent pass-through to the
+machine — the differential anchor that lets the test battery assert
+"scheduler off ≡ scheduler absent" bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.pmem.constants import CACHE_LINE_SIZE, cache_line_of
+from repro.pmem.machine import PMachine, VOLATILE_BASE
+
+
+class StoreBuffer:
+    """A per-thread FIFO of not-yet-globally-visible PM stores."""
+
+    def __init__(self) -> None:
+        self._entries: Deque[Tuple[int, bytes]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def pending(self) -> int:
+        return len(self._entries)
+
+    def append(self, address: int, data: bytes) -> None:
+        self._entries.append((address, bytes(data)))
+
+    def pop_oldest(self) -> Tuple[int, bytes]:
+        """FIFO drain: the oldest store commits first, always."""
+        return self._entries.popleft()
+
+    def entries(self) -> List[Tuple[int, bytes]]:
+        return list(self._entries)
+
+    def forward(self, address: int, size: int, base: bytes) -> bytes:
+        """Overlay this buffer's stores onto ``base`` (own-store forwarding).
+
+        Entries are applied oldest-first so a newer buffered store to the
+        same byte wins, exactly as the youngest matching store buffer entry
+        is forwarded on real hardware.
+        """
+        if not self._entries:
+            return base
+        view = bytearray(base)
+        lo, hi = address, address + size
+        for entry_addr, data in self._entries:
+            e_lo, e_hi = entry_addr, entry_addr + len(data)
+            if e_hi <= lo or e_lo >= hi:
+                continue
+            start = max(lo, e_lo)
+            stop = min(hi, e_hi)
+            view[start - lo : stop - lo] = data[start - e_lo : stop - e_lo]
+        return bytes(view)
+
+    def newest_index_touching_line(self, line_base: int) -> int:
+        """Index of the newest entry overlapping the cache line, or -1."""
+        newest = -1
+        for i, (address, data) in enumerate(self._entries):
+            first = cache_line_of(address)
+            last = cache_line_of(address + len(data) - 1) if data else first
+            if first <= line_base <= last:
+                newest = i
+        return newest
+
+
+class TSOThreadView:
+    """One thread's window onto a shared :class:`PMachine` under x86-TSO.
+
+    Mirrors the machine's ISA surface (store/load/flushes/fences/RMW) so
+    application thread bodies are written against the same vocabulary as
+    single-threaded targets.
+    """
+
+    def __init__(
+        self, machine: PMachine, thread_id: int = 0, buffering: bool = True
+    ):
+        self.machine = machine
+        self.thread_id = thread_id
+        self.buffering = buffering
+        self.buffer = StoreBuffer()
+
+    # ------------------------------------------------------------------ #
+    # data path
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pending(self) -> int:
+        return self.buffer.pending
+
+    def store(self, address: int, data: bytes) -> None:
+        if not self.buffering or address >= VOLATILE_BASE:
+            # Volatile synchronisation is modelled sequentially consistent;
+            # pass-through mode commits everything at issue.
+            self.machine.store(address, data)
+            return
+        self.buffer.append(address, data)
+
+    def load(self, address: int, size: int) -> bytes:
+        base = self.machine.load(address, size)
+        if not self.buffering or address >= VOLATILE_BASE:
+            return base
+        return self.buffer.forward(address, size, base)
+
+    def ntstore(self, address: int, data: bytes) -> None:
+        # Non-temporal stores bypass the cache and are weakly ordered with
+        # respect to plain stores; the machine already models their
+        # pending-until-fence behaviour, so they do not enter the buffer.
+        self.machine.ntstore(address, data)
+
+    # ------------------------------------------------------------------ #
+    # drains (the scheduler's interleaving lever)
+    # ------------------------------------------------------------------ #
+
+    def drain_one(self) -> None:
+        """Commit the oldest buffered store to the globally visible cache."""
+        address, data = self.buffer.pop_oldest()
+        self.machine.store(address, data)
+
+    def drain_all(self) -> None:
+        while self.buffer.pending:
+            self.drain_one()
+
+    def _drain_through_line(self, line_base: int) -> None:
+        """Commit the FIFO prefix through the newest same-line store.
+
+        CLFLUSH/CLWB are ordered after older stores to the flushed line;
+        TSO's FIFO drain means every earlier entry commits with them.
+        """
+        newest = self.buffer.newest_index_touching_line(line_base)
+        for _ in range(newest + 1):
+            self.drain_one()
+
+    # ------------------------------------------------------------------ #
+    # persistency instructions
+    # ------------------------------------------------------------------ #
+
+    def clflush(self, address: int) -> None:
+        if self.buffering:
+            self._drain_through_line(cache_line_of(address))
+        self.machine.clflush(address)
+
+    def clflushopt(self, address: int) -> None:
+        if self.buffering:
+            self._drain_through_line(cache_line_of(address))
+        self.machine.clflushopt(address)
+
+    def clwb(self, address: int) -> None:
+        if self.buffering:
+            self._drain_through_line(cache_line_of(address))
+        self.machine.clwb(address)
+
+    def sfence(self) -> None:
+        if self.buffering:
+            self.drain_all()
+        self.machine.sfence()
+
+    def mfence(self) -> None:
+        if self.buffering:
+            self.drain_all()
+        self.machine.mfence()
+
+    # ------------------------------------------------------------------ #
+    # atomics — RMW is a full fence under TSO
+    # ------------------------------------------------------------------ #
+
+    def rmw_u64(self, address: int, func) -> Tuple[int, int]:
+        if self.buffering:
+            self.drain_all()
+        return self.machine.rmw_u64(address, func)
+
+    def cas_u64(self, address: int, expected: int, desired: int) -> bool:
+        if self.buffering:
+            self.drain_all()
+        return self.machine.cas_u64(address, expected, desired)
+
+    def faa_u64(self, address: int, delta: int) -> int:
+        if self.buffering:
+            self.drain_all()
+        return self.machine.faa_u64(address, delta)
+
+    # ------------------------------------------------------------------ #
+    # convenience (mirror the machine's compound helpers)
+    # ------------------------------------------------------------------ #
+
+    def flush_range(self, address: int, size: int) -> None:
+        base = cache_line_of(address)
+        stop = address + size
+        while base < stop:
+            self.clwb(base)
+            base += CACHE_LINE_SIZE
+
+    def persist(self, address: int, size: int) -> None:
+        self.flush_range(address, size)
+        self.sfence()

@@ -116,7 +116,12 @@ class RecoveryEngine:
     """Campaign-wide recovery dedup/caching/pooling coordinator."""
 
     def __init__(
-        self, config, trace=None, write_seqs=None, telemetry=NULL_TELEMETRY
+        self,
+        config,
+        trace=None,
+        write_seqs=None,
+        extent=None,
+        telemetry=NULL_TELEMETRY,
     ):
         self.config = config
         self.telemetry = telemetry
@@ -124,7 +129,12 @@ class RecoveryEngine:
         # Bound digesting to the campaign's persisted-write extent: all
         # crash images agree outside it, so hashing pristine pool tail
         # would cost full-pool time per injection for zero information.
-        extent = persisted_write_extent(trace) if trace is not None else None
+        # Scheduled campaigns pass ``extent`` explicitly (the union over
+        # every schedule sample's trace) along with per-schedule
+        # ``write_seqs``: the extent must be identical for every engine
+        # of a campaign or digests stop aliasing across samples.
+        if extent is None and trace is not None:
+            extent = persisted_write_extent(trace)
         self.digester = ImageDigester(config.scope, extent=extent)
         self.cache = None
         if config.cache_enabled:

@@ -29,6 +29,20 @@ from repro.pmem.faultmodel import VARIANT_PREFIX
 from repro.pmem.machine import CACHE_LINE_SIZE, VOLATILE_BASE
 
 
+def task_order_key(task):
+    """Deterministic campaign order of a task: (schedule id, index).
+
+    Single-threaded campaigns have ``sched == -1`` everywhere, so the
+    key degenerates to plain index order — byte-compatible with every
+    journal written before the schedule axis existed.  Scheduled
+    campaigns may hand the harness tasks whose indices repeat across
+    samples; ordering (and journal re-serialisation) must then
+    discriminate on the schedule id or out-of-order completions under
+    ``--jobs`` reorder findings nondeterministically.
+    """
+    return (getattr(task, "sched", -1), task.index)
+
+
 def persisted_write_seqs(trace):
     """Sorted seqs of events that persist bytes to PM.
 
@@ -96,18 +110,28 @@ def plan_groups(tasks, write_seqs):
     variants are singletons.  Group order follows leader first-seen
     order, so serial dispatch with the engine on visits images in the
     same order as with it off.
+
+    ``write_seqs`` is either one sorted seq list (single-threaded
+    campaigns) or a mapping ``{schedule id: sorted seq list}`` for
+    scheduled campaigns.  Tasks from different schedule samples never
+    share a group — equal persisted-write *counts* only imply equal
+    bytes within one trace; cross-schedule aliasing is discovered at
+    the verdict cache, where it is keyed on actual image bytes.
     """
     groups = []
     by_count = {}
+    per_sched = isinstance(write_seqs, dict)
     for task in tasks:
         if task.variant != VARIANT_PREFIX:
             groups.append(TaskGroup(leader=task))
             continue
-        count = bisect_left(write_seqs, task.seq)
-        group = by_count.get(count)
+        sched = getattr(task, "sched", -1)
+        seqs = write_seqs.get(sched, ()) if per_sched else write_seqs
+        key = (sched, bisect_left(seqs, task.seq))
+        group = by_count.get(key)
         if group is None:
             group = TaskGroup(leader=task)
-            by_count[count] = group
+            by_count[key] = group
             groups.append(group)
         else:
             group.followers.append(task)
@@ -130,7 +154,8 @@ def replay_result(leader_result, task, finding_factory):
         task=task,
         outcome=outcome,
         finding=finding_factory(
-            task.stack, task.seq, outcome, variant=task.variant
+            task.stack, task.seq, outcome, variant=task.variant,
+            sched=(task.sched if getattr(task, "sched", -1) >= 0 else None),
         ),
         attempts=1,
         restored=False,
@@ -140,35 +165,51 @@ def replay_result(leader_result, task, finding_factory):
 
 
 class OrderedJournalWriter:
-    """Re-serialise out-of-order completions into index order.
+    """Re-serialise out-of-order completions into campaign order.
 
     ``record`` is called exactly once per result, in ascending
-    ``task.index`` order over ``expected_indices``, no matter the
+    :func:`task_order_key` order over ``expected_keys``, no matter the
     completion order.  This keeps checkpoint journals byte-identical
     with the engine off (which completes tasks strictly in order).
+
+    ``expected_keys`` accepts plain indices (legacy single-threaded
+    callers) or ``(sched, index)`` keys; results are always buffered
+    under their full :func:`task_order_key`.  Keying on the bare index
+    was a real bug once schedule-variant tasks entered the plan: two
+    samples can emit the same per-sample index, and an out-of-order
+    completion under ``--jobs`` would overwrite one buffered result
+    with the other, reordering (and dropping) findings
+    nondeterministically.
     """
 
-    def __init__(self, record, expected_indices):
+    def __init__(self, record, expected_keys):
         self._record = record
         self._pending = {}
-        self._order = sorted(expected_indices)
+        self._order = sorted(self._normalise(key) for key in expected_keys)
         self._cursor = 0
+
+    @staticmethod
+    def _normalise(key):
+        """Accept a bare index or a (sched, index) pair as an order key."""
+        if isinstance(key, tuple):
+            return key
+        return (-1, key)
 
     def offer(self, result):
         """Accept one completed result; drain whatever is now ready."""
-        self._pending[result.task.index] = result
+        self._pending[task_order_key(result.task)] = result
         while self._cursor < len(self._order):
-            index = self._order[self._cursor]
-            ready = self._pending.pop(index, None)
+            key = self._order[self._cursor]
+            ready = self._pending.pop(key, None)
             if ready is None:
                 break
             self._record(ready)
             self._cursor += 1
 
     def flush_remaining(self):
-        """Defensively drain any buffered results (index order)."""
-        for index in sorted(self._pending):
-            self._record(self._pending.pop(index))
+        """Defensively drain any buffered results (campaign order)."""
+        for key in sorted(self._pending):
+            self._record(self._pending.pop(key))
 
     @property
     def buffered(self):

@@ -1,0 +1,110 @@
+"""Run a multi-threaded target under a seeded schedule.
+
+The scheduled twin of :func:`repro.instrument.runner.run_instrumented`:
+boots a fresh machine, attaches hooks, snapshots the initial image, and
+enters the target through the ``__mumak_target_entry__`` sentinel so
+captured backtraces stop at the program boundary.  Setup and recovery
+stay single-threaded (they are on real systems too — the race window is
+the workload); only the workload phase is scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import CrashInjected
+from repro.instrument.determinism import deterministic_environment
+from repro.pmem.machine import EventHook, PMachine
+from repro.pmem.tso import TSOThreadView
+from repro.sched.config import SchedConfig
+from repro.sched.scheduler import TSOScheduler
+
+
+@dataclass
+class ScheduleArtifacts:
+    """What one scheduled execution leaves behind."""
+
+    app: Any
+    machine: PMachine
+    #: PM contents before the target executed a single instruction.
+    initial_image: bytes
+    #: Per-thread body return values (None when a fault cut the run short).
+    result: Any
+    #: The seed this sample's scheduler RNG was built from.
+    schedule_seed: int
+    #: The interleaving actually taken, e.g. ``("s0", "s1", "d0", ...)``.
+    schedule_trace: Tuple[str, ...] = ()
+    #: Set when the run was stopped by an injected fault.
+    injected: Optional[CrashInjected] = None
+
+
+def run_scheduled(
+    app_factory: Callable[[], Any],
+    workload: Sequence,
+    sched: SchedConfig,
+    schedule_seed: int,
+    hooks: Iterable[EventHook] = (),
+    seed: int = 0,
+    step_limit: Optional[int] = None,
+    deadline: Optional[float] = None,
+    scheduler_box: Optional[Dict[str, TSOScheduler]] = None,
+) -> ScheduleArtifacts:
+    """Execute ``app.setup()`` then the app's thread bodies under a seeded
+    x86-TSO schedule.
+
+    The target must be a :class:`~repro.apps.threaded.ThreadedPMApplication`
+    (anything exposing ``thread_bodies(workload, threads)``).
+
+    ``scheduler_box``, when given, receives the live :class:`TSOScheduler`
+    under the key ``"scheduler"`` as soon as it exists — failure-point
+    observers use it to read ``current_label`` and attribute candidates to
+    threads while the run is still in flight.
+    """
+    app = app_factory()
+    machine = PMachine(pm_size=app.pool_size)
+    if step_limit is not None or deadline is not None:
+        machine.arm_watchdog(step_limit=step_limit, deadline=deadline)
+    for hook in hooks:
+        machine.add_hook(hook)
+    initial_image = machine.medium.snapshot()
+
+    holder: List[TSOScheduler] = []
+
+    def __mumak_target_entry__():
+        with deterministic_environment(seed):
+            app.setup(machine)
+            bodies = app.thread_bodies(workload, sched.threads)
+            # A single-thread schedule must be bit-identical to the
+            # program-order engine, so its view commits stores eagerly;
+            # buffering (and drain reordering) only exists with 2+ threads.
+            views = [
+                TSOThreadView(
+                    machine, thread_id=tid, buffering=len(bodies) > 1
+                )
+                for tid in range(len(bodies))
+            ]
+            scheduler = TSOScheduler(bodies, views, seed=schedule_seed)
+            holder.append(scheduler)
+            if scheduler_box is not None:
+                scheduler_box["scheduler"] = scheduler
+            return scheduler.drive()
+
+    injected = None
+    result = None
+    try:
+        result = __mumak_target_entry__()
+    except CrashInjected as crash:
+        injected = crash
+    finally:
+        if scheduler_box is not None:
+            scheduler_box.pop("scheduler", None)
+    return ScheduleArtifacts(
+        app=app,
+        machine=machine,
+        initial_image=initial_image,
+        result=result,
+        schedule_seed=schedule_seed,
+        schedule_trace=holder[0].schedule_trace if holder else (),
+        injected=injected,
+    )

@@ -1,0 +1,192 @@
+"""The coroutine scheduler and its per-thread operation context.
+
+Thread bodies are generator functions (the simsched idiom): every machine
+operation is requested through a :class:`ThreadCtx` method and consumed
+with ``yield from``, which yields control to the scheduler *before* the
+operation executes.  The operation then runs inside the thread body's own
+frame chain, so captured failure-point backtraces point at the thread
+body's source line — not at scheduler plumbing (this whole package is
+filtered out of backtraces).
+
+The scheduler draws from a seeded RNG over the currently enabled moves:
+
+* ``s<tid>`` — step thread ``tid`` (execute its pending operation and run
+  to its next scheduling point);
+* ``d<tid>`` — drain the oldest entry of thread ``tid``'s TSO store
+  buffer (commit one store to the globally visible cache).
+
+The recorded token sequence *is* the schedule trace: replaying the same
+seed replays the same interleaving bit-for-bit, which is what makes
+concurrency findings attributable and campaigns resumable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.pmem.constants import CACHE_LINE_SIZE, cache_line_of
+from repro.pmem.tso import TSOThreadView
+
+#: A thread body: called with a :class:`ThreadCtx`, returns a generator.
+ThreadBody = Callable[["ThreadCtx"], Iterator[None]]
+
+
+class ThreadCtx:
+    """Operation vocabulary for one scheduled thread.
+
+    Every method is a generator that yields (a scheduling point) before
+    performing the operation on the thread's :class:`TSOThreadView`.
+    Thread bodies call them with ``yield from``::
+
+        def body(ctx):
+            yield from ctx.store(addr, b"payload")
+            yield from ctx.persist(addr, 8)
+            flag = yield from ctx.load_u64(flag_addr)
+    """
+
+    def __init__(self, view: TSOThreadView):
+        self.view = view
+
+    @property
+    def thread_id(self) -> int:
+        return self.view.thread_id
+
+    # -- data path ----------------------------------------------------- #
+
+    def store(self, address: int, data: bytes):
+        yield
+        self.view.store(address, data)
+
+    def load(self, address: int, size: int):
+        yield
+        return self.view.load(address, size)
+
+    def store_u64(self, address: int, value: int):
+        yield
+        self.view.store(address, value.to_bytes(8, "little"))
+
+    def load_u64(self, address: int):
+        yield
+        return int.from_bytes(self.view.load(address, 8), "little")
+
+    def ntstore(self, address: int, data: bytes):
+        yield
+        self.view.ntstore(address, data)
+
+    # -- persistency instructions -------------------------------------- #
+
+    def clflush(self, address: int):
+        yield
+        self.view.clflush(address)
+
+    def clflushopt(self, address: int):
+        yield
+        self.view.clflushopt(address)
+
+    def clwb(self, address: int):
+        yield
+        self.view.clwb(address)
+
+    def sfence(self):
+        yield
+        self.view.sfence()
+
+    def mfence(self):
+        yield
+        self.view.mfence()
+
+    def flush_range(self, address: int, size: int):
+        base = cache_line_of(address)
+        stop = address + size
+        while base < stop:
+            yield
+            self.view.clwb(base)
+            base += CACHE_LINE_SIZE
+
+    def persist(self, address: int, size: int):
+        """Flush + fence, one scheduling point per instruction — crash
+        points exist *between* the flush and the fence, as on hardware."""
+        yield from self.flush_range(address, size)
+        yield
+        self.view.sfence()
+
+    # -- atomics (RMW drains the buffer: full fence under TSO) ---------- #
+
+    def rmw_u64(self, address: int, func):
+        yield
+        return self.view.rmw_u64(address, func)
+
+    def cas_u64(self, address: int, expected: int, desired: int):
+        yield
+        return self.view.cas_u64(address, expected, desired)
+
+    def faa_u64(self, address: int, delta: int):
+        yield
+        return self.view.faa_u64(address, delta)
+
+    # -- pure scheduling point ------------------------------------------ #
+
+    def pause(self):
+        """Yield without an operation — a preemption opportunity."""
+        yield
+
+
+class TSOScheduler:
+    """Seeded interleaver of thread steps and store-buffer drains."""
+
+    def __init__(
+        self,
+        bodies: Sequence[ThreadBody],
+        views: Sequence[TSOThreadView],
+        seed: int = 0,
+    ):
+        if len(bodies) != len(views):
+            raise ValueError("one view per thread body required")
+        self.views = list(views)
+        self.ctxs = [ThreadCtx(view) for view in self.views]
+        self._gens = [body(ctx) for body, ctx in zip(bodies, self.ctxs)]
+        self.rng = random.Random(seed)
+        #: The schedule trace: token per move, e.g. ``("s0", "s1", "d0")``.
+        self.tokens: List[str] = []
+        #: Label of the thread currently executing (``t<tid>``), or None
+        #: outside the drive loop (e.g. during setup).  Failure-point
+        #: observers read this to attribute candidates to threads.
+        self.current_label: Optional[str] = None
+
+    def drive(self) -> List[Any]:
+        """Run every thread to completion, then drain every buffer.
+
+        Returns the per-thread body return values.  Deterministic for a
+        given (bodies, seed): the enabled-move list is built in a fixed
+        order and the RNG is private to this schedule.
+        """
+        live = list(range(len(self._gens)))
+        results: List[Any] = [None] * len(self._gens)
+        while True:
+            moves: List[Tuple[str, int]] = [("s", tid) for tid in live]
+            moves += [
+                ("d", tid)
+                for tid, view in enumerate(self.views)
+                if view.pending
+            ]
+            if not moves:
+                break
+            kind, tid = self.rng.choice(moves)
+            self.tokens.append(f"{kind}{tid}")
+            if kind == "s":
+                self.current_label = f"t{tid}"
+                try:
+                    next(self._gens[tid])
+                except StopIteration as stop:
+                    live.remove(tid)
+                    results[tid] = stop.value
+                finally:
+                    self.current_label = None
+            else:
+                self.views[tid].drain_one()
+        return results
+
+    @property
+    def schedule_trace(self) -> Tuple[str, ...]:
+        return tuple(self.tokens)

@@ -100,6 +100,8 @@ class TestRegistryShape:
             "art.c1_insert_commit",
             "pmdk.c1_tx_commit_overflow",
             "hashmap_atomic.c6_torn_inplace_update",
+            "msgqueue_tso.c1_unfenced_publish",
+            "worklog_alloc.c1_racy_pop",
         }
 
     def test_default_bugs_match_registry(self):

@@ -131,9 +131,9 @@ def test_replay_rebinds_stack_and_rederives_finding():
     )
     calls = {}
 
-    def make_finding(stack, seq, got_outcome, variant):
+    def make_finding(stack, seq, got_outcome, variant, sched=None):
         calls.update(stack=stack, seq=seq, outcome=got_outcome,
-                     variant=variant)
+                     variant=variant, sched=sched)
         return "follower-finding"
 
     replayed = replay_result(leader_result, follower, make_finding)
@@ -144,6 +144,8 @@ def test_replay_rebinds_stack_and_rederives_finding():
     assert calls["stack"] == follower.stack
     assert calls["seq"] == follower.seq
     assert calls["outcome"] is replayed.outcome
+    # Single-threaded tasks (sched == -1) re-derive with no schedule tag.
+    assert calls["sched"] is None
     # Replays are free and first-try: no attempts, no wall-clock.
     assert replayed.attempts == 1
     assert replayed.restored is False

@@ -1,0 +1,281 @@
+"""The x86-TSO executable model: unit battery + differential anchors.
+
+Three layers of evidence that ``repro.sched`` is a faithful model and a
+safe extension of the existing engine:
+
+* property tests (Hypothesis) over :class:`TSOThreadView`: per-thread
+  FIFO drain, store-to-load forwarding, fences/RMW leaving the buffer
+  empty, CLWB committing the FIFO prefix through the flushed line;
+* the differential anchor: a ``threads=1`` schedule produces a trace
+  bit-identical to :func:`run_instrumented` — scheduler off ≡ scheduler
+  absent;
+* DPOR-style digest aliasing: two crash images that agree on the
+  campaign's persisted-write extent share one verdict-cache key, no
+  matter what garbage differs outside it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import THREADED_APPLICATIONS
+from repro.instrument.runner import run_instrumented
+from repro.instrument.tracer import MinimalTracer
+from repro.pmem.constants import CACHE_LINE_SIZE
+from repro.pmem.machine import PMachine, VOLATILE_BASE
+from repro.pmem.tso import TSOThreadView
+from repro.recovery.digest import ImageDigester, recovery_scope
+from repro.sched.campaign import derive_schedule_seed
+from repro.sched.config import SchedConfig
+from repro.sched.runner import run_scheduled
+from repro.workloads import generate_workload
+
+POOL = 4096
+
+# One-byte stores at small offsets keep the search space dense enough
+# for Hypothesis to hit same-line/overlap cases constantly.
+_stores = st.lists(
+    st.tuples(st.integers(0, 255), st.integers(0, 255)),
+    min_size=1,
+    max_size=12,
+)
+
+
+def view_pair():
+    machine = PMachine(pm_size=POOL)
+    return machine, TSOThreadView(machine, thread_id=0, buffering=True)
+
+
+def reference_bytes(machine_template, stores):
+    """What memory must look like after the stores commit in order."""
+    image = bytearray(machine_template.load(0, 512))
+    for offset, value in stores:
+        image[offset] = value
+    return bytes(image)
+
+
+class TestStoreBufferFIFO:
+    @settings(max_examples=60, deadline=None)
+    @given(_stores)
+    def test_drain_is_fifo(self, stores):
+        """After k drains the machine holds exactly the first k stores."""
+        machine, view = view_pair()
+        baseline = machine.load(0, 512)
+        for offset, value in stores:
+            view.store(offset, bytes([value]))
+        assert view.pending == len(stores)
+        for k in range(1, len(stores) + 1):
+            view.drain_one()
+            expected = bytearray(baseline)
+            for offset, value in stores[:k]:
+                expected[offset] = value
+            assert machine.load(0, 512) == bytes(expected)
+        assert view.pending == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(_stores, st.integers(0, 2**32))
+    def test_drain_timing_never_reorders_program_order(self, stores, seed):
+        """TSO: drains may happen at any time, but the final memory is
+        always the program-order application of the stores."""
+        import random
+
+        rng = random.Random(seed)
+        machine, view = view_pair()
+        expected = reference_bytes(machine, stores)
+        for offset, value in stores:
+            view.store(offset, bytes([value]))
+            while view.pending and rng.random() < 0.5:
+                view.drain_one()
+        view.drain_all()
+        assert machine.load(0, 512) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(_stores)
+    def test_store_to_load_forwarding(self, stores):
+        """Buffered stores are visible to the issuing thread's loads and
+        invisible to every other thread until they drain."""
+        machine, view = view_pair()
+        other = TSOThreadView(machine, thread_id=1, buffering=True)
+        baseline = machine.load(0, 512)
+        for offset, value in stores:
+            view.store(offset, bytes([value]))
+        expected = reference_bytes(machine, stores)
+        assert view.load(0, 512) == expected
+        assert other.load(0, 512) == baseline
+        view.drain_all()
+        assert other.load(0, 512) == expected
+
+
+class TestFencesAndAtomics:
+    @settings(max_examples=40, deadline=None)
+    @given(_stores)
+    def test_sfence_drains_everything(self, stores):
+        machine, view = view_pair()
+        expected = reference_bytes(machine, stores)
+        for offset, value in stores:
+            view.store(offset, bytes([value]))
+        view.sfence()
+        assert view.pending == 0
+        assert machine.load(0, 512) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(_stores)
+    def test_mfence_drains_everything(self, stores):
+        machine, view = view_pair()
+        for offset, value in stores:
+            view.store(offset, bytes([value]))
+        view.mfence()
+        assert view.pending == 0
+
+    def test_rmw_family_is_a_full_fence(self):
+        """LOCK-prefixed atomics drain the issuing thread's buffer."""
+        for op in (
+            lambda v: v.rmw_u64(1024, lambda x: x + 1),
+            lambda v: v.cas_u64(1024, 0, 7),
+            lambda v: v.faa_u64(1024, 3),
+        ):
+            machine, view = view_pair()
+            view.store(0, b"\xaa")
+            view.store(64, b"\xbb")
+            assert view.pending == 2
+            op(view)
+            assert view.pending == 0
+            assert machine.load(0, 1) == b"\xaa"
+            assert machine.load(64, 1) == b"\xbb"
+
+    def test_volatile_stores_bypass_the_buffer(self):
+        machine, view = view_pair()
+        view.store(VOLATILE_BASE + 8, b"\x01")
+        assert view.pending == 0
+        assert view.load(VOLATILE_BASE + 8, 1) == b"\x01"
+
+
+class TestFlushDrainThroughLine:
+    def test_clwb_commits_prefix_through_newest_same_line_store(self):
+        """Stores [line0, line1, line0]; CLWB(line0) must commit all
+        three — the FIFO cannot skip the middle entry."""
+        machine, view = view_pair()
+        line1 = CACHE_LINE_SIZE
+        view.store(0, b"\x01")
+        view.store(line1, b"\x02")
+        view.store(1, b"\x03")
+        view.clwb(0)
+        assert view.pending == 0
+        assert machine.load(0, 2) == b"\x01\x03"
+        assert machine.load(line1, 1) == b"\x02"
+
+    def test_clwb_leaves_younger_other_line_stores_buffered(self):
+        machine, view = view_pair()
+        line1 = CACHE_LINE_SIZE
+        view.store(0, b"\x01")
+        view.store(line1, b"\x02")
+        view.clwb(0)
+        assert view.pending == 1
+        assert machine.load(0, 1) == b"\x01"
+
+    def test_clflush_and_clflushopt_share_the_drain_rule(self):
+        for flush in ("clflush", "clflushopt"):
+            machine, view = view_pair()
+            view.store(0, b"\x01")
+            view.store(CACHE_LINE_SIZE, b"\x02")
+            getattr(view, flush)(0)
+            assert view.pending == 1
+
+    def test_unbuffered_view_is_a_pass_through(self):
+        machine = PMachine(pm_size=POOL)
+        view = TSOThreadView(machine, thread_id=0, buffering=False)
+        view.store(0, b"\x05")
+        assert view.pending == 0
+        assert machine.load(0, 1) == b"\x05"
+
+
+class TestSingleThreadDifferentialAnchor:
+    """threads=1 schedules must be bit-identical to the plain engine."""
+
+    @pytest.mark.parametrize("name", sorted(THREADED_APPLICATIONS))
+    def test_trace_bit_identical_to_run_instrumented(self, name):
+        factory = THREADED_APPLICATIONS[name]
+        workload = generate_workload(16, seed=7)
+        sched = SchedConfig(threads=1, seed=3)
+
+        plain = MinimalTracer()
+        run_instrumented(factory, workload, hooks=[plain], seed=7)
+        scheduled = MinimalTracer()
+        run_scheduled(
+            factory,
+            workload,
+            sched,
+            derive_schedule_seed(sched.seed, 0),
+            hooks=[scheduled],
+            seed=7,
+        )
+
+        def key(events):
+            return [
+                (e.seq, e.opcode, e.address, e.size, e.data)
+                for e in events
+            ]
+
+        assert key(scheduled.events) == key(plain.events)
+
+
+class TestDigestAliasing:
+    """Equal bytes on the persisted-write extent ⇒ equal cache keys."""
+
+    def test_images_equal_on_extent_alias(self):
+        scope = recovery_scope({"target": "t", "timeout": 1.0})
+        digester = ImageDigester(scope, extent=(64, 192))
+        a = bytearray(256)
+        b = bytearray(256)
+        a[64:192] = b"\x07" * 128
+        b[64:192] = b"\x07" * 128
+        b[0:8] = b"\xff" * 8  # noise outside the extent
+        b[200] = 0xEE
+        assert digester.digest(bytes(a)) == digester.digest(bytes(b))
+
+    def test_images_differing_on_extent_do_not_alias(self):
+        scope = recovery_scope({"target": "t", "timeout": 1.0})
+        digester = ImageDigester(scope, extent=(64, 192))
+        a = bytes(256)
+        b = bytearray(256)
+        b[100] = 1
+        assert digester.digest(a) != digester.digest(bytes(b))
+
+    def test_extent_is_bound_into_the_preimage(self):
+        scope = recovery_scope({"target": "t"})
+        narrow = ImageDigester(scope, extent=(0, 64))
+        wide = ImageDigester(scope, extent=(0, 128))
+        image = bytes(256)
+        assert narrow.digest(image) != wide.digest(image)
+
+
+class TestScheduleSeeds:
+    def test_derivation_is_deterministic(self):
+        assert derive_schedule_seed(3, 0) == derive_schedule_seed(3, 0)
+
+    def test_samples_get_uncorrelated_seeds(self):
+        seeds = {derive_schedule_seed(3, i) for i in range(16)}
+        assert len(seeds) == 16
+
+    def test_base_seed_shifts_every_sample(self):
+        assert derive_schedule_seed(3, 0) != derive_schedule_seed(4, 0)
+
+
+class TestSchedConfigParsing:
+    def test_full_spec_round_trips(self):
+        config = SchedConfig.parse("threads=3,seed=11,samples=5")
+        assert (config.threads, config.seed, config.samples) == (3, 11, 5)
+        assert SchedConfig.parse(config.spec()) == config
+
+    def test_defaults(self):
+        config = SchedConfig.parse("threads=2")
+        assert (config.seed, config.samples) == (0, 1)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "threads=0", "threads=5", "threads=two", "cores=2",
+         "threads=2,samples=0", "threads=2,,seed=1"],
+    )
+    def test_bad_specs_raise_value_error(self, spec):
+        with pytest.raises(ValueError):
+            SchedConfig.parse(spec)
